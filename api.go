@@ -1,0 +1,250 @@
+// Package repro is the public facade of the reproduction of
+// "A Time-domain RF Steady-State Method for Closely Spaced Tones"
+// (J. Roychowdhury, DAC 2002). It re-exports the library's main entry
+// points so downstream users do not need to reach into internal packages:
+//
+//   - circuit construction (NewCircuit, the device builders on Circuit,
+//     waveforms DC/Sine/ModulatedCarrier, and the SPICE-ish netlist parser),
+//   - conventional analyses (DCOperatingPoint, Transient, ShootingPSS,
+//     HarmonicBalance) as baselines, and
+//   - the paper's method: MPDEQuasiPeriodic (steady state on the sheared
+//     difference-frequency grid) and MPDEEnvelope (slow-time envelope
+//     following), with NewShear defining the difference-frequency time
+//     scale fd = K·F1 − F2.
+//
+// A minimal session:
+//
+//	sh := repro.NewShear(450e6, 2*450e6-15e3, 2) // LO-doubling mixer, fd = 15 kHz
+//	mix := repro.NewBalancedMixer(repro.BalancedMixerConfig{})
+//	sol, err := repro.MPDEQuasiPeriodic(mix.Ckt, repro.MPDEOptions{N1: 40, N2: 30, Shear: mix.Shear})
+//	bb := sol.DifferentialBaseband(mix.OutP, mix.OutM) // the down-converted bit stream
+package repro
+
+import (
+	"io"
+
+	"repro/internal/ac"
+	"repro/internal/circuit"
+	"repro/internal/ckts"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/hb"
+	"repro/internal/netlist"
+	"repro/internal/pac"
+	"repro/internal/shooting"
+	"repro/internal/solver"
+	"repro/internal/transient"
+)
+
+// --- circuit construction ---------------------------------------------------
+
+// Circuit is the flat MNA netlist container.
+type Circuit = circuit.Circuit
+
+// NewCircuit returns an empty circuit with the given title.
+func NewCircuit(title string) *Circuit { return circuit.New(title) }
+
+// Waveform types for independent sources.
+type (
+	// Waveform is any time-domain excitation.
+	Waveform = device.Waveform
+	// TorusWaveform is a bi-periodic excitation usable by MPDE/HB.
+	TorusWaveform = device.TorusWaveform
+	// DC is a constant source value.
+	DC = device.DC
+	// Sine is a (multi-)tone cosine declared on the torus.
+	Sine = device.Sine
+	// ModulatedCarrier is a bit-stream-modulated RF carrier (paper Eq. 14).
+	ModulatedCarrier = device.ModulatedCarrier
+	// Pulse is the SPICE trapezoidal pulse (transient-only).
+	Pulse = device.Pulse
+	// PWL is a piecewise-linear waveform (transient-only).
+	PWL = device.PWL
+	// Sum adds waveforms.
+	Sum = device.Sum
+	// MOSFET is the level-1 MOS model used by the mixer circuits.
+	MOSFET = device.MOSFET
+	// BJT is the Ebers–Moll bipolar model.
+	BJT = device.BJT
+	// TorusSquare is a smoothed square wave on the torus (PWM and hard
+	// switching drives).
+	TorusSquare = device.TorusSquare
+)
+
+// ParseNetlist reads a SPICE-flavoured deck (see internal/netlist for the
+// dialect) and returns the parsed deck with its circuit and tone
+// declarations.
+func ParseNetlist(r io.Reader) (*netlist.Deck, error) { return netlist.Parse(r) }
+
+// ParseNetlistString parses a deck held in a string.
+func ParseNetlistString(s string) (*netlist.Deck, error) { return netlist.ParseString(s) }
+
+// --- the paper's method -----------------------------------------------------
+
+// Shear is the difference-frequency time-scale map (paper Section 2).
+type Shear = core.Shear
+
+// NewShear builds the map for tones F1 (fast/LO) and F2 (RF) with internal
+// harmonic K: the difference frequency is fd = K·F1 − F2.
+func NewShear(f1, f2 float64, k int) Shear { return Shear{F1: f1, F2: f2, K: k} }
+
+// MPDEOptions configures the quasi-periodic MPDE solve.
+type MPDEOptions = core.Options
+
+// MPDESolution is the converged multi-time steady state.
+type MPDESolution = core.Solution
+
+// DiffOrder selects the finite-difference order on the MPDE grid.
+type DiffOrder = core.DiffOrder
+
+// Difference orders for the MPDE grid.
+const (
+	Order1 = core.Order1
+	Order2 = core.Order2
+)
+
+// MPDEQuasiPeriodic computes the quasi-periodic steady state on the sheared
+// bi-periodic grid — the paper's headline method.
+func MPDEQuasiPeriodic(ckt *Circuit, opt MPDEOptions) (*MPDESolution, error) {
+	return core.QPSS(ckt, opt)
+}
+
+// MPDEEnvelopeOptions configures slow-time envelope following.
+type MPDEEnvelopeOptions = core.EnvelopeOptions
+
+// MPDEEnvelopeResult is a slow-time trajectory of fast-periodic lines.
+type MPDEEnvelopeResult = core.EnvelopeResult
+
+// MPDEEnvelope marches the MPDE in the difference-frequency time scale
+// without imposing slow periodicity (envelope transients).
+func MPDEEnvelope(ckt *Circuit, opt MPDEEnvelopeOptions) (*MPDEEnvelopeResult, error) {
+	return core.EnvelopeFollow(ckt, opt)
+}
+
+// --- baseline analyses --------------------------------------------------------
+
+// DCOptions configures operating-point analysis.
+type DCOptions = transient.DCOptions
+
+// DCOperatingPoint solves f(x) + b = 0 with Newton, source stepping and gmin
+// stepping fallbacks.
+func DCOperatingPoint(ckt *Circuit, opt DCOptions) ([]float64, error) {
+	x, _, err := transient.DC(ckt, opt)
+	return x, err
+}
+
+// TransientOptions configures time-stepping simulation.
+type TransientOptions = transient.Options
+
+// TransientResult is a stored trajectory.
+type TransientResult = transient.Result
+
+// TransientMethod selects the integration formula.
+type TransientMethod = transient.Method
+
+// Integration methods.
+const (
+	BE    = transient.BE
+	TRAP  = transient.TRAP
+	GEAR2 = transient.GEAR2
+)
+
+// Transient integrates the circuit equations over time — the "traditional
+// time-stepping" baseline of the paper.
+func Transient(ckt *Circuit, opt TransientOptions) (*TransientResult, error) {
+	return transient.Run(ckt, opt)
+}
+
+// ShootingOptions configures periodic steady-state shooting.
+type ShootingOptions = shooting.Options
+
+// ShootingResult is a converged periodic orbit.
+type ShootingResult = shooting.Result
+
+// ShootingPSS computes a single-tone periodic steady state by the
+// Aprille–Trick shooting method — the paper's CPU-time comparison baseline.
+func ShootingPSS(ckt *Circuit, opt ShootingOptions) (*ShootingResult, error) {
+	return shooting.PSS(ckt, opt)
+}
+
+// HBOptions configures two-tone harmonic balance.
+type HBOptions = hb.Options
+
+// HBSolution is a converged HB steady state.
+type HBSolution = hb.Solution
+
+// HarmonicBalance runs box-truncated two-tone harmonic balance — the
+// frequency-domain comparator whose weakness on switching waveforms
+// motivates the paper.
+func HarmonicBalance(ckt *Circuit, opt HBOptions) (*HBSolution, error) {
+	return hb.Solve(ckt, opt)
+}
+
+// NewtonOptions exposes the shared nonlinear-solver configuration.
+type NewtonOptions = solver.Options
+
+// ACOptions configures small-signal AC analysis.
+type ACOptions = ac.Options
+
+// ACResult holds the swept phasor response.
+type ACResult = ac.Result
+
+// ACAnalyze linearises the circuit at its bias point and sweeps
+// (G + jωC)·X = B over frequency.
+func ACAnalyze(ckt *Circuit, opt ACOptions) (*ACResult, error) { return ac.Analyze(ckt, opt) }
+
+// ACLogSweep returns log-spaced frequencies for ACAnalyze.
+func ACLogSweep(f0, f1 float64, nPts int) []float64 { return ac.LogSweep(f0, f1, nPts) }
+
+// PACOptions configures periodic AC (conversion-matrix) analysis.
+type PACOptions = pac.Options
+
+// PACResult holds periodic small-signal transfer functions.
+type PACResult = pac.Result
+
+// PACAnalyze linearises around a periodic steady state and computes the
+// small-signal conversion gains from a stimulus at fs to every LO sideband
+// fs + k·f0.
+func PACAnalyze(ckt *Circuit, opt PACOptions) (*PACResult, error) { return pac.Analyze(ckt, opt) }
+
+// --- canonical circuits -------------------------------------------------------
+
+// BalancedMixerConfig parameterises the paper's balanced LO-doubling mixer.
+type BalancedMixerConfig = ckts.BalancedMixerConfig
+
+// BalancedMixer is the assembled mixer with probe indices.
+type BalancedMixer = ckts.BalancedMixer
+
+// NewBalancedMixer builds the paper's Section-3 circuit.
+func NewBalancedMixer(cfg BalancedMixerConfig) *BalancedMixer { return ckts.NewBalancedMixer(cfg) }
+
+// UnbalancedMixerConfig parameterises the single-device switching mixer.
+type UnbalancedMixerConfig = ckts.UnbalancedMixerConfig
+
+// UnbalancedMixer is the assembled unbalanced mixer.
+type UnbalancedMixer = ckts.UnbalancedMixer
+
+// NewUnbalancedMixer builds the unbalanced switching mixer.
+func NewUnbalancedMixer(cfg UnbalancedMixerConfig) *UnbalancedMixer {
+	return ckts.NewUnbalancedMixer(cfg)
+}
+
+// IdealMixerConfig parameterises the behavioural multiplier mixer.
+type IdealMixerConfig = ckts.IdealMixerConfig
+
+// IdealMixer is the assembled ideal mixer.
+type IdealMixer = ckts.IdealMixer
+
+// NewIdealMixer builds the paper's ideal mixing example as a circuit.
+func NewIdealMixer(cfg IdealMixerConfig) *IdealMixer { return ckts.NewIdealMixer(cfg) }
+
+// BuckBeatConfig parameterises the power-conversion beat-interference
+// example from the paper's conclusion.
+type BuckBeatConfig = ckts.BuckBeatConfig
+
+// BuckBeat is the assembled PWM buck converter with an aggressor tone.
+type BuckBeat = ckts.BuckBeat
+
+// NewBuckBeat builds the buck converter with a closely spaced aggressor on
+// its input rail.
+func NewBuckBeat(cfg BuckBeatConfig) *BuckBeat { return ckts.NewBuckBeat(cfg) }

@@ -1,0 +1,253 @@
+// Command mpde-sim runs an analysis on a SPICE-flavoured netlist.
+//
+// Usage:
+//
+//	mpde-sim -deck mixer.cir -analysis dc
+//	mpde-sim -deck mixer.cir -analysis tran -tstop 1u -step 1n [-method trap]
+//	mpde-sim -deck mixer.cir -analysis shooting -period 10n -steps 200
+//	mpde-sim -deck mixer.cir -analysis hb  -n1 32 -n2 8
+//	mpde-sim -deck mixer.cir -analysis qpss -n1 40 -n2 30 [-order2]
+//	mpde-sim -deck mixer.cir -analysis envelope -n1 40 -t2stop 2e-4
+//
+// qpss/hb/envelope need a ".tones F1 F2 [K]" card in the deck. Probed node
+// waveforms (all nodes, or -probe n1,n2,...) are written as CSV to stdout or
+// -out FILE.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/netlist"
+)
+
+var (
+	deckPath = flag.String("deck", "", "netlist file (required)")
+	analysis = flag.String("analysis", "dc", "dc | tran | shooting | hb | qpss | envelope")
+	outPath  = flag.String("out", "", "output CSV file (default stdout)")
+	probes   = flag.String("probe", "", "comma-separated node names (default: all)")
+
+	tstop  = flag.String("tstop", "", "transient stop time (SPICE value)")
+	step   = flag.String("step", "", "transient step (SPICE value)")
+	method = flag.String("method", "gear2", "be | trap | gear2")
+
+	period = flag.String("period", "", "shooting period (SPICE value)")
+	steps  = flag.Int("steps", 200, "shooting steps per period")
+	n1     = flag.Int("n1", 40, "fast-axis grid points")
+	n2     = flag.Int("n2", 30, "slow-axis grid points")
+	order2 = flag.Bool("order2", false, "second-order MPDE differences")
+	t2stop = flag.String("t2stop", "", "envelope slow-time horizon (SPICE value)")
+)
+
+func main() {
+	flag.Parse()
+	if *deckPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*deckPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	deck, err := repro.ParseNetlist(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ckt := deck.Ckt
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		of, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer of.Close()
+		out = of
+	}
+
+	names, idxs := selectProbes(deck)
+	switch *analysis {
+	case "dc":
+		x, err := repro.DCOperatingPoint(ckt, repro.DCOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for k, name := range names {
+			fmt.Fprintf(out, "v(%s) = %.6g\n", name, x[idxs[k]])
+		}
+	case "tran":
+		ts := mustValue(*tstop, "-tstop")
+		st := ts / 1000
+		if *step != "" {
+			st = mustValue(*step, "-step")
+		}
+		res, err := repro.Transient(ckt, repro.TransientOptions{
+			Method: parseMethod(*method), TStop: ts, Step: st})
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeHeader(out, names)
+		for k, tt := range res.T {
+			fmt.Fprintf(out, "%.9e", tt)
+			for _, idx := range idxs {
+				fmt.Fprintf(out, ",%.9e", res.X[k][idx])
+			}
+			fmt.Fprintln(out)
+		}
+	case "shooting":
+		p := mustValue(*period, "-period")
+		res, err := repro.ShootingPSS(ckt, repro.ShootingOptions{Period: p, Steps: *steps})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "shooting: %d iterations, error %.3e\n", res.Iterations, res.FinalError)
+		writeHeader(out, names)
+		for k, tt := range res.Orbit.T {
+			fmt.Fprintf(out, "%.9e", tt)
+			for _, idx := range idxs {
+				fmt.Fprintf(out, ",%.9e", res.Orbit.X[k][idx])
+			}
+			fmt.Fprintln(out)
+		}
+	case "hb":
+		sh := mustShear(deck)
+		sol, err := repro.HarmonicBalance(ckt, repro.HBOptions{
+			F1: sh.F1, F2: sh.F2, N1: *n1, N2: *n2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "hb: %d Newton iterations, residual %.3e\n",
+			sol.Stats.NewtonIters, sol.Stats.Residual)
+		fmt.Fprintln(out, "node,k1,k2,amplitude")
+		for k, name := range names {
+			for h1 := 0; h1 <= 3; h1++ {
+				for h2 := -1; h2 <= 1; h2++ {
+					if h1 == 0 && h2 < 0 {
+						continue
+					}
+					fmt.Fprintf(out, "%s,%d,%d,%.6e\n", name, h1, h2, sol.HarmonicAmp(idxs[k], h1, h2))
+				}
+			}
+		}
+	case "qpss":
+		sh := mustShear(deck)
+		opt := repro.MPDEOptions{N1: *n1, N2: *n2, Shear: sh}
+		if *order2 {
+			opt.DiffT1, opt.DiffT2 = repro.Order2, repro.Order2
+		}
+		sol, err := repro.MPDEQuasiPeriodic(ckt, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "qpss: grid %dx%d, %d unknowns, %d Newton iterations\n",
+			sol.N1, sol.N2, sol.Stats.Unknowns, sol.Stats.NewtonIters)
+		// Emit the baseband mean of every probe along t2.
+		fmt.Fprint(out, "t2")
+		for _, n := range names {
+			fmt.Fprintf(out, ",vbb(%s)", n)
+		}
+		fmt.Fprintln(out)
+		t2 := sol.T2Axis()
+		bbs := make([][]float64, len(idxs))
+		for k, idx := range idxs {
+			bbs[k] = sol.BasebandMean(idx)
+		}
+		for j := range t2 {
+			fmt.Fprintf(out, "%.9e", t2[j])
+			for k := range idxs {
+				fmt.Fprintf(out, ",%.9e", bbs[k][j])
+			}
+			fmt.Fprintln(out)
+		}
+	case "envelope":
+		sh := mustShear(deck)
+		opt := repro.MPDEEnvelopeOptions{N1: *n1, Shear: sh}
+		if *t2stop != "" {
+			opt.T2Stop = mustValue(*t2stop, "-t2stop")
+		}
+		res, err := repro.MPDEEnvelope(ckt, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprint(out, "t2")
+		for _, n := range names {
+			fmt.Fprintf(out, ",vbb(%s)", n)
+		}
+		fmt.Fprintln(out)
+		bbs := make([][]float64, len(idxs))
+		for k, idx := range idxs {
+			bbs[k] = res.Baseband(idx)
+		}
+		for j := range res.T2 {
+			fmt.Fprintf(out, "%.9e", res.T2[j])
+			for k := range idxs {
+				fmt.Fprintf(out, ",%.9e", bbs[k][j])
+			}
+			fmt.Fprintln(out)
+		}
+	default:
+		log.Fatalf("unknown analysis %q", *analysis)
+	}
+}
+
+func selectProbes(deck *netlist.Deck) ([]string, []int) {
+	var names []string
+	if *probes != "" {
+		names = strings.Split(*probes, ",")
+	} else {
+		names = deck.Ckt.NodeNames()
+	}
+	idxs := make([]int, len(names))
+	for k, n := range names {
+		idx, err := deck.Ckt.NodeIndex(strings.TrimSpace(n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		idxs[k] = idx
+	}
+	return names, idxs
+}
+
+func writeHeader(out io.Writer, names []string) {
+	fmt.Fprint(out, "t")
+	for _, n := range names {
+		fmt.Fprintf(out, ",v(%s)", n)
+	}
+	fmt.Fprintln(out)
+}
+
+func mustValue(s, flagName string) float64 {
+	if s == "" {
+		log.Fatalf("%s is required for this analysis", flagName)
+	}
+	v, err := netlist.ParseValue(s)
+	if err != nil {
+		log.Fatalf("%s: %v", flagName, err)
+	}
+	return v
+}
+
+func mustShear(deck *netlist.Deck) repro.Shear {
+	sh, err := deck.Shear()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sh
+}
+
+func parseMethod(s string) repro.TransientMethod {
+	switch strings.ToLower(s) {
+	case "be":
+		return repro.BE
+	case "trap":
+		return repro.TRAP
+	default:
+		return repro.GEAR2
+	}
+}

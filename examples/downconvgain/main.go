@@ -1,0 +1,48 @@
+// Down-conversion gain and distortion (paper Section 3, "Using pure-tone
+// driving excitations, we are also able to obtain down-conversion gain and
+// distortion figures").
+//
+// The balanced mixer is driven by a pure RF tone at 2·f1 − fd; the MPDE
+// quasi-periodic solution's differential baseband is Fourier-analysed to
+// report conversion gain (fd line over RF amplitude) and baseband harmonic
+// distortion, swept over RF drive level to expose gain compression.
+//
+// Run with: go run ./examples/downconvgain
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+)
+
+func main() {
+	fmt.Println("RF amp (V) | conv gain | gain (dB) |   HD2   |   HD3")
+	fmt.Println("-----------+-----------+-----------+---------+---------")
+	var warm []float64
+	for _, rfAmp := range []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.4} {
+		mix := repro.NewBalancedMixer(repro.BalancedMixerConfig{RFAmp: rfAmp})
+		opt := repro.MPDEOptions{N1: 40, N2: 32, Shear: mix.Shear}
+		if warm != nil {
+			opt.X0 = warm
+		}
+		sol, err := repro.MPDEQuasiPeriodic(mix.Ckt, opt)
+		if err != nil {
+			log.Fatalf("rfAmp=%g: %v", rfAmp, err)
+		}
+		warm = sol.X
+		bb := sol.DifferentialBaseband(mix.OutP, mix.OutM)
+		dt := mix.Shear.Td() / float64(len(bb))
+		g, err := repro.MeasureConversionGain(bb, dt, math.Abs(mix.Shear.Fd()), rfAmp)
+		if err != nil {
+			log.Fatalf("rfAmp=%g: %v", rfAmp, err)
+		}
+		fmt.Printf("  %8.3f | %9.4f | %9.2f | %7.4f | %7.4f\n",
+			rfAmp, g.Ratio, g.DB, g.HD2, g.HD3)
+	}
+	fmt.Println()
+	fmt.Println("Expected shape: near-constant small-signal gain at low drive,")
+	fmt.Println("compressing (falling ratio, rising HD) as the RF drive grows.")
+}

@@ -1,0 +1,288 @@
+// Package circuit assembles device stamps into the MNA system
+//
+//	d/dt q(x) + f(x) + b(t) = 0
+//
+// where x stacks node voltages (ground excluded) followed by branch currents
+// of voltage-defined elements. The package owns node naming, unknown-index
+// assignment and residual/Jacobian evaluation; the analyses in
+// internal/{transient,shooting,hb,core} consume the Eval interface.
+package circuit
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/device"
+	"repro/internal/la"
+)
+
+// Circuit is a flat netlist plus unknown-numbering state.
+type Circuit struct {
+	Title string
+
+	nodeID   map[string]int // name → node number (0 = ground)
+	nodeName []string       // node number → name
+	devices  []device.Device
+	branches int
+	final    bool
+
+	// Gmin is a small conductance from every node to ground added during
+	// evaluation; it regularises floating nodes exactly like SPICE's GMIN.
+	Gmin float64
+}
+
+// New returns an empty circuit. The ground node is pre-registered under the
+// names "0" and "gnd".
+func New(title string) *Circuit {
+	c := &Circuit{
+		Title:    title,
+		nodeID:   map[string]int{"0": 0, "gnd": 0},
+		nodeName: []string{"0"},
+		Gmin:     1e-12,
+	}
+	return c
+}
+
+// Node interns a node name and returns its unknown index (-1 for ground).
+func (c *Circuit) Node(name string) int {
+	if c.final {
+		panic("circuit: Node after Finalize")
+	}
+	id, ok := c.nodeID[name]
+	if !ok {
+		id = len(c.nodeName)
+		c.nodeID[name] = id
+		c.nodeName = append(c.nodeName, name)
+	}
+	return id - 1 // ground (#0) → -1
+}
+
+// NodeIndex returns the unknown index of an existing node name, or an error.
+func (c *Circuit) NodeIndex(name string) (int, error) {
+	id, ok := c.nodeID[name]
+	if !ok {
+		return 0, fmt.Errorf("circuit: unknown node %q", name)
+	}
+	return id - 1, nil
+}
+
+// NodeNames returns the non-ground node names ordered by unknown index.
+func (c *Circuit) NodeNames() []string {
+	out := append([]string(nil), c.nodeName[1:]...)
+	return out
+}
+
+// Add registers a device instance.
+func (c *Circuit) Add(d device.Device) {
+	if c.final {
+		panic("circuit: Add after Finalize")
+	}
+	c.devices = append(c.devices, d)
+}
+
+// Devices returns the registered devices (read-only use).
+func (c *Circuit) Devices() []device.Device { return c.devices }
+
+// Finalize assigns branch-current unknowns. It must be called once, after all
+// devices are added and before evaluation.
+func (c *Circuit) Finalize() {
+	if c.final {
+		return
+	}
+	nNodes := len(c.nodeName) - 1
+	base := nNodes
+	for _, d := range c.devices {
+		if br, ok := d.(device.Brancher); ok {
+			br.SetBranch(base)
+			base += br.NumBranches()
+		}
+	}
+	c.branches = base - nNodes
+	c.final = true
+}
+
+// Size returns the total number of unknowns (node voltages + branch currents).
+func (c *Circuit) Size() int {
+	if !c.final {
+		panic("circuit: Size before Finalize")
+	}
+	return len(c.nodeName) - 1 + c.branches
+}
+
+// NumNodes returns the number of node-voltage unknowns.
+func (c *Circuit) NumNodes() int { return len(c.nodeName) - 1 }
+
+// Eval holds reusable evaluation workspace for one circuit.
+type Eval struct {
+	ckt *Circuit
+	st  device.Stamp
+}
+
+// NewEval allocates evaluation workspace.
+func (c *Circuit) NewEval() *Eval {
+	if !c.final {
+		c.Finalize()
+	}
+	n := c.Size()
+	e := &Eval{ckt: c}
+	e.st = device.Stamp{
+		Q: make([]float64, n),
+		F: make([]float64, n),
+		B: make([]float64, n),
+		C: la.NewTriplet(n, n),
+		G: la.NewTriplet(n, n),
+	}
+	return e
+}
+
+// Result is the outcome of one evaluation.
+type Result struct {
+	Q, F, B []float64 // views into the Eval workspace — copy before reuse
+	C, G    *la.CSR   // nil unless Jacobian requested
+}
+
+// Residual returns r = F + B (the algebraic part; time-derivative handling is
+// the analysis's job) into dst, allocating when dst is nil.
+func (r *Result) Residual(dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(r.F))
+	}
+	for i := range r.F {
+		dst[i] = r.F[i] + r.B[i]
+	}
+	return dst
+}
+
+// EvalAt stamps every device at iterate x under ctx. When jac is true the
+// sparse Jacobians C = ∂q/∂x and G = ∂f/∂x are compressed and returned.
+func (e *Eval) EvalAt(x []float64, ctx device.EvalCtx, jac bool) Result {
+	n := e.ckt.Size()
+	if len(x) != n {
+		panic(fmt.Sprintf("circuit: iterate size %d, want %d", len(x), n))
+	}
+	st := &e.st
+	la.Fill(st.Q, 0)
+	la.Fill(st.F, 0)
+	la.Fill(st.B, 0)
+	st.C.Reset()
+	st.G.Reset()
+	st.X = x
+	st.Jac = jac
+	st.Ctx = ctx
+	st.Gmin = e.ckt.Gmin
+
+	for _, d := range e.ckt.devices {
+		d.Stamp(st)
+	}
+	// GMIN to ground on every node unknown.
+	if g := e.ckt.Gmin; g > 0 {
+		for i := 0; i < e.ckt.NumNodes(); i++ {
+			st.F[i] += g * x[i]
+			if jac {
+				st.G.Append(i, i, g)
+			}
+		}
+	}
+	res := Result{Q: st.Q, F: st.F, B: st.B}
+	if jac {
+		res.C = st.C.Compress()
+		res.G = st.G.Compress()
+	}
+	return res
+}
+
+// TorusSources returns the independent sources whose waveforms are not
+// torus-compatible (neither DC nor TorusWaveform); multi-time analyses call
+// this to fail fast with a useful message.
+func (c *Circuit) NonTorusSources() []string {
+	var bad []string
+	for _, d := range c.devices {
+		src, ok := d.(device.Sourcer)
+		if !ok {
+			continue
+		}
+		w := src.Wave()
+		if _, isTorus := w.(device.TorusWaveform); isTorus {
+			continue
+		}
+		bad = append(bad, d.Name())
+	}
+	sort.Strings(bad)
+	return bad
+}
+
+// --- convenience builders -------------------------------------------------
+
+// R adds a resistor between named nodes.
+func (c *Circuit) R(name, p, n string, ohms float64) *device.Resistor {
+	d := &device.Resistor{Inst: name, P: c.Node(p), N: c.Node(n), R: ohms}
+	c.Add(d)
+	return d
+}
+
+// C adds a capacitor between named nodes.
+func (c *Circuit) C(name, p, n string, farads float64) *device.Capacitor {
+	d := &device.Capacitor{Inst: name, P: c.Node(p), N: c.Node(n), C: farads}
+	c.Add(d)
+	return d
+}
+
+// L adds an inductor between named nodes.
+func (c *Circuit) L(name, p, n string, henries float64) *device.Inductor {
+	d := &device.Inductor{Inst: name, P: c.Node(p), N: c.Node(n), L: henries}
+	c.Add(d)
+	return d
+}
+
+// V adds an independent voltage source.
+func (c *Circuit) V(name, p, n string, w device.Waveform) *device.VSource {
+	d := &device.VSource{Inst: name, P: c.Node(p), N: c.Node(n), W: w}
+	c.Add(d)
+	return d
+}
+
+// I adds an independent current source (current flows P→N through it).
+func (c *Circuit) I(name, p, n string, w device.Waveform) *device.ISource {
+	d := &device.ISource{Inst: name, P: c.Node(p), N: c.Node(n), W: w}
+	c.Add(d)
+	return d
+}
+
+// D adds a diode (anode p, cathode n) with the given saturation current.
+func (c *Circuit) D(name, p, n string, is float64) *device.Diode {
+	d := &device.Diode{Inst: name, P: c.Node(p), N: c.Node(n), Is: is}
+	c.Add(d)
+	return d
+}
+
+// M adds a level-1 MOSFET.
+func (c *Circuit) M(name, d_, g, s string, m device.MOSFET) *device.MOSFET {
+	m.Inst = name
+	m.D, m.G, m.S = c.Node(d_), c.Node(g), c.Node(s)
+	dev := &m
+	c.Add(dev)
+	return dev
+}
+
+// Gm adds a VCCS.
+func (c *Circuit) Gm(name, p, n, cp, cn string, gm float64) *device.VCCS {
+	d := &device.VCCS{Inst: name, P: c.Node(p), N: c.Node(n),
+		CP: c.Node(cp), CN: c.Node(cn), Gm: gm}
+	c.Add(d)
+	return d
+}
+
+// E adds a VCVS.
+func (c *Circuit) E(name, p, n, cp, cn string, mu float64) *device.VCVS {
+	d := &device.VCVS{Inst: name, P: c.Node(p), N: c.Node(n),
+		CP: c.Node(cp), CN: c.Node(cn), Mu: mu}
+	c.Add(d)
+	return d
+}
+
+// Mult adds an ideal multiplier element injecting Gm·v(a)·v(b) into node n.
+func (c *Circuit) Mult(name, n, a, b string, gm float64) *device.Multiplier {
+	d := &device.Multiplier{Inst: name, N: c.Node(n), A: c.Node(a), B_: c.Node(b), Gm: gm}
+	c.Add(d)
+	return d
+}

@@ -1,0 +1,180 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/la"
+)
+
+func TestNodeInterningAndGround(t *testing.T) {
+	c := New("t")
+	if c.Node("0") != -1 || c.Node("gnd") != -1 {
+		t.Fatal("ground aliases must map to -1")
+	}
+	a := c.Node("a")
+	b := c.Node("b")
+	if a != 0 || b != 1 {
+		t.Fatalf("node indices: a=%d b=%d", a, b)
+	}
+	if c.Node("a") != 0 {
+		t.Fatal("re-interning must return the same index")
+	}
+	if got, err := c.NodeIndex("b"); err != nil || got != 1 {
+		t.Fatalf("NodeIndex(b) = %d, %v", got, err)
+	}
+	if _, err := c.NodeIndex("zz"); err == nil {
+		t.Fatal("unknown node should error")
+	}
+	names := c.NodeNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("NodeNames = %v", names)
+	}
+}
+
+func TestFinalizeAssignsBranches(t *testing.T) {
+	c := New("t")
+	c.V("V1", "in", "0", device.DC(1))
+	c.L("L1", "in", "out", 1e-6)
+	c.R("R1", "out", "0", 50)
+	c.Finalize()
+	// 2 nodes + 2 branches (V, L).
+	if c.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", c.Size())
+	}
+	if c.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d", c.NumNodes())
+	}
+}
+
+func TestEvalResistiveDividerResidual(t *testing.T) {
+	// V1 5V → R1 1k → mid → R2 1k → gnd. At the true solution the residual
+	// (excluding numerical noise) must vanish.
+	c := New("divider")
+	c.V("V1", "in", "0", device.DC(5))
+	c.R("R1", "in", "mid", 1000)
+	c.R("R2", "mid", "0", 1000)
+	c.Finalize()
+	ev := c.NewEval()
+	in, _ := c.NodeIndex("in")
+	mid, _ := c.NodeIndex("mid")
+	x := make([]float64, c.Size())
+	x[in] = 5
+	x[mid] = 2.5
+	x[2] = -2.5e-3 // source branch current (flows out of +)
+	res := ev.EvalAt(x, device.FullDrive(), true)
+	r := res.Residual(nil)
+	if la.NormInf(r) > 1e-8 {
+		t.Fatalf("residual at exact solution: %v", r)
+	}
+	if res.G == nil || res.C == nil {
+		t.Fatal("Jacobians requested but missing")
+	}
+}
+
+func TestEvalGminStampedOnDiagonal(t *testing.T) {
+	c := New("gmin")
+	c.Gmin = 1e-3 // exaggerate to observe
+	c.R("R1", "a", "b", 1e9)
+	c.Finalize()
+	ev := c.NewEval()
+	x := []float64{1, 0}
+	res := ev.EvalAt(x, device.FullDrive(), true)
+	// f[a] should include gmin·v(a) = 1e-3.
+	if math.Abs(res.F[0]-1e-3-1e-9) > 1e-12 {
+		t.Fatalf("gmin current missing: %v", res.F[0])
+	}
+	if g := res.G.At(0, 0); math.Abs(g-1e-3-1e-9) > 1e-12 {
+		t.Fatalf("gmin conductance missing from G: %v", g)
+	}
+}
+
+func TestKCLPropertyRowSumsZeroWithoutGroundDevices(t *testing.T) {
+	// For a circuit whose every element connects two non-ground nodes, each
+	// column of G sums to zero (KCL conservation) over node rows.
+	c := New("kcl")
+	c.Gmin = 0
+	c.R("R1", "a", "b", 100)
+	c.R("R2", "b", "c", 200)
+	c.C("C1", "a", "c", 1e-9)
+	c.Finalize()
+	ev := c.NewEval()
+	x := []float64{1, 2, 3}
+	res := ev.EvalAt(x, device.FullDrive(), true)
+	g := res.G.Dense()
+	for j := 0; j < 3; j++ {
+		sum := 0.0
+		for i := 0; i < 3; i++ {
+			sum += g.At(i, j)
+		}
+		if math.Abs(sum) > 1e-15 {
+			t.Fatalf("G column %d sums to %v, violating KCL", j, sum)
+		}
+	}
+	// Residual currents also sum to zero.
+	if s := res.F[0] + res.F[1] + res.F[2]; math.Abs(s) > 1e-18 {
+		t.Fatalf("node currents sum to %v", s)
+	}
+}
+
+func TestNonTorusSources(t *testing.T) {
+	c := New("torus-check")
+	c.V("VDD", "vdd", "0", device.DC(3))
+	c.V("VLO", "lo", "0", device.Sine{Amp: 1, F1: 1e9, K1: 1})
+	c.V("VP", "p", "0", device.Pulse{V2: 1, Width: 1, Period: 2})
+	c.Finalize()
+	bad := c.NonTorusSources()
+	if len(bad) != 1 || bad[0] != "VP" {
+		t.Fatalf("NonTorusSources = %v, want [VP]", bad)
+	}
+}
+
+func TestAddAfterFinalizePanics(t *testing.T) {
+	c := New("t")
+	c.R("R1", "a", "0", 1)
+	c.Finalize()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.R("R2", "b", "0", 1)
+}
+
+func TestEvalTorusContext(t *testing.T) {
+	// A torus-declared sine source evaluated in torus mode must use the
+	// provided phases, not T.
+	c := New("torus")
+	c.V("V1", "a", "0", device.Sine{Amp: 2, F1: 1e9, K1: 1})
+	c.Finalize()
+	ev := c.NewEval()
+	x := make([]float64, c.Size())
+	ctx := device.EvalCtx{Torus: true, Th1: 0.25, Th2: 0, Lambda: 1}
+	res := ev.EvalAt(x, ctx, false)
+	// cos(2π·0.25) = 0, so b at the branch equation should be ~0.
+	br := c.Size() - 1
+	if math.Abs(res.B[br]) > 1e-12 {
+		t.Fatalf("torus phase not honoured: B=%v", res.B[br])
+	}
+}
+
+func TestBuilderHelpers(t *testing.T) {
+	c := New("builders")
+	c.D("D1", "a", "0", 1e-14)
+	c.M("M1", "d", "g", "s", device.MOSFET{Vt0: 0.5, KP: 1e-4})
+	c.Gm("G1", "o", "0", "a", "0", 1e-3)
+	c.E("E1", "e", "0", "a", "0", 2)
+	c.I("I1", "a", "0", device.DC(1e-3))
+	c.Mult("X1", "o", "a", "d", 1)
+	c.Finalize()
+	if len(c.Devices()) != 6 {
+		t.Fatalf("device count = %d", len(c.Devices()))
+	}
+	x := make([]float64, c.Size())
+	ev := c.NewEval()
+	res := ev.EvalAt(x, device.FullDrive(), true)
+	if res.G == nil {
+		t.Fatal("missing Jacobian")
+	}
+}

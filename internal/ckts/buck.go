@@ -1,0 +1,108 @@
+package ckts
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// BuckBeatConfig parameterises the power-conversion example from the paper's
+// conclusion ("the proposed method can be applied generally to other systems
+// featuring closely-spaced tones, such as power conversion circuits"): a
+// PWM buck converter switching at F1 whose input rail carries a small
+// aggressor tone at F2 = F1 − Fd (e.g. a neighbouring converter running at a
+// slightly different frequency). The chopper mixes the two and a beat at the
+// difference frequency Fd appears in the output ripple — a classic
+// beat-interference problem that brute-force transient must integrate over
+// thousands of switching cycles to see.
+type BuckBeatConfig struct {
+	F1    float64 // switching frequency (default 1 MHz)
+	Fd    float64 // beat frequency (default 10 kHz)
+	VIN   float64 // input rail (default 12 V)
+	VRip  float64 // aggressor amplitude on the rail (default 0.3 V)
+	Duty  float64 // PWM duty (default 0.4)
+	Edge  float64 // PWM edge width as a fraction of the period (default 0.08)
+	L     float64 // default 10 µH
+	C     float64 // default 10 µF
+	RLoad float64 // default 5 Ω
+	// RSwitch models the PMOS on-resistance scale through KP (default 4e-2).
+	KP float64
+}
+
+// BuckBeat is the assembled converter.
+type BuckBeat struct {
+	Ckt           *circuit.Circuit
+	Shear         core.Shear
+	SW, Out, VinN int // switch node, output node, input rail node
+	Ind           *device.Inductor
+	Cfg           BuckBeatConfig
+}
+
+// NewBuckBeat builds the converter:
+//
+//	vin ──(PMOS, gate = PWM)── sw ──L── out ──┬── RLoad
+//	                            │             └── C
+//	                            D (freewheel to gnd)
+func NewBuckBeat(cfg BuckBeatConfig) *BuckBeat {
+	if cfg.F1 == 0 {
+		cfg.F1 = 1e6
+	}
+	if cfg.Fd == 0 {
+		cfg.Fd = 1e4
+	}
+	if cfg.VIN == 0 {
+		cfg.VIN = 12
+	}
+	if cfg.VRip == 0 {
+		cfg.VRip = 0.3
+	}
+	if cfg.Duty == 0 {
+		cfg.Duty = 0.4
+	}
+	if cfg.Edge == 0 {
+		cfg.Edge = 0.08
+	}
+	if cfg.L == 0 {
+		cfg.L = 10e-6
+	}
+	if cfg.C == 0 {
+		cfg.C = 10e-6
+	}
+	if cfg.RLoad == 0 {
+		cfg.RLoad = 5
+	}
+	if cfg.KP == 0 {
+		cfg.KP = 4e-2
+	}
+	f2 := cfg.F1 - cfg.Fd
+
+	ckt := circuit.New("buck-beat")
+	// Input rail: DC plus the closely spaced aggressor tone.
+	ckt.V("VIN", "vin", "0", device.Sum{
+		device.DC(cfg.VIN),
+		device.Sine{Amp: cfg.VRip, F1: cfg.F1, F2: f2, K2: 1},
+	})
+	// PWM gate drive: 0 V during the on-fraction (PMOS conducts), VIN
+	// during the off-fraction. SquareEnvelope is +1 on [0, duty).
+	ckt.V("VG", "gate", "0", device.TorusSquare{
+		Offset: cfg.VIN / 2, Amp: -cfg.VIN / 2,
+		Duty: cfg.Duty, Edge: cfg.Edge,
+		F1: cfg.F1, F2: f2, K1: 1,
+	})
+	ckt.M("MP", "sw", "gate", "vin", device.MOSFET{
+		TypeP: true, Vt0: -1, KP: cfg.KP,
+	})
+	ckt.D("DF", "0", "sw", 1e-12) // freewheel
+	ind := ckt.L("LF", "sw", "out", cfg.L)
+	ckt.C("CF", "out", "0", cfg.C)
+	ckt.R("RL", "out", "0", cfg.RLoad)
+	ckt.Finalize()
+
+	idx := func(n string) int { i, _ := ckt.NodeIndex(n); return i }
+	return &BuckBeat{
+		Ckt:   ckt,
+		Shear: core.Shear{F1: cfg.F1, F2: f2, K: 1},
+		SW:    idx("sw"), Out: idx("out"), VinN: idx("vin"),
+		Ind: ind, Cfg: cfg,
+	}
+}

@@ -1,0 +1,70 @@
+package ckts
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rf"
+	"repro/internal/transient"
+)
+
+func TestBuckBeatDCLevel(t *testing.T) {
+	// With signals off the PWM gate sits at its t2-average... there is no
+	// meaningful DC point for a switched converter, but transient from zero
+	// must at least run a few cycles without step underflow.
+	b := NewBuckBeat(BuckBeatConfig{})
+	res, err := transient.Run(b.Ckt, transient.Options{
+		Method: transient.GEAR2, TStop: 5e-6, Step: 2e-9, FixedStep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.X[len(res.X)-1][b.Out]
+	if out < 0 || out > 12 {
+		t.Fatalf("output %v outside rails", out)
+	}
+}
+
+func TestBuckBeatQPSS(t *testing.T) {
+	b := NewBuckBeat(BuckBeatConfig{})
+	sol, err := core.QPSS(b.Ckt, core.Options{N1: 32, N2: 16, Shear: b.Shear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb := sol.BasebandMean(b.Out)
+	mean := 0.0
+	for _, v := range bb {
+		mean += v
+	}
+	mean /= float64(len(bb))
+	// Output regulates near duty·VIN minus switch/diode losses.
+	if mean < 2.0 || mean > 5.5 {
+		t.Fatalf("output mean %v implausible for duty 0.4 of 12 V", mean)
+	}
+	// The aggressor must appear as a beat at fd in the output envelope.
+	ac := make([]float64, len(bb))
+	for i, v := range bb {
+		ac[i] = v - mean
+	}
+	sp := rf.NewSpectrum(ac, b.Shear.Td()/float64(len(bb)))
+	a, _ := sp.AmplitudeAt(b.Cfg.Fd)
+	if a < 0.01 {
+		t.Fatalf("no beat tone at fd: %v", a)
+	}
+	// The switch node must actually switch rail to rail.
+	rip := sol.BasebandRipple(b.SW)
+	if rip[0] < 0.7*b.Cfg.VIN {
+		t.Fatalf("switch node swing %v too small — not switching", rip[0])
+	}
+	// Inductor current unknown must carry the load current on average.
+	iL := sol.BasebandMean(b.Ind.Branch())
+	iMean := 0.0
+	for _, v := range iL {
+		iMean += v
+	}
+	iMean /= float64(len(iL))
+	wantI := mean / b.Cfg.RLoad
+	if math.Abs(iMean-wantI) > 0.2*wantI {
+		t.Fatalf("inductor current %v, want ≈%v", iMean, wantI)
+	}
+}

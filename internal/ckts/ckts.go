@@ -1,0 +1,304 @@
+// Package ckts provides the benchmark circuits of the reproduction: the
+// ideal multiplier mixer of the paper's Section 2, an unbalanced
+// single-MOSFET switching mixer, and the balanced LO-doubling
+// down-conversion mixer of Section 3 (re-drawn from the topology of Zhang,
+// Chen & Lau, RAWCON 2000 [11], as adapted by the paper: a source-coupled
+// lower pair doubles the 450 MHz LO; the doubled current feeds an upper
+// differential pair driven by the ~900 MHz RF, down-converting to a 15 kHz
+// baseband).
+package ckts
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/rf"
+)
+
+// IdealMixerConfig parameterises the behavioural multiplier mixer.
+type IdealMixerConfig struct {
+	F1, F2 float64 // LO and RF frequencies (Hz)
+	LOAmp  float64 // default 1 V
+	RFAmp  float64 // default 1 V
+	LoadR  float64 // default 1 kΩ
+	LoadC  float64 // 0 disables the baseband filter
+	MultGm float64 // multiplier transconductance (default 1e-3 A/V²)
+}
+
+// IdealMixer is the assembled behavioural mixer.
+type IdealMixer struct {
+	Ckt   *circuit.Circuit
+	Shear core.Shear
+	Out   int // output unknown index
+	LO    int
+	RF    int
+	Cfg   IdealMixerConfig
+}
+
+// NewIdealMixer builds z = x·y as a circuit: two voltage sources, a
+// multiplier element and an RC load. With LoadC = 0 the output voltage is
+// exactly LoadR·MultGm·v(lo)·v(rf) — the paper's Eq. (5) ideal mixing.
+func NewIdealMixer(cfg IdealMixerConfig) *IdealMixer {
+	if cfg.LOAmp == 0 {
+		cfg.LOAmp = 1
+	}
+	if cfg.RFAmp == 0 {
+		cfg.RFAmp = 1
+	}
+	if cfg.LoadR == 0 {
+		cfg.LoadR = 1000
+	}
+	if cfg.MultGm == 0 {
+		cfg.MultGm = 1e-3
+	}
+	ckt := circuit.New("ideal-mixer")
+	ckt.V("VLO", "lo", "0", device.Sine{Amp: cfg.LOAmp, F1: cfg.F1, F2: cfg.F2, K1: 1})
+	ckt.V("VRF", "rf", "0", device.Sine{Amp: cfg.RFAmp, F1: cfg.F1, F2: cfg.F2, K2: 1})
+	ckt.R("RL", "out", "0", cfg.LoadR)
+	if cfg.LoadC > 0 {
+		ckt.C("CL", "out", "0", cfg.LoadC)
+	}
+	ckt.Mult("X1", "out", "lo", "rf", cfg.MultGm)
+	ckt.Finalize()
+	out, _ := ckt.NodeIndex("out")
+	lo, _ := ckt.NodeIndex("lo")
+	rfn, _ := ckt.NodeIndex("rf")
+	return &IdealMixer{
+		Ckt:   ckt,
+		Shear: core.Shear{F1: cfg.F1, F2: cfg.F2, K: 1},
+		Out:   out, LO: lo, RF: rfn, Cfg: cfg,
+	}
+}
+
+// UnbalancedMixerConfig parameterises the single-device switching mixer.
+type UnbalancedMixerConfig struct {
+	F1 float64 // LO frequency
+	Fd float64 // difference frequency; RF is at F1 − Fd
+	// LOBias/LOAmp drive the gate; a large LOAmp switches the device hard.
+	LOBias, LOAmp float64
+	RFAmp         float64
+	VDD           float64
+	RD, RS        float64
+	CD            float64
+	MOS           device.MOSFET
+}
+
+// UnbalancedMixer is a common-source MOSFET mixer: LO on the gate switches
+// the device, RF injected at the source, IF taken at the drain.
+type UnbalancedMixer struct {
+	Ckt        *circuit.Circuit
+	Shear      core.Shear
+	Drain, Src int
+	Cfg        UnbalancedMixerConfig
+}
+
+// NewUnbalancedMixer builds the unbalanced switching mixer.
+func NewUnbalancedMixer(cfg UnbalancedMixerConfig) *UnbalancedMixer {
+	if cfg.LOBias == 0 {
+		cfg.LOBias = 0.9
+	}
+	if cfg.LOAmp == 0 {
+		cfg.LOAmp = 0.6
+	}
+	if cfg.RFAmp == 0 {
+		cfg.RFAmp = 0.05
+	}
+	if cfg.VDD == 0 {
+		cfg.VDD = 3
+	}
+	if cfg.RD == 0 {
+		cfg.RD = 2e3
+	}
+	if cfg.RS == 0 {
+		cfg.RS = 200
+	}
+	if cfg.CD == 0 {
+		cfg.CD = 2e-9 / cfg.F1 * 1e6 // scaled so RD·CD filters the LO
+	}
+	if cfg.MOS.KP == 0 {
+		cfg.MOS = device.MOSFET{Vt0: 0.5, KP: 2e-3}
+	}
+	f2 := cfg.F1 - cfg.Fd
+	ckt := circuit.New("unbalanced-mixer")
+	ckt.V("VDD", "vdd", "0", device.DC(cfg.VDD))
+	ckt.V("VLO", "lo", "0", device.Sum{
+		device.DC(cfg.LOBias),
+		device.Sine{Amp: cfg.LOAmp, F1: cfg.F1, F2: f2, K1: 1},
+	})
+	ckt.V("VRF", "rfs", "0", device.Sine{Amp: cfg.RFAmp, F1: cfg.F1, F2: f2, K2: 1})
+	ckt.R("RS", "rfs", "s", cfg.RS)
+	ckt.M("M1", "d", "lo", "s", cfg.MOS)
+	ckt.R("RD", "vdd", "d", cfg.RD)
+	ckt.C("CD", "d", "0", cfg.CD)
+	ckt.Finalize()
+	d, _ := ckt.NodeIndex("d")
+	s, _ := ckt.NodeIndex("s")
+	return &UnbalancedMixer{
+		Ckt:   ckt,
+		Shear: core.Shear{F1: cfg.F1, F2: f2, K: 1},
+		Drain: d, Src: s, Cfg: cfg,
+	}
+}
+
+// BalancedMixerConfig parameterises the paper's main circuit.
+type BalancedMixerConfig struct {
+	F1 float64 // LO frequency (paper: 450 MHz)
+	Fd float64 // baseband difference frequency (paper: 15 kHz); RF ≈ 2·F1
+	// Bits, when non-nil, modulate the RF carrier with a ±1 bit envelope
+	// whose full pattern spans one difference period (paper Eq. 14). When
+	// nil the RF is the pure tone at 2·F1 − Fd used for gain/distortion.
+	Bits []bool
+	// Electrical parameters; zero values take the defaults below.
+	VDD           float64 // 3 V
+	RL            float64 // 2 kΩ loads
+	CL            float64 // baseband load caps (defaults to filter the LO)
+	LOBias, LOAmp float64 // 0.65 V, 0.45 V
+	RFBias, RFAmp float64 // 1.8 V, 50 mV
+	KPLower       float64 // doubler pair KP (default 4e-3)
+	KPUpper       float64 // diff pair KP (default 4e-3)
+	Vt            float64 // 0.5 V
+}
+
+// BalancedMixer is the assembled balanced LO-doubling down-conversion mixer.
+type BalancedMixer struct {
+	Ckt                *circuit.Circuit
+	Shear              core.Shear
+	OutP, OutM, Tail   int
+	LOP, LOM, RFP, RFM int
+	Cfg                BalancedMixerConfig
+}
+
+// NewBalancedMixer builds the mixer:
+//
+//	vdd ──RL── outp          outm ──RL── vdd
+//	            │              │
+//	          M1(g=rfp)      M2(g=rfm)      ← upper differential pair (RF)
+//	            └────── tail ──────┘
+//	                     │
+//	          M3(g=lop)  │  M4(g=lom)       ← lower source-coupled pair
+//	            └────────┴────────┘            (LO frequency doubler)
+//	                    gnd
+//
+// The lower pair's drains join at the tail: with anti-phase LO drive each
+// device conducts on alternate half-cycles, so the tail current contains
+// only even LO harmonics — dominated by 2·f1. The upper pair steers that
+// current under RF control, down-converting 2·f1 against the RF to the
+// difference frequency fd = 2·f1 − f2 (paper Eq. 12/13).
+func NewBalancedMixer(cfg BalancedMixerConfig) *BalancedMixer {
+	if cfg.F1 == 0 {
+		cfg.F1 = 450e6
+	}
+	if cfg.Fd == 0 {
+		cfg.Fd = 15e3
+	}
+	if cfg.VDD == 0 {
+		cfg.VDD = 3
+	}
+	if cfg.RL == 0 {
+		cfg.RL = 2e3
+	}
+	if cfg.CL == 0 {
+		// Corner well below the LO but far above baseband.
+		cfg.CL = 40 / (cfg.RL * cfg.F1)
+	}
+	if cfg.LOBias == 0 {
+		cfg.LOBias = 0.65
+	}
+	if cfg.LOAmp == 0 {
+		cfg.LOAmp = 0.45
+	}
+	if cfg.RFBias == 0 {
+		cfg.RFBias = 1.8
+	}
+	if cfg.RFAmp == 0 {
+		cfg.RFAmp = 0.05
+	}
+	if cfg.KPLower == 0 {
+		cfg.KPLower = 4e-3
+	}
+	if cfg.KPUpper == 0 {
+		cfg.KPUpper = 4e-3
+	}
+	if cfg.Vt == 0 {
+		cfg.Vt = 0.5
+	}
+	f2 := 2*cfg.F1 - cfg.Fd
+
+	var rfWave device.Waveform
+	if cfg.Bits != nil {
+		rfWave = device.ModulatedCarrier{
+			Amp: cfg.RFAmp, F1: cfg.F1, F2: f2,
+			CarK1: 2, CarK2: 0, // carrier at exactly 2·f1 (paper Eq. 14)
+			EnvK1: 2, EnvK2: -1, // envelope phase 2θ1 − θ2 advances at fd
+			Env: rf.BitEnvelope(cfg.Bits, 0.15),
+		}
+	} else {
+		rfWave = device.Sine{Amp: cfg.RFAmp, F1: cfg.F1, F2: f2, K2: 1}
+	}
+	negate := func(w device.Waveform) device.Waveform {
+		switch v := w.(type) {
+		case device.Sine:
+			v.Amp = -v.Amp
+			return v
+		case device.ModulatedCarrier:
+			v.Amp = -v.Amp
+			return v
+		default:
+			return w
+		}
+	}
+
+	ckt := circuit.New("balanced-lo-doubling-mixer")
+	ckt.V("VDD", "vdd", "0", device.DC(cfg.VDD))
+	loW := device.Sine{Amp: cfg.LOAmp, F1: cfg.F1, F2: f2, K1: 1}
+	ckt.V("VLOP", "lop", "0", device.Sum{device.DC(cfg.LOBias), loW})
+	ckt.V("VLOM", "lom", "0", device.Sum{device.DC(cfg.LOBias), negate(loW)})
+	ckt.V("VRFP", "rfp", "0", device.Sum{device.DC(cfg.RFBias), rfWave})
+	ckt.V("VRFM", "rfm", "0", device.Sum{device.DC(cfg.RFBias), negate(rfWave)})
+
+	ckt.R("RLP", "vdd", "outp", cfg.RL)
+	ckt.R("RLM", "vdd", "outm", cfg.RL)
+	ckt.C("CLP", "outp", "0", cfg.CL)
+	ckt.C("CLM", "outm", "0", cfg.CL)
+
+	ckt.M("M1", "outp", "rfp", "tail", device.MOSFET{Vt0: cfg.Vt, KP: cfg.KPUpper})
+	ckt.M("M2", "outm", "rfm", "tail", device.MOSFET{Vt0: cfg.Vt, KP: cfg.KPUpper})
+	ckt.M("M3", "tail", "lop", "0", device.MOSFET{Vt0: cfg.Vt, KP: cfg.KPLower})
+	ckt.M("M4", "tail", "lom", "0", device.MOSFET{Vt0: cfg.Vt, KP: cfg.KPLower})
+	// A small tail capacitance keeps the node from floating at high
+	// impedance when all devices momentarily cut off.
+	ckt.C("CT", "tail", "0", 2e-13)
+	ckt.Finalize()
+
+	idx := func(n string) int { i, _ := ckt.NodeIndex(n); return i }
+	return &BalancedMixer{
+		Ckt:   ckt,
+		Shear: core.Shear{F1: cfg.F1, F2: f2, K: 2},
+		OutP:  idx("outp"), OutM: idx("outm"), Tail: idx("tail"),
+		LOP: idx("lop"), LOM: idx("lom"), RFP: idx("rfp"), RFM: idx("rfm"),
+		Cfg: cfg,
+	}
+}
+
+// RCLowpass builds a driven RC low-pass (test/benchmark substrate).
+func RCLowpass(w device.Waveform, r, c float64) (*circuit.Circuit, int) {
+	ckt := circuit.New("rc-lowpass")
+	ckt.V("V1", "in", "0", w)
+	ckt.R("R1", "in", "out", r)
+	ckt.C("C1", "out", "0", c)
+	ckt.Finalize()
+	out, _ := ckt.NodeIndex("out")
+	return ckt, out
+}
+
+// DiodeRectifier builds a half-wave rectifier with RC load.
+func DiodeRectifier(w device.Waveform, rl, cl float64) (*circuit.Circuit, int) {
+	ckt := circuit.New("rectifier")
+	ckt.V("V1", "in", "0", w)
+	ckt.D("D1", "in", "out", 1e-14)
+	ckt.R("RL", "out", "0", rl)
+	ckt.C("CL", "out", "0", cl)
+	ckt.Finalize()
+	out, _ := ckt.NodeIndex("out")
+	return ckt, out
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/la"
+	"repro/internal/solver"
+	"repro/internal/transient"
+)
+
+// EnvelopeOptions configures envelope-following: a backward-Euler march in
+// the slow time t2 where each step solves a periodic boundary-value problem
+// along the fast axis t1. Unlike QPSS it does not impose periodicity in t2,
+// so it captures envelope start-up transients (e.g. how the baseband settles
+// after the RF drive switches on) — one of the "time-domain numerical
+// methods in [9]" the paper points to for solving the reformulated MPDE.
+type EnvelopeOptions struct {
+	// N1 is the fast-axis grid size (default 40).
+	N1 int
+	// Shear defines the time-scale map (required).
+	Shear Shear
+	// T2Stop is the slow-time horizon; default one difference period Td.
+	T2Stop float64
+	// StepT2 is the slow step (default Td/30).
+	StepT2 float64
+	// Newton configures the per-step solves.
+	Newton solver.Options
+	// X0Line optionally warm-starts the first fast line (length N1·n).
+	X0Line []float64
+}
+
+// EnvelopeResult is a slow-time trajectory of fast-periodic lines.
+type EnvelopeResult struct {
+	Ckt   *circuit.Circuit
+	Shear Shear
+	N1    int
+	// T2 are the slow time points; Lines[j] is the fast line at T2[j] with
+	// layout i·n + k.
+	T2    []float64
+	Lines [][]float64
+
+	NewtonIters int
+	n           int
+}
+
+// LineAt returns the state at fast index i of slow point j.
+func (e *EnvelopeResult) LineAt(j, i int) []float64 {
+	base := i * e.n
+	return e.Lines[j][base : base+e.n]
+}
+
+// Baseband returns the t1-average of unknown k along the slow axis.
+func (e *EnvelopeResult) Baseband(k int) []float64 {
+	out := make([]float64, len(e.T2))
+	for j := range e.Lines {
+		sum := 0.0
+		for i := 0; i < e.N1; i++ {
+			sum += e.Lines[j][i*e.n+k]
+		}
+		out[j] = sum / float64(e.N1)
+	}
+	return out
+}
+
+// EnvelopeFollow integrates the MPDE in the slow time scale.
+func EnvelopeFollow(ckt *circuit.Circuit, opt EnvelopeOptions) (*EnvelopeResult, error) {
+	if err := opt.Shear.Validate(); err != nil {
+		return nil, err
+	}
+	if bad := ckt.NonTorusSources(); len(bad) > 0 {
+		return nil, fmt.Errorf("%w: %v", ErrNonTorusSource, bad)
+	}
+	if opt.N1 <= 0 {
+		opt.N1 = 40
+	}
+	if opt.T2Stop <= 0 {
+		opt.T2Stop = opt.Shear.Td()
+	}
+	if opt.StepT2 <= 0 {
+		opt.StepT2 = opt.Shear.Td() / 30
+	}
+	if opt.Newton.MaxIter == 0 {
+		opt.Newton = solver.NewOptions()
+		opt.Newton.MaxIter = 60
+	}
+	ckt.Finalize()
+	n := ckt.Size()
+	N1 := opt.N1
+	nLine := N1 * n
+	h1 := opt.Shear.T1() / float64(N1)
+
+	ev := ckt.NewEval()
+	res := &EnvelopeResult{Ckt: ckt, Shear: opt.Shear, N1: N1, n: n}
+
+	// lineResidual assembles the fast-axis periodic BVP at slow time t2:
+	// D1[q] + (q − qPrev)/h2 + f + b̂(·, t2) = 0 ; qPrev nil drops the slow
+	// derivative (used for the initial fast-periodic line).
+	lineAssemble := func(xx []float64, t2 float64, qPrev []float64, h2 float64, jac bool) ([]float64, *la.CSR, []float64, error) {
+		r := make([]float64, nLine)
+		q := make([]float64, nLine)
+		var tr *la.Triplet
+		if jac {
+			tr = la.NewTriplet(nLine, nLine)
+		}
+		cs := make([]*la.CSR, N1)
+		for i := 0; i < N1; i++ {
+			th1, th2 := opt.Shear.Phases(float64(i)*h1, t2)
+			ctx := device.EvalCtx{Torus: true, Th1: th1, Th2: th2, Lambda: 1}
+			out := ev.EvalAt(xx[i*n:(i+1)*n], ctx, jac)
+			copy(q[i*n:(i+1)*n], out.Q)
+			for k := 0; k < n; k++ {
+				r[i*n+k] = out.F[k] + out.B[k]
+				if qPrev != nil {
+					r[i*n+k] += (out.Q[k] - qPrev[i*n+k]) / h2
+				}
+			}
+			if jac {
+				cs[i] = out.C
+				stampLine(tr, i, i, out.G, 1, n)
+				if qPrev != nil {
+					stampLine(tr, i, i, out.C, 1/h2, n)
+				}
+			}
+		}
+		// Fast-axis backward difference with periodic wrap.
+		for i := 0; i < N1; i++ {
+			im := mod(i-1, N1)
+			for k := 0; k < n; k++ {
+				r[i*n+k] += (q[i*n+k] - q[im*n+k]) / h1
+			}
+			if jac {
+				stampLine(tr, i, i, cs[i], 1/h1, n)
+				stampLine(tr, i, im, cs[im], -1/h1, n)
+			}
+		}
+		var jm *la.CSR
+		if jac {
+			jm = tr.Compress()
+		}
+		return r, jm, q, nil
+	}
+
+	// Initial line: fast-periodic steady state with the slow derivative off.
+	x := make([]float64, nLine)
+	if opt.X0Line != nil {
+		if len(opt.X0Line) != nLine {
+			return nil, fmt.Errorf("core: X0Line size %d, want %d", len(opt.X0Line), nLine)
+		}
+		copy(x, opt.X0Line)
+	} else {
+		xdc, _, err := transient.DC(ckt, transient.DCOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("core: envelope DC start failed: %w", err)
+		}
+		for i := 0; i < N1; i++ {
+			copy(x[i*n:(i+1)*n], xdc)
+		}
+	}
+	sys0 := solver.FuncSystem{N: nLine, F: func(xx []float64, jac bool) ([]float64, *la.CSR, error) {
+		r, j, _, err := lineAssemble(xx, 0, nil, 0, jac)
+		return r, j, err
+	}}
+	st, err := solver.Solve(sys0, x, opt.Newton)
+	res.NewtonIters += st.Iterations
+	if err != nil {
+		return nil, fmt.Errorf("core: envelope initial fast-periodic line failed: %w", err)
+	}
+	record := func(t2 float64, line []float64) {
+		res.T2 = append(res.T2, t2)
+		res.Lines = append(res.Lines, append([]float64(nil), line...))
+	}
+	record(0, x)
+
+	// March in t2.
+	_, _, qPrev, _ := lineAssemble(x, 0, nil, 0, false)
+	t2 := 0.0
+	h2 := opt.StepT2
+	for t2 < opt.T2Stop-1e-15*opt.T2Stop {
+		if t2+h2 > opt.T2Stop {
+			h2 = opt.T2Stop - t2
+		}
+		tNew := t2 + h2
+		qp := qPrev
+		hh := h2
+		sys := solver.FuncSystem{N: nLine, F: func(xx []float64, jac bool) ([]float64, *la.CSR, error) {
+			r, j, _, err := lineAssemble(xx, tNew, qp, hh, jac)
+			return r, j, err
+		}}
+		st, err := solver.Solve(sys, x, opt.Newton)
+		res.NewtonIters += st.Iterations
+		if err != nil {
+			h2 /= 2
+			if h2 < opt.StepT2*1e-6 {
+				return res, fmt.Errorf("core: envelope step underflow at t2=%.3e: %w", t2, err)
+			}
+			continue
+		}
+		_, _, qNew, _ := lineAssemble(x, tNew, nil, 0, false)
+		qPrev = qNew
+		t2 = tNew
+		h2 = opt.StepT2
+		record(t2, x)
+	}
+	return res, nil
+}
+
+func stampLine(tr *la.Triplet, bi, bj int, m *la.CSR, coef float64, n int) {
+	if m == nil {
+		return
+	}
+	rb, cb := bi*n, bj*n
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			tr.Append(rb+i, cb+m.ColIdx[k], coef*m.Val[k])
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import "repro/internal/device"
+
+// MultiTimeSample is a sampled bi-variate surface ẑ(t1, t2) with its axes.
+type MultiTimeSample struct {
+	T1, T2 []float64   // axes in seconds
+	Z      [][]float64 // Z[i][j] = ẑ(T1[i], T2[j])
+}
+
+// SampleSheared samples a torus waveform through the *sheared* map
+// (paper Eq. 11, Fig. 2): t2 spans one full difference period Td, so the
+// difference-frequency variation appears explicitly along t2.
+func SampleSheared(w device.TorusWaveform, sh Shear, n1, n2 int) MultiTimeSample {
+	return sample(w, sh, n1, n2, true)
+}
+
+// SampleUnsheared samples through the plain two-tone map (paper Eq. 9,
+// Fig. 1): t2 spans one RF period T2 = 1/F2 and no slow variation is
+// visible, illustrating why the unsheared representation is useless for
+// closely spaced tones.
+func SampleUnsheared(w device.TorusWaveform, sh Shear, n1, n2 int) MultiTimeSample {
+	return sample(w, sh, n1, n2, false)
+}
+
+func sample(w device.TorusWaveform, sh Shear, n1, n2 int, sheared bool) MultiTimeSample {
+	if n1 < 2 {
+		n1 = 2
+	}
+	if n2 < 2 {
+		n2 = 2
+	}
+	t1Span := sh.T1()
+	t2Span := 1 / sh.F2
+	if sheared {
+		t2Span = sh.Td()
+	}
+	out := MultiTimeSample{
+		T1: make([]float64, n1),
+		T2: make([]float64, n2),
+		Z:  make([][]float64, n1),
+	}
+	for i := 0; i < n1; i++ {
+		out.T1[i] = t1Span * float64(i) / float64(n1)
+	}
+	for j := 0; j < n2; j++ {
+		out.T2[j] = t2Span * float64(j) / float64(n2)
+	}
+	for i := 0; i < n1; i++ {
+		out.Z[i] = make([]float64, n2)
+		for j := 0; j < n2; j++ {
+			var th1, th2 float64
+			if sheared {
+				th1, th2 = sh.Phases(out.T1[i], out.T2[j])
+			} else {
+				th1, th2 = sh.UnshearedPhases(out.T1[i], out.T2[j])
+			}
+			out.Z[i][j] = w.EvalTorus(th1, th2)
+		}
+	}
+	return out
+}
+
+// DiagonalError measures max_t |ẑ(t, t) − w(t)| over nSamples of the span —
+// the defining invariant of any valid multi-time representation. Both the
+// sheared and unsheared maps must satisfy it.
+func DiagonalError(w device.TorusWaveform, sh Shear, sheared bool, span float64, nSamples int) float64 {
+	if nSamples < 2 {
+		nSamples = 2
+	}
+	mx := 0.0
+	for p := 0; p < nSamples; p++ {
+		t := span * float64(p) / float64(nSamples-1)
+		var th1, th2 float64
+		if sheared {
+			th1, th2 = sh.Phases(t, t)
+		} else {
+			th1, th2 = sh.UnshearedPhases(t, t)
+		}
+		v := w.EvalTorus(th1, th2)
+		ref := w.Eval(t)
+		if d := abs(v - ref); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/la"
+	"repro/internal/solver"
+	"repro/internal/transient"
+)
+
+// DiffOrder selects the finite-difference order along a grid axis.
+type DiffOrder int
+
+const (
+	// Order1 is the backward-Euler difference (q_i − q_{i−1})/h.
+	Order1 DiffOrder = 1
+	// Order2 is the second-order backward (BDF2) difference
+	// (3q_i − 4q_{i−1} + q_{i−2})/(2h); both are unconditionally stable on
+	// the bi-periodic grid.
+	Order2 DiffOrder = 2
+)
+
+// Options configures the quasi-periodic steady-state (QPSS) solve.
+type Options struct {
+	// N1, N2 are the grid sizes along the fast (t1 ∈ [0,T1)) and
+	// difference (t2 ∈ [0,Td)) axes. Defaults 40 and 30, the paper's grid.
+	N1, N2 int
+	// Shear defines the difference-frequency time-scale map (required).
+	Shear Shear
+	// Order1T1/Order1T2 select difference orders (defaults Order1).
+	DiffT1, DiffT2 DiffOrder
+	// Newton configures the grid-level Newton solve.
+	Newton solver.Options
+	// Continuation enables the source-stepping fallback when plain Newton
+	// fails — the paper's "10–20 minute" robust path (default true).
+	Continuation bool
+	// X0, when non-nil, warm-starts the grid unknowns (length N1·N2·n).
+	X0 []float64
+}
+
+// Stats reports the work done.
+type Stats struct {
+	NewtonIters        int
+	UsedContinuation   bool
+	ContinuationSolves int
+	GridPoints         int
+	Unknowns           int
+	JacobianNNZ        int
+	FillFactor         float64
+}
+
+// Solution is a converged multi-time steady state on the bi-periodic grid.
+type Solution struct {
+	Ckt    *circuit.Circuit
+	Shear  Shear
+	N1, N2 int
+	// X holds the grid unknowns; index layout (j·N1 + i)·n + k with i the
+	// fast (t1) index, j the slow (t2) index and k the circuit unknown.
+	X     []float64
+	Stats Stats
+
+	n int
+}
+
+// ErrNonTorusSource is returned when the circuit contains sources whose
+// waveforms cannot be evaluated on the torus.
+var ErrNonTorusSource = errors.New("core: circuit has sources without a torus (bi-periodic) form")
+
+// index returns the offset of unknown k at grid point (i, j).
+func (s *Solution) index(i, j, k int) int { return (j*s.N1+i)*s.n + k }
+
+// At returns the state vector at grid point (i, j) (a view, do not modify).
+func (s *Solution) At(i, j int) []float64 {
+	base := (j*s.N1 + i) * s.n
+	return s.X[base : base+s.n]
+}
+
+// QPSS computes the quasi-periodic steady state by Newton on the
+// finite-difference MPDE over the sheared bi-periodic grid.
+func QPSS(ckt *circuit.Circuit, opt Options) (*Solution, error) {
+	if err := opt.Shear.Validate(); err != nil {
+		return nil, err
+	}
+	if bad := ckt.NonTorusSources(); len(bad) > 0 {
+		return nil, fmt.Errorf("%w: %v", ErrNonTorusSource, bad)
+	}
+	if opt.N1 <= 0 {
+		opt.N1 = 40
+	}
+	if opt.N2 <= 0 {
+		opt.N2 = 30
+	}
+	if opt.DiffT1 == 0 {
+		opt.DiffT1 = Order1
+	}
+	if opt.DiffT2 == 0 {
+		opt.DiffT2 = Order1
+	}
+	if opt.DiffT1 == Order2 && opt.N1 < 3 || opt.DiffT2 == Order2 && opt.N2 < 3 {
+		return nil, errors.New("core: Order2 differences need at least 3 points per axis")
+	}
+	if opt.Newton.MaxIter == 0 {
+		opt.Newton = solver.NewOptions()
+		opt.Newton.MaxIter = 60
+	}
+	ckt.Finalize()
+	n := ckt.Size()
+	N1, N2 := opt.N1, opt.N2
+	nTot := N1 * N2 * n
+
+	sol := &Solution{Ckt: ckt, Shear: opt.Shear, N1: N1, N2: N2, n: n}
+	sol.Stats.GridPoints = N1 * N2
+	sol.Stats.Unknowns = nTot
+
+	asm := newAssembler(ckt, opt)
+
+	// Initial guess: the DC operating point replicated across the grid.
+	x := make([]float64, nTot)
+	if opt.X0 != nil {
+		if len(opt.X0) != nTot {
+			return nil, fmt.Errorf("core: X0 size %d, want %d", len(opt.X0), nTot)
+		}
+		copy(x, opt.X0)
+	} else {
+		xdc, _, err := transient.DC(ckt, transient.DCOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("core: DC starting point failed: %w", err)
+		}
+		for p := 0; p < N1*N2; p++ {
+			copy(x[p*n:(p+1)*n], xdc)
+		}
+	}
+
+	sys := solver.FuncSystem{N: nTot, F: func(xx []float64, jac bool) ([]float64, *la.CSR, error) {
+		return asm.assemble(xx, 1, jac)
+	}}
+	st, err := solver.Solve(sys, x, opt.Newton)
+	sol.Stats.NewtonIters = st.Iterations
+	if err != nil {
+		if !opt.Continuation && opt.X0 == nil {
+			return nil, err
+		}
+		if !opt.Continuation {
+			return nil, err
+		}
+		// Source-stepping continuation on the signal sources: bias stays on,
+		// the AC drive ramps from 0 to full.
+		ps := solver.FuncParamSystem{N: nTot, F: func(lambda float64, xx []float64, jac bool) ([]float64, *la.CSR, error) {
+			return asm.assembleSignalLambda(xx, lambda, jac)
+		}}
+		cs, cerr := solver.Continue(ps, x, solver.ContinuationOptions{Newton: opt.Newton})
+		sol.Stats.UsedContinuation = true
+		sol.Stats.ContinuationSolves = cs.Solves
+		sol.Stats.NewtonIters += cs.NewtonIters
+		if cerr != nil {
+			return nil, fmt.Errorf("core: QPSS Newton failed (%v) and continuation failed: %w", err, cerr)
+		}
+	}
+	sol.X = x
+	sol.Stats.JacobianNNZ = asm.lastNNZ
+	sol.Stats.FillFactor = asm.lastFill
+	return sol, nil
+}
+
+// assembler evaluates the MPDE residual and Jacobian over the grid.
+type assembler struct {
+	ckt    *circuit.Circuit
+	ev     *circuit.Eval
+	opt    Options
+	n      int
+	N1, N2 int
+	h1, h2 float64
+	// Per-point storage reused across assemblies.
+	q  []float64 // N1·N2·n charges
+	fb []float64 // N1·N2·n conductive + source residuals
+	cs []*la.CSR // per-point C matrices (when jac)
+	tr *la.Triplet
+
+	lastNNZ  int
+	lastFill float64
+}
+
+func newAssembler(ckt *circuit.Circuit, opt Options) *assembler {
+	n := ckt.Size()
+	N1, N2 := opt.N1, opt.N2
+	a := &assembler{
+		ckt: ckt, ev: ckt.NewEval(), opt: opt, n: n, N1: N1, N2: N2,
+		h1: opt.Shear.T1() / float64(N1),
+		h2: opt.Shear.Td() / float64(N2),
+		q:  make([]float64, N1*N2*n),
+		fb: make([]float64, N1*N2*n),
+		cs: make([]*la.CSR, N1*N2),
+	}
+	a.tr = la.NewTriplet(N1*N2*n, N1*N2*n)
+	return a
+}
+
+// assemble computes the residual (and Jacobian) of the discretised MPDE at
+// grid state xx with all sources scaled by lambda.
+func (a *assembler) assemble(xx []float64, lambda float64, jac bool) ([]float64, *la.CSR, error) {
+	return a.assembleCtx(xx, device.EvalCtx{Torus: true, Lambda: lambda}, jac)
+}
+
+// assembleSignalLambda scales only non-DC sources by lambda.
+func (a *assembler) assembleSignalLambda(xx []float64, lambda float64, jac bool) ([]float64, *la.CSR, error) {
+	return a.assembleCtx(xx, device.EvalCtx{Torus: true, Lambda: lambda, SignalOnlyLambda: true}, jac)
+}
+
+func (a *assembler) assembleCtx(xx []float64, baseCtx device.EvalCtx, jac bool) ([]float64, *la.CSR, error) {
+	n, N1, N2 := a.n, a.N1, a.N2
+	sh := a.opt.Shear
+	// Pass 1: evaluate the circuit at every grid point.
+	for j := 0; j < N2; j++ {
+		t2 := float64(j) * a.h2
+		for i := 0; i < N1; i++ {
+			t1 := float64(i) * a.h1
+			p := j*N1 + i
+			ctx := baseCtx
+			ctx.Th1, ctx.Th2 = sh.Phases(t1, t2)
+			res := a.ev.EvalAt(xx[p*n:(p+1)*n], ctx, jac)
+			copy(a.q[p*n:(p+1)*n], res.Q)
+			for k := 0; k < n; k++ {
+				a.fb[p*n+k] = res.F[k] + res.B[k]
+			}
+			if jac {
+				a.cs[p] = res.C
+			} else {
+				a.cs[p] = nil
+			}
+			if jac {
+				// Diagonal block: d1·C + d2·C + G  (leading difference
+				// coefficients added below in pass 2 via stencil loop), so
+				// here we only stash G; C is stenciled in pass 2.
+				_ = res.G
+				a.stampBlock(p, p, res.G, 1)
+			}
+		}
+	}
+	// Pass 2: difference stencils.
+	r := make([]float64, N1*N2*n)
+	copy(r, a.fb)
+	d1c, d1off := a.stencil(a.opt.DiffT1, a.h1)
+	d2c, d2off := a.stencil(a.opt.DiffT2, a.h2)
+	for j := 0; j < N2; j++ {
+		for i := 0; i < N1; i++ {
+			p := j*N1 + i
+			// t1 stencil.
+			for s, coef := range d1c {
+				ii := mod(i+d1off[s], N1)
+				pp := j*N1 + ii
+				for k := 0; k < n; k++ {
+					r[p*n+k] += coef * a.q[pp*n+k]
+				}
+				if jac {
+					a.stampBlock(p, pp, a.cs[pp], coef)
+				}
+			}
+			// t2 stencil.
+			for s, coef := range d2c {
+				jj := mod(j+d2off[s], N2)
+				pp := jj*N1 + i
+				for k := 0; k < n; k++ {
+					r[p*n+k] += coef * a.q[pp*n+k]
+				}
+				if jac {
+					a.stampBlock(p, pp, a.cs[pp], coef)
+				}
+			}
+		}
+	}
+	var jm *la.CSR
+	if jac {
+		jm = a.tr.Compress()
+		a.tr.Reset()
+		a.lastNNZ = jm.NNZ()
+	}
+	return r, jm, nil
+}
+
+// stencil returns difference coefficients and index offsets for the given
+// order and spacing.
+func (a *assembler) stencil(o DiffOrder, h float64) ([]float64, []int) {
+	switch o {
+	case Order2:
+		return []float64{3 / (2 * h), -4 / (2 * h), 1 / (2 * h)}, []int{0, -1, -2}
+	default:
+		return []float64{1 / h, -1 / h}, []int{0, -1}
+	}
+}
+
+// stampBlock adds coef·M into the global Jacobian at block (pRow, pCol).
+func (a *assembler) stampBlock(pRow, pCol int, m *la.CSR, coef float64) {
+	if m == nil {
+		return
+	}
+	rowBase := pRow * a.n
+	colBase := pCol * a.n
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			a.tr.Append(rowBase+i, colBase+m.ColIdx[k], coef*m.Val[k])
+		}
+	}
+}
+
+func mod(i, n int) int {
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return i
+}

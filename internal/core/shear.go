@@ -1,0 +1,94 @@
+// Package core implements the paper's contribution: a purely time-domain
+// steady-state method for circuits driven by closely spaced tones, built on
+// the multi-time partial differential equation (MPDE)
+//
+//	∂q(x̂)/∂t1 + ∂q(x̂)/∂t2 + f(x̂) + b̂(t1, t2) = 0
+//
+// with x̂ bi-periodic, discretised on a coarse grid over one fast period T1
+// (the LO) and one *difference-frequency* period Td. The key device is the
+// sheared time-scale map: sources live on the unit torus (θ1, θ2) — θ1 the
+// LO phase, θ2 the RF phase — and the grid coordinates map to torus phases by
+//
+//	θ1 = f1·t1 mod 1
+//	θ2 = (K·f1·t1 − fd·t2) mod 1,   fd = K·f1 − f2
+//
+// which is T1-periodic in t1 and Td = 1/|fd|-periodic in t2 and satisfies
+// b(t) = b̂(t, t) on the diagonal. Changes along t2 are exactly the
+// difference-frequency (baseband) variations of interest; the solution's t2
+// axis directly exposes down-converted bit streams without any Fourier
+// machinery (paper Sections 2–3).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Shear defines the difference-frequency time-scale map.
+type Shear struct {
+	// F1 is the fast (LO) tone frequency in Hz.
+	F1 float64
+	// F2 is the second (RF) tone frequency in Hz.
+	F2 float64
+	// K is the internal harmonic of F1 that mixes against F2; K=1 for plain
+	// mixing, K=2 for the paper's LO-doubling balanced mixer (Eq. 12).
+	K int
+}
+
+// Validate checks the shear is usable.
+func (s Shear) Validate() error {
+	if s.F1 <= 0 || s.F2 <= 0 {
+		return errors.New("core: shear tone frequencies must be positive")
+	}
+	if s.K == 0 {
+		return errors.New("core: shear harmonic K must be nonzero")
+	}
+	if s.Fd() == 0 {
+		return fmt.Errorf("core: degenerate shear: K·F1 = F2 = %g", s.F2)
+	}
+	return nil
+}
+
+// Fd returns the difference frequency K·F1 − F2 (may be negative; the grid
+// period uses |Fd|).
+func (s Shear) Fd() float64 { return float64(s.K)*s.F1 - s.F2 }
+
+// T1 returns the fast period 1/F1.
+func (s Shear) T1() float64 { return 1 / s.F1 }
+
+// Td returns the difference-frequency period 1/|Fd|.
+func (s Shear) Td() float64 { return 1 / math.Abs(s.Fd()) }
+
+// Disparity returns F1/|Fd| — the time-scale separation that determines the
+// paper's speedup over single-time shooting.
+func (s Shear) Disparity() float64 { return s.F1 / math.Abs(s.Fd()) }
+
+// Phases maps grid coordinates (t1, t2) in seconds to torus phases, applying
+// the shear (paper Eq. 11/13).
+func (s Shear) Phases(t1, t2 float64) (th1, th2 float64) {
+	th1 = wrap(s.F1 * t1)
+	th2 = wrap(float64(s.K)*s.F1*t1 - s.Fd()*t2)
+	return th1, th2
+}
+
+// UnshearedPhases maps (t1, t2) to torus phases without shearing — the
+// representation of paper Eq. (9)/Fig. 1, T2-periodic in t2 with T2 = 1/F2,
+// which is numerically compact but hides the difference-frequency variation.
+func (s Shear) UnshearedPhases(t1, t2 float64) (th1, th2 float64) {
+	return wrap(s.F1 * t1), wrap(s.F2 * t2)
+}
+
+// DiagonalPhases maps one-dimensional time t to torus phases; by
+// construction Phases(t, t) == DiagonalPhases(t) up to rounding.
+func (s Shear) DiagonalPhases(t float64) (th1, th2 float64) {
+	return wrap(s.F1 * t), wrap(s.F2 * t)
+}
+
+func wrap(x float64) float64 {
+	f := x - math.Floor(x)
+	if f >= 1 {
+		f = 0
+	}
+	return f
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+)
+
+func TestShearValidate(t *testing.T) {
+	good := Shear{F1: 1e9, F2: 1e9 - 1e4, K: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Shear{
+		{F1: 0, F2: 1, K: 1},
+		{F1: 1, F2: 0, K: 1},
+		{F1: 1, F2: 1, K: 0},
+		{F1: 1e9, F2: 1e9, K: 1}, // fd = 0
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("Validate(%+v) should fail", bad)
+		}
+	}
+}
+
+func TestShearFrequencies(t *testing.T) {
+	// The paper's balanced mixer: f1 = 450 MHz doubled, fd = 15 kHz.
+	sh := Shear{F1: 450e6, F2: 2*450e6 - 15e3, K: 2}
+	if math.Abs(sh.Fd()-15e3) > 1e-6 {
+		t.Fatalf("Fd = %v, want 15 kHz", sh.Fd())
+	}
+	if math.Abs(sh.Td()-1.0/15e3) > 1e-12 {
+		t.Fatalf("Td = %v", sh.Td())
+	}
+	if math.Abs(sh.Disparity()-30e3) > 1 {
+		t.Fatalf("disparity = %v, want 3e4", sh.Disparity())
+	}
+}
+
+func TestShearDiagonalIdentityProperty(t *testing.T) {
+	// Phases(t, t) must equal DiagonalPhases(t): the sheared representation
+	// restores the one-time excitation on the diagonal (paper Eq. 11).
+	sh := Shear{F1: 1e6, F2: 2e6 - 1e4, K: 2}
+	f := func(u float64) bool {
+		tt := math.Abs(math.Mod(u, 1)) * 1e-3
+		a1, a2 := sh.Phases(tt, tt)
+		b1, b2 := sh.DiagonalPhases(tt)
+		d1 := math.Abs(a1 - b1)
+		d2 := math.Abs(a2 - b2)
+		// Allow wrap-around equivalence 0 ≡ 1.
+		wrapEq := func(d float64) bool { return d < 1e-6 || d > 1-1e-6 }
+		return wrapEq(d1) && wrapEq(d2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShearPeriodicity(t *testing.T) {
+	sh := Shear{F1: 1e9, F2: 1e9 - 1e4, K: 1}
+	t1, t2 := 0.3e-9, 0.4e-4
+	a1, a2 := sh.Phases(t1, t2)
+	b1, b2 := sh.Phases(t1+sh.T1(), t2)
+	c1, c2 := sh.Phases(t1, t2+sh.Td())
+	eq := func(x, y float64) bool {
+		d := math.Abs(x - y)
+		return d < 1e-6 || d > 1-1e-6
+	}
+	if !eq(a1, b1) || !eq(a2, b2) {
+		t.Fatalf("not T1-periodic: (%v,%v) vs (%v,%v)", a1, a2, b1, b2)
+	}
+	if !eq(a1, c1) || !eq(a2, c2) {
+		t.Fatalf("not Td-periodic: (%v,%v) vs (%v,%v)", a1, a2, c1, c2)
+	}
+}
+
+func TestShearNegativeFd(t *testing.T) {
+	// F2 above K·F1: fd < 0, Td must still be positive and periodicity hold.
+	sh := Shear{F1: 1e9, F2: 1e9 + 1e4, K: 1}
+	if sh.Fd() >= 0 {
+		t.Fatal("expected negative fd")
+	}
+	if sh.Td() <= 0 {
+		t.Fatal("Td must be positive")
+	}
+	a1, a2 := sh.Phases(1e-10, 2e-5)
+	b1, b2 := sh.Phases(1e-10, 2e-5+sh.Td())
+	eq := func(x, y float64) bool {
+		d := math.Abs(x - y)
+		return d < 1e-6 || d > 1-1e-6
+	}
+	if !eq(a1, b1) || !eq(a2, b2) {
+		t.Fatal("negative-fd shear not Td-periodic")
+	}
+}
+
+func TestSampleShearedShowsDifferenceScale(t *testing.T) {
+	// The paper's ideal mixing example: f1 = 1 GHz, f2 = f1 − 10 kHz.
+	// ẑ_s(θ1, θ2) = cos(2πθ1)·cos(2πθ2). In the sheared representation the
+	// t1-averaged product must vary at the difference frequency along t2;
+	// in the unsheared one (t2 spanning only 1/f2 ≈ 1 ns) it must not.
+	sh := Shear{F1: 1e9, F2: 1e9 - 1e4, K: 1}
+	prod := productWave{}
+	n1, n2 := 32, 64
+	sheared := SampleSheared(prod, sh, n1, n2)
+	unsheared := SampleUnsheared(prod, sh, n1, n2)
+
+	if math.Abs(sheared.T2[n2-1]-sh.Td()*float64(n2-1)/float64(n2)) > 1e-12 {
+		t.Fatalf("sheared t2 axis should span Td=0.1 ms, got %v", sheared.T2[n2-1])
+	}
+	// Column means of the sheared surface ≈ ½·cos(2π·fd·t2).
+	for j := 0; j < n2; j += 7 {
+		mean := 0.0
+		for i := 0; i < n1; i++ {
+			mean += sheared.Z[i][j]
+		}
+		mean /= float64(n1)
+		want := 0.5 * math.Cos(2*math.Pi*sh.Fd()*sheared.T2[j])
+		if math.Abs(mean-want) > 1e-9 {
+			t.Fatalf("sheared baseband at j=%d: %v, want %v", j, mean, want)
+		}
+	}
+	// Unsheared column means carry no slow variation: they are all equal to
+	// the same value up to grid rounding... in fact the t1-average of
+	// cos(2πf1t1)cos(2πf2t2) over a full period of t1 is 0 for every t2.
+	for j := 0; j < n2; j += 7 {
+		mean := 0.0
+		for i := 0; i < n1; i++ {
+			mean += unsheared.Z[i][j]
+		}
+		mean /= float64(n1)
+		if math.Abs(mean) > 1e-9 {
+			t.Fatalf("unsheared baseband should vanish, got %v at j=%d", mean, j)
+		}
+	}
+}
+
+// productWave is ẑ_s(θ1,θ2) = cos(2πθ1)·cos(2πθ2) — paper Eq. (8).
+type productWave struct{}
+
+func (productWave) Eval(t float64) float64 {
+	// One-time form for f1=1GHz, f2=1GHz−10kHz as used in the tests.
+	return math.Cos(2*math.Pi*1e9*t) * math.Cos(2*math.Pi*(1e9-1e4)*t)
+}
+
+func (productWave) EvalTorus(th1, th2 float64) float64 {
+	return math.Cos(2*math.Pi*th1) * math.Cos(2*math.Pi*th2)
+}
+
+func TestDiagonalErrorBothRepresentations(t *testing.T) {
+	sh := Shear{F1: 1e9, F2: 1e9 - 1e4, K: 1}
+	w := productWave{}
+	// Both maps must reproduce the one-time waveform on the diagonal
+	// (paper: "it continues to satisfy the requirement z(t) = ẑ2(t,t)").
+	if e := DiagonalError(w, sh, true, 5e-9, 200); e > 1e-6 {
+		t.Fatalf("sheared diagonal error %v", e)
+	}
+	if e := DiagonalError(w, sh, false, 5e-9, 200); e > 1e-6 {
+		t.Fatalf("unsheared diagonal error %v", e)
+	}
+}
+
+func TestSineAsTorusWave(t *testing.T) {
+	// Confirm the device Sine integrates with shear sampling.
+	sh := Shear{F1: 1e6, F2: 0.9e6, K: 1}
+	w := device.Sine{Amp: 1, F1: sh.F1, F2: sh.F2, K1: 0, K2: 1}
+	s := SampleSheared(w, sh, 8, 16)
+	if len(s.Z) != 8 || len(s.Z[0]) != 16 {
+		t.Fatalf("sample shape %dx%d", len(s.Z), len(s.Z[0]))
+	}
+	if e := DiagonalError(w, sh, true, 1e-5, 100); e > 1e-9 {
+		t.Fatalf("sine diagonal error %v", e)
+	}
+}

@@ -1,0 +1,158 @@
+package device
+
+import "math"
+
+// BJT is an Ebers–Moll bipolar transistor (NPN by default) with optional
+// junction capacitances. It extends the device library beyond MOS switching
+// so the substrate covers classical RF front-end circuits too.
+//
+//	Ic =  IS·(e^{vbe/VT} − e^{vbc/VT}) − IS/βR·(e^{vbc/VT} − 1)
+//	Ib =  IS/βF·(e^{vbe/VT} − 1) + IS/βR·(e^{vbc/VT} − 1)
+//
+// The exponentials share the diode explim linearisation for Newton safety.
+type BJT struct {
+	Inst    string
+	C, B, E int // collector, base, emitter unknown indices
+
+	TypeP bool    // true for PNP
+	Is    float64 // transport saturation current (default 1e-16)
+	BetaF float64 // forward beta (default 100)
+	BetaR float64 // reverse beta (default 1)
+	Cje   float64 // B–E junction capacitance (constant, F)
+	Cjc   float64 // B–C junction capacitance (constant, F)
+}
+
+// Name returns the instance name.
+func (q *BJT) Name() string { return q.Inst }
+
+func (q *BJT) params() (is, bf, br float64) {
+	is = q.Is
+	if is <= 0 {
+		is = 1e-16
+	}
+	bf = q.BetaF
+	if bf <= 0 {
+		bf = 100
+	}
+	br = q.BetaR
+	if br <= 0 {
+		br = 1
+	}
+	return is, bf, br
+}
+
+// expLim is the linearised exponential e^{v/VT} with slope continuity above
+// the overflow knee.
+func expLim(v, is float64) (e, de float64) {
+	vmax := vt300 * math.Log(1e3/is) // current caps near 1 kA
+	if v <= vmax {
+		e = math.Exp(v / vt300)
+		return e, e / vt300
+	}
+	emax := math.Exp(vmax / vt300)
+	de = emax / vt300
+	return emax + de*(v-vmax), de
+}
+
+// Stamp adds the Ebers–Moll currents and junction charges.
+func (q *BJT) Stamp(s *Stamp) {
+	is, bf, br := q.params()
+	sign := 1.0
+	vc, vb, ve := s.V(q.C), s.V(q.B), s.V(q.E)
+	if q.TypeP {
+		vc, vb, ve = -vc, -vb, -ve
+		sign = -1
+	}
+	vbe := vb - ve
+	vbc := vb - vc
+	ebe, gbe := expLim(vbe, is)
+	ebc, gbc := expLim(vbc, is)
+
+	icc := is * (ebe - ebc)    // transport current
+	ibe := is / bf * (ebe - 1) // base–emitter recombination
+	ibc := is / br * (ebc - 1) // base–collector recombination
+
+	ic := icc - ibc
+	ib := ibe + ibc
+	ie := -(ic + ib)
+
+	s.AddF(q.C, sign*ic)
+	s.AddF(q.B, sign*ib)
+	s.AddF(q.E, sign*ie)
+
+	if s.Jac {
+		// Partial derivatives in the mirrored frame; the PMOS-style double
+		// sign flip makes them valid for the physical frame directly.
+		dIcdVbe := is * gbe
+		dIcdVbc := -is*gbc - is/br*gbc
+		dIbdVbe := is / bf * gbe
+		dIbdVbc := is / br * gbc
+		// Chain rule: vbe = vb − ve, vbc = vb − vc.
+		add := func(row int, dVbe, dVbc float64) {
+			s.AddG(row, q.B, dVbe+dVbc)
+			s.AddG(row, q.E, -dVbe)
+			s.AddG(row, q.C, -dVbc)
+		}
+		add(q.C, dIcdVbe, dIcdVbc)
+		add(q.B, dIbdVbe, dIbdVbc)
+		add(q.E, -(dIcdVbe + dIbdVbe), -(dIcdVbc + dIbdVbc))
+	}
+
+	// Junction capacitances (linear approximations).
+	if q.Cje > 0 {
+		qv := q.Cje * (s.V(q.B) - s.V(q.E))
+		s.AddQ(q.B, qv)
+		s.AddQ(q.E, -qv)
+		if s.Jac {
+			s.AddC(q.B, q.B, q.Cje)
+			s.AddC(q.B, q.E, -q.Cje)
+			s.AddC(q.E, q.B, -q.Cje)
+			s.AddC(q.E, q.E, q.Cje)
+		}
+	}
+	if q.Cjc > 0 {
+		qv := q.Cjc * (s.V(q.B) - s.V(q.C))
+		s.AddQ(q.B, qv)
+		s.AddQ(q.C, -qv)
+		if s.Jac {
+			s.AddC(q.B, q.B, q.Cjc)
+			s.AddC(q.B, q.C, -q.Cjc)
+			s.AddC(q.C, q.B, -q.Cjc)
+			s.AddC(q.C, q.C, q.Cjc)
+		}
+	}
+}
+
+// TorusSquare is a smoothed square wave on the torus: it switches between
+// ±Amp (plus Offset) with duty cycle Duty and raised-cosine edges of width
+// Edge (fraction of the period), at torus phase K1·θ1 + K2·θ2. It drives
+// switching applications beyond RF mixers — e.g. the PWM of a power
+// converter, one of the extension domains the paper's conclusion names.
+type TorusSquare struct {
+	Amp    float64
+	Offset float64
+	Duty   float64 // default 0.5
+	Edge   float64 // default 0.02
+	F1, F2 float64
+	K1, K2 int
+}
+
+// Eval evaluates at one-dimensional time t.
+func (s TorusSquare) Eval(t float64) float64 {
+	return s.EvalTorus(frac(s.F1*t), frac(s.F2*t))
+}
+
+// EvalTorus evaluates at torus phases.
+func (s TorusSquare) EvalTorus(th1, th2 float64) float64 {
+	duty := s.Duty
+	if duty <= 0 || duty >= 1 {
+		duty = 0.5
+	}
+	edge := s.Edge
+	if edge <= 0 {
+		edge = 0.02
+	}
+	env := SquareEnvelope(duty, edge)
+	u := frac(float64(s.K1)*th1 + float64(s.K2)*th2)
+	return s.Offset + s.Amp*env(u)
+}

@@ -1,0 +1,133 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBJTForwardActive(t *testing.T) {
+	q := &BJT{Inst: "Q1", C: 0, B: 1, E: 2, Is: 1e-16, BetaF: 100}
+	// vbe = 0.7, vbc = −2 (collector high): forward active.
+	x := []float64{2.7, 0.7, 0}
+	st := newStamp(3, x)
+	st.Jac = false
+	q.Stamp(st)
+	ic, ib, ie := st.F[0], st.F[1], st.F[2]
+	if ic <= 0 || ib <= 0 {
+		t.Fatalf("forward-active signs wrong: ic=%v ib=%v", ic, ib)
+	}
+	beta := ic / ib
+	if math.Abs(beta-100) > 2 {
+		t.Fatalf("beta = %v, want ≈100", beta)
+	}
+	if math.Abs(ic+ib+ie) > 1e-18 {
+		t.Fatalf("KCL violated: sum=%v", ic+ib+ie)
+	}
+	// Collector current magnitude sane for vbe=0.7: IS·e^{0.7/VT} ≈ 0.06 mA.
+	want := 1e-16 * math.Exp(0.7/vt300)
+	if math.Abs(ic-want)/want > 0.02 {
+		t.Fatalf("ic=%v want≈%v", ic, want)
+	}
+}
+
+func TestBJTCutoff(t *testing.T) {
+	q := &BJT{Inst: "Q1", C: 0, B: 1, E: 2}
+	st := newStamp(3, []float64{3, 0, 0})
+	st.Jac = false
+	q.Stamp(st)
+	if math.Abs(st.F[0]) > 1e-12 || math.Abs(st.F[1]) > 1e-12 {
+		t.Fatalf("cutoff leakage too large: %v", st.F[:3])
+	}
+}
+
+func TestBJTSaturationRegion(t *testing.T) {
+	// Both junctions forward: collector current collapses below βF·Ib.
+	q := &BJT{Inst: "Q1", C: 0, B: 1, E: 2, BetaF: 100}
+	st := newStamp(3, []float64{0.1, 0.7, 0})
+	st.Jac = false
+	q.Stamp(st)
+	ic, ib := st.F[0], st.F[1]
+	if ic/ib > 50 {
+		t.Fatalf("saturation should degrade beta: ic/ib = %v", ic/ib)
+	}
+}
+
+func TestBJTJacobianConsistency(t *testing.T) {
+	q := &BJT{Inst: "Q1", C: 0, B: 1, E: 2, Cje: 1e-13, Cjc: 5e-14}
+	for _, x := range [][]float64{
+		{2.7, 0.7, 0},  // forward active
+		{0.05, 0.7, 0}, // saturation
+		{3, 0, 0},      // cutoff
+		{0, 0.7, 2.7},  // reverse-ish
+	} {
+		assertJacobianConsistent(t, q, 3, x, 5e-4)
+	}
+}
+
+func TestBJTPNPMirror(t *testing.T) {
+	npn := &BJT{Inst: "QN", C: 0, B: 1, E: 2}
+	pnp := &BJT{Inst: "QP", C: 0, B: 1, E: 2, TypeP: true}
+	xN := []float64{2.7, 0.7, 0}
+	xP := []float64{-2.7, -0.7, 0}
+	stN := newStamp(3, xN)
+	stN.Jac = false
+	npn.Stamp(stN)
+	stP := newStamp(3, xP)
+	stP.Jac = false
+	pnp.Stamp(stP)
+	for i := 0; i < 3; i++ {
+		if math.Abs(stN.F[i]+stP.F[i]) > 1e-15 {
+			t.Fatalf("PNP mirror broken at %d: %v vs %v", i, stN.F[i], stP.F[i])
+		}
+	}
+	assertJacobianConsistent(t, pnp, 3, xP, 5e-4)
+}
+
+func TestBJTExplimNoOverflow(t *testing.T) {
+	q := &BJT{Inst: "Q1", C: 0, B: 1, E: 2}
+	st := newStamp(3, []float64{0, 100, 0}) // absurd forward drive
+	q.Stamp(st)
+	for _, v := range st.F[:3] {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("explim failed: %v", st.F[:3])
+		}
+	}
+}
+
+func TestTorusSquareLevelsAndDiagonal(t *testing.T) {
+	s := TorusSquare{Amp: 1, Offset: 2, Duty: 0.5, Edge: 0.02,
+		F1: 1e6, F2: 0.9e6, K1: 1}
+	if math.Abs(s.EvalTorus(0.25, 0)-3) > 1e-9 {
+		t.Fatalf("high level %v", s.EvalTorus(0.25, 0))
+	}
+	if math.Abs(s.EvalTorus(0.75, 0)-1) > 1e-9 {
+		t.Fatalf("low level %v", s.EvalTorus(0.75, 0))
+	}
+	// Diagonal identity.
+	for _, tt := range []float64{0.1e-6, 0.37e-6, 1.91e-6} {
+		a := s.Eval(tt)
+		b := s.EvalTorus(tt*1e6-math.Floor(tt*1e6), tt*0.9e6-math.Floor(tt*0.9e6))
+		if math.Abs(a-b) > 1e-12 {
+			t.Fatalf("diagonal mismatch at %g: %v vs %v", tt, a, b)
+		}
+	}
+	// Defaults kick in for invalid Duty/Edge.
+	d := TorusSquare{Amp: 1, Duty: -1, Edge: -1, K1: 1}
+	if v := d.EvalTorus(0.25, 0); math.Abs(v-1) > 1e-9 {
+		t.Fatalf("default duty broken: %v", v)
+	}
+}
+
+func TestTorusSquareDuty(t *testing.T) {
+	s := TorusSquare{Amp: 1, Duty: 0.25, Edge: 0.01, K1: 1}
+	high, total := 0, 1000
+	for i := 0; i < total; i++ {
+		if s.EvalTorus(float64(i)/float64(total), 0) > 0 {
+			high++
+		}
+	}
+	frac := float64(high) / float64(total)
+	if math.Abs(frac-0.25) > 0.03 {
+		t.Fatalf("duty fraction %v, want 0.25", frac)
+	}
+}

@@ -1,0 +1,120 @@
+package device
+
+import "math"
+
+// Diode is the standard exponential junction diode with a depletion +
+// diffusion charge model. The exponential is linearised above a critical
+// voltage (the classic "explim" device-side limiting) so Newton iterates
+// cannot overflow; combined with solver damping this is robust in practice.
+type Diode struct {
+	Inst string
+	P, N int // anode, cathode unknown indices
+
+	Is  float64 // saturation current (A); default 1e-14
+	Nf  float64 // emission coefficient; default 1
+	Tt  float64 // transit time (s) for diffusion charge; default 0
+	Cj0 float64 // zero-bias junction capacitance (F); default 0
+	Vj  float64 // junction potential (V); default 1
+	Mj  float64 // grading coefficient; default 0.5
+	Rs  float64 // ignored (series resistance should be added externally)
+}
+
+// Name returns the instance name.
+func (d *Diode) Name() string { return d.Inst }
+
+// thermal voltage at 300K
+const vt300 = 0.025852
+
+func (d *Diode) params() (is, nvt float64) {
+	is = d.Is
+	if is <= 0 {
+		is = 1e-14
+	}
+	n := d.Nf
+	if n <= 0 {
+		n = 1
+	}
+	return is, n * vt300
+}
+
+// Current returns the diode current and conductance at junction voltage v,
+// with the exponential linearised above vmax to avoid overflow.
+func (d *Diode) Current(v float64) (i, g float64) {
+	is, nvt := d.params()
+	// Linearise beyond the voltage where the current reaches ~1 kA.
+	vmax := nvt * math.Log(1e3/is)
+	if v <= vmax {
+		e := math.Exp(v / nvt)
+		i = is * (e - 1)
+		g = is * e / nvt
+		return i, g
+	}
+	emax := math.Exp(vmax / nvt)
+	gmax := is * emax / nvt
+	i = is*(emax-1) + gmax*(v-vmax)
+	return i, gmax
+}
+
+// Charge returns junction + diffusion charge and capacitance at voltage v.
+// The depletion capacitance is linearised above Fc·Vj (Fc = 0.5), the usual
+// SPICE treatment to avoid the singularity at v = Vj.
+func (d *Diode) Charge(v float64) (q, c float64) {
+	is, nvt := d.params()
+	if d.Tt > 0 {
+		id, gd := d.Current(v)
+		_ = is
+		q += d.Tt * id
+		c += d.Tt * gd
+	}
+	if d.Cj0 > 0 {
+		vj := d.Vj
+		if vj <= 0 {
+			vj = 1
+		}
+		mj := d.Mj
+		if mj <= 0 {
+			mj = 0.5
+		}
+		const fc = 0.5
+		vf := fc * vj
+		if v < vf {
+			u := 1 - v/vj
+			q += d.Cj0 * vj / (1 - mj) * (1 - math.Pow(u, 1-mj))
+			c += d.Cj0 * math.Pow(u, -mj)
+		} else {
+			// Linear continuation with matching value and slope at vf.
+			uf := 1 - fc
+			qf := d.Cj0 * vj / (1 - mj) * (1 - math.Pow(uf, 1-mj))
+			cf := d.Cj0 * math.Pow(uf, -mj)
+			dcf := d.Cj0 * mj / vj * math.Pow(uf, -mj-1)
+			dv := v - vf
+			q += qf + cf*dv + 0.5*dcf*dv*dv
+			c += cf + dcf*dv
+		}
+	}
+	_ = nvt
+	return q, c
+}
+
+// Stamp adds the diode's current and charge contributions.
+func (d *Diode) Stamp(s *Stamp) {
+	v := s.V(d.P) - s.V(d.N)
+	i, g := d.Current(v)
+	q, c := d.Charge(v)
+	s.AddF(d.P, i)
+	s.AddF(d.N, -i)
+	s.AddQ(d.P, q)
+	s.AddQ(d.N, -q)
+	if s.Jac {
+		s.AddG(d.P, d.P, g)
+		s.AddG(d.P, d.N, -g)
+		s.AddG(d.N, d.P, -g)
+		s.AddG(d.N, d.N, g)
+		if c != 0 {
+			s.AddC(d.P, d.P, c)
+			s.AddC(d.P, d.N, -c)
+			s.AddC(d.N, d.P, -c)
+			s.AddC(d.N, d.N, c)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package device
+
+// Linear two-terminal and controlled elements. Unknown indices follow the
+// convention of package circuit: node unknowns first, then branch currents;
+// -1 is ground.
+
+// Resistor is a linear conductance between P and N.
+type Resistor struct {
+	Inst string
+	P, N int // unknown indices
+	R    float64
+}
+
+// Name returns the instance name.
+func (r *Resistor) Name() string { return r.Inst }
+
+// Stamp adds i = (vP−vN)/R.
+func (r *Resistor) Stamp(s *Stamp) {
+	g := 1 / r.R
+	v := s.V(r.P) - s.V(r.N)
+	i := g * v
+	s.AddF(r.P, i)
+	s.AddF(r.N, -i)
+	if s.Jac {
+		s.AddG(r.P, r.P, g)
+		s.AddG(r.P, r.N, -g)
+		s.AddG(r.N, r.P, -g)
+		s.AddG(r.N, r.N, g)
+	}
+}
+
+// Capacitor is a linear capacitance between P and N.
+type Capacitor struct {
+	Inst string
+	P, N int
+	C    float64
+}
+
+// Name returns the instance name.
+func (c *Capacitor) Name() string { return c.Inst }
+
+// Stamp adds q = C·(vP−vN).
+func (c *Capacitor) Stamp(s *Stamp) {
+	v := s.V(c.P) - s.V(c.N)
+	q := c.C * v
+	s.AddQ(c.P, q)
+	s.AddQ(c.N, -q)
+	if s.Jac {
+		s.AddC(c.P, c.P, c.C)
+		s.AddC(c.P, c.N, -c.C)
+		s.AddC(c.N, c.P, -c.C)
+		s.AddC(c.N, c.N, c.C)
+	}
+}
+
+// Inductor is a linear inductance with a branch-current unknown.
+type Inductor struct {
+	Inst   string
+	P, N   int
+	L      float64
+	branch int
+}
+
+// Name returns the instance name.
+func (l *Inductor) Name() string { return l.Inst }
+
+// NumBranches reports the single branch current.
+func (l *Inductor) NumBranches() int { return 1 }
+
+// SetBranch records the branch unknown index.
+func (l *Inductor) SetBranch(base int) { l.branch = base }
+
+// Branch returns the branch unknown index (for probing inductor current).
+func (l *Inductor) Branch() int { return l.branch }
+
+// Stamp adds KCL current i and the branch equation L·di/dt − (vP−vN) = 0.
+func (l *Inductor) Stamp(s *Stamp) {
+	i := s.V(l.branch)
+	s.AddF(l.P, i)
+	s.AddF(l.N, -i)
+	s.AddQ(l.branch, l.L*i)
+	s.AddF(l.branch, -(s.V(l.P) - s.V(l.N)))
+	if s.Jac {
+		s.AddG(l.P, l.branch, 1)
+		s.AddG(l.N, l.branch, -1)
+		s.AddC(l.branch, l.branch, l.L)
+		s.AddG(l.branch, l.P, -1)
+		s.AddG(l.branch, l.N, 1)
+	}
+}
+
+// VSource is an independent voltage source with a branch-current unknown.
+type VSource struct {
+	Inst   string
+	P, N   int
+	W      Waveform
+	branch int
+}
+
+// Name returns the instance name.
+func (v *VSource) Name() string { return v.Inst }
+
+// Wave exposes the waveform for analysis validation.
+func (v *VSource) Wave() Waveform { return v.W }
+
+// NumBranches reports the single branch current.
+func (v *VSource) NumBranches() int { return 1 }
+
+// SetBranch records the branch unknown index.
+func (v *VSource) SetBranch(base int) { v.branch = base }
+
+// Branch returns the branch unknown index (the source current).
+func (v *VSource) Branch() int { return v.branch }
+
+// Stamp adds KCL terms and the branch equation vP − vN − V(t) = 0.
+func (v *VSource) Stamp(s *Stamp) {
+	i := s.V(v.branch)
+	s.AddF(v.P, i)
+	s.AddF(v.N, -i)
+	s.AddF(v.branch, s.V(v.P)-s.V(v.N))
+	s.AddB(v.branch, -s.SourceValue(v.W))
+	if s.Jac {
+		s.AddG(v.P, v.branch, 1)
+		s.AddG(v.N, v.branch, -1)
+		s.AddG(v.branch, v.P, 1)
+		s.AddG(v.branch, v.N, -1)
+	}
+}
+
+// ISource is an independent current source; positive current flows from P
+// through the source to N (SPICE convention).
+type ISource struct {
+	Inst string
+	P, N int
+	W    Waveform
+}
+
+// Name returns the instance name.
+func (i *ISource) Name() string { return i.Inst }
+
+// Wave exposes the waveform for analysis validation.
+func (i *ISource) Wave() Waveform { return i.W }
+
+// Stamp adds the source current into b.
+func (i *ISource) Stamp(s *Stamp) {
+	val := s.SourceValue(i.W)
+	s.AddB(i.P, val)
+	s.AddB(i.N, -val)
+}
+
+// VCCS is a voltage-controlled current source: i(P→N) = Gm·(vCP−vCN).
+type VCCS struct {
+	Inst   string
+	P, N   int
+	CP, CN int
+	Gm     float64
+}
+
+// Name returns the instance name.
+func (g *VCCS) Name() string { return g.Inst }
+
+// Stamp adds the transconductance current.
+func (g *VCCS) Stamp(s *Stamp) {
+	i := g.Gm * (s.V(g.CP) - s.V(g.CN))
+	s.AddF(g.P, i)
+	s.AddF(g.N, -i)
+	if s.Jac {
+		s.AddG(g.P, g.CP, g.Gm)
+		s.AddG(g.P, g.CN, -g.Gm)
+		s.AddG(g.N, g.CP, -g.Gm)
+		s.AddG(g.N, g.CN, g.Gm)
+	}
+}
+
+// VCVS is a voltage-controlled voltage source with gain Mu and a branch
+// current unknown: vP − vN = Mu·(vCP − vCN).
+type VCVS struct {
+	Inst   string
+	P, N   int
+	CP, CN int
+	Mu     float64
+	branch int
+}
+
+// Name returns the instance name.
+func (e *VCVS) Name() string { return e.Inst }
+
+// NumBranches reports the single branch current.
+func (e *VCVS) NumBranches() int { return 1 }
+
+// SetBranch records the branch unknown index.
+func (e *VCVS) SetBranch(base int) { e.branch = base }
+
+// Stamp adds KCL terms and the controlled branch equation.
+func (e *VCVS) Stamp(s *Stamp) {
+	i := s.V(e.branch)
+	s.AddF(e.P, i)
+	s.AddF(e.N, -i)
+	s.AddF(e.branch, s.V(e.P)-s.V(e.N)-e.Mu*(s.V(e.CP)-s.V(e.CN)))
+	if s.Jac {
+		s.AddG(e.P, e.branch, 1)
+		s.AddG(e.N, e.branch, -1)
+		s.AddG(e.branch, e.P, 1)
+		s.AddG(e.branch, e.N, -1)
+		s.AddG(e.branch, e.CP, -e.Mu)
+		s.AddG(e.branch, e.CN, e.Mu)
+	}
+}
+
+// Multiplier is an ideal behavioural mixing element: it injects a current
+// Gm·vA·vB from N to ground (i.e. i(N→gnd) = −Gm·vA·vB), realising the
+// paper's "ideal mixing operation" z = x·y as a circuit element so the
+// Fig. 1/2 experiments run through the same MNA machinery as real circuits.
+type Multiplier struct {
+	Inst  string
+	A, B_ int // control unknowns
+	N     int // output node
+	Gm    float64
+}
+
+// Name returns the instance name.
+func (m *Multiplier) Name() string { return m.Inst }
+
+// Stamp adds the bilinear current and its Jacobian.
+func (m *Multiplier) Stamp(s *Stamp) {
+	va, vb := s.V(m.A), s.V(m.B_)
+	s.AddF(m.N, -m.Gm*va*vb)
+	if s.Jac {
+		s.AddG(m.N, m.A, -m.Gm*vb)
+		s.AddG(m.N, m.B_, -m.Gm*va)
+	}
+}

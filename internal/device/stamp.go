@@ -1,0 +1,142 @@
+package device
+
+import "repro/internal/la"
+
+// EvalCtx tells devices where and how the circuit is being evaluated.
+type EvalCtx struct {
+	// T is the one-dimensional evaluation time for source waveforms; used
+	// when Torus is false.
+	T float64
+	// Torus selects bi-periodic source evaluation at phases (Th1, Th2);
+	// multi-time analyses set this.
+	Torus    bool
+	Th1, Th2 float64
+	// Lambda scales all independent sources (homotopy/continuation
+	// parameter); 1 means full drive. DCLambda scales only DC supplies so
+	// bias can be ramped separately from signal drive.
+	Lambda float64
+	// SignalOnlyLambda, when true, applies Lambda to time-varying sources
+	// only, keeping DC bias at full strength (source-stepping the signal).
+	SignalOnlyLambda bool
+}
+
+// FullDrive is the default evaluation context at time 0 with all sources on.
+func FullDrive() EvalCtx { return EvalCtx{Lambda: 1} }
+
+// Stamp is the accumulator devices write their contributions into. The
+// simulator solves d/dt q(x) + f(x) + b(t) = 0; devices add to Q, F, B and,
+// when Jac is set, to the sparse Jacobian builders C = ∂q/∂x and G = ∂f/∂x.
+type Stamp struct {
+	X    []float64 // current iterate (read-only for devices)
+	Q    []float64 // charge/flux residual accumulator
+	F    []float64 // conductive residual accumulator
+	B    []float64 // independent-source accumulator
+	C    *la.Triplet
+	G    *la.Triplet
+	Jac  bool
+	Ctx  EvalCtx
+	Gmin float64 // solver-supplied minimum conductance to ground
+}
+
+// V returns the voltage of an unknown index (-1 means ground → 0).
+func (s *Stamp) V(idx int) float64 {
+	if idx < 0 {
+		return 0
+	}
+	return s.X[idx]
+}
+
+// AddQ accumulates into the charge residual (ground rows are dropped).
+func (s *Stamp) AddQ(idx int, v float64) {
+	if idx >= 0 {
+		s.Q[idx] += v
+	}
+}
+
+// AddF accumulates into the conductive residual.
+func (s *Stamp) AddF(idx int, v float64) {
+	if idx >= 0 {
+		s.F[idx] += v
+	}
+}
+
+// AddB accumulates into the source vector.
+func (s *Stamp) AddB(idx int, v float64) {
+	if idx >= 0 {
+		s.B[idx] += v
+	}
+}
+
+// AddC accumulates ∂q_i/∂x_j.
+func (s *Stamp) AddC(i, j int, v float64) {
+	if i >= 0 && j >= 0 {
+		s.C.Append(i, j, v)
+	}
+}
+
+// AddG accumulates ∂f_i/∂x_j.
+func (s *Stamp) AddG(i, j int, v float64) {
+	if i >= 0 && j >= 0 {
+		s.G.Append(i, j, v)
+	}
+}
+
+// SourceValue evaluates a waveform under the context's torus/one-time mode
+// and continuation scaling. Sum waveforms are scaled member-wise so that
+// SignalOnlyLambda keeps embedded DC bias terms at full strength while
+// ramping the AC parts — the usual "bias on, signal stepped" homotopy.
+func (s *Stamp) SourceValue(w Waveform) float64 {
+	return evalScaled(w, s.Ctx)
+}
+
+func evalScaled(w Waveform, ctx EvalCtx) float64 {
+	if sum, ok := w.(Sum); ok {
+		total := 0.0
+		for _, part := range sum {
+			total += evalScaled(part, ctx)
+		}
+		return total
+	}
+	var v float64
+	if ctx.Torus {
+		tw, ok := w.(TorusWaveform)
+		if !ok {
+			// Analyses validate this up front; fall back to t=0 value so a
+			// mis-use is at least deterministic.
+			v = w.Eval(0)
+		} else {
+			v = tw.EvalTorus(ctx.Th1, ctx.Th2)
+		}
+	} else {
+		v = w.Eval(ctx.T)
+	}
+	if ctx.SignalOnlyLambda {
+		if _, isDC := w.(DC); isDC {
+			return v // bias kept at full strength
+		}
+	}
+	return ctx.Lambda * v
+}
+
+// Device is a circuit element. Terminal and branch unknown indices are
+// assigned by the circuit during finalisation; -1 denotes ground.
+type Device interface {
+	// Name returns the instance name (e.g. "M1", "RL").
+	Name() string
+	// Stamp adds the device's contributions at the current iterate.
+	Stamp(s *Stamp)
+}
+
+// Brancher is implemented by devices that introduce extra current unknowns
+// (voltage sources, inductors, VCVS). The circuit calls SetBranch with the
+// base unknown index for the device's branches.
+type Brancher interface {
+	NumBranches() int
+	SetBranch(base int)
+}
+
+// Sourcer is implemented by independent sources; analyses use it to validate
+// torus compatibility and to enumerate excitation tones.
+type Sourcer interface {
+	Wave() Waveform
+}

@@ -1,0 +1,235 @@
+// Package device implements the circuit element models (sources, R, L, C,
+// controlled sources, diode, MOSFET) and the stamping interface through which
+// they contribute to the MNA equations  d/dt q(x) + f(x) + b(t) = 0.
+//
+// Every independent source carries a Waveform. Waveforms that additionally
+// implement TorusWaveform are defined on the unit torus (θ1, θ2) ∈ [0,1)² —
+// θ1 is the phase of the first driving tone (the LO, frequency F1) and θ2 the
+// phase of the second (the RF, frequency F2). Multi-time analyses (MPDE,
+// harmonic balance) evaluate sources through EvalTorus; single-time analyses
+// (DC, transient, shooting) use Eval(t), which the torus waveforms implement
+// as EvalTorus(F1·t mod 1, F2·t mod 1) — the defining property b(t) = b̂(t,t)
+// of the multi-time formulation.
+package device
+
+import "math"
+
+// Waveform is a time-domain excitation.
+type Waveform interface {
+	// Eval returns the waveform value at one-dimensional time t (seconds).
+	Eval(t float64) float64
+}
+
+// TorusWaveform is a bi-periodic excitation on the unit torus; required by
+// the multi-time analyses (MPDE and harmonic balance).
+type TorusWaveform interface {
+	Waveform
+	// EvalTorus evaluates at torus phases (θ1, θ2); implementations must be
+	// 1-periodic in both arguments.
+	EvalTorus(th1, th2 float64) float64
+}
+
+// frac returns x mod 1 in [0, 1).
+func frac(x float64) float64 {
+	f := x - math.Floor(x)
+	if f >= 1 { // guard against rounding at exact integers
+		f = 0
+	}
+	return f
+}
+
+// DC is a constant excitation. It is trivially bi-periodic.
+type DC float64
+
+// Eval returns the constant value.
+func (d DC) Eval(t float64) float64 { return float64(d) }
+
+// EvalTorus returns the constant value.
+func (d DC) EvalTorus(th1, th2 float64) float64 { return float64(d) }
+
+// Sine is A·cos(2π·(K1·θ1 + K2·θ2) + Phase) + Offset on the torus. Its
+// one-time frequency is K1·F1 + K2·F2 where F1, F2 are the declared tone
+// frequencies. A plain single-tone sine at frequency f is Sine{Amp: A,
+// F1: f, K1: 1}.
+type Sine struct {
+	Amp    float64
+	Phase  float64 // radians
+	Offset float64
+	F1, F2 float64 // physical tone frequencies (Hz)
+	K1, K2 int     // torus harmonic coordinates
+}
+
+// Freq returns the one-time frequency K1·F1 + K2·F2 in Hz.
+func (s Sine) Freq() float64 { return float64(s.K1)*s.F1 + float64(s.K2)*s.F2 }
+
+// Eval evaluates at one-dimensional time t.
+func (s Sine) Eval(t float64) float64 {
+	return s.EvalTorus(frac(s.F1*t), frac(s.F2*t))
+}
+
+// EvalTorus evaluates at torus phases.
+func (s Sine) EvalTorus(th1, th2 float64) float64 {
+	arg := 2*math.Pi*(float64(s.K1)*th1+float64(s.K2)*th2) + s.Phase
+	return s.Amp*math.Cos(arg) + s.Offset
+}
+
+// Envelope is a 1-periodic scalar function of a single phase variable,
+// used to modulate carriers (e.g. a PRBS pulse train at baseband).
+type Envelope func(u float64) float64
+
+// ModulatedCarrier is Amp·cos(2π(CarK1·θ1 + CarK2·θ2) + Phase)·Env(EnvK1·θ1 +
+// EnvK2·θ2). It models the paper's Eq. (14) information-carrying "tone": a
+// carrier near the RF frequency modulated by a bit-stream envelope whose
+// repetition is tied to the difference-frequency scale. Env must be
+// 1-periodic; nil means unit envelope.
+type ModulatedCarrier struct {
+	Amp          float64
+	Phase        float64
+	F1, F2       float64
+	CarK1, CarK2 int
+	EnvK1, EnvK2 int
+	Env          Envelope
+}
+
+// Eval evaluates at one-dimensional time t.
+func (m ModulatedCarrier) Eval(t float64) float64 {
+	return m.EvalTorus(frac(m.F1*t), frac(m.F2*t))
+}
+
+// EvalTorus evaluates at torus phases.
+func (m ModulatedCarrier) EvalTorus(th1, th2 float64) float64 {
+	car := math.Cos(2*math.Pi*(float64(m.CarK1)*th1+float64(m.CarK2)*th2) + m.Phase)
+	env := 1.0
+	if m.Env != nil {
+		env = m.Env(frac(float64(m.EnvK1)*th1 + float64(m.EnvK2)*th2))
+	}
+	return m.Amp * car * env
+}
+
+// Pulse is the SPICE-style trapezoidal pulse train (one-time only; it has no
+// torus form because its period need not be commensurate with the tones).
+type Pulse struct {
+	V1, V2                           float64 // initial and pulsed values
+	Delay, Rise, Fall, Width, Period float64
+}
+
+// Eval evaluates the pulse train at time t.
+func (p Pulse) Eval(t float64) float64 {
+	if t < p.Delay {
+		return p.V1
+	}
+	per := p.Period
+	if per <= 0 {
+		per = math.Inf(1)
+	}
+	tt := t - p.Delay
+	if !math.IsInf(per, 1) {
+		tt = math.Mod(tt, per)
+	}
+	switch {
+	case tt < p.Rise:
+		if p.Rise == 0 {
+			return p.V2
+		}
+		return p.V1 + (p.V2-p.V1)*tt/p.Rise
+	case tt < p.Rise+p.Width:
+		return p.V2
+	case tt < p.Rise+p.Width+p.Fall:
+		if p.Fall == 0 {
+			return p.V1
+		}
+		return p.V2 + (p.V1-p.V2)*(tt-p.Rise-p.Width)/p.Fall
+	default:
+		return p.V1
+	}
+}
+
+// PWL is a piecewise-linear waveform through (T[i], V[i]) points; constant
+// extrapolation outside the span. T must be strictly increasing.
+type PWL struct {
+	T, V []float64
+}
+
+// Eval evaluates by linear interpolation.
+func (p PWL) Eval(t float64) float64 {
+	n := len(p.T)
+	if n == 0 {
+		return 0
+	}
+	if t <= p.T[0] {
+		return p.V[0]
+	}
+	if t >= p.T[n-1] {
+		return p.V[n-1]
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if p.T[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	w := (t - p.T[lo]) / (p.T[hi] - p.T[lo])
+	return p.V[lo] + w*(p.V[hi]-p.V[lo])
+}
+
+// Sum adds waveforms; it is a TorusWaveform when all parts are.
+type Sum []Waveform
+
+// Eval sums the parts at time t.
+func (s Sum) Eval(t float64) float64 {
+	v := 0.0
+	for _, w := range s {
+		v += w.Eval(t)
+	}
+	return v
+}
+
+// EvalTorus sums torus parts; non-torus parts contribute their t=0 value,
+// which is only correct for DC-like members — analyses validate membership
+// before using this path.
+func (s Sum) EvalTorus(th1, th2 float64) float64 {
+	v := 0.0
+	for _, w := range s {
+		if tw, ok := w.(TorusWaveform); ok {
+			v += tw.EvalTorus(th1, th2)
+		} else {
+			v += w.Eval(0)
+		}
+	}
+	return v
+}
+
+// SquareEnvelope returns a 1-periodic ±1 square wave envelope with the given
+// duty cycle in (0,1) and smooth raised-cosine edges of width edge (as a
+// fraction of the period). Smooth edges keep Newton differentiable.
+func SquareEnvelope(duty, edge float64) Envelope {
+	if duty <= 0 || duty >= 1 {
+		duty = 0.5
+	}
+	if edge <= 0 {
+		edge = 0.01
+	}
+	return func(u float64) float64 {
+		u = frac(u)
+		// Transition helper: smoothstep from -1 to +1 centred at c.
+		rise := transition(u, 0, edge)
+		fall := transition(u, duty, edge)
+		// +1 between 0..duty, -1 after, with smooth edges.
+		return rise - fall - 1 + transition(u, 1, edge)
+	}
+}
+
+// transition is a raised-cosine step from 0 to 2 across [c, c+w].
+func transition(u, c, w float64) float64 {
+	switch {
+	case u <= c:
+		return 0
+	case u >= c+w:
+		return 2
+	default:
+		return 1 - math.Cos(math.Pi*(u-c)/w)
+	}
+}

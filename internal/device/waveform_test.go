@@ -1,0 +1,179 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDCWave(t *testing.T) {
+	w := DC(2.5)
+	if w.Eval(0) != 2.5 || w.Eval(1e9) != 2.5 || w.EvalTorus(0.3, 0.7) != 2.5 {
+		t.Fatal("DC must be constant everywhere")
+	}
+}
+
+func TestSineOneTimeMatchesTorusDiagonal(t *testing.T) {
+	// The defining multi-time property: b(t) = b̂(θ1(t), θ2(t)).
+	s := Sine{Amp: 1.3, Phase: 0.4, F1: 1e9, F2: 0.99e9, K1: 1, K2: 0}
+	for _, tt := range []float64{0, 1e-10, 3.7e-9, 1.23e-8} {
+		direct := s.Amp * math.Cos(2*math.Pi*s.F1*tt+s.Phase)
+		if d := math.Abs(s.Eval(tt) - direct); d > 1e-9 {
+			t.Fatalf("Eval(%g) off by %g", tt, d)
+		}
+	}
+}
+
+func TestSineMixFrequency(t *testing.T) {
+	s := Sine{Amp: 1, F1: 100, F2: 90, K1: 2, K2: -1}
+	if got := s.Freq(); got != 110 {
+		t.Fatalf("Freq = %v, want 110", got)
+	}
+	// Eval at t should equal cos(2π·110·t) within torus-wrap rounding.
+	for _, tt := range []float64{0, 0.001, 0.013, 0.5} {
+		want := math.Cos(2 * math.Pi * 110 * tt)
+		if d := math.Abs(s.Eval(tt) - want); d > 1e-8 {
+			t.Fatalf("mix eval at %g: got %v want %v", tt, s.Eval(tt), want)
+		}
+	}
+}
+
+func TestSineTorusPeriodicityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := Sine{Amp: rng.Float64()*3 + 0.1, Phase: rng.Float64(),
+			F1: 1e6, F2: 0.9e6, K1: rng.Intn(5) - 2, K2: rng.Intn(5) - 2}
+		th1, th2 := rng.Float64(), rng.Float64()
+		a := s.EvalTorus(th1, th2)
+		b := s.EvalTorus(th1+1, th2)
+		c := s.EvalTorus(th1, th2+1)
+		return math.Abs(a-b) < 1e-9 && math.Abs(a-c) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModulatedCarrierDiagonalProperty(t *testing.T) {
+	// b(t) = b̂(f1·t, f2·t) must hold for the modulated carrier too.
+	env := SquareEnvelope(0.5, 0.05)
+	m := ModulatedCarrier{Amp: 2, F1: 450e6, F2: 900e6 - 15e3,
+		CarK1: 2, CarK2: 0, EnvK1: 2, EnvK2: -1, Env: env}
+	f := func(u float64) bool {
+		tt := math.Abs(math.Mod(u, 1)) * 1e-6 // bounded physical time
+		direct := m.EvalTorus(frac(m.F1*tt), frac(m.F2*tt))
+		return math.Abs(m.Eval(tt)-direct) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModulatedCarrierEnvelopePhase(t *testing.T) {
+	// With EnvK = (2, −1), the envelope phase on the diagonal advances at
+	// 2·f1 − f2 = fd — the difference-frequency time scale of the paper.
+	fd := 15e3
+	f1 := 450e6
+	f2 := 2*f1 - fd
+	bitsSeen := map[int]bool{}
+	env := func(u float64) float64 {
+		bitsSeen[int(u*8)] = true
+		if u < 0.5 {
+			return 1
+		}
+		return -1
+	}
+	m := ModulatedCarrier{Amp: 1, F1: f1, F2: f2, CarK1: 2, EnvK1: 2, EnvK2: -1, Env: env}
+	// Sample across one difference period.
+	for i := 0; i < 64; i++ {
+		m.Eval(float64(i) / 64 / fd)
+	}
+	if len(bitsSeen) < 8 {
+		t.Fatalf("envelope phase did not sweep the full period: %v", bitsSeen)
+	}
+}
+
+func TestPulseShape(t *testing.T) {
+	p := Pulse{V1: 0, V2: 5, Delay: 1, Rise: 1, Fall: 1, Width: 2, Period: 10}
+	cases := map[float64]float64{
+		0:   0,
+		1:   0,
+		1.5: 2.5,
+		2:   5,
+		3.9: 5,
+		4.5: 2.5,
+		5.5: 0,
+		11:  0, // second period, pre-rise
+		12:  5, // second period, top
+	}
+	for tt, want := range cases {
+		if got := p.Eval(tt); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Pulse(%g) = %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestPulseZeroRiseFall(t *testing.T) {
+	p := Pulse{V1: -1, V2: 1, Width: 1, Period: 2}
+	if p.Eval(0.5) != 1 || p.Eval(1.5) != -1 {
+		t.Fatal("ideal square pulse broken")
+	}
+}
+
+func TestPWLInterpAndClamp(t *testing.T) {
+	w := PWL{T: []float64{0, 1, 3}, V: []float64{0, 2, -2}}
+	if w.Eval(-1) != 0 || w.Eval(5) != -2 {
+		t.Fatal("PWL extrapolation should clamp")
+	}
+	if got := w.Eval(0.5); got != 1 {
+		t.Fatalf("PWL(0.5) = %v, want 1", got)
+	}
+	if got := w.Eval(2); got != 0 {
+		t.Fatalf("PWL(2) = %v, want 0", got)
+	}
+}
+
+func TestPWLEmpty(t *testing.T) {
+	if (PWL{}).Eval(1) != 0 {
+		t.Fatal("empty PWL should evaluate to 0")
+	}
+}
+
+func TestSumWave(t *testing.T) {
+	s := Sum{DC(1), Sine{Amp: 1, F1: 10, K1: 1}}
+	if got := s.Eval(0); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Sum(0) = %v, want 2", got)
+	}
+	if got := s.EvalTorus(0, 0); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("SumTorus(0,0) = %v, want 2", got)
+	}
+}
+
+func TestSquareEnvelopePeriodicSmooth(t *testing.T) {
+	env := SquareEnvelope(0.5, 0.1)
+	if math.Abs(env(0.3)-1) > 1e-9 {
+		t.Fatalf("high level = %v", env(0.3))
+	}
+	if math.Abs(env(0.8)+1) > 1e-9 {
+		t.Fatalf("low level = %v", env(0.8))
+	}
+	// Periodicity and continuity across the wrap.
+	if math.Abs(env(0.999)-env(-0.001)) > 0.05 {
+		t.Fatalf("envelope discontinuous at wrap: %v vs %v", env(0.999), env(-0.001))
+	}
+	// Edges should be strictly between the rails.
+	mid := env(0.05)
+	if mid <= -1 || mid >= 1 {
+		t.Fatalf("edge value %v not smoothed", mid)
+	}
+}
+
+func TestFracGuards(t *testing.T) {
+	if frac(1.0) != 0 || frac(-0.25) != 0.75 {
+		t.Fatalf("frac wrong: %v %v", frac(1.0), frac(-0.25))
+	}
+	if f := frac(123456789.9999999999); f < 0 || f >= 1 {
+		t.Fatalf("frac out of range: %v", f)
+	}
+}

@@ -1,0 +1,203 @@
+// Package fft implements the discrete Fourier transforms used by the
+// harmonic-balance baseline and by the RF spectral metrics: an in-place
+// radix-2 Cooley–Tukey kernel, a Bluestein chirp-z fallback for arbitrary
+// lengths, real-input helpers, and a row-column 2-D transform.
+//
+// Conventions: Forward computes X[k] = Σ_n x[n]·exp(−2πi·kn/N) (no scaling);
+// Inverse divides by N so Inverse(Forward(x)) == x.
+package fft
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// Forward computes the unscaled DFT of x in place when len(x) is a power of
+// two, otherwise via Bluestein into a copy; the result is always returned.
+func Forward(x []complex128) []complex128 {
+	return transform(x, false)
+}
+
+// Inverse computes the inverse DFT (scaled by 1/N).
+func Inverse(x []complex128) []complex128 {
+	y := transform(x, true)
+	n := complex(float64(len(y)), 0)
+	for i := range y {
+		y[i] /= n
+	}
+	return y
+}
+
+func transform(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	if n&(n-1) == 0 {
+		radix2(out, inverse)
+		return out
+	}
+	return bluestein(out, inverse)
+}
+
+// radix2 runs an iterative in-place Cooley–Tukey FFT; len(x) must be 2^k.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Rect(1, step)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT as a convolution, using a
+// power-of-two FFT of length ≥ 2n−1.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	// Chirp: w[k] = exp(sign·πi·k²/n). Use k² mod 2n to avoid precision loss.
+	w := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		w[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * w[k]
+		b[k] = cmplx.Conj(w[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(w[k])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	inv := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * inv * w[k]
+	}
+	return out
+}
+
+// ForwardReal computes the DFT of a real signal, returning the full complex
+// spectrum of length len(x).
+func ForwardReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	return Forward(c)
+}
+
+// Magnitudes returns |X[k]| for k = 0..len(X)/2 (the one-sided spectrum),
+// scaled so that a unit-amplitude cosine shows magnitude 1 at its bin:
+// bin 0 and (for even N) the Nyquist bin carry scale 1/N, others 2/N.
+func Magnitudes(spec []complex128) []float64 {
+	n := len(spec)
+	if n == 0 {
+		return nil
+	}
+	half := n/2 + 1
+	out := make([]float64, half)
+	for k := 0; k < half; k++ {
+		s := cmplx.Abs(spec[k]) / float64(n)
+		if k != 0 && !(n%2 == 0 && k == n/2) {
+			s *= 2
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// Forward2D computes the 2-D DFT of an n1×n2 grid stored row-major
+// (index = i1*n2 + i2), transforming rows then columns.
+func Forward2D(x []complex128, n1, n2 int) []complex128 {
+	return transform2D(x, n1, n2, false)
+}
+
+// Inverse2D inverts Forward2D (scaled by 1/(n1·n2)).
+func Inverse2D(x []complex128, n1, n2 int) []complex128 {
+	y := transform2D(x, n1, n2, true)
+	s := complex(float64(n1*n2), 0)
+	for i := range y {
+		y[i] /= s
+	}
+	return y
+}
+
+func transform2D(x []complex128, n1, n2 int, inverse bool) []complex128 {
+	if len(x) != n1*n2 {
+		panic("fft: grid size mismatch")
+	}
+	out := make([]complex128, len(x))
+	copy(out, x)
+	// Rows (contiguous).
+	for i := 0; i < n1; i++ {
+		row := out[i*n2 : (i+1)*n2]
+		var t []complex128
+		if inverse {
+			// Unscaled inverse per-axis; overall scaling applied by caller.
+			t = transform(row, true)
+		} else {
+			t = transform(row, false)
+		}
+		copy(row, t)
+	}
+	// Columns (strided).
+	col := make([]complex128, n1)
+	for j := 0; j < n2; j++ {
+		for i := 0; i < n1; i++ {
+			col[i] = out[i*n2+j]
+		}
+		var t []complex128
+		if inverse {
+			t = transform(col, true)
+		} else {
+			t = transform(col, false)
+		}
+		for i := 0; i < n1; i++ {
+			out[i*n2+j] = t[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package hb
+
+import (
+	"math"
+	"math/cmplx"
+
+	"repro/internal/fft"
+)
+
+// index returns the offset of unknown k at grid point (i, j).
+func (s *Solution) index(i, j, k int) int { return (j*s.N1+i)*s.n + k }
+
+// At returns the state at torus grid point (i, j) (a view).
+func (s *Solution) At(i, j int) []float64 {
+	base := (j*s.N1 + i) * s.n
+	return s.X[base : base+s.n]
+}
+
+// OneTime reconstructs x_k(t) by evaluating the truncated Fourier series at
+// torus phases (f1·t, f2·t) via trigonometric interpolation of the grid.
+func (s *Solution) OneTime(k int, t float64) float64 {
+	th1 := s.F1 * t
+	th2 := 0.0
+	if s.N2 > 1 {
+		th2 = s.F2 * t
+	}
+	return s.EvalTorus(k, th1, th2)
+}
+
+// EvalTorus evaluates unknown k at arbitrary torus phases using the
+// spectrum (exact trigonometric interpolation of the collocation solution).
+func (s *Solution) EvalTorus(k int, th1, th2 float64) float64 {
+	spec := s.spectrumPlane(k)
+	N1, N2 := s.N1, s.N2
+	acc := complex(0, 0)
+	for j := 0; j < N2; j++ {
+		k2 := j
+		if k2 > N2/2 {
+			k2 -= N2
+		}
+		for i := 0; i < N1; i++ {
+			k1 := i
+			if k1 > N1/2 {
+				k1 -= N1
+			}
+			ang := 2 * math.Pi * (float64(k1)*th1 + float64(k2)*th2)
+			acc += spec[j*N1+i] * cmplx.Rect(1, ang)
+		}
+	}
+	return real(acc) / float64(N1*N2)
+}
+
+// spectrumPlane returns the 2-D DFT of unknown k's grid samples.
+func (s *Solution) spectrumPlane(k int) []complex128 {
+	N1, N2 := s.N1, s.N2
+	plane := make([]complex128, N1*N2)
+	for j := 0; j < N2; j++ {
+		for i := 0; i < N1; i++ {
+			plane[j*N1+i] = complex(s.X[s.index(i, j, k)], 0)
+		}
+	}
+	return fft.Forward2D(plane, N2, N1)
+}
+
+// HarmonicAmp returns the cosine amplitude of the (k1, k2) mix of unknown k:
+// the spectral line at frequency k1·F1 + k2·F2.
+func (s *Solution) HarmonicAmp(k, k1, k2 int) float64 {
+	spec := s.spectrumPlane(k)
+	N1, N2 := s.N1, s.N2
+	i := ((k1 % N1) + N1) % N1
+	j := ((k2 % N2) + N2) % N2
+	a := cmplx.Abs(spec[j*N1+i]) / float64(N1*N2)
+	if k1 != 0 || k2 != 0 {
+		a *= 2 // combine with the conjugate line
+	}
+	return a
+}
+
+// BasebandAmp returns the amplitude at the difference mix (k1, −k1·sign…)
+// convenience for the common fd = K·F1 − F2 down-conversion product:
+// HarmonicAmp(k, K, −1).
+func (s *Solution) BasebandAmp(k, K int) float64 { return s.HarmonicAmp(k, K, -1) }
+
+// MaxHarmonicBeyond returns the largest amplitude among mixes with
+// |k1| > k1Cut (aliasing/truncation diagnostic: large values mean the box is
+// too small for the waveform's sharpness).
+func (s *Solution) MaxHarmonicBeyond(k, k1Cut int) float64 {
+	spec := s.spectrumPlane(k)
+	N1, N2 := s.N1, s.N2
+	mx := 0.0
+	for j := 0; j < N2; j++ {
+		for i := 0; i < N1; i++ {
+			k1 := i
+			if k1 > N1/2 {
+				k1 -= N1
+			}
+			if abs(k1) <= k1Cut {
+				continue
+			}
+			a := cmplx.Abs(spec[j*N1+i]) / float64(N1*N2)
+			if a > mx {
+				mx = a
+			}
+		}
+	}
+	return mx
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,189 @@
+package la
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+)
+
+// Eigenvalues computes all eigenvalues of a real square matrix by complex
+// Hessenberg reduction followed by shifted QR iteration with deflation. It
+// is intended for the small dense matrices that arise as monodromy
+// (state-transition) matrices in shooting — Floquet multipliers — where n is
+// tens, not thousands.
+func Eigenvalues(a *Dense) ([]complex128, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrShape
+	}
+	n := a.Rows
+	if n == 0 {
+		return nil, nil
+	}
+	// Copy into complex storage.
+	h := make([][]complex128, n)
+	for i := range h {
+		h[i] = make([]complex128, n)
+		for j := 0; j < n; j++ {
+			h[i][j] = complex(a.At(i, j), 0)
+		}
+	}
+	hessenberg(h)
+	return qrEigen(h)
+}
+
+// hessenberg reduces h to upper Hessenberg form in place with Householder
+// reflectors.
+func hessenberg(h [][]complex128) {
+	n := len(h)
+	for k := 0; k < n-2; k++ {
+		// Build the reflector that zeroes h[k+2:][k].
+		norm := 0.0
+		for i := k + 1; i < n; i++ {
+			norm += real(h[i][k])*real(h[i][k]) + imag(h[i][k])*imag(h[i][k])
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		alpha := h[k+1][k]
+		var phase complex128 = 1
+		if cmplx.Abs(alpha) != 0 {
+			phase = alpha / complex(cmplx.Abs(alpha), 0)
+		}
+		beta := -phase * complex(norm, 0)
+		v := make([]complex128, n)
+		v[k+1] = alpha - beta
+		for i := k + 2; i < n; i++ {
+			v[i] = h[i][k]
+		}
+		vnorm := 0.0
+		for i := k + 1; i < n; i++ {
+			vnorm += real(v[i])*real(v[i]) + imag(v[i])*imag(v[i])
+		}
+		if vnorm == 0 {
+			continue
+		}
+		// Apply P = I − 2vv*/v*v from the left: H ← PH.
+		for j := k; j < n; j++ {
+			s := complex(0, 0)
+			for i := k + 1; i < n; i++ {
+				s += cmplx.Conj(v[i]) * h[i][j]
+			}
+			s *= complex(2/vnorm, 0)
+			for i := k + 1; i < n; i++ {
+				h[i][j] -= s * v[i]
+			}
+		}
+		// From the right: H ← HP.
+		for i := 0; i < n; i++ {
+			s := complex(0, 0)
+			for j := k + 1; j < n; j++ {
+				s += h[i][j] * v[j]
+			}
+			s *= complex(2/vnorm, 0)
+			for j := k + 1; j < n; j++ {
+				h[i][j] -= s * cmplx.Conj(v[j])
+			}
+		}
+	}
+}
+
+// ErrEigenNoConvergence reports QR iteration failure.
+var ErrEigenNoConvergence = errors.New("la: eigenvalue QR iteration did not converge")
+
+// qrEigen runs shifted QR with deflation on an upper Hessenberg matrix.
+func qrEigen(h [][]complex128) ([]complex128, error) {
+	n := len(h)
+	eig := make([]complex128, 0, n)
+	m := n // active size
+	const maxSweeps = 300
+	for m > 0 {
+		converged := false
+		for sweep := 0; sweep < maxSweeps; sweep++ {
+			// Deflation scan from the bottom.
+			if m == 1 {
+				eig = append(eig, h[0][0])
+				m = 0
+				converged = true
+				break
+			}
+			off := cmplx.Abs(h[m-1][m-2])
+			scale := cmplx.Abs(h[m-2][m-2]) + cmplx.Abs(h[m-1][m-1])
+			if scale == 0 {
+				scale = 1
+			}
+			if off <= 1e-14*scale {
+				eig = append(eig, h[m-1][m-1])
+				m--
+				converged = true
+				break
+			}
+			// Wilkinson shift from the trailing 2×2.
+			a := h[m-2][m-2]
+			b := h[m-2][m-1]
+			c := h[m-1][m-2]
+			d := h[m-1][m-1]
+			tr := a + d
+			det := a*d - b*c
+			disc := cmplx.Sqrt(tr*tr - 4*det)
+			l1 := (tr + disc) / 2
+			l2 := (tr - disc) / 2
+			mu := l1
+			if cmplx.Abs(l2-d) < cmplx.Abs(l1-d) {
+				mu = l2
+			}
+			// QR step via Givens rotations on the shifted matrix.
+			type rot struct{ cs, sn complex128 }
+			rots := make([]rot, m-1)
+			for i := 0; i < m; i++ {
+				h[i][i] -= mu
+			}
+			for k := 0; k < m-1; k++ {
+				x, y := h[k][k], h[k+1][k]
+				r := math.Hypot(cmplx.Abs(x), cmplx.Abs(y))
+				if r == 0 {
+					rots[k] = rot{1, 0}
+					continue
+				}
+				cs := x / complex(r, 0)
+				sn := y / complex(r, 0)
+				rots[k] = rot{cs, sn}
+				for j := k; j < m; j++ {
+					t1, t2 := h[k][j], h[k+1][j]
+					h[k][j] = cmplx.Conj(cs)*t1 + cmplx.Conj(sn)*t2
+					h[k+1][j] = -sn*t1 + cs*t2
+				}
+			}
+			for k := 0; k < m-1; k++ {
+				cs, sn := rots[k].cs, rots[k].sn
+				for i := 0; i <= k+1 && i < m; i++ {
+					t1, t2 := h[i][k], h[i][k+1]
+					h[i][k] = t1*cs + t2*sn
+					h[i][k+1] = -t1*cmplx.Conj(sn) + t2*cmplx.Conj(cs)
+				}
+			}
+			for i := 0; i < m; i++ {
+				h[i][i] += mu
+			}
+		}
+		if !converged {
+			return eig, ErrEigenNoConvergence
+		}
+	}
+	return eig, nil
+}
+
+// SpectralRadius returns max |λ| over the eigenvalues of a.
+func SpectralRadius(a *Dense) (float64, error) {
+	eig, err := Eigenvalues(a)
+	if err != nil {
+		return 0, err
+	}
+	r := 0.0
+	for _, l := range eig {
+		if m := cmplx.Abs(l); m > r {
+			r = m
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,205 @@
+package la
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func sortedAbs(eig []complex128) []float64 {
+	out := make([]float64, len(eig))
+	for i, l := range eig {
+		out[i] = cmplx.Abs(l)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func TestEigenvaluesDiagonal(t *testing.T) {
+	a := DenseFromRows([][]float64{{3, 0, 0}, {0, -1, 0}, {0, 0, 0.5}})
+	eig, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sortedAbs(eig)
+	want := []float64{0.5, 1, 3}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Fatalf("eig %v, want magnitudes %v", eig, want)
+		}
+	}
+}
+
+func TestEigenvaluesUpperTriangular(t *testing.T) {
+	a := DenseFromRows([][]float64{{2, 5, 1}, {0, -3, 2}, {0, 0, 7}})
+	eig, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sortedAbs(eig)
+	want := []float64{2, 3, 7}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("eig %v", eig)
+		}
+	}
+}
+
+func TestEigenvaluesComplexPair(t *testing.T) {
+	// Rotation-scale matrix: eigenvalues r·e^{±iθ} with r=2, θ=π/3.
+	r, th := 2.0, math.Pi/3
+	a := DenseFromRows([][]float64{
+		{r * math.Cos(th), -r * math.Sin(th)},
+		{r * math.Sin(th), r * math.Cos(th)},
+	})
+	eig, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eig) != 2 {
+		t.Fatalf("want 2 eigenvalues, got %v", eig)
+	}
+	for _, l := range eig {
+		if math.Abs(cmplx.Abs(l)-2) > 1e-9 {
+			t.Fatalf("|λ| = %v, want 2", cmplx.Abs(l))
+		}
+		if math.Abs(math.Abs(cmplx.Phase(l))-th) > 1e-9 {
+			t.Fatalf("arg λ = %v, want ±%v", cmplx.Phase(l), th)
+		}
+	}
+}
+
+func TestEigenvaluesTraceDetInvariants(t *testing.T) {
+	// For random matrices: Σλ = trace, Πλ = det.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(8)
+		a := NewDense(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		eig, err := Eigenvalues(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(eig) != n {
+			t.Fatalf("trial %d: %d eigenvalues for n=%d", trial, len(eig), n)
+		}
+		tr := complex(0, 0)
+		pr := complex(1, 0)
+		for _, l := range eig {
+			tr += l
+			pr *= l
+		}
+		wantTr := 0.0
+		for i := 0; i < n; i++ {
+			wantTr += a.At(i, i)
+		}
+		f, err := DenseLU(a)
+		var wantDet float64
+		if err == nil {
+			wantDet = f.Det()
+		}
+		if math.Abs(real(tr)-wantTr) > 1e-8*(1+math.Abs(wantTr)) || math.Abs(imag(tr)) > 1e-8 {
+			t.Fatalf("trial %d: trace %v vs %v", trial, tr, wantTr)
+		}
+		if err == nil && math.Abs(real(pr)-wantDet) > 1e-6*(1+math.Abs(wantDet)) {
+			t.Fatalf("trial %d: det %v vs %v", trial, pr, wantDet)
+		}
+	}
+}
+
+func TestEigenvaluesSymmetricKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := DenseFromRows([][]float64{{2, 1}, {1, 2}})
+	eig, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sortedAbs(eig)
+	if math.Abs(got[0]-1) > 1e-10 || math.Abs(got[1]-3) > 1e-10 {
+		t.Fatalf("eig %v, want {1,3}", eig)
+	}
+}
+
+func TestSpectralRadius(t *testing.T) {
+	a := DenseFromRows([][]float64{{0, 1}, {-0.25, 0}}) // λ = ±0.5i
+	r, err := SpectralRadius(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.5) > 1e-10 {
+		t.Fatalf("spectral radius %v, want 0.5", r)
+	}
+}
+
+func TestEigenvaluesEdgeCases(t *testing.T) {
+	if _, err := Eigenvalues(NewDense(2, 3)); err == nil {
+		t.Fatal("non-square should error")
+	}
+	eig, err := Eigenvalues(NewDense(0, 0))
+	if err != nil || len(eig) != 0 {
+		t.Fatalf("empty matrix: %v %v", eig, err)
+	}
+	one := DenseFromRows([][]float64{{4}})
+	eig, err = Eigenvalues(one)
+	if err != nil || len(eig) != 1 || eig[0] != 4 {
+		t.Fatalf("1x1: %v %v", eig, err)
+	}
+}
+
+func TestEigenvaluesSimilarityInvariantProperty(t *testing.T) {
+	// Eigenvalues are invariant under similarity transforms P·A·P⁻¹.
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(5)
+		a := NewDense(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		p := randomDense(rng, n) // diagonally boosted → invertible
+		pf, err := DenseLU(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pinv := pf.SolveMatrix(Eye(n))
+		b := p.Mul(a).Mul(pinv)
+		ea, err1 := Eigenvalues(a)
+		eb, err2 := Eigenvalues(b)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("eig failed: %v %v", err1, err2)
+		}
+		sa, sb := sortedAbs(ea), sortedAbs(eb)
+		for i := range sa {
+			if math.Abs(sa[i]-sb[i]) > 1e-6*(1+sa[i]) {
+				t.Fatalf("trial %d: |λ| %v vs %v", trial, sa, sb)
+			}
+		}
+	}
+}
+
+func TestGMRESWithExactLUPreconditionerOneIteration(t *testing.T) {
+	// With an exact-factorisation preconditioner GMRES must converge in a
+	// single iteration.
+	rng := rand.New(rand.NewSource(31))
+	m := randomSparse(rng, 40, 0.2)
+	f, err := SparseLUFactor(m, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 40)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, 40)
+	res, err := GMRES(AsOperator(m), b, x, GMRESOptions{
+		Tol: 1e-12, M: SparseLUPreconditioner{F: f}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 2 {
+		t.Fatalf("exact preconditioner took %d iterations", res.Iterations)
+	}
+}

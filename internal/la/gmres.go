@@ -1,0 +1,274 @@
+package la
+
+import (
+	"errors"
+	"math"
+)
+
+// Operator is anything that can apply a square linear map y = A·x. It lets
+// GMRES run matrix-free (e.g. monodromy-matrix application in shooting).
+type Operator interface {
+	Apply(x, y []float64)
+	Size() int
+}
+
+// Preconditioner approximately solves M·z = r in place of z.
+type Preconditioner interface {
+	Precondition(r, z []float64)
+}
+
+// IdentityPreconditioner is the no-op preconditioner.
+type IdentityPreconditioner struct{}
+
+// Precondition copies r into z.
+func (IdentityPreconditioner) Precondition(r, z []float64) { copy(z, r) }
+
+// csrOperator adapts a CSR matrix to the Operator interface.
+type csrOperator struct{ m *CSR }
+
+func (o csrOperator) Apply(x, y []float64) { o.m.MulVec(x, y) }
+func (o csrOperator) Size() int            { return o.m.Rows }
+
+// AsOperator wraps a CSR matrix as an Operator.
+func AsOperator(m *CSR) Operator { return csrOperator{m} }
+
+// GMRESOptions configures the restarted GMRES solver.
+type GMRESOptions struct {
+	Restart int     // Krylov subspace dimension before restart (default 30)
+	MaxIter int     // total iteration cap (default 10·n)
+	Tol     float64 // relative residual target ‖r‖/‖b‖ (default 1e-10)
+	M       Preconditioner
+}
+
+// GMRESResult reports convergence details.
+type GMRESResult struct {
+	Iterations int
+	Residual   float64 // final relative residual
+	Converged  bool
+}
+
+// ErrNoConvergence is returned when an iterative solver hits its iteration cap.
+var ErrNoConvergence = errors.New("la: iterative solver did not converge")
+
+// GMRES solves A·x = b by restarted, right-preconditioned GMRES(m). x holds
+// the initial guess on entry and the solution on exit.
+func GMRES(a Operator, b, x []float64, opt GMRESOptions) (GMRESResult, error) {
+	n := a.Size()
+	if len(b) != n || len(x) != n {
+		return GMRESResult{}, ErrShape
+	}
+	if opt.Restart <= 0 {
+		opt.Restart = 30
+	}
+	if opt.Restart > n {
+		opt.Restart = n
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 10 * n
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-10
+	}
+	if opt.M == nil {
+		opt.M = IdentityPreconditioner{}
+	}
+	m := opt.Restart
+	normB := Norm2(b)
+	if normB == 0 {
+		Fill(x, 0)
+		return GMRESResult{Converged: true}, nil
+	}
+
+	// Workspace: Krylov basis V, Hessenberg H, Givens rotations.
+	v := make([][]float64, m+1)
+	for i := range v {
+		v[i] = make([]float64, n)
+	}
+	h := NewDense(m+1, m)
+	cs := make([]float64, m)
+	sn := make([]float64, m)
+	g := make([]float64, m+1)
+	r := make([]float64, n)
+	w := make([]float64, n)
+	z := make([]float64, n)
+
+	totalIters := 0
+	for totalIters < opt.MaxIter {
+		// r = b − A·x
+		a.Apply(x, r)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		beta := Norm2(r)
+		rel := beta / normB
+		if rel <= opt.Tol {
+			return GMRESResult{Iterations: totalIters, Residual: rel, Converged: true}, nil
+		}
+		copy(v[0], r)
+		Scal(1/beta, v[0])
+		Fill(g, 0)
+		g[0] = beta
+
+		k := 0
+		for ; k < m && totalIters < opt.MaxIter; k++ {
+			totalIters++
+			// w = A·M⁻¹·v_k (right preconditioning)
+			opt.M.Precondition(v[k], z)
+			a.Apply(z, w)
+			// Modified Gram–Schmidt.
+			for i := 0; i <= k; i++ {
+				hik := Dot(w, v[i])
+				h.Set(i, k, hik)
+				Axpy(-hik, v[i], w)
+			}
+			hk1 := Norm2(w)
+			h.Set(k+1, k, hk1)
+			if hk1 > 0 {
+				copy(v[k+1], w)
+				Scal(1/hk1, v[k+1])
+			}
+			// Apply accumulated Givens rotations to the new column.
+			for i := 0; i < k; i++ {
+				t := cs[i]*h.At(i, k) + sn[i]*h.At(i+1, k)
+				h.Set(i+1, k, -sn[i]*h.At(i, k)+cs[i]*h.At(i+1, k))
+				h.Set(i, k, t)
+			}
+			// New rotation to annihilate h(k+1,k).
+			den := math.Hypot(h.At(k, k), h.At(k+1, k))
+			if den == 0 {
+				cs[k], sn[k] = 1, 0
+			} else {
+				cs[k], sn[k] = h.At(k, k)/den, h.At(k+1, k)/den
+			}
+			h.Set(k, k, cs[k]*h.At(k, k)+sn[k]*h.At(k+1, k))
+			h.Set(k+1, k, 0)
+			g[k+1] = -sn[k] * g[k]
+			g[k] = cs[k] * g[k]
+			if math.Abs(g[k+1])/normB <= opt.Tol {
+				k++
+				break
+			}
+			if hk1 == 0 { // lucky breakdown
+				k++
+				break
+			}
+		}
+		// Solve the small triangular system H·y = g.
+		y := make([]float64, k)
+		for i := k - 1; i >= 0; i-- {
+			s := g[i]
+			for j := i + 1; j < k; j++ {
+				s -= h.At(i, j) * y[j]
+			}
+			y[i] = s / h.At(i, i)
+		}
+		// x += M⁻¹·(V·y)
+		Fill(w, 0)
+		for i := 0; i < k; i++ {
+			Axpy(y[i], v[i], w)
+		}
+		opt.M.Precondition(w, z)
+		Axpy(1, z, x)
+
+		a.Apply(x, r)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		rel = Norm2(r) / normB
+		if rel <= opt.Tol {
+			return GMRESResult{Iterations: totalIters, Residual: rel, Converged: true}, nil
+		}
+	}
+	a.Apply(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	rel := Norm2(r) / normB
+	return GMRESResult{Iterations: totalIters, Residual: rel, Converged: false}, ErrNoConvergence
+}
+
+// ILU0 is a zero-fill incomplete LU preconditioner built on the sparsity
+// pattern of the input matrix.
+type ILU0 struct {
+	m    *CSR
+	diag []int
+}
+
+// NewILU0 computes the ILU(0) factorisation in place on a copy of a.
+// Rows must have their diagonal entry present.
+func NewILU0(a *CSR) (*ILU0, error) {
+	m := a.Clone()
+	diag := m.DiagIndex()
+	for i, d := range diag {
+		if d < 0 {
+			return nil, errors.New("la: ILU0 requires a structurally nonzero diagonal")
+		}
+		_ = i
+	}
+	n := m.Rows
+	for i := 0; i < n; i++ {
+		for kk := m.RowPtr[i]; kk < m.RowPtr[i+1]; kk++ {
+			k := m.ColIdx[kk]
+			if k >= i {
+				break
+			}
+			dk := m.Val[diag[k]]
+			if dk == 0 {
+				return nil, ErrSingular
+			}
+			lik := m.Val[kk] / dk
+			m.Val[kk] = lik
+			// Subtract lik · U(k, :) restricted to the pattern of row i.
+			pk := diag[k] + 1
+			pi := kk + 1
+			for pk < m.RowPtr[k+1] && pi < m.RowPtr[i+1] {
+				ck, ci := m.ColIdx[pk], m.ColIdx[pi]
+				switch {
+				case ck == ci:
+					m.Val[pi] -= lik * m.Val[pk]
+					pk++
+					pi++
+				case ck < ci:
+					pk++ // fill outside pattern: dropped
+				default:
+					pi++
+				}
+			}
+		}
+		if m.Val[diag[i]] == 0 {
+			return nil, ErrSingular
+		}
+	}
+	return &ILU0{m: m, diag: diag}, nil
+}
+
+// Precondition applies z = (LU)⁻¹ r.
+func (p *ILU0) Precondition(r, z []float64) {
+	n := p.m.Rows
+	if len(r) != n || len(z) != n {
+		panic(ErrShape)
+	}
+	// Forward solve with unit L.
+	for i := 0; i < n; i++ {
+		s := r[i]
+		for k := p.m.RowPtr[i]; k < p.diag[i]; k++ {
+			s -= p.m.Val[k] * z[p.m.ColIdx[k]]
+		}
+		z[i] = s
+	}
+	// Backward solve with U.
+	for i := n - 1; i >= 0; i-- {
+		s := z[i]
+		for k := p.diag[i] + 1; k < p.m.RowPtr[i+1]; k++ {
+			s -= p.m.Val[k] * z[p.m.ColIdx[k]]
+		}
+		z[i] = s / p.m.Val[p.diag[i]]
+	}
+}
+
+// SparseLUPreconditioner wraps an exact sparse LU as a (direct) preconditioner,
+// useful to compare iterative vs direct solves through the same interface.
+type SparseLUPreconditioner struct{ F *SparseLU }
+
+// Precondition solves exactly with the wrapped factorisation.
+func (p SparseLUPreconditioner) Precondition(r, z []float64) { p.F.Solve(r, z) }

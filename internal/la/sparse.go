@@ -1,0 +1,198 @@
+package la
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Triplet is a coordinate-format sparse matrix builder. Duplicate entries are
+// summed on compression, which matches MNA "stamping" semantics exactly.
+type Triplet struct {
+	Rows, Cols int
+	I, J       []int
+	V          []float64
+}
+
+// NewTriplet returns an empty builder for an r×c matrix.
+func NewTriplet(r, c int) *Triplet {
+	return &Triplet{Rows: r, Cols: c}
+}
+
+// Append records a(i,j) += v.
+func (t *Triplet) Append(i, j int, v float64) {
+	if i < 0 || i >= t.Rows || j < 0 || j >= t.Cols {
+		panic(fmt.Sprintf("la: triplet index (%d,%d) out of range %dx%d", i, j, t.Rows, t.Cols))
+	}
+	t.I = append(t.I, i)
+	t.J = append(t.J, j)
+	t.V = append(t.V, v)
+}
+
+// Reset clears the builder while keeping capacity.
+func (t *Triplet) Reset() {
+	t.I = t.I[:0]
+	t.J = t.J[:0]
+	t.V = t.V[:0]
+}
+
+// Compress converts to CSR, summing duplicates.
+func (t *Triplet) Compress() *CSR {
+	nnzEst := len(t.V)
+	rowCount := make([]int, t.Rows+1)
+	for _, i := range t.I {
+		rowCount[i+1]++
+	}
+	for i := 0; i < t.Rows; i++ {
+		rowCount[i+1] += rowCount[i]
+	}
+	colIdx := make([]int, nnzEst)
+	vals := make([]float64, nnzEst)
+	next := make([]int, t.Rows)
+	copy(next, rowCount[:t.Rows])
+	for k, i := range t.I {
+		p := next[i]
+		colIdx[p] = t.J[k]
+		vals[p] = t.V[k]
+		next[i]++
+	}
+	// Sort each row by column and merge duplicates.
+	m := &CSR{Rows: t.Rows, Cols: t.Cols, RowPtr: make([]int, t.Rows+1)}
+	for i := 0; i < t.Rows; i++ {
+		lo, hi := rowCount[i], rowCount[i+1]
+		seg := rowSeg{colIdx[lo:hi], vals[lo:hi]}
+		sort.Sort(seg)
+		prev := -1
+		for k := lo; k < hi; k++ {
+			if colIdx[k] == prev {
+				m.Val[len(m.Val)-1] += vals[k]
+				continue
+			}
+			m.ColIdx = append(m.ColIdx, colIdx[k])
+			m.Val = append(m.Val, vals[k])
+			prev = colIdx[k]
+		}
+		m.RowPtr[i+1] = len(m.Val)
+	}
+	return m
+}
+
+type rowSeg struct {
+	col []int
+	val []float64
+}
+
+func (s rowSeg) Len() int           { return len(s.col) }
+func (s rowSeg) Less(i, j int) bool { return s.col[i] < s.col[j] }
+func (s rowSeg) Swap(i, j int) {
+	s.col[i], s.col[j] = s.col[j], s.col[i]
+	s.val[i], s.val[j] = s.val[j], s.val[i]
+}
+
+// CSR is a compressed-sparse-row matrix with sorted, duplicate-free columns in
+// each row.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// At returns a(i,j) with a binary search over row i (0 if not stored).
+func (m *CSR) At(i, j int) float64 {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	cols := m.ColIdx[lo:hi]
+	k := sort.SearchInts(cols, j)
+	if k < len(cols) && cols[k] == j {
+		return m.Val[lo+k]
+	}
+	return 0
+}
+
+// MulVec computes y = A·x.
+func (m *CSR) MulVec(x, y []float64) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(ErrShape)
+	}
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Val[k] * x[m.ColIdx[k]]
+		}
+		y[i] = s
+	}
+}
+
+// MulVecAdd computes y += a·(A·x) without allocating.
+func (m *CSR) MulVecAdd(a float64, x, y []float64) {
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Val[k] * x[m.ColIdx[k]]
+		}
+		y[i] += a * s
+	}
+}
+
+// Dense expands the matrix (for tests and tiny systems only).
+func (m *CSR) Dense() *Dense {
+	d := NewDense(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			d.Set(i, m.ColIdx[k], m.Val[k])
+		}
+	}
+	return d
+}
+
+// Clone deep-copies the matrix.
+func (m *CSR) Clone() *CSR {
+	c := &CSR{Rows: m.Rows, Cols: m.Cols,
+		RowPtr: append([]int(nil), m.RowPtr...),
+		ColIdx: append([]int(nil), m.ColIdx...),
+		Val:    append([]float64(nil), m.Val...)}
+	return c
+}
+
+// Transpose returns Aᵀ in CSR form.
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{Rows: m.Cols, Cols: m.Rows, RowPtr: make([]int, m.Cols+1)}
+	for _, j := range m.ColIdx {
+		t.RowPtr[j+1]++
+	}
+	for i := 0; i < t.Rows; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	t.ColIdx = make([]int, m.NNZ())
+	t.Val = make([]float64, m.NNZ())
+	next := make([]int, t.Rows)
+	copy(next, t.RowPtr[:t.Rows])
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			j := m.ColIdx[k]
+			p := next[j]
+			t.ColIdx[p] = i
+			t.Val[p] = m.Val[k]
+			next[j]++
+		}
+	}
+	return t
+}
+
+// DiagIndex returns, for each row i, the position k in Val of a(i,i), or -1
+// when the diagonal entry is structurally absent.
+func (m *CSR) DiagIndex() []int {
+	idx := make([]int, m.Rows)
+	for i := range idx {
+		idx[i] = -1
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if m.ColIdx[k] == i {
+				idx[i] = k
+				break
+			}
+		}
+	}
+	return idx
+}

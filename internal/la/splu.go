@@ -1,0 +1,198 @@
+package la
+
+import (
+	"fmt"
+	"math"
+)
+
+// SparseLU is a left-looking sparse LU factorisation with partial pivoting
+// (Gilbert–Peierls, in the style of CSparse's cs_lu): P·A = L·U, with L unit
+// lower triangular. Both factors are stored column-wise.
+type SparseLU struct {
+	n          int
+	lp, li     []int
+	lx         []float64
+	up, ui     []int
+	ux         []float64
+	pinv       []int // original row i is pivotal for column pinv[i]
+	FillFactor float64
+}
+
+// SparseLUFactor computes P·A = L·U with threshold partial pivoting. tol in
+// (0,1] controls diagonal preference: the diagonal entry is kept as pivot when
+// |a_kk| ≥ tol·max|column|; tol=1 is classic partial pivoting, tol≈0.001 keeps
+// fill low on diagonally dominant MNA systems. A must be square.
+func SparseLUFactor(a *CSR, tol float64) (*SparseLU, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrShape
+	}
+	if tol <= 0 || tol > 1 {
+		tol = 1
+	}
+	n := a.Rows
+	// Column access: row j of Aᵀ is column j of A.
+	at := a.Transpose()
+
+	f := &SparseLU{n: n}
+	f.lp = make([]int, n+1)
+	f.up = make([]int, n+1)
+	f.pinv = make([]int, n)
+	for i := range f.pinv {
+		f.pinv[i] = -1
+	}
+	x := make([]float64, n)
+	xi := make([]int, n)     // topological pattern of the sparse solve
+	stack := make([]int, n)  // DFS stack of nodes
+	pstack := make([]int, n) // DFS stack of child positions
+	mark := make([]int, n)   // visitation stamps
+	stamp := 0
+
+	for k := 0; k < n; k++ {
+		// --- symbolic: pattern of x = L \ A(:,k) via DFS over L's columns ---
+		stamp++
+		top := n
+		for p := at.RowPtr[k]; p < at.RowPtr[k+1]; p++ {
+			root := at.ColIdx[p]
+			if mark[root] == stamp {
+				continue
+			}
+			// Iterative DFS with explicit child-position stack.
+			head := 0
+			stack[0] = root
+			for head >= 0 {
+				j := stack[head]
+				if mark[j] != stamp {
+					mark[j] = stamp
+					if jn := f.pinv[j]; jn >= 0 {
+						pstack[head] = f.lp[jn] + 1 // skip unit diagonal entry
+					} else {
+						pstack[head] = 0 // no children
+					}
+				}
+				done := true
+				if jn := f.pinv[j]; jn >= 0 {
+					for pp := pstack[head]; pp < f.lp[jn+1]; pp++ {
+						child := f.li[pp]
+						if mark[child] != stamp {
+							pstack[head] = pp + 1
+							head++
+							stack[head] = child
+							done = false
+							break
+						}
+					}
+				}
+				if done {
+					head--
+					top--
+					xi[top] = j
+				}
+			}
+		}
+		// --- numeric: scatter A(:,k) and run the sparse triangular solve ---
+		for p := top; p < n; p++ {
+			x[xi[p]] = 0
+		}
+		for p := at.RowPtr[k]; p < at.RowPtr[k+1]; p++ {
+			x[at.ColIdx[p]] = at.Val[p]
+		}
+		for p := top; p < n; p++ {
+			j := xi[p]
+			jn := f.pinv[j]
+			if jn < 0 {
+				continue
+			}
+			xj := x[j] // L has unit diagonal; no division
+			for pp := f.lp[jn] + 1; pp < f.lp[jn+1]; pp++ {
+				x[f.li[pp]] -= f.lx[pp] * xj
+			}
+		}
+		// --- pivot selection among not-yet-pivotal rows ---
+		ipiv, amax := -1, 0.0
+		for p := top; p < n; p++ {
+			j := xi[p]
+			if f.pinv[j] < 0 {
+				if a := math.Abs(x[j]); a > amax {
+					ipiv, amax = j, a
+				}
+			}
+		}
+		if ipiv < 0 || amax == 0 {
+			return nil, fmt.Errorf("%w (column %d)", ErrSingular, k)
+		}
+		// Prefer the diagonal when it is acceptably large (reduces fill).
+		if f.pinv[k] < 0 && math.Abs(x[k]) >= tol*amax {
+			ipiv = k
+		}
+		pivot := x[ipiv]
+		f.pinv[ipiv] = k
+		// --- append column k of U (pivotal rows) and L (non-pivotal rows) ---
+		for p := top; p < n; p++ {
+			j := xi[p]
+			if jn := f.pinv[j]; jn >= 0 && j != ipiv {
+				f.ui = append(f.ui, jn)
+				f.ux = append(f.ux, x[j])
+			}
+		}
+		f.ui = append(f.ui, k) // diagonal of U, stored last in its column
+		f.ux = append(f.ux, pivot)
+		f.up[k+1] = len(f.ux)
+
+		f.li = append(f.li, ipiv) // unit diagonal of L, stored first
+		f.lx = append(f.lx, 1)
+		for p := top; p < n; p++ {
+			j := xi[p]
+			if f.pinv[j] < 0 {
+				f.li = append(f.li, j)
+				f.lx = append(f.lx, x[j]/pivot)
+			}
+		}
+		f.lp[k+1] = len(f.lx)
+	}
+	// Remap L's row indices from original numbering to pivotal numbering.
+	for p := range f.li {
+		f.li[p] = f.pinv[f.li[p]]
+	}
+	if nnz := a.NNZ(); nnz > 0 {
+		f.FillFactor = float64(len(f.lx)+len(f.ux)) / float64(nnz)
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b. x and b may alias.
+func (f *SparseLU) Solve(b, x []float64) {
+	n := f.n
+	if len(b) != n || len(x) != n {
+		panic(ErrShape)
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		y[f.pinv[i]] = b[i]
+	}
+	// Forward: L·z = P·b (unit diagonal first in each column).
+	for j := 0; j < n; j++ {
+		yj := y[j]
+		if yj == 0 {
+			continue
+		}
+		for p := f.lp[j] + 1; p < f.lp[j+1]; p++ {
+			y[f.li[p]] -= f.lx[p] * yj
+		}
+	}
+	// Backward: U·x = z (diagonal last in each column).
+	for j := n - 1; j >= 0; j-- {
+		d := f.ux[f.up[j+1]-1]
+		y[j] /= d
+		yj := y[j]
+		if yj == 0 {
+			continue
+		}
+		for p := f.up[j]; p < f.up[j+1]-1; p++ {
+			y[f.ui[p]] -= f.ux[p] * yj
+		}
+	}
+	copy(x, y)
+}
+
+// NNZ returns the total stored entries in L and U.
+func (f *SparseLU) NNZ() int { return len(f.lx) + len(f.ux) }

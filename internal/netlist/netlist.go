@@ -1,0 +1,497 @@
+// Package netlist parses a SPICE-flavoured circuit description into a
+// circuit.Circuit. The dialect covers the devices this reproduction uses:
+//
+//   - comment                       ; also ";" comments
+//     .title anything
+//     .tones F1 F2 [K]                ; declare the two driving tones (+ shear K)
+//     R<name> n+ n- value
+//     C<name> n+ n- value
+//     L<name> n+ n- value
+//     V<name> n+ n- DC v
+//     V<name> n+ n- SIN offset amp freq [phase_deg]
+//     I<name> n+ n- DC v | SIN ...
+//     D<name> anode cathode [IS=v] [CJ0=v] [TT=v]
+//     M<name> d g s [VT=v] [KP=v] [LAMBDA=v] [CGS=v] [CGD=v] [PMOS]
+//     G<name> n+ n- nc+ nc- gm       ; VCCS
+//     E<name> n+ n- nc+ nc- mu       ; VCVS
+//     X<name> out a b gm             ; ideal multiplier (behavioural)
+//     .end
+//
+// Values accept SPICE suffixes (f p n u m k meg g t). SIN sources are mapped
+// onto the torus automatically: the frequency must match k1·F1 + k2·F2 for
+// small integers when .tones is declared, enabling MPDE/HB analyses straight
+// from a deck.
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// Deck is a parsed netlist.
+type Deck struct {
+	Ckt   *circuit.Circuit
+	Title string
+	// Tones holds the declared (F1, F2, K); Shear() derives the MPDE map.
+	F1, F2 float64
+	K      int
+}
+
+// Shear returns the difference-frequency shear declared by .tones.
+func (d *Deck) Shear() (core.Shear, error) {
+	sh := core.Shear{F1: d.F1, F2: d.F2, K: d.K}
+	if sh.K == 0 {
+		sh.K = 1
+	}
+	if err := sh.Validate(); err != nil {
+		return core.Shear{}, fmt.Errorf("netlist: no usable .tones declaration: %w", err)
+	}
+	return sh, nil
+}
+
+// ParseError reports a syntax problem with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("netlist: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse reads a netlist deck.
+func Parse(r io.Reader) (*Deck, error) {
+	d := &Deck{Ckt: circuit.New("")}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	ended := false
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexAny(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "*") {
+			continue
+		}
+		if ended {
+			return nil, errf(lineNo, "content after .end")
+		}
+		fields := strings.Fields(line)
+		card := strings.ToLower(fields[0])
+		var err error
+		switch {
+		case card == ".end":
+			ended = true
+		case card == ".title":
+			d.Title = strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+			d.Ckt.Title = d.Title
+		case card == ".tones":
+			err = d.parseTones(fields, lineNo)
+		case strings.HasPrefix(card, "r"):
+			err = d.parseRCL(fields, lineNo, 'r')
+		case strings.HasPrefix(card, "c"):
+			err = d.parseRCL(fields, lineNo, 'c')
+		case strings.HasPrefix(card, "l"):
+			err = d.parseRCL(fields, lineNo, 'l')
+		case strings.HasPrefix(card, "v"):
+			err = d.parseSource(fields, lineNo, true)
+		case strings.HasPrefix(card, "i"):
+			err = d.parseSource(fields, lineNo, false)
+		case strings.HasPrefix(card, "d"):
+			err = d.parseDiode(fields, lineNo)
+		case strings.HasPrefix(card, "m"):
+			err = d.parseMOS(fields, lineNo)
+		case strings.HasPrefix(card, "q"):
+			err = d.parseBJT(fields, lineNo)
+		case strings.HasPrefix(card, "g"):
+			err = d.parseControlled(fields, lineNo, true)
+		case strings.HasPrefix(card, "e"):
+			err = d.parseControlled(fields, lineNo, false)
+		case strings.HasPrefix(card, "x"):
+			err = d.parseMult(fields, lineNo)
+		default:
+			err = errf(lineNo, "unknown card %q", fields[0])
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	d.Ckt.Finalize()
+	return d, nil
+}
+
+// ParseString parses a deck held in a string.
+func ParseString(s string) (*Deck, error) { return Parse(strings.NewReader(s)) }
+
+func (d *Deck) parseTones(f []string, line int) error {
+	if len(f) < 3 {
+		return errf(line, ".tones needs F1 F2 [K]")
+	}
+	var err error
+	if d.F1, err = ParseValue(f[1]); err != nil {
+		return errf(line, "bad F1: %v", err)
+	}
+	if d.F2, err = ParseValue(f[2]); err != nil {
+		return errf(line, "bad F2: %v", err)
+	}
+	d.K = 1
+	if len(f) >= 4 {
+		k, err := strconv.Atoi(f[3])
+		if err != nil {
+			return errf(line, "bad K: %v", err)
+		}
+		d.K = k
+	}
+	return nil
+}
+
+func (d *Deck) parseRCL(f []string, line int, kind byte) error {
+	if len(f) != 4 {
+		return errf(line, "%c-card needs: name n+ n- value", kind)
+	}
+	v, err := ParseValue(f[3])
+	if err != nil {
+		return errf(line, "bad value %q: %v", f[3], err)
+	}
+	switch kind {
+	case 'r':
+		if v <= 0 {
+			return errf(line, "resistance must be positive")
+		}
+		d.Ckt.R(f[0], f[1], f[2], v)
+	case 'c':
+		if v <= 0 {
+			return errf(line, "capacitance must be positive")
+		}
+		d.Ckt.C(f[0], f[1], f[2], v)
+	case 'l':
+		if v <= 0 {
+			return errf(line, "inductance must be positive")
+		}
+		d.Ckt.L(f[0], f[1], f[2], v)
+	}
+	return nil
+}
+
+// toneCoeffs finds small integers (k1, k2) with k1·F1 + k2·F2 ≈ freq.
+func (d *Deck) toneCoeffs(freq float64, line int) (int, int, error) {
+	if d.F1 <= 0 {
+		// No .tones: single-tone circuit, treat freq as F1 itself.
+		return 0, 0, errf(line, "SIN source needs a .tones declaration to map %g Hz onto the torus", freq)
+	}
+	const rng = 6
+	for k1 := -rng; k1 <= rng; k1++ {
+		for k2 := -rng; k2 <= rng; k2++ {
+			got := float64(k1)*d.F1 + float64(k2)*d.F2
+			if freq != 0 && absf(got-freq) <= 1e-9*absf(freq) {
+				return k1, k2, nil
+			}
+		}
+	}
+	return 0, 0, errf(line, "frequency %g is not a small-integer mix of tones (%g, %g)", freq, d.F1, d.F2)
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func (d *Deck) parseSource(f []string, line int, voltage bool) error {
+	if len(f) < 5 {
+		return errf(line, "source needs: name n+ n- DC v | SIN offset amp freq [phase]")
+	}
+	var w device.Waveform
+	switch strings.ToLower(f[3]) {
+	case "dc":
+		v, err := ParseValue(f[4])
+		if err != nil {
+			return errf(line, "bad DC value: %v", err)
+		}
+		w = device.DC(v)
+	case "sin":
+		if len(f) < 7 {
+			return errf(line, "SIN needs offset amp freq [phase_deg]")
+		}
+		off, err1 := ParseValue(f[4])
+		amp, err2 := ParseValue(f[5])
+		freq, err3 := ParseValue(f[6])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return errf(line, "bad SIN parameters")
+		}
+		phase := 0.0
+		if len(f) >= 8 {
+			p, err := ParseValue(f[7])
+			if err != nil {
+				return errf(line, "bad SIN phase: %v", err)
+			}
+			phase = p * 3.14159265358979323846 / 180
+		}
+		k1, k2, err := d.toneCoeffs(freq, line)
+		if err != nil {
+			return err
+		}
+		s := device.Sine{Amp: amp, Phase: phase, F1: d.F1, F2: d.F2, K1: k1, K2: k2}
+		if off != 0 {
+			w = device.Sum{device.DC(off), s}
+		} else {
+			w = s
+		}
+	case "squ":
+		if len(f) < 7 {
+			return errf(line, "SQU needs offset amp freq [duty] [edge]")
+		}
+		off, err1 := ParseValue(f[4])
+		amp, err2 := ParseValue(f[5])
+		freq, err3 := ParseValue(f[6])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return errf(line, "bad SQU parameters")
+		}
+		duty, edge := 0.5, 0.02
+		if len(f) >= 8 {
+			v, err := ParseValue(f[7])
+			if err != nil {
+				return errf(line, "bad SQU duty: %v", err)
+			}
+			duty = v
+		}
+		if len(f) >= 9 {
+			v, err := ParseValue(f[8])
+			if err != nil {
+				return errf(line, "bad SQU edge: %v", err)
+			}
+			edge = v
+		}
+		k1, k2, err := d.toneCoeffs(freq, line)
+		if err != nil {
+			return err
+		}
+		w = device.TorusSquare{Offset: off, Amp: amp, Duty: duty, Edge: edge,
+			F1: d.F1, F2: d.F2, K1: k1, K2: k2}
+	default:
+		return errf(line, "unknown source kind %q (want DC, SIN or SQU)", f[3])
+	}
+	if voltage {
+		d.Ckt.V(f[0], f[1], f[2], w)
+	} else {
+		d.Ckt.I(f[0], f[1], f[2], w)
+	}
+	return nil
+}
+
+func (d *Deck) parseDiode(f []string, line int) error {
+	if len(f) < 3 {
+		return errf(line, "diode needs: name anode cathode [IS=..] [CJ0=..] [TT=..]")
+	}
+	dev := &device.Diode{Inst: f[0], P: d.Ckt.Node(f[1]), N: d.Ckt.Node(f[2]), Is: 1e-14}
+	for _, kv := range f[3:] {
+		key, val, err := parseKV(kv, line)
+		if err != nil {
+			return err
+		}
+		switch key {
+		case "is":
+			dev.Is = val
+		case "cj0":
+			dev.Cj0 = val
+		case "tt":
+			dev.Tt = val
+		case "n":
+			dev.Nf = val
+		default:
+			return errf(line, "unknown diode parameter %q", key)
+		}
+	}
+	d.Ckt.Add(dev)
+	return nil
+}
+
+func (d *Deck) parseMOS(f []string, line int) error {
+	if len(f) < 4 {
+		return errf(line, "mosfet needs: name d g s [VT=..] [KP=..] [LAMBDA=..] [CGS=..] [CGD=..] [PMOS]")
+	}
+	m := device.MOSFET{Vt0: 0.5, KP: 2e-4}
+	for _, kv := range f[4:] {
+		if strings.EqualFold(kv, "pmos") {
+			m.TypeP = true
+			if m.Vt0 == 0.5 {
+				m.Vt0 = -0.5
+			}
+			continue
+		}
+		key, val, err := parseKV(kv, line)
+		if err != nil {
+			return err
+		}
+		switch key {
+		case "vt":
+			m.Vt0 = val
+		case "kp":
+			m.KP = val
+		case "lambda":
+			m.Lambda = val
+		case "cgs":
+			m.Cgs = val
+		case "cgd":
+			m.Cgd = val
+		case "w":
+			m.W = val
+		case "l":
+			m.L = val
+		default:
+			return errf(line, "unknown mosfet parameter %q", key)
+		}
+	}
+	d.Ckt.M(f[0], f[1], f[2], f[3], m)
+	return nil
+}
+
+func (d *Deck) parseBJT(f []string, line int) error {
+	if len(f) < 4 {
+		return errf(line, "bjt needs: name c b e [IS=..] [BF=..] [BR=..] [CJE=..] [CJC=..] [PNP]")
+	}
+	q := &device.BJT{Inst: f[0],
+		C: d.Ckt.Node(f[1]), B: d.Ckt.Node(f[2]), E: d.Ckt.Node(f[3])}
+	for _, kv := range f[4:] {
+		if strings.EqualFold(kv, "pnp") {
+			q.TypeP = true
+			continue
+		}
+		key, val, err := parseKV(kv, line)
+		if err != nil {
+			return err
+		}
+		switch key {
+		case "is":
+			q.Is = val
+		case "bf":
+			q.BetaF = val
+		case "br":
+			q.BetaR = val
+		case "cje":
+			q.Cje = val
+		case "cjc":
+			q.Cjc = val
+		default:
+			return errf(line, "unknown bjt parameter %q", key)
+		}
+	}
+	d.Ckt.Add(q)
+	return nil
+}
+
+func (d *Deck) parseControlled(f []string, line int, vccs bool) error {
+	if len(f) != 6 {
+		return errf(line, "controlled source needs: name n+ n- nc+ nc- gain")
+	}
+	g, err := ParseValue(f[5])
+	if err != nil {
+		return errf(line, "bad gain: %v", err)
+	}
+	if vccs {
+		d.Ckt.Gm(f[0], f[1], f[2], f[3], f[4], g)
+	} else {
+		d.Ckt.E(f[0], f[1], f[2], f[3], f[4], g)
+	}
+	return nil
+}
+
+func (d *Deck) parseMult(f []string, line int) error {
+	if len(f) != 5 {
+		return errf(line, "multiplier needs: name out a b gm")
+	}
+	g, err := ParseValue(f[4])
+	if err != nil {
+		return errf(line, "bad gm: %v", err)
+	}
+	d.Ckt.Mult(f[0], f[1], f[2], f[3], g)
+	return nil
+}
+
+func parseKV(s string, line int) (string, float64, error) {
+	i := strings.IndexByte(s, '=')
+	if i <= 0 {
+		return "", 0, errf(line, "expected key=value, got %q", s)
+	}
+	v, err := ParseValue(s[i+1:])
+	if err != nil {
+		return "", 0, errf(line, "bad value in %q: %v", s, err)
+	}
+	return strings.ToLower(s[:i]), v, nil
+}
+
+// ParseValue parses a SPICE number with magnitude suffix (case-insensitive:
+// f p n u m k meg g t). Trailing unit letters after the suffix are ignored
+// ("10k", "2.2uF", "450MEG").
+func ParseValue(s string) (float64, error) {
+	ls := strings.ToLower(strings.TrimSpace(s))
+	if ls == "" {
+		return 0, fmt.Errorf("empty value")
+	}
+	// Split numeric prefix.
+	end := 0
+	for end < len(ls) {
+		c := ls[end]
+		if c >= '0' && c <= '9' || c == '.' || c == '+' || c == '-' ||
+			(c == 'e' && end+1 < len(ls) && (ls[end+1] == '+' || ls[end+1] == '-' || ls[end+1] >= '0' && ls[end+1] <= '9')) {
+			if c == 'e' {
+				end += 2
+				for end < len(ls) && ls[end] >= '0' && ls[end] <= '9' {
+					end++
+				}
+				break
+			}
+			end++
+			continue
+		}
+		break
+	}
+	if end == 0 {
+		return 0, fmt.Errorf("no number in %q", s)
+	}
+	num, err := strconv.ParseFloat(ls[:end], 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q: %w", s, err)
+	}
+	suffix := ls[end:]
+	switch {
+	case suffix == "":
+		return num, nil
+	case strings.HasPrefix(suffix, "meg"):
+		return num * 1e6, nil
+	case strings.HasPrefix(suffix, "f"):
+		return num * 1e-15, nil
+	case strings.HasPrefix(suffix, "p"):
+		return num * 1e-12, nil
+	case strings.HasPrefix(suffix, "n"):
+		return num * 1e-9, nil
+	case strings.HasPrefix(suffix, "u"):
+		return num * 1e-6, nil
+	case strings.HasPrefix(suffix, "m"):
+		return num * 1e-3, nil
+	case strings.HasPrefix(suffix, "k"):
+		return num * 1e3, nil
+	case strings.HasPrefix(suffix, "g"):
+		return num * 1e9, nil
+	case strings.HasPrefix(suffix, "t"):
+		return num * 1e12, nil
+	default:
+		// Unknown letters (units like "hz", "v", "ohm") are tolerated.
+		return num, nil
+	}
+}

@@ -1,0 +1,266 @@
+package netlist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/transient"
+)
+
+func TestParseValueSuffixes(t *testing.T) {
+	cases := map[string]float64{
+		"10":     10,
+		"4.7k":   4700,
+		"450MEG": 450e6,
+		"1.5G":   1.5e9,
+		"100n":   1e-7,
+		"2.2uF":  2.2e-6,
+		"3p":     3e-12,
+		"15f":    15e-15,
+		"-0.5":   -0.5,
+		"1e-3":   1e-3,
+		"2.5e6":  2.5e6,
+		"10m":    0.01,
+		"1t":     1e12,
+	}
+	for in, want := range cases {
+		got, err := ParseValue(in)
+		if err != nil {
+			t.Fatalf("ParseValue(%q): %v", in, err)
+		}
+		if math.Abs(got-want) > 1e-12*math.Abs(want) {
+			t.Fatalf("ParseValue(%q) = %v, want %v", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "k10"} {
+		if _, err := ParseValue(bad); err == nil {
+			t.Fatalf("ParseValue(%q) should fail", bad)
+		}
+	}
+}
+
+const dividerDeck = `
+* simple resistive divider
+.title divider
+V1 in 0 DC 9
+R1 in mid 2k
+R2 mid 0 1k
+.end
+`
+
+func TestParseDividerAndSolve(t *testing.T) {
+	d, err := ParseString(dividerDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Title != "divider" {
+		t.Fatalf("title %q", d.Title)
+	}
+	x, _, err := transient.DC(d.Ckt, transient.DCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := d.Ckt.NodeIndex("mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[mid]-3) > 1e-6 {
+		t.Fatalf("v(mid) = %v, want 3", x[mid])
+	}
+}
+
+const mixerDeck = `
+.title ideal mixer from a deck
+.tones 1e9 0.99999e9
+VLO lo 0 SIN 0 1 1e9
+VRF rf 0 SIN 0 1 0.99999e9
+RL out 0 1k
+X1 out lo rf 1m
+.end
+`
+
+func TestParseMixerDeckRunsQPSS(t *testing.T) {
+	d, err := ParseString(mixerDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := d.Shear()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sh.Fd()-1e4) > 1 {
+		t.Fatalf("fd = %v", sh.Fd())
+	}
+	sol, err := core.QPSS(d.Ckt, core.Options{N1: 16, N2: 16, Shear: sh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := d.Ckt.NodeIndex("out")
+	bb := sol.BasebandMean(out)
+	// Difference tone amplitude ≈ 0.5 at t2 = 0.
+	if math.Abs(bb[0]-0.5) > 0.05 {
+		t.Fatalf("baseband[0] = %v, want ≈0.5", bb[0])
+	}
+}
+
+const deviceDeck = `
+.tones 1e6 0.9e6
+VDD vdd 0 DC 3
+VG g 0 SIN 0.8 0.2 1e6
+M1 d g 0 VT=0.5 KP=1m LAMBDA=0.02 CGS=10f
+RD vdd d 5k
+D1 d lim IS=1e-12 CJ0=1p
+RLIM lim 0 10k
+GBUF ob 0 d 0 1m
+ROB ob 0 1k
+E2 eo 0 d 0 2
+REO eo 0 1k
+L1 vdd choke 10u
+RCHK choke 0 1k
+.end
+`
+
+func TestParseAllDeviceCards(t *testing.T) {
+	d, err := ParseString(deviceDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Ckt.Devices()); got != 12 {
+		t.Fatalf("device count = %d, want 12", got)
+	}
+	// Circuit must at least evaluate and solve DC.
+	if _, _, err := transient.DC(d.Ckt, transient.DCOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		deck string
+		want string
+	}{
+		{"R1 a 0\n", "r-card"},
+		{"R1 a 0 -5\n", "positive"},
+		{"Z1 a b c\n", "unknown card"},
+		{"V1 a 0 DC x\n", "bad DC"},
+		{"V1 a 0 TRI 1 2 3\n", "unknown source kind"},
+		{"V1 a 0 SIN 0 1 3e6\n", ".tones"},
+		{".tones 1e6 0.9e6\nV1 a 0 SIN 0 1 3.14e5\n", "small-integer mix"},
+		{"M1 d g\n", "mosfet needs"},
+		{"M1 d g s VT\n", "key=value"},
+		{"M1 d g s Z=1\n", "unknown mosfet parameter"},
+		{"D1 a\n", "diode needs"},
+		{"G1 a 0 b\n", "controlled source"},
+		{"X1 a b c\n", "multiplier"},
+		{".end\nR1 a 0 1k\n", "after .end"},
+	}
+	for _, c := range cases {
+		_, err := ParseString(c.deck)
+		if err == nil {
+			t.Fatalf("deck %q should fail", c.deck)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("deck %q: error %q does not mention %q", c.deck, err, c.want)
+		}
+	}
+}
+
+func TestParseErrorLineNumbers(t *testing.T) {
+	_, err := ParseString("* comment\nR1 a 0 1k\nbogus card here\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("want *ParseError, got %T", err)
+	}
+	if pe.Line != 3 {
+		t.Fatalf("line = %d, want 3", pe.Line)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	d, err := ParseString("* leading comment\n\nR1 a 0 1k ; trailing comment\n*.end inside comment\n.end\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Ckt.Devices()) != 1 {
+		t.Fatalf("device count %d", len(d.Ckt.Devices()))
+	}
+}
+
+func TestShearWithoutTones(t *testing.T) {
+	d, err := ParseString("R1 a 0 1k\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Shear(); err == nil {
+		t.Fatal("Shear() without .tones should fail")
+	}
+}
+
+const bjtDeck = `
+.tones 1e6 0.9e6
+VCC vcc 0 DC 5
+VB b 0 SIN 0.7 0.01 1e6
+RC vcc c 2k
+Q1 c b 0 IS=1e-16 BF=150 CJE=1p
+Q2 c2 b 0 PNP
+RC2 c2 0 1k
+.end
+`
+
+func TestParseBJTCard(t *testing.T) {
+	d, err := ParseString(bjtDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Ckt.Devices()) != 6 {
+		t.Fatalf("device count %d", len(d.Ckt.Devices()))
+	}
+	if _, _, err := transient.DC(d.Ckt, transient.DCOptions{SignalsOff: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseString("Q1 c b\n"); err == nil {
+		t.Fatal("short BJT card should fail")
+	}
+	if _, err := ParseString("Q1 c b e Z=1\n"); err == nil {
+		t.Fatal("unknown BJT parameter should fail")
+	}
+}
+
+const squDeck = `
+.tones 1e6 0.99e6
+VG g 0 SQU 6 -6 1e6 0.4 0.05
+RG g 0 1k
+.end
+`
+
+func TestParseSquareSource(t *testing.T) {
+	d, err := ParseString(squDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample mid-plateau (the smooth edge occupies [0, edge) of the
+	// period): ON level is 6 − 6 = 0, OFF level is 6 + 6 = 12.
+	xOn, _, err := transient.DC(d.Ckt, transient.DCOptions{Time: 0.2e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xOff, _, err := transient.DC(d.Ckt, transient.DCOptions{Time: 0.7e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := d.Ckt.NodeIndex("g")
+	if math.Abs(xOn[g]) > 1e-6 {
+		t.Fatalf("square ON level: %v, want 0", xOn[g])
+	}
+	if math.Abs(xOff[g]-12) > 1e-6 {
+		t.Fatalf("square OFF level: %v, want 12", xOff[g])
+	}
+	if _, err := ParseString(".tones 1e6 0.9e6\nV1 a 0 SQU 0 1\n"); err == nil {
+		t.Fatal("short SQU should fail")
+	}
+}

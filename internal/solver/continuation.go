@@ -1,0 +1,148 @@
+package solver
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/la"
+)
+
+// ParamSystem is a nonlinear system embedded in a homotopy parameter
+// λ ∈ [0, 1]: H(x, 0) is easy (e.g. sources off, extra gmin on), H(x, 1) is
+// the target problem.
+type ParamSystem interface {
+	Size() int
+	EvalAt(lambda float64, x []float64, jac bool) ([]float64, *la.CSR, error)
+}
+
+// FuncParamSystem adapts a closure to ParamSystem.
+type FuncParamSystem struct {
+	N int
+	F func(lambda float64, x []float64, jac bool) ([]float64, *la.CSR, error)
+}
+
+// Size returns the system dimension.
+func (s FuncParamSystem) Size() int { return s.N }
+
+// EvalAt forwards to the closure.
+func (s FuncParamSystem) EvalAt(lambda float64, x []float64, jac bool) ([]float64, *la.CSR, error) {
+	return s.F(lambda, x, jac)
+}
+
+// ContinuationOptions configures the adaptive λ stepping.
+type ContinuationOptions struct {
+	Newton    Options
+	StartStep float64 // initial Δλ (default 0.25)
+	MinStep   float64 // give up below this (default 1e-6)
+	Growth    float64 // step growth after success (default 2)
+	MaxSolves int     // cap on total Newton solves (default 200)
+}
+
+// ContinuationStats reports the path taken.
+type ContinuationStats struct {
+	Solves      int
+	Failures    int
+	FinalLambda float64
+	NewtonIters int
+}
+
+// ErrContinuation is returned when the path cannot reach λ = 1.
+var ErrContinuation = errors.New("solver: continuation failed to reach lambda=1")
+
+// Continue tracks the solution of H(x, λ) = 0 from λ = 0 to λ = 1 with
+// adaptive steps and secant prediction. x holds the initial guess for λ = 0
+// on entry and the λ = 1 solution on exit.
+func Continue(sys ParamSystem, x []float64, opt ContinuationOptions) (ContinuationStats, error) {
+	if opt.StartStep <= 0 {
+		opt.StartStep = 0.25
+	}
+	if opt.MinStep <= 0 {
+		opt.MinStep = 1e-6
+	}
+	if opt.Growth <= 1 {
+		opt.Growth = 2
+	}
+	if opt.MaxSolves <= 0 {
+		opt.MaxSolves = 200
+	}
+	var cs ContinuationStats
+	n := sys.Size()
+
+	solveAt := func(lambda float64, guess []float64) (Stats, error) {
+		cs.Solves++
+		sub := FuncSystem{N: n, F: func(xx []float64, jac bool) ([]float64, *la.CSR, error) {
+			return sys.EvalAt(lambda, xx, jac)
+		}}
+		st, err := Solve(sub, guess, opt.Newton)
+		cs.NewtonIters += st.Iterations
+		return st, err
+	}
+
+	// Anchor at λ = 0.
+	if _, err := solveAt(0, x); err != nil {
+		return cs, fmt.Errorf("solver: continuation failed at lambda=0: %w", err)
+	}
+	lambda := 0.0
+	step := opt.StartStep
+	xPrev := append([]float64(nil), x...) // solution at previous λ
+	lambdaPrev := 0.0
+
+	for lambda < 1 && cs.Solves < opt.MaxSolves {
+		next := lambda + step
+		if next > 1 {
+			next = 1
+		}
+		// Secant prediction from the last two accepted points.
+		guess := append([]float64(nil), x...)
+		if lambda > lambdaPrev {
+			scale := (next - lambda) / (lambda - lambdaPrev)
+			for i := range guess {
+				guess[i] += scale * (x[i] - xPrev[i])
+			}
+		}
+		if _, err := solveAt(next, guess); err != nil {
+			cs.Failures++
+			step /= 2
+			if step < opt.MinStep {
+				cs.FinalLambda = lambda
+				return cs, fmt.Errorf("%w (stalled at lambda=%.6f: %v)", ErrContinuation, lambda, err)
+			}
+			continue
+		}
+		copy(xPrev, x)
+		lambdaPrev = lambda
+		copy(x, guess)
+		lambda = next
+		step *= opt.Growth
+		if step > 0.5 {
+			step = 0.5
+		}
+	}
+	cs.FinalLambda = lambda
+	if lambda < 1 {
+		return cs, fmt.Errorf("%w (solve budget exhausted at lambda=%.4f)", ErrContinuation, lambda)
+	}
+	return cs, nil
+}
+
+// SolveWithFallback attempts a plain Newton solve and, on failure, retries
+// through source-stepping continuation using the provided ParamSystem
+// embedding. This mirrors the paper's experience: "In cases where
+// Newton-Raphson did not converge, using continuation reliably obtained
+// solutions".
+func SolveWithFallback(sys ParamSystem, x []float64, newtonOpt Options) (Stats, ContinuationStats, error) {
+	direct := FuncSystem{N: sys.Size(), F: func(xx []float64, jac bool) ([]float64, *la.CSR, error) {
+		return sys.EvalAt(1, xx, jac)
+	}}
+	xTry := append([]float64(nil), x...)
+	st, err := Solve(direct, xTry, newtonOpt)
+	if err == nil {
+		copy(x, xTry)
+		return st, ContinuationStats{}, nil
+	}
+	cs, cerr := Continue(sys, x, ContinuationOptions{Newton: newtonOpt})
+	if cerr != nil {
+		return st, cs, fmt.Errorf("solver: direct Newton failed (%v) and continuation failed: %w", err, cerr)
+	}
+	return st, cs, nil
+}

@@ -1,0 +1,238 @@
+// Package solver provides the damped Newton–Raphson iteration and the
+// homotopy/continuation machinery shared by every analysis (DC, transient
+// steps, shooting, harmonic balance, MPDE). The paper's method reduces each
+// analysis to "solve F(x)=0 with a sparse Jacobian", so a single careful
+// implementation is reused throughout; the paper notes that when plain
+// Newton fails on the mixer, continuation "reliably obtained solutions".
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/la"
+)
+
+// System is a nonlinear algebraic system F(x) = 0 with a sparse Jacobian.
+type System interface {
+	Size() int
+	// Eval returns the residual at x and, when jac is set, the Jacobian.
+	Eval(x []float64, jac bool) (r []float64, j *la.CSR, err error)
+}
+
+// FuncSystem adapts closures to the System interface.
+type FuncSystem struct {
+	N int
+	F func(x []float64, jac bool) ([]float64, *la.CSR, error)
+}
+
+// Size returns the system dimension.
+func (s FuncSystem) Size() int { return s.N }
+
+// Eval forwards to the closure.
+func (s FuncSystem) Eval(x []float64, jac bool) ([]float64, *la.CSR, error) {
+	return s.F(x, jac)
+}
+
+// LinearSolverKind selects how Newton updates are solved.
+type LinearSolverKind int
+
+const (
+	// DirectSparse uses the Gilbert–Peierls sparse LU (default).
+	DirectSparse LinearSolverKind = iota
+	// IterativeGMRES uses ILU(0)-preconditioned restarted GMRES; this is the
+	// "iterative linear solution methods" configuration from the paper's
+	// speedup discussion.
+	IterativeGMRES
+)
+
+// Options configures Newton.
+type Options struct {
+	MaxIter   int     // default 50
+	AbsTol    float64 // per-unknown absolute tolerance (default 1e-9)
+	RelTol    float64 // per-unknown relative tolerance (default 1e-6)
+	ResidTol  float64 // residual ∞-norm acceptance (default 1e-9 scaled)
+	MaxStep   float64 // ∞-norm clamp on each Newton step (0 = no clamp)
+	Damping   bool    // enable residual-based step halving (default true via NewOptions)
+	MaxHalve  int     // max step halvings per iteration (default 8)
+	Linear    LinearSolverKind
+	PivotTol  float64 // sparse LU threshold-pivoting tolerance (default 0.001)
+	GMRESTol  float64 // default 1e-10
+	GMRESIter int     // default 400
+}
+
+// NewOptions returns the defaults used across the analyses.
+func NewOptions() Options {
+	return Options{
+		MaxIter:  50,
+		AbsTol:   1e-9,
+		RelTol:   1e-6,
+		ResidTol: 1e-9,
+		MaxStep:  0,
+		Damping:  true,
+		MaxHalve: 8,
+		PivotTol: 0.001,
+		GMRESTol: 1e-10,
+	}
+}
+
+func (o *Options) fill() {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 50
+	}
+	if o.AbsTol <= 0 {
+		o.AbsTol = 1e-9
+	}
+	if o.RelTol <= 0 {
+		o.RelTol = 1e-6
+	}
+	if o.ResidTol <= 0 {
+		o.ResidTol = 1e-9
+	}
+	if o.MaxHalve <= 0 {
+		o.MaxHalve = 8
+	}
+	if o.PivotTol <= 0 {
+		o.PivotTol = 0.001
+	}
+	if o.GMRESTol <= 0 {
+		o.GMRESTol = 1e-10
+	}
+	if o.GMRESIter <= 0 {
+		o.GMRESIter = 400
+	}
+}
+
+// Stats reports how a Newton solve went.
+type Stats struct {
+	Iterations  int
+	Residual    float64 // final residual ∞-norm
+	StepNorm    float64 // final weighted step norm (≤ 1 at convergence)
+	Converged   bool
+	Halvings    int // total damping halvings
+	LinearIters int // total GMRES iterations (iterative mode)
+}
+
+// ErrNewton is wrapped by non-convergence errors.
+var ErrNewton = errors.New("solver: Newton did not converge")
+
+// Solve runs damped Newton from x (updated in place to the solution).
+func Solve(sys System, x []float64, opt Options) (Stats, error) {
+	opt.fill()
+	n := sys.Size()
+	if len(x) != n {
+		return Stats{}, fmt.Errorf("solver: initial guess size %d, want %d", len(x), n)
+	}
+	var st Stats
+	dx := make([]float64, n)
+	xTrial := make([]float64, n)
+
+	r, j, err := sys.Eval(x, true)
+	if err != nil {
+		return st, err
+	}
+	rNorm := la.NormInf(r)
+	// Residual acceptance is scaled by the starting residual so the same
+	// tolerances work for milliamp-level MNA residuals and unit-level
+	// normalised systems alike.
+	residCap := opt.ResidTol * math.Max(1, rNorm)
+	for it := 0; it < opt.MaxIter; it++ {
+		st.Iterations = it + 1
+		// Solve J·dx = −r.
+		neg := make([]float64, n)
+		for i := range neg {
+			neg[i] = -r[i]
+		}
+		switch opt.Linear {
+		case IterativeGMRES:
+			prec, perr := la.NewILU0(j)
+			var m la.Preconditioner
+			if perr == nil {
+				m = prec
+			}
+			la.Fill(dx, 0)
+			res, gerr := la.GMRES(la.AsOperator(j), neg, dx, la.GMRESOptions{
+				Tol: opt.GMRESTol, MaxIter: opt.GMRESIter, M: m})
+			st.LinearIters += res.Iterations
+			if gerr != nil {
+				// Fall back to a direct solve rather than failing Newton.
+				f, ferr := la.SparseLUFactor(j, opt.PivotTol)
+				if ferr != nil {
+					return st, fmt.Errorf("solver: linear solve failed: %w", ferr)
+				}
+				f.Solve(neg, dx)
+			}
+		default:
+			f, ferr := la.SparseLUFactor(j, opt.PivotTol)
+			if ferr != nil {
+				return st, fmt.Errorf("solver: Jacobian factorisation failed at iter %d: %w", it, ferr)
+			}
+			f.Solve(neg, dx)
+		}
+		// Optional ∞-norm clamp (device-voltage limiting in the large).
+		if opt.MaxStep > 0 {
+			if m := la.NormInf(dx); m > opt.MaxStep {
+				la.Scal(opt.MaxStep/m, dx)
+			}
+		}
+		// Damped update: halve until the residual stops increasing badly.
+		alpha := 1.0
+		var rNew []float64
+		var jNew *la.CSR
+		for h := 0; ; h++ {
+			for i := range xTrial {
+				xTrial[i] = x[i] + alpha*dx[i]
+			}
+			rNew, jNew, err = sys.Eval(xTrial, true)
+			if err != nil {
+				return st, err
+			}
+			nrm := la.NormInf(rNew)
+			if !opt.Damping || nrm <= 2*rNorm || h >= opt.MaxHalve || math.IsNaN(rNorm) {
+				if math.IsNaN(nrm) && h < opt.MaxHalve {
+					alpha /= 2
+					st.Halvings++
+					continue
+				}
+				rNorm = nrm
+				break
+			}
+			alpha /= 2
+			st.Halvings++
+		}
+		copy(x, xTrial)
+		r, j = rNew, jNew
+
+		// Convergence: weighted step norm AND residual check.
+		stepScaled := make([]float64, n)
+		for i := range stepScaled {
+			stepScaled[i] = alpha * dx[i]
+		}
+		st.StepNorm = la.WeightedMaxNorm(stepScaled, x, opt.AbsTol, opt.RelTol)
+		st.Residual = rNorm
+		// Primary acceptance: small step and small residual. Secondary:
+		// a full (undamped) Newton step that is essentially zero means the
+		// iteration is at numerical stationarity — the residual has hit its
+		// floating-point floor (common when charge differences are divided
+		// by very small time steps) and further iterations cannot help.
+		if st.StepNorm <= 1 && rNorm <= residCap {
+			st.Converged = true
+			return st, nil
+		}
+		if st.StepNorm <= 0.01 && alpha == 1 {
+			st.Converged = true
+			return st, nil
+		}
+		// A residual many orders below tolerance is a solution even when
+		// the step norm is noisy (ill-conditioned Jacobians amplify
+		// round-off into wandering but physically irrelevant updates).
+		if rNorm <= 1e-6*residCap {
+			st.Converged = true
+			return st, nil
+		}
+	}
+	st.Residual = rNorm
+	return st, fmt.Errorf("%w after %d iterations (residual %.3e, step %.3e)",
+		ErrNewton, st.Iterations, st.Residual, st.StepNorm)
+}

@@ -1,0 +1,106 @@
+package transient
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+)
+
+// bjtAmp builds a common-emitter amplifier with emitter degeneration.
+func bjtAmp(sig device.Waveform) *circuit.Circuit {
+	ckt := circuit.New("ce-amp")
+	ckt.V("VCC", "vcc", "0", device.DC(12))
+	ckt.V("VB", "bsrc", "0", sig)
+	ckt.R("RB", "bsrc", "b", 100)
+	ckt.R("RC", "vcc", "c", 4700)
+	ckt.R("RE", "e", "0", 1000)
+	q := &device.BJT{Inst: "Q1", C: ckt.Node("c"), B: ckt.Node("b"), E: ckt.Node("e"),
+		Is: 1e-15, BetaF: 200}
+	ckt.Add(q)
+	return ckt
+}
+
+func TestBJTCommonEmitterBias(t *testing.T) {
+	// VB = 2.7 V, VE ≈ 2.0 V → IE ≈ 2 mA → VC ≈ 12 − 9.4 ≈ 2.6 V.
+	ckt := bjtAmp(device.DC(2.7))
+	x, _, err := DC(ckt, DCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := ckt.NodeIndex("e")
+	c, _ := ckt.NodeIndex("c")
+	if x[e] < 1.8 || x[e] > 2.2 {
+		t.Fatalf("emitter bias %v, want ≈2.0", x[e])
+	}
+	ie := x[e] / 1000
+	wantVc := 12 - 4700*ie*(200.0/201)
+	if math.Abs(x[c]-wantVc) > 0.2 {
+		t.Fatalf("collector bias %v, want ≈%v", x[c], wantVc)
+	}
+}
+
+func TestBJTCommonEmitterGainTransient(t *testing.T) {
+	// Small-signal gain ≈ −RC/(RE + re): re = VT/IE ≈ 13 Ω → gain ≈ −4.6.
+	f := 1e4
+	ckt := bjtAmp(device.Sum{
+		device.DC(2.7),
+		device.Sine{Amp: 0.05, F1: f, K1: 1},
+	})
+	res, err := Run(ckt, Options{Method: TRAP, TStop: 3 / f, Step: 1 / f / 200, FixedStep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := ckt.NodeIndex("c")
+	// Peak-to-peak of the last period.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for k, tt := range res.T {
+		if tt < 2/f {
+			continue
+		}
+		v := res.X[k][c]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	gain := (hi - lo) / (2 * 0.05)
+	if gain < 3.5 || gain > 5.5 {
+		t.Fatalf("CE gain %v, want ≈4.6", gain)
+	}
+}
+
+func TestBJTClippingAtOverdrive(t *testing.T) {
+	// A 2 V drive slams the stage rail to rail: the collector must clip
+	// near saturation (low side) and near cutoff (VC→VCC·RE-divider) —
+	// i.e. strongly nonlinear behaviour, no numerical blow-ups.
+	f := 1e4
+	ckt := bjtAmp(device.Sum{
+		device.DC(2.7),
+		device.Sine{Amp: 2, F1: f, K1: 1},
+	})
+	res, err := Run(ckt, Options{Method: GEAR2, TStop: 2 / f, Step: 1 / f / 400, FixedStep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := ckt.NodeIndex("c")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for k := range res.T {
+		v := res.X[k][c]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo < -0.5 || hi > 12.5 {
+		t.Fatalf("collector left the rails: [%v, %v]", lo, hi)
+	}
+	if hi-lo < 6 {
+		t.Fatalf("overdriven stage should swing hard: [%v, %v]", lo, hi)
+	}
+}

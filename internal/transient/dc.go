@@ -1,0 +1,118 @@
+// Package transient implements DC operating-point analysis and adaptive
+// time-stepping integration (backward Euler, trapezoidal, BDF2/Gear-2) of the
+// MNA equations. It is both the workhorse inside shooting and the
+// "traditional time-stepping simulation" baseline that the paper's MPDE
+// method is measured against.
+package transient
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/la"
+	"repro/internal/solver"
+)
+
+// DCOptions configures operating-point analysis.
+type DCOptions struct {
+	Newton solver.Options
+	// Time at which source waveforms are evaluated (default 0).
+	Time float64
+	// GminSteps > 0 enables gmin stepping as a second fallback after
+	// source stepping (default 10 when fallbacks trigger).
+	GminSteps int
+	// SignalsOff computes the true bias point: time-varying sources are
+	// zeroed and only DC sources drive the circuit. Without it the sources
+	// are evaluated at Time, which is the SPICE transient-initial-condition
+	// convention.
+	SignalsOff bool
+}
+
+// DC computes the operating point: f(x) + b(t) = 0 with dq/dt = 0.
+// It tries plain Newton, then source-stepping continuation, then gmin
+// stepping. The returned vector has circuit.Size() entries.
+func DC(ckt *circuit.Circuit, opt DCOptions) ([]float64, solver.Stats, error) {
+	ckt.Finalize()
+	ev := ckt.NewEval()
+	n := ckt.Size()
+	if opt.Newton.MaxIter == 0 {
+		opt.Newton = solver.NewOptions()
+		// DC benefits from a modest voltage clamp per iteration.
+		opt.Newton.MaxStep = 10
+	}
+
+	evalAt := func(lambda float64, x []float64, jac bool) ([]float64, *la.CSR, error) {
+		if opt.SignalsOff {
+			// Lambda=0 with SignalOnlyLambda leaves DC sources at full
+			// strength and zeros the AC drive; the continuation parameter
+			// then ramps the DC-only source vector.
+			ctx := device.EvalCtx{T: opt.Time, Lambda: 0, SignalOnlyLambda: true}
+			res := ev.EvalAt(x, ctx, jac)
+			r := make([]float64, n)
+			for i := range r {
+				r[i] = res.F[i] + lambda*res.B[i]
+			}
+			return r, res.G, nil
+		}
+		ctx := device.EvalCtx{T: opt.Time, Lambda: lambda}
+		res := ev.EvalAt(x, ctx, jac)
+		r := res.Residual(nil)
+		return r, res.G, nil
+	}
+
+	x := make([]float64, n)
+	ps := solver.FuncParamSystem{N: n, F: evalAt}
+	st, _, err := solver.SolveWithFallback(ps, x, opt.Newton)
+	if err == nil {
+		return x, st, nil
+	}
+
+	// Gmin stepping: solve with a large artificial conductance to ground,
+	// then relax it geometrically down to the circuit's own Gmin.
+	steps := opt.GminSteps
+	if steps <= 0 {
+		steps = 12
+	}
+	la.Fill(x, 0)
+	gmin0 := 1e-2
+	target := ckt.Gmin
+	if target <= 0 {
+		target = 1e-12
+	}
+	ratio := math.Pow(target/gmin0, 1/float64(steps))
+	g := gmin0
+	for k := 0; k <= steps; k++ {
+		sys := solver.FuncSystem{N: n, F: func(xx []float64, jac bool) ([]float64, *la.CSR, error) {
+			ctx := device.EvalCtx{T: opt.Time, Lambda: 1}
+			if opt.SignalsOff {
+				ctx = device.EvalCtx{T: opt.Time, Lambda: 0, SignalOnlyLambda: true}
+			}
+			res := ev.EvalAt(xx, ctx, jac)
+			r := res.Residual(nil)
+			for i := 0; i < ckt.NumNodes(); i++ {
+				r[i] += g * xx[i]
+			}
+			var jm *la.CSR
+			if jac {
+				// Re-stamp the extra gmin onto a copy of G's diagonal.
+				jm = res.G.Clone()
+				di := jm.DiagIndex()
+				for i := 0; i < ckt.NumNodes(); i++ {
+					if di[i] >= 0 {
+						jm.Val[di[i]] += g
+					}
+				}
+			}
+			return r, jm, nil
+		}}
+		st2, err2 := solver.Solve(sys, x, opt.Newton)
+		if err2 != nil {
+			return nil, st2, fmt.Errorf("transient: DC gmin stepping failed at gmin=%.3e: %w", g, err2)
+		}
+		st = st2
+		g *= ratio
+	}
+	return x, st, nil
+}

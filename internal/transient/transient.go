@@ -1,0 +1,334 @@
+package transient
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/la"
+	"repro/internal/solver"
+)
+
+// Method selects the integration formula.
+type Method int
+
+const (
+	// BE is backward Euler (L-stable, first order).
+	BE Method = iota
+	// TRAP is the trapezoidal rule (A-stable, second order).
+	TRAP
+	// GEAR2 is the two-step BDF (L-stable, second order, variable step).
+	GEAR2
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case BE:
+		return "BE"
+	case TRAP:
+		return "TRAP"
+	case GEAR2:
+		return "GEAR2"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Options configures a transient run.
+type Options struct {
+	Method  Method
+	TStart  float64
+	TStop   float64
+	Step    float64 // initial (and, for FixedStep, the only) step size
+	MaxStep float64 // 0 → (TStop−TStart)/50
+	MinStep float64 // 0 → Step·1e-9
+	// FixedStep disables local-truncation-error control (used by shooting,
+	// which needs a deterministic grid).
+	FixedStep bool
+	// LTETol is the relative local-truncation-error target (default 1e-3).
+	LTETol float64
+	// X0 is the initial condition; nil → compute a DC operating point.
+	X0     []float64
+	Newton solver.Options
+	// MaxPoints caps stored time points (default 4e6 guard).
+	MaxPoints int
+}
+
+// Result is a stored trajectory.
+type Result struct {
+	T []float64
+	X [][]float64 // X[k] is the state at T[k]
+	// Steps counts accepted steps; Rejected counts LTE rejections;
+	// NewtonIters totals nonlinear iterations.
+	Steps, Rejected, NewtonIters int
+}
+
+// At linearly interpolates the state at time t into dst.
+func (r *Result) At(t float64, dst []float64) []float64 {
+	n := len(r.T)
+	if dst == nil {
+		dst = make([]float64, len(r.X[0]))
+	}
+	if n == 0 {
+		return dst
+	}
+	if t <= r.T[0] {
+		copy(dst, r.X[0])
+		return dst
+	}
+	if t >= r.T[n-1] {
+		copy(dst, r.X[n-1])
+		return dst
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if r.T[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	w := (t - r.T[lo]) / (r.T[hi] - r.T[lo])
+	for i := range dst {
+		dst[i] = r.X[lo][i] + w*(r.X[hi][i]-r.X[lo][i])
+	}
+	return dst
+}
+
+// Probe extracts the waveform of one unknown index.
+func (r *Result) Probe(idx int) []float64 {
+	out := make([]float64, len(r.T))
+	for k, x := range r.X {
+		out[k] = x[idx]
+	}
+	return out
+}
+
+// ErrStepUnderflow is returned when LTE control cannot find a workable step.
+var ErrStepUnderflow = errors.New("transient: time step underflow")
+
+// Run integrates the circuit over [TStart, TStop].
+func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
+	ckt.Finalize()
+	ev := ckt.NewEval()
+	n := ckt.Size()
+	if opt.TStop <= opt.TStart {
+		return nil, fmt.Errorf("transient: empty interval [%g, %g]", opt.TStart, opt.TStop)
+	}
+	if opt.Step <= 0 {
+		opt.Step = (opt.TStop - opt.TStart) / 1000
+	}
+	if opt.MaxStep <= 0 {
+		opt.MaxStep = (opt.TStop - opt.TStart) / 50
+	}
+	if opt.MinStep <= 0 {
+		opt.MinStep = opt.Step * 1e-9
+	}
+	if opt.LTETol <= 0 {
+		opt.LTETol = 1e-3
+	}
+	if opt.Newton.MaxIter == 0 {
+		opt.Newton = solver.NewOptions()
+	}
+	if opt.MaxPoints <= 0 {
+		opt.MaxPoints = 4_000_000
+	}
+
+	x := make([]float64, n)
+	if opt.X0 != nil {
+		if len(opt.X0) != n {
+			return nil, fmt.Errorf("transient: X0 size %d, want %d", len(opt.X0), n)
+		}
+		copy(x, opt.X0)
+	} else {
+		x0, _, err := DC(ckt, DCOptions{Time: opt.TStart})
+		if err != nil {
+			return nil, fmt.Errorf("transient: initial DC failed: %w", err)
+		}
+		copy(x, x0)
+	}
+
+	res := &Result{}
+	record := func(t float64, xx []float64) {
+		res.T = append(res.T, t)
+		res.X = append(res.X, append([]float64(nil), xx...))
+	}
+	record(opt.TStart, x)
+
+	// History for multi-step formulas: charge vectors and derivative.
+	qOf := func(xx []float64, t float64) ([]float64, []float64, []float64) {
+		r := ev.EvalAt(xx, device.EvalCtx{T: t, Lambda: 1}, false)
+		q := append([]float64(nil), r.Q...)
+		f := append([]float64(nil), r.F...)
+		b := append([]float64(nil), r.B...)
+		return q, f, b
+	}
+	qPrev, fPrev, bPrev := qOf(x, opt.TStart)
+	qdotPrev := make([]float64, n) // dq/dt at previous point ≈ −(f+b)
+	for i := range qdotPrev {
+		qdotPrev[i] = -(fPrev[i] + bPrev[i])
+	}
+	var qPrev2 []float64
+	hPrev := 0.0
+
+	t := opt.TStart
+	h := opt.Step
+	xPrev := append([]float64(nil), x...)
+	var xPrev2 []float64
+
+	for t < opt.TStop-1e-15*(opt.TStop-opt.TStart) {
+		if len(res.T) > opt.MaxPoints {
+			return res, fmt.Errorf("transient: exceeded MaxPoints=%d", opt.MaxPoints)
+		}
+		if t+h > opt.TStop {
+			h = opt.TStop - t
+		}
+		hTaken := h
+		tNew := t + hTaken
+
+		method := opt.Method
+		if method == GEAR2 && qPrev2 == nil {
+			method = BE // bootstrap the two-step formula
+		}
+		if method == TRAP && res.Steps == 0 {
+			method = BE // damp the initial-derivative transient
+		}
+
+		// Residual closure for this step.
+		hh := h
+		sys := solver.FuncSystem{N: n, F: func(xx []float64, jac bool) ([]float64, *la.CSR, error) {
+			r := ev.EvalAt(xx, device.EvalCtx{T: tNew, Lambda: 1}, jac)
+			out := make([]float64, n)
+			var cScale float64
+			switch method {
+			case TRAP:
+				cScale = 2 / hh
+				for i := range out {
+					out[i] = 2*(r.Q[i]-qPrev[i])/hh - qdotPrev[i] + r.F[i] + r.B[i]
+				}
+			case GEAR2:
+				hn, hm := hh, hPrev
+				a0 := (2*hn + hm) / (hn * (hn + hm))
+				a1 := -(hn + hm) / (hn * hm)
+				a2 := hn / (hm * (hn + hm))
+				cScale = a0
+				for i := range out {
+					out[i] = a0*r.Q[i] + a1*qPrev[i] + a2*qPrev2[i] + r.F[i] + r.B[i]
+				}
+			default: // BE
+				cScale = 1 / hh
+				for i := range out {
+					out[i] = (r.Q[i]-qPrev[i])/hh + r.F[i] + r.B[i]
+				}
+			}
+			var j *la.CSR
+			if jac {
+				j = combineJac(r.C, r.G, cScale)
+			}
+			return out, j, nil
+		}}
+
+		xNew := append([]float64(nil), x...)
+		st, err := solver.Solve(sys, xNew, opt.Newton)
+		res.NewtonIters += st.Iterations
+		if err != nil {
+			h /= 4
+			res.Rejected++
+			if h < opt.MinStep {
+				return res, fmt.Errorf("%w at t=%.6e (Newton: %v)", ErrStepUnderflow, t, err)
+			}
+			continue
+		}
+
+		if !opt.FixedStep && xPrev2 != nil {
+			// LTE estimate: compare the corrector against a linear
+			// extrapolation through the last two accepted points; the ratio
+			// is normalised so lte ≈ 1 means "error at the LTE target".
+			pred := make([]float64, n)
+			extrapolate(pred, xPrev2, xPrev, x, hPrev, hTaken)
+			lte := 0.0
+			for i := range pred {
+				e := math.Abs(xNew[i] - pred[i])
+				den := opt.Newton.AbsTol + math.Abs(xNew[i])*opt.LTETol
+				if r := e / den; r > lte {
+					lte = r
+				}
+			}
+			if lte > 20 { // reject: predictor badly wrong
+				h = hTaken / 2
+				res.Rejected++
+				if h < opt.MinStep {
+					return res, fmt.Errorf("%w at t=%.6e (LTE)", ErrStepUnderflow, t)
+				}
+				continue
+			}
+			// Gentle step adaptation for the NEXT step.
+			if lte < 0.5 {
+				h = math.Min(hTaken*1.5, opt.MaxStep)
+			} else if lte > 2 {
+				h = math.Max(hTaken/1.5, opt.MinStep)
+			}
+		}
+
+		// Accept.
+		qNew, fNew, bNew := qOf(xNew, tNew)
+		switch method {
+		case TRAP:
+			for i := range qdotPrev {
+				qdotPrev[i] = 2*(qNew[i]-qPrev[i])/hTaken - qdotPrev[i]
+			}
+		default:
+			for i := range qdotPrev {
+				qdotPrev[i] = -(fNew[i] + bNew[i])
+			}
+		}
+		qPrev2 = qPrev
+		qPrev = qNew
+		xPrev2 = xPrev
+		xPrev = append([]float64(nil), x...)
+		copy(x, xNew)
+		hPrev = hTaken
+		t = tNew
+		res.Steps++
+		record(t, x)
+	}
+	return res, nil
+}
+
+// combineJac forms J = cScale·C + G as a fresh CSR.
+func combineJac(c, g *la.CSR, cScale float64) *la.CSR {
+	tr := la.NewTriplet(g.Rows, g.Cols)
+	for i := 0; i < g.Rows; i++ {
+		for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
+			tr.Append(i, g.ColIdx[k], g.Val[k])
+		}
+	}
+	for i := 0; i < c.Rows; i++ {
+		for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+			tr.Append(i, c.ColIdx[k], cScale*c.Val[k])
+		}
+	}
+	return tr.Compress()
+}
+
+// extrapolate writes the quadratic extrapolation through (t−hp−h, x2),
+// (t−h, x1), (t, x0) evaluated one step h ahead... in practice a linear
+// extrapolation through the last two points is robust and that is what we
+// use; the third point damps noise via averaging of slopes.
+func extrapolate(dst, x2, x1, x0 []float64, hp, h float64) {
+	if hp <= 0 {
+		for i := range dst {
+			dst[i] = x0[i]
+		}
+		return
+	}
+	for i := range dst {
+		slope := (x0[i] - x1[i]) / hp
+		dst[i] = x0[i] + slope*h
+	}
+	_ = x2
+}

@@ -1,0 +1,126 @@
+package wave
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewSeriesValidation(t *testing.T) {
+	if _, err := NewSeries("x", []float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	s, err := NewSeries("x", []float64{0, 1}, []float64{-2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := s.MinMax()
+	if lo != -2 || hi != 4 {
+		t.Fatalf("MinMax = %v, %v", lo, hi)
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s, _ := NewSeries("v(out)", []float64{0, 1e-9}, []float64{1, 2})
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "t,v(out)\n") {
+		t.Fatalf("header missing: %q", out)
+	}
+	if !strings.Contains(out, "1.000000000e-09") {
+		t.Fatalf("time value missing: %q", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 3 {
+		t.Fatalf("row count wrong: %q", out)
+	}
+}
+
+func TestSeriesASCIIPlotShape(t *testing.T) {
+	tt := make([]float64, 50)
+	vv := make([]float64, 50)
+	for i := range tt {
+		tt[i] = float64(i)
+		vv[i] = math.Sin(float64(i) / 8)
+	}
+	s, _ := NewSeries("sin", tt, vv)
+	plot := s.ASCIIPlot(10, 40)
+	lines := strings.Split(strings.TrimRight(plot, "\n"), "\n")
+	if len(lines) != 11 { // header + 10 rows
+		t.Fatalf("plot rows = %d", len(lines))
+	}
+	if !strings.Contains(plot, "*") {
+		t.Fatal("plot contains no points")
+	}
+	if (Series{Name: "e"}).ASCIIPlot(5, 10) != "(empty)\n" {
+		t.Fatal("empty plot")
+	}
+}
+
+func TestSurfaceValidationAndCSV(t *testing.T) {
+	x := []float64{0, 1}
+	y := []float64{0, 1, 2}
+	if _, err := NewSurface("s", x, y, [][]float64{{1, 2, 3}}); err == nil {
+		t.Fatal("row mismatch should error")
+	}
+	if _, err := NewSurface("s", x, y, [][]float64{{1, 2}, {3, 4}}); err == nil {
+		t.Fatal("col mismatch should error")
+	}
+	s, err := NewSurface("s", x, y, [][]float64{{1, 2, 3}, {4, 5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.XLabel, s.YLabel = "t1", "t2"
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV rows = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "t1\\t2,") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	lo, hi := s.MinMax()
+	if lo != 1 || hi != 6 {
+		t.Fatalf("MinMax = %v %v", lo, hi)
+	}
+}
+
+func TestSurfaceHeatmap(t *testing.T) {
+	n1, n2 := 8, 16
+	x := make([]float64, n1)
+	y := make([]float64, n2)
+	z := make([][]float64, n1)
+	for i := range z {
+		x[i] = float64(i)
+		z[i] = make([]float64, n2)
+		for j := range z[i] {
+			y[j] = float64(j)
+			z[i][j] = math.Sin(float64(i)) * math.Cos(float64(j)/3)
+		}
+	}
+	s, _ := NewSurface("surf", x, y, z)
+	hm := s.ASCIIHeatmap(8, 16)
+	lines := strings.Split(strings.TrimRight(hm, "\n"), "\n")
+	if len(lines) != 9 {
+		t.Fatalf("heatmap rows = %d", len(lines))
+	}
+	for _, l := range lines[1:] {
+		if len(l) != 16 {
+			t.Fatalf("heatmap col width = %d", len(l))
+		}
+	}
+	// A constant surface must not divide by zero.
+	flat, _ := NewSurface("flat", x, y, func() [][]float64 {
+		zz := make([][]float64, n1)
+		for i := range zz {
+			zz[i] = make([]float64, n2)
+		}
+		return zz
+	}())
+	_ = flat.ASCIIHeatmap(4, 8)
+}

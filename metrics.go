@@ -1,0 +1,85 @@
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/rf"
+	"repro/internal/wave"
+)
+
+// --- multi-time representation sampling (paper Figs. 1–2) -------------------
+
+// MultiTimeSample is a sampled ẑ(t1, t2) surface.
+type MultiTimeSample = core.MultiTimeSample
+
+// SampleSheared samples a torus waveform through the sheared map: the
+// difference-frequency variation appears explicitly along t2 (Fig. 2).
+func SampleSheared(w TorusWaveform, sh Shear, n1, n2 int) MultiTimeSample {
+	return core.SampleSheared(w, sh, n1, n2)
+}
+
+// SampleUnsheared samples through the plain two-tone map where t2 spans one
+// RF period and no slow variation is visible (Fig. 1).
+func SampleUnsheared(w TorusWaveform, sh Shear, n1, n2 int) MultiTimeSample {
+	return core.SampleUnsheared(w, sh, n1, n2)
+}
+
+// --- RF metrics ---------------------------------------------------------------
+
+// Spectrum is a one-sided amplitude spectrum.
+type Spectrum = rf.Spectrum
+
+// NewSpectrum estimates the spectrum of uniformly sampled data.
+func NewSpectrum(x []float64, dt float64) Spectrum { return rf.NewSpectrum(x, dt) }
+
+// ConversionGain is the mixer figure of merit (ratio, dB, HD2/HD3).
+type ConversionGain = rf.ConversionGain
+
+// MeasureConversionGain analyses a baseband record spanning an integer
+// number of difference periods.
+func MeasureConversionGain(baseband []float64, dt, fd, rfAmp float64) (ConversionGain, error) {
+	return rf.MeasureConversionGain(baseband, dt, fd, rfAmp)
+}
+
+// Intermod summarises a two-tone intermodulation (IM3/IIP3) test.
+type Intermod = rf.Intermod
+
+// MeasureIntermod analyses a record containing two tones at fa and fb.
+func MeasureIntermod(x []float64, dt, fa, fb, inAmp float64) (Intermod, error) {
+	return rf.MeasureIntermod(x, dt, fa, fb, inAmp)
+}
+
+// EyeMetrics summarises bit-stream level separation.
+type EyeMetrics = rf.EyeMetrics
+
+// MeasureEye checks the baseband levels against a reference bit pattern.
+func MeasureEye(baseband []float64, bits []bool) EyeMetrics {
+	return rf.MeasureEye(baseband, bits)
+}
+
+// PRBS7 generates the x⁷+x⁶+1 maximal-length bit sequence.
+func PRBS7(seed uint8, n int) []bool { return rf.PRBS7(seed, n) }
+
+// BitEnvelope builds a ±1 bit-stream envelope on the unit torus phase.
+func BitEnvelope(bits []bool, edge float64) device.Envelope {
+	return rf.BitEnvelope(bits, edge)
+}
+
+// DB converts an amplitude ratio to decibels.
+func DB(ratio float64) float64 { return rf.DB(ratio) }
+
+// --- export helpers -------------------------------------------------------------
+
+// Series is a sampled scalar waveform with CSV/ASCII exporters.
+type Series = wave.Series
+
+// NewSeries pairs time and value slices.
+func NewSeries(name string, t, v []float64) (Series, error) { return wave.NewSeries(name, t, v) }
+
+// Surface is a sampled bivariate function with CSV/heat-map exporters.
+type Surface = wave.Surface
+
+// NewSurface validates and wraps a surface.
+func NewSurface(name string, x, y []float64, z [][]float64) (Surface, error) {
+	return wave.NewSurface(name, x, y, z)
+}
