@@ -6,11 +6,15 @@
 //   - circuit construction (NewCircuit, the device builders on Circuit,
 //     waveforms DC/Sine/ModulatedCarrier, and the SPICE-ish netlist parser),
 //   - conventional analyses (DCOperatingPoint, Transient, ShootingPSS,
-//     HarmonicBalance) as baselines, and
+//     HarmonicBalance) as baselines,
 //   - the paper's method: MPDEQuasiPeriodic (steady state on the sheared
 //     difference-frequency grid) and MPDEEnvelope (slow-time envelope
 //     following), with NewShear defining the difference-frequency time
-//     scale fd = K·F1 − F2.
+//     scale fd = K·F1 − F2, and
+//   - Sweep, the concurrent batch engine that fans families of analyses
+//     (QPSS, envelope, shooting, transient, HB) across a bounded worker
+//     pool over parameter grids of tone spacing, drive amplitude and grid
+//     size, with per-job cancellation and deterministic aggregation.
 //
 // A minimal session:
 //
@@ -21,6 +25,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/ac"
@@ -33,6 +38,7 @@ import (
 	"repro/internal/pac"
 	"repro/internal/shooting"
 	"repro/internal/solver"
+	"repro/internal/sweep"
 	"repro/internal/transient"
 )
 
@@ -93,6 +99,10 @@ type MPDEOptions = core.Options
 
 // MPDESolution is the converged multi-time steady state.
 type MPDESolution = core.Solution
+
+// MPDEGridSpectrum is the 2-D Fourier view of one unknown's multi-time
+// surface (mixes k1·F1 + k2·fd).
+type MPDEGridSpectrum = core.GridSpectrum
 
 // DiffOrder selects the finite-difference order on the MPDE grid.
 type DiffOrder = core.DiffOrder
@@ -206,6 +216,63 @@ type PACResult = pac.Result
 // small-signal conversion gains from a stimulus at fs to every LO sideband
 // fs + k·f0.
 func PACAnalyze(ckt *Circuit, opt PACOptions) (*PACResult, error) { return pac.Analyze(ckt, opt) }
+
+// --- concurrent sweeps --------------------------------------------------------
+
+// SweepSpec describes a batch of analyses over a parameter grid.
+type SweepSpec = sweep.Spec
+
+// SweepResult is the deterministic aggregate of a sweep.
+type SweepResult = sweep.Result
+
+// SweepGrid is a cartesian grid over tone spacing, drive amplitude and grid
+// sizes.
+type SweepGrid = sweep.Grid
+
+// SweepPoint is one grid vertex.
+type SweepPoint = sweep.Point
+
+// SweepTarget is the circuit under test at one point.
+type SweepTarget = sweep.Target
+
+// SweepBuilder constructs targets from points.
+type SweepBuilder = sweep.Builder
+
+// SweepMethod names an analysis the engine can run.
+type SweepMethod = sweep.Method
+
+// SweepJob identifies one scheduled analysis.
+type SweepJob = sweep.Job
+
+// SweepJobResult carries one job's measurements.
+type SweepJobResult = sweep.JobResult
+
+// SweepStatus classifies a job outcome.
+type SweepStatus = sweep.Status
+
+// The analyses a sweep can fan out.
+const (
+	SweepQPSS      = sweep.QPSS
+	SweepEnvelope  = sweep.Envelope
+	SweepShooting  = sweep.Shooting
+	SweepTransient = sweep.Transient
+	SweepHB        = sweep.HB
+)
+
+// Job outcomes in SweepJobResult.Status.
+const (
+	SweepStatusOK       = sweep.StatusOK
+	SweepStatusFailed   = sweep.StatusFailed
+	SweepStatusCanceled = sweep.StatusCanceled
+	SweepStatusTimeout  = sweep.StatusTimeout
+)
+
+// Sweep runs the spec's jobs across a bounded worker pool under ctx.
+// Cancelling ctx interrupts in-flight Newton solves and returns promptly
+// with partial results; see internal/sweep for the determinism guarantees.
+func Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
+	return sweep.Run(ctx, spec)
+}
 
 // --- canonical circuits -------------------------------------------------------
 

@@ -8,10 +8,12 @@
 //	mpde-sim -deck mixer.cir -analysis hb  -n1 32 -n2 8
 //	mpde-sim -deck mixer.cir -analysis qpss -n1 40 -n2 30 [-order2]
 //	mpde-sim -deck mixer.cir -analysis envelope -n1 40 -t2stop 2e-4
+//	mpde-sim sweep -circuit balanced -fd 10k,15k,20k -methods qpss,shooting
 //
 // qpss/hb/envelope need a ".tones F1 F2 [K]" card in the deck. Probed node
 // waveforms (all nodes, or -probe n1,n2,...) are written as CSV to stdout or
-// -out FILE.
+// -out FILE. The sweep subcommand (see sweepMain) batches whole families of
+// analyses over parameter grids on a worker pool.
 package main
 
 import (
@@ -45,6 +47,10 @@ var (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		sweepMain(os.Args[2:])
+		return
+	}
 	flag.Parse()
 	if *deckPath == "" {
 		flag.Usage()

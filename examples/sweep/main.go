@@ -1,0 +1,71 @@
+// The paper's computational-speedup study (S1) as a single batched run:
+// instead of looping disparities and methods one at a time (see
+// examples/speedup), one SweepSpec fans every (method, disparity) job across
+// the worker pool, and the aggregated result carries both the timing curve
+// and the cross-method gain agreement.
+//
+// The MPDE QPSS cost is independent of the disparity f1/fd while shooting
+// across one difference period grows linearly with it — the sweep's per-job
+// wall times trace the paper's crossover directly.
+//
+// Run with: go run ./examples/sweep
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	f1 := 100e6
+	disparities := []float64{20, 50, 100, 200, 500, 1000, 2000}
+
+	var points []repro.SweepPoint
+	for _, d := range disparities {
+		points = append(points, repro.SweepPoint{Fd: f1 / d, N1: 40, N2: 30})
+	}
+	spec := repro.SweepSpec{
+		Name:    "s1-speedup",
+		Methods: []repro.SweepMethod{repro.SweepQPSS, repro.SweepShooting},
+		Points:  points,
+		Build: func(p repro.SweepPoint) (*repro.SweepTarget, error) {
+			mix := repro.NewUnbalancedMixer(repro.UnbalancedMixerConfig{F1: f1, Fd: p.Fd})
+			return &repro.SweepTarget{
+				Ckt: mix.Ckt, Shear: mix.Shear,
+				OutP: mix.Drain, OutM: -1, RFAmp: mix.Cfg.RFAmp,
+			}, nil
+		},
+		Workers: runtime.NumCPU(),
+	}
+
+	t0 := time.Now()
+	res, err := repro.Sweep(context.Background(), spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, failed, canceled := res.Counts(); failed+canceled > 0 {
+		log.Fatalf("sweep had failures: %v", res.Errors())
+	}
+
+	// Jobs are method-major in point order: QPSS first, then shooting.
+	n := len(disparities)
+	qpss, shoot := res.Jobs[:n], res.Jobs[n:]
+	fmt.Printf("batched on %d workers, total wall %v\n\n", res.Workers, time.Since(t0).Round(time.Millisecond))
+	fmt.Println("disparity | MPDE QPSS | shooting(Td) | speedup | gain qpss/shooting")
+	fmt.Println("----------+-----------+--------------+---------+-------------------")
+	for i, d := range disparities {
+		q, s := qpss[i], shoot[i]
+		fmt.Printf("%9.0f | %9s | %12s | %6.1fx | %.4f / %.4f\n",
+			d, q.Wall.Round(time.Millisecond), s.Wall.Round(time.Millisecond),
+			float64(s.Wall)/float64(q.Wall), q.Gain.Ratio, s.Gain.Ratio)
+	}
+	fmt.Println()
+	fmt.Println("The per-job times reproduce the paper's S1 trend: the sheared-grid")
+	fmt.Println("MPDE cost stays flat while brute-force shooting grows linearly with")
+	fmt.Println("the disparity, and both methods report the same conversion gain.")
+}

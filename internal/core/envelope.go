@@ -191,6 +191,9 @@ func EnvelopeFollow(ckt *circuit.Circuit, opt EnvelopeOptions) (*EnvelopeResult,
 		st, err := solver.Solve(sys, x, opt.Newton)
 		res.NewtonIters += st.Iterations
 		if err != nil {
+			if solver.Interrupted(err) {
+				return res, fmt.Errorf("core: envelope interrupted at t2=%.3e: %w", t2, err)
+			}
 			h2 /= 2
 			if h2 < opt.StepT2*1e-6 {
 				return res, fmt.Errorf("core: envelope step underflow at t2=%.3e: %w", t2, err)

@@ -23,10 +23,17 @@ const (
 	Order2 DiffOrder = 2
 )
 
+// The paper's default grid: 40 fast-axis by 30 difference-axis points.
+const (
+	DefaultN1 = 40
+	DefaultN2 = 30
+)
+
 // Options configures the quasi-periodic steady-state (QPSS) solve.
 type Options struct {
 	// N1, N2 are the grid sizes along the fast (t1 ∈ [0,T1)) and
-	// difference (t2 ∈ [0,Td)) axes. Defaults 40 and 30, the paper's grid.
+	// difference (t2 ∈ [0,Td)) axes. Defaults DefaultN1 and DefaultN2,
+	// the paper's grid.
 	N1, N2 int
 	// Shear defines the difference-frequency time-scale map (required).
 	Shear Shear
@@ -88,10 +95,10 @@ func QPSS(ckt *circuit.Circuit, opt Options) (*Solution, error) {
 		return nil, fmt.Errorf("%w: %v", ErrNonTorusSource, bad)
 	}
 	if opt.N1 <= 0 {
-		opt.N1 = 40
+		opt.N1 = DefaultN1
 	}
 	if opt.N2 <= 0 {
-		opt.N2 = 30
+		opt.N2 = DefaultN2
 	}
 	if opt.DiffT1 == 0 {
 		opt.DiffT1 = Order1
@@ -140,7 +147,7 @@ func QPSS(ckt *circuit.Circuit, opt Options) (*Solution, error) {
 	st, err := solver.Solve(sys, x, opt.Newton)
 	sol.Stats.NewtonIters = st.Iterations
 	if err != nil {
-		if !opt.Continuation && opt.X0 == nil {
+		if solver.Interrupted(err) {
 			return nil, err
 		}
 		if !opt.Continuation {

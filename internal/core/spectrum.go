@@ -17,13 +17,13 @@ type GridSpectrum struct {
 	coef   []complex128 // 2-D DFT, layout j*N1 + i (k1 fast)
 }
 
-// Spectrum computes the grid spectrum of unknown k.
-func (s *Solution) Spectrum(k int) GridSpectrum {
+// spectrumOf transforms a per-grid-point scalar into a GridSpectrum.
+func (s *Solution) spectrumOf(value func(i, j int) float64) GridSpectrum {
 	N1, N2 := s.N1, s.N2
 	plane := make([]complex128, N1*N2)
 	for j := 0; j < N2; j++ {
 		for i := 0; i < N1; i++ {
-			plane[j*N1+i] = complex(s.X[s.index(i, j, k)], 0)
+			plane[j*N1+i] = complex(value(i, j), 0)
 		}
 	}
 	return GridSpectrum{
@@ -31,6 +31,21 @@ func (s *Solution) Spectrum(k int) GridSpectrum {
 		F1: s.Shear.F1, Fd: 1 / s.Shear.Td(),
 		coef: fft.Forward2D(plane, N2, N1),
 	}
+}
+
+// Spectrum computes the grid spectrum of unknown k.
+func (s *Solution) Spectrum(k int) GridSpectrum {
+	return s.spectrumOf(func(i, j int) float64 { return s.X[s.index(i, j, k)] })
+}
+
+// SpectrumDiff computes the grid spectrum of the differential quantity
+// x_kPlus − x_kMinus (e.g. the balanced mixer's differential output).
+// Subtracting before transforming keeps the phase information that a
+// subtraction of per-node amplitudes would destroy.
+func (s *Solution) SpectrumDiff(kPlus, kMinus int) GridSpectrum {
+	return s.spectrumOf(func(i, j int) float64 {
+		return s.X[s.index(i, j, kPlus)] - s.X[s.index(i, j, kMinus)]
+	})
 }
 
 // MixAmp returns the cosine amplitude of the (k1, k2) mix; (0, 0) is the DC

@@ -62,18 +62,26 @@ func (s *Solution) spectrumPlane(k int) []complex128 {
 	return fft.Forward2D(plane, N2, N1)
 }
 
-// HarmonicAmp returns the cosine amplitude of the (k1, k2) mix of unknown k:
-// the spectral line at frequency k1·F1 + k2·F2.
-func (s *Solution) HarmonicAmp(k, k1, k2 int) float64 {
+// HarmonicPhasor returns the complex phasor of the (k1, k2) mix of unknown
+// k, normalised so that |phasor| is the cosine amplitude of the line (the
+// conjugate half is folded in for non-DC mixes). Differential quantities
+// subtract phasors, not amplitudes.
+func (s *Solution) HarmonicPhasor(k, k1, k2 int) complex128 {
 	spec := s.spectrumPlane(k)
 	N1, N2 := s.N1, s.N2
 	i := ((k1 % N1) + N1) % N1
 	j := ((k2 % N2) + N2) % N2
-	a := cmplx.Abs(spec[j*N1+i]) / float64(N1*N2)
+	a := spec[j*N1+i] / complex(float64(N1*N2), 0)
 	if k1 != 0 || k2 != 0 {
 		a *= 2 // combine with the conjugate line
 	}
 	return a
+}
+
+// HarmonicAmp returns the cosine amplitude of the (k1, k2) mix of unknown k:
+// the spectral line at frequency k1·F1 + k2·F2.
+func (s *Solution) HarmonicAmp(k, k1, k2 int) float64 {
+	return cmplx.Abs(s.HarmonicPhasor(k, k1, k2))
 }
 
 // BasebandAmp returns the amplitude at the difference mix (k1, −k1·sign…)

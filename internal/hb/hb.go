@@ -32,6 +32,12 @@ import (
 	"repro/internal/transient"
 )
 
+// Default torus samples per axis (harmonic box |k1| ≤ N1/2, |k2| ≤ N2/2).
+const (
+	DefaultN1 = 32
+	DefaultN2 = 8
+)
+
 // Options configures a two-tone HB solve.
 type Options struct {
 	// F1, F2 are the driving tone frequencies (F2 = 0 selects single-tone
@@ -50,6 +56,10 @@ type Options struct {
 	GMRESIter int
 	// X0 warm-starts the grid (length N1·N2·n).
 	X0 []float64
+	// Interrupt, when non-nil, is polled between Newton iterations;
+	// returning true aborts the solve with ErrInterrupted (cooperative
+	// cancellation, mirroring solver.Options.Interrupt).
+	Interrupt func() bool
 }
 
 // Solution is a converged HB steady state on the torus grid.
@@ -73,6 +83,9 @@ type Stats struct {
 // ErrNoConvergence reports a failed HB Newton loop.
 var ErrNoConvergence = errors.New("hb: Newton did not converge")
 
+// ErrInterrupted reports a solve aborted through Options.Interrupt.
+var ErrInterrupted = errors.New("hb: solve interrupted")
+
 // Solve runs harmonic balance.
 func Solve(ckt *circuit.Circuit, opt Options) (*Solution, error) {
 	if opt.F1 <= 0 {
@@ -82,13 +95,13 @@ func Solve(ckt *circuit.Circuit, opt Options) (*Solution, error) {
 		return nil, fmt.Errorf("hb: circuit has non-torus sources: %v", bad)
 	}
 	if opt.N1 <= 0 {
-		opt.N1 = 32
+		opt.N1 = DefaultN1
 	}
 	if opt.F2 <= 0 {
 		opt.N2 = 1
 		opt.F2 = opt.F1 // unused when N2 == 1
 	} else if opt.N2 <= 0 {
-		opt.N2 = 8
+		opt.N2 = DefaultN2
 	}
 	if opt.MaxIter <= 0 {
 		opt.MaxIter = 60
@@ -130,6 +143,9 @@ func Solve(ckt *circuit.Circuit, opt Options) (*Solution, error) {
 	r0 := la.NormInf(r)
 	target := opt.Tol * math.Max(1, r0)
 	for it := 0; it < opt.MaxIter; it++ {
+		if opt.Interrupt != nil && opt.Interrupt() {
+			return nil, fmt.Errorf("%w after %d iterations", ErrInterrupted, sol.Stats.NewtonIters)
+		}
 		sol.Stats.NewtonIters = it + 1
 		nrm := la.NormInf(r)
 		sol.Stats.Residual = nrm

@@ -101,6 +101,10 @@ func Continue(sys ParamSystem, x []float64, opt ContinuationOptions) (Continuati
 			}
 		}
 		if _, err := solveAt(next, guess); err != nil {
+			if Interrupted(err) {
+				cs.FinalLambda = lambda
+				return cs, err
+			}
 			cs.Failures++
 			step /= 2
 			if step < opt.MinStep {

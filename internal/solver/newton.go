@@ -60,6 +60,12 @@ type Options struct {
 	PivotTol  float64 // sparse LU threshold-pivoting tolerance (default 0.001)
 	GMRESTol  float64 // default 1e-10
 	GMRESIter int     // default 400
+	// Interrupt, when non-nil, is polled between Newton iterations;
+	// returning true aborts the solve with ErrInterrupted. Analyses thread
+	// it through their inner solves so a long-running job can be cancelled
+	// cooperatively (the sweep engine wires per-job context cancellation
+	// through this hook).
+	Interrupt func() bool
 }
 
 // NewOptions returns the defaults used across the analyses.
@@ -117,6 +123,14 @@ type Stats struct {
 // ErrNewton is wrapped by non-convergence errors.
 var ErrNewton = errors.New("solver: Newton did not converge")
 
+// ErrInterrupted is wrapped by errors from solves aborted through
+// Options.Interrupt. Callers must not retry on it (unlike ErrNewton, where
+// step halving or continuation are reasonable responses).
+var ErrInterrupted = errors.New("solver: solve interrupted")
+
+// Interrupted reports whether err stems from an Options.Interrupt abort.
+func Interrupted(err error) bool { return errors.Is(err, ErrInterrupted) }
+
 // Solve runs damped Newton from x (updated in place to the solution).
 func Solve(sys System, x []float64, opt Options) (Stats, error) {
 	opt.fill()
@@ -138,6 +152,9 @@ func Solve(sys System, x []float64, opt Options) (Stats, error) {
 	// normalised systems alike.
 	residCap := opt.ResidTol * math.Max(1, rNorm)
 	for it := 0; it < opt.MaxIter; it++ {
+		if opt.Interrupt != nil && opt.Interrupt() {
+			return st, fmt.Errorf("%w after %d iterations", ErrInterrupted, st.Iterations)
+		}
 		st.Iterations = it + 1
 		// Solve J·dx = −r.
 		neg := make([]float64, n)

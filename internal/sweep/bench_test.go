@@ -1,0 +1,47 @@
+package sweep_test
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// acceptanceSpec is the 20-job QPSS grid of the acceptance criterion: the
+// balanced mixer over tone spacing × drive amplitude.
+func acceptanceSpec(workers int) sweep.Spec {
+	return sweep.Spec{
+		Name:    "bench",
+		Methods: []sweep.Method{sweep.QPSS},
+		Grid: sweep.Grid{
+			Fd:  []float64{60e3, 80e3, 100e3, 120e3, 140e3},
+			Amp: []float64{0.04, 0.05, 0.06, 0.07},
+			N1:  []int{24},
+			N2:  []int{16},
+		},
+		Build:   balancedTarget,
+		Workers: workers,
+	}
+}
+
+func benchSweep(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.Run(context.Background(), acceptanceSpec(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ok, failed, canceled := res.Counts(); failed+canceled != 0 {
+			b.Fatalf("ok=%d failed=%d canceled=%d", ok, failed, canceled)
+		}
+	}
+	b.ReportMetric(float64(workers), "workers")
+}
+
+// BenchmarkSweepWorkers1 vs BenchmarkSweepWorkersNumCPU measures the
+// speedup of the pool precisely (the loose correctness assertion lives in
+// TestSweepDeterministicAndFasterParallel).
+func BenchmarkSweepWorkers1(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepWorkersNumCPU is the parallel counterpart.
+func BenchmarkSweepWorkersNumCPU(b *testing.B) { benchSweep(b, runtime.NumCPU()) }

@@ -1,0 +1,229 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/hb"
+	"repro/internal/solver"
+)
+
+// finalizeMu serialises Circuit.Finalize across jobs: a Builder may hand the
+// same circuit to concurrent jobs, and finalisation is the one mutating step
+// left. After it, the circuit is read-only and safe to share.
+var finalizeMu sync.Mutex
+
+func finalize(ckt *circuit.Circuit) {
+	finalizeMu.Lock()
+	ckt.Finalize()
+	finalizeMu.Unlock()
+}
+
+// groupKey identifies a warm-start group: jobs of one method on one grid
+// shape share converged solutions as initial guesses.
+type groupKey struct {
+	method Method
+	n1, n2 int
+}
+
+// Run executes the sweep described by spec under ctx. It always returns the
+// aggregated result — on cancellation a partial one, with unstarted and
+// interrupted jobs marked StatusCanceled — together with ctx.Err().
+// Result.Jobs is ordered by Job.ID regardless of worker scheduling.
+func Run(ctx context.Context, spec Spec) (*Result, error) {
+	if spec.Build == nil {
+		return nil, errors.New("sweep: Spec.Build is required")
+	}
+	jobs, err := spec.jobs()
+	if err != nil {
+		return nil, err
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	res := &Result{Name: spec.Name, Workers: workers, Jobs: make([]JobResult, len(jobs))}
+	for i := range res.Jobs {
+		res.Jobs[i] = JobResult{Job: jobs[i], Status: StatusCanceled, Err: "sweep canceled before job started"}
+	}
+
+	// Warm-start staging: the first job of every seedable (method, N1, N2)
+	// group runs in stage one; the group's remaining jobs run in stage two
+	// with that leader's converged grid as initial guess. Seeding only
+	// from the leader (never from "whichever job finished last") keeps
+	// every job's inputs — and therefore the aggregated results —
+	// independent of the worker count. Jobs of non-seedable methods never
+	// consume seeds, so they join stage one rather than idle behind the
+	// leaders' barrier.
+	var stage1, stage2 []int
+	if spec.WarmStart {
+		leaders := map[groupKey]bool{}
+		for _, j := range jobs {
+			k := groupKey{j.Method, j.Point.N1, j.Point.N2}
+			switch {
+			case !seedable(j.Method):
+				stage1 = append(stage1, j.ID)
+			case !leaders[k]:
+				leaders[k] = true
+				stage1 = append(stage1, j.ID)
+			default:
+				stage2 = append(stage2, j.ID)
+			}
+		}
+	} else {
+		stage1 = make([]int, len(jobs))
+		for i := range jobs {
+			stage1[i] = i
+		}
+	}
+
+	var seedMu sync.Mutex
+	seeds := map[groupKey][]float64{}
+	seedFor := func(j Job) []float64 {
+		if !spec.WarmStart || !seedable(j.Method) {
+			return nil
+		}
+		seedMu.Lock()
+		defer seedMu.Unlock()
+		return seeds[groupKey{j.Method, j.Point.N1, j.Point.N2}]
+	}
+
+	start := time.Now()
+	runStage := func(ids []int, storeSeeds bool) {
+		if len(ids) == 0 {
+			return
+		}
+		ch := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for id := range ch {
+					jr, raw := spec.runJob(ctx, jobs[id], seedFor(jobs[id]))
+					res.Jobs[id] = jr
+					if storeSeeds && raw != nil && jr.Status == StatusOK {
+						seedMu.Lock()
+						k := groupKey{jobs[id].Method, jobs[id].Point.N1, jobs[id].Point.N2}
+						if _, dup := seeds[k]; !dup {
+							seeds[k] = raw
+						}
+						seedMu.Unlock()
+					}
+				}
+			}()
+		}
+	feed:
+		for _, id := range ids {
+			select {
+			case <-ctx.Done():
+				break feed
+			case ch <- id:
+			}
+		}
+		close(ch)
+		wg.Wait()
+	}
+	runStage(stage1, spec.WarmStart)
+	runStage(stage2, false)
+	res.Wall = time.Since(start)
+	return res, ctx.Err()
+}
+
+// seedable reports whether a method accepts a full-grid X0 in the
+// (j·N1+i)·n+k layout shared by QPSS and HB.
+func seedable(m Method) bool { return m == QPSS || m == HB }
+
+// runJob executes one job under its per-job context and returns the result
+// plus, for seedable methods, the converged raw grid.
+func (s *Spec) runJob(ctx context.Context, job Job, seed []float64) (jr JobResult, raw []float64) {
+	jr = JobResult{Job: job}
+	if err := ctx.Err(); err != nil {
+		jr.Status, jr.Err = StatusCanceled, err.Error()
+		return jr, nil
+	}
+	jctx := ctx
+	if s.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, s.JobTimeout)
+		defer cancel()
+	}
+	interrupt := func() bool {
+		select {
+		case <-jctx.Done():
+			return true
+		default:
+			return false
+		}
+	}
+	newton := s.Newton
+	if newton.MaxIter == 0 {
+		newton = solver.NewOptions()
+		newton.MaxIter = 60
+	}
+	newton.Interrupt = interrupt
+
+	t0 := time.Now()
+	defer func() { jr.Wall = time.Since(t0) }()
+	// A panicking builder or analysis (e.g. a probe index out of range)
+	// must fail its own job, not take down the whole sweep.
+	defer func() {
+		if p := recover(); p != nil {
+			jr.Status = StatusFailed
+			jr.Err = fmt.Sprintf("panic: %v", p)
+			raw = nil
+		}
+	}()
+
+	tgt, err := s.Build(job.Point)
+	if err == nil && (tgt == nil || tgt.Ckt == nil) {
+		err = errors.New("sweep: builder returned no circuit")
+	}
+	if err == nil {
+		err = tgt.Shear.Validate()
+	}
+	if err != nil {
+		jr.Status, jr.Err = StatusFailed, err.Error()
+		return jr, nil
+	}
+	finalize(tgt.Ckt)
+
+	switch job.Method {
+	case QPSS:
+		raw, err = s.measureQPSS(&jr, tgt, newton, seed)
+	case Envelope:
+		err = s.measureEnvelope(&jr, tgt, newton)
+	case Shooting:
+		err = s.measureShooting(&jr, tgt, newton)
+	case Transient:
+		err = s.measureTransient(&jr, tgt, newton)
+	case HB:
+		raw, err = s.measureHB(&jr, tgt, interrupt, seed)
+	default:
+		err = errors.New("sweep: unknown method " + string(job.Method))
+	}
+	if err != nil {
+		jr.Err = err.Error()
+		if solver.Interrupted(err) || errors.Is(err, hb.ErrInterrupted) {
+			if errors.Is(jctx.Err(), context.DeadlineExceeded) {
+				jr.Status = StatusTimeout
+			} else {
+				jr.Status = StatusCanceled
+			}
+		} else {
+			jr.Status = StatusFailed
+		}
+		return jr, nil
+	}
+	jr.Status = StatusOK
+	return jr, raw
+}

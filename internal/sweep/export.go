@@ -1,0 +1,97 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// csvHeader is the fixed column set; wall_ns is appended when timing is on.
+var csvHeader = []string{
+	"id", "method", "fd", "amp", "n1", "n2", "status",
+	"unknowns", "newton_iters", "time_steps", "continuation",
+	"gain_valid", "gain_ratio", "gain_db", "hd2", "hd3", "swing",
+	"spectrum", "err",
+}
+
+// WriteCSV writes one row per job. With timing=false the output depends
+// only on the Spec and the solved numbers — never on scheduling — so two
+// runs of the same sweep at different worker counts are byte-identical.
+func (r *Result) WriteCSV(w io.Writer, timing bool) error {
+	cw := csv.NewWriter(w)
+	header := csvHeader
+	if timing {
+		header = append(append([]string(nil), csvHeader...), "wall_ns")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range r.Jobs {
+		jr := &r.Jobs[i]
+		rec := []string{
+			strconv.Itoa(jr.Job.ID),
+			string(jr.Job.Method),
+			fmtG(jr.Job.Point.Fd),
+			fmtG(jr.Job.Point.Amp),
+			strconv.Itoa(jr.Job.Point.N1),
+			strconv.Itoa(jr.Job.Point.N2),
+			string(jr.Status),
+			strconv.Itoa(jr.Unknowns),
+			strconv.Itoa(jr.NewtonIters),
+			strconv.Itoa(jr.TimeSteps),
+			strconv.FormatBool(jr.UsedContinuation),
+			strconv.FormatBool(jr.GainValid),
+			fmtE(jr.Gain.Ratio),
+			fmtE(jr.Gain.DB),
+			fmtE(jr.Gain.HD2),
+			fmtE(jr.Gain.HD3),
+			fmtE(jr.Swing),
+			spectrumCell(jr.Spectrum),
+			jr.Err,
+		}
+		if timing {
+			rec = append(rec, strconv.FormatInt(jr.Wall.Nanoseconds(), 10))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// spectrumCell packs the dominant mixes into one comma-free cell.
+func spectrumCell(lines []Line) string {
+	if len(lines) == 0 {
+		return ""
+	}
+	parts := make([]string, len(lines))
+	for i, l := range lines {
+		parts[i] = fmt.Sprintf("(%d %d)@%s:%s", l.K1, l.K2, fmtG(l.Freq), fmtE(l.Amp))
+	}
+	return strings.Join(parts, ";")
+}
+
+func fmtG(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+func fmtE(v float64) string { return strconv.FormatFloat(v, 'e', 9, 64) }
+
+// WriteJSON writes the full aggregate. With timing=false the wall-clock
+// fields are zeroed (on a copy) so the serialisation is scheduling-free.
+func (r *Result) WriteJSON(w io.Writer, timing bool) error {
+	out := r
+	if !timing {
+		cp := *r
+		cp.Wall = 0
+		cp.Jobs = append([]JobResult(nil), r.Jobs...)
+		for i := range cp.Jobs {
+			cp.Jobs[i].Wall = 0
+		}
+		out = &cp
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,286 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/core"
+	"repro/internal/hb"
+	"repro/internal/rf"
+	"repro/internal/shooting"
+	"repro/internal/solver"
+	"repro/internal/transient"
+)
+
+// Analysis-default grid sizes, taken from the analyses themselves so the
+// seed-size checks and measurement sampling track what they actually run.
+const (
+	defaultQPSSN1 = core.DefaultN1
+	defaultQPSSN2 = core.DefaultN2
+	defaultHBN1   = hb.DefaultN1
+	defaultHBN2   = hb.DefaultN2
+)
+
+// shootingStepsCap bounds a single shooting/transient job; grids beyond it
+// (very high disparity at fine resolution) fail with an explicit error
+// instead of silently running for hours.
+const shootingStepsCap = 4_000_000
+
+func orDefault(v, def int) int {
+	if v <= 0 {
+		return def
+	}
+	return v
+}
+
+func (s *Spec) spectrumTop() int {
+	switch {
+	case s.SpectrumTop > 0:
+		return s.SpectrumTop
+	case s.SpectrumTop < 0:
+		return 0
+	default:
+		return 5
+	}
+}
+
+func (s *Spec) stepsPerFast() float64 {
+	if s.StepsPerFastPeriod > 0 {
+		return float64(s.StepsPerFastPeriod)
+	}
+	return 10
+}
+
+// swing returns max−min of a record.
+func swing(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return hi - lo
+}
+
+// measureRecord fills swing and, when a reference amplitude is available,
+// the conversion gain of a uniform record spanning one difference period.
+func measureRecord(jr *JobResult, vals []float64, dt, fd, refAmp float64) {
+	jr.Swing = swing(vals)
+	if refAmp > 0 && len(vals) >= 8 {
+		if g, err := rf.MeasureConversionGain(vals, dt, fd, refAmp); err == nil {
+			jr.GainValid = true
+			jr.Gain = g
+		}
+	}
+}
+
+// baseband extracts the target's output baseband from a QPSS solution:
+// differential when OutM ≥ 0, single-ended otherwise.
+func qpssBaseband(sol *core.Solution, tgt *Target) []float64 {
+	if tgt.OutM >= 0 {
+		return sol.DifferentialBaseband(tgt.OutP, tgt.OutM)
+	}
+	return sol.BasebandMean(tgt.OutP)
+}
+
+func (s *Spec) measureQPSS(jr *JobResult, tgt *Target, newton solver.Options, seed []float64) ([]float64, error) {
+	p := jr.Job.Point
+	opt := core.Options{
+		N1: p.N1, N2: p.N2, Shear: tgt.Shear,
+		DiffT1: s.DiffT1, DiffT2: s.DiffT2,
+		Newton: newton, Continuation: true,
+	}
+	n1, n2 := orDefault(p.N1, defaultQPSSN1), orDefault(p.N2, defaultQPSSN2)
+	if len(seed) == n1*n2*tgt.Ckt.Size() {
+		opt.X0 = seed
+		// A stale guess must not strand the solve: QPSS skips continuation
+		// only on interrupt, so failures still fall back to source stepping.
+	}
+	sol, err := core.QPSS(tgt.Ckt, opt)
+	if err != nil {
+		return nil, err
+	}
+	jr.NewtonIters = sol.Stats.NewtonIters
+	jr.Unknowns = sol.Stats.Unknowns
+	jr.UsedContinuation = sol.Stats.UsedContinuation
+
+	bb := qpssBaseband(sol, tgt)
+	measureRecord(jr, bb, tgt.Shear.Td()/float64(len(bb)), math.Abs(tgt.Shear.Fd()), tgt.RFAmp)
+	if top := s.spectrumTop(); top > 0 {
+		var gs core.GridSpectrum
+		if tgt.OutM >= 0 {
+			gs = sol.SpectrumDiff(tgt.OutP, tgt.OutM)
+		} else {
+			gs = sol.Spectrum(tgt.OutP)
+		}
+		for _, m := range gs.DominantMixes(top) {
+			jr.Spectrum = append(jr.Spectrum, Line{
+				K1: m.K1, K2: m.K2, Freq: gs.MixFreq(m.K1, m.K2), Amp: m.Amp,
+			})
+		}
+	}
+	return sol.X, nil
+}
+
+func (s *Spec) measureEnvelope(jr *JobResult, tgt *Target, newton solver.Options) error {
+	p := jr.Job.Point
+	td := tgt.Shear.Td()
+	opt := core.EnvelopeOptions{
+		N1: p.N1, Shear: tgt.Shear,
+		T2Stop: td, StepT2: td / float64(orDefault(p.N2, defaultQPSSN2)),
+		Newton: newton,
+	}
+	env, err := core.EnvelopeFollow(tgt.Ckt, opt)
+	if err != nil {
+		return err
+	}
+	jr.NewtonIters = env.NewtonIters
+	jr.TimeSteps = len(env.T2)
+	jr.Unknowns = orDefault(p.N1, defaultQPSSN1) * tgt.Ckt.Size()
+	bb := env.Baseband(tgt.OutP)
+	if tgt.OutM >= 0 {
+		bm := env.Baseband(tgt.OutM)
+		for i := range bb {
+			bb[i] -= bm[i]
+		}
+	}
+	// The envelope is a slow-time transient toward the quasi-periodic
+	// orbit, not a settled period — report swing only, no gain.
+	jr.Swing = swing(bb)
+	return nil
+}
+
+// fastSteps returns the number of fixed steps resolving every retained fast
+// harmonic over one difference period.
+func (s *Spec) fastSteps(sh core.Shear) (int, error) {
+	cycles := sh.Disparity() * math.Abs(float64(sh.K))
+	steps := int(math.Ceil(cycles * s.stepsPerFast()))
+	if steps < 64 {
+		steps = 64
+	}
+	if steps > shootingStepsCap {
+		return 0, fmt.Errorf("sweep: disparity %.3g needs %d time steps (cap %d); use qpss for this point",
+			sh.Disparity(), steps, shootingStepsCap)
+	}
+	return steps, nil
+}
+
+func (s *Spec) measureShooting(jr *JobResult, tgt *Target, newton solver.Options) error {
+	sh := tgt.Shear
+	td := sh.Td()
+	steps, err := s.fastSteps(sh)
+	if err != nil {
+		return err
+	}
+	pss, err := shooting.PSS(tgt.Ckt, shooting.Options{Period: td, Steps: steps, Newton: newton})
+	if err != nil {
+		return err
+	}
+	jr.NewtonIters = pss.Iterations
+	jr.TimeSteps = pss.TotalTimeSteps
+	jr.Unknowns = tgt.Ckt.Size()
+	// Drop the duplicated period endpoint: exactly `steps` samples over Td.
+	vals := make([]float64, steps)
+	for i := 0; i < steps; i++ {
+		vals[i] = pss.Orbit.X[i][tgt.OutP]
+		if tgt.OutM >= 0 {
+			vals[i] -= pss.Orbit.X[i][tgt.OutM]
+		}
+	}
+	measureRecord(jr, vals, td/float64(steps), math.Abs(sh.Fd()), tgt.RFAmp)
+	return nil
+}
+
+func (s *Spec) measureTransient(jr *JobResult, tgt *Target, newton solver.Options) error {
+	sh := tgt.Shear
+	td := sh.Td()
+	steps, err := s.fastSteps(sh)
+	if err != nil {
+		return err
+	}
+	periods := s.TransientPeriods
+	if periods <= 0 {
+		periods = 3
+	}
+	if float64(steps)*periods > shootingStepsCap {
+		return fmt.Errorf("sweep: transient horizon %.3g·Td needs %.0f steps (cap %d)",
+			periods, float64(steps)*periods, shootingStepsCap)
+	}
+	step := td / float64(steps)
+	opt := transient.Options{
+		Method: transient.GEAR2, TStop: periods * td, Step: step,
+		FixedStep: true, Newton: newton,
+	}
+	res, err := transient.Run(tgt.Ckt, opt)
+	if err != nil {
+		return err
+	}
+	jr.NewtonIters = res.NewtonIters
+	jr.TimeSteps = res.Steps
+	jr.Unknowns = tgt.Ckt.Size()
+	// Measure the last difference period, after (periods−1)·Td of settling.
+	vals := make([]float64, steps)
+	dst := make([]float64, tgt.Ckt.Size())
+	t1 := periods * td
+	for i := 0; i < steps; i++ {
+		x := res.At(t1-td+float64(i)*step, dst)
+		vals[i] = x[tgt.OutP]
+		if tgt.OutM >= 0 {
+			vals[i] -= x[tgt.OutM]
+		}
+	}
+	measureRecord(jr, vals, step, math.Abs(sh.Fd()), tgt.RFAmp)
+	return nil
+}
+
+func (s *Spec) measureHB(jr *JobResult, tgt *Target, interrupt func() bool, seed []float64) ([]float64, error) {
+	p := jr.Job.Point
+	sh := tgt.Shear
+	// HB has its own Newton loop; map the user's overrides (the raw Spec
+	// field, so untouched values keep hb's defaults). ResidTol plays the
+	// role of hb's relative residual target.
+	opt := hb.Options{
+		F1: sh.F1, F2: sh.F2, N1: p.N1, N2: p.N2,
+		MaxIter:   s.Newton.MaxIter,
+		Tol:       s.Newton.ResidTol,
+		GMRESTol:  s.Newton.GMRESTol,
+		GMRESIter: s.Newton.GMRESIter,
+		Interrupt: interrupt,
+	}
+	n1, n2 := orDefault(p.N1, defaultHBN1), orDefault(p.N2, defaultHBN2)
+	if len(seed) == n1*n2*tgt.Ckt.Size() {
+		opt.X0 = seed
+	}
+	sol, err := hb.Solve(tgt.Ckt, opt)
+	if err != nil {
+		return nil, err
+	}
+	jr.NewtonIters = sol.Stats.NewtonIters
+	jr.Unknowns = n1 * n2 * tgt.Ckt.Size()
+
+	// The down-converted fundamental lives at the (K, −1) mix on the
+	// unsheared torus, its harmonics at (2K, −2), (3K, −3). Differential
+	// lines subtract phasors.
+	phasor := func(k1, k2 int) complex128 {
+		ph := sol.HarmonicPhasor(tgt.OutP, k1, k2)
+		if tgt.OutM >= 0 {
+			ph -= sol.HarmonicPhasor(tgt.OutM, k1, k2)
+		}
+		return ph
+	}
+	k := sh.K
+	a1 := cmplx.Abs(phasor(k, -1))
+	jr.Swing = 2 * a1 // peak-to-peak of the down-converted fundamental
+	if tgt.RFAmp > 0 && a1 > 0 {
+		g := rf.ConversionGain{Ratio: a1 / tgt.RFAmp}
+		g.DB = rf.DB(g.Ratio)
+		g.HD2 = cmplx.Abs(phasor(2*k, -2)) / a1
+		g.HD3 = cmplx.Abs(phasor(3*k, -3)) / a1
+		jr.GainValid = true
+		jr.Gain = g
+	}
+	return sol.X, nil
+}

@@ -1,0 +1,310 @@
+// Package sweep is the concurrent batch engine of the reproduction: it runs
+// families of steady-state analyses — the paper's MPDE QPSS and envelope
+// methods next to the shooting/transient/harmonic-balance baselines — over a
+// parameter grid (tone spacing fd, drive amplitude, grid sizes N1×N2) on a
+// bounded worker pool.
+//
+// Design points:
+//
+//   - Deterministic results: Result.Jobs is ordered by job ID (method-major,
+//     then grid order) no matter how the pool interleaves execution, and the
+//     timing-free CSV/JSON serialisations are byte-identical between a
+//     Workers=1 and a Workers=NumCPU run of the same Spec.
+//   - Per-job contexts: every job observes the parent context plus an
+//     optional per-job timeout. Cancellation is cooperative — it is threaded
+//     down to the Newton iterations through solver.Options.Interrupt — so a
+//     mid-sweep cancel returns promptly with partial results.
+//   - Safe structure sharing: a Builder may return the same *circuit.Circuit
+//     for every point. The engine finalises each circuit once, under a lock,
+//     before handing it to an analysis; after finalisation the circuit and
+//     its devices are read-only and every analysis allocates its own Eval
+//     workspace, so concurrent jobs on a shared circuit are race-free. With
+//     WarmStart, converged QPSS grids are additionally reused as initial
+//     guesses within a (method, N1, N2) group (seeded only from the group's
+//     first job, which keeps results independent of worker count).
+package sweep
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/rf"
+	"repro/internal/solver"
+)
+
+// Method names one of the analyses the engine can run at a grid point.
+type Method string
+
+// The supported analyses.
+const (
+	// QPSS is the paper's sheared-grid quasi-periodic steady state.
+	QPSS Method = "qpss"
+	// Envelope is slow-time MPDE envelope following.
+	Envelope Method = "envelope"
+	// Shooting is single-tone PSS across one difference period — the
+	// paper's principal CPU-time baseline.
+	Shooting Method = "shooting"
+	// Transient is brute-force integration over TransientPeriods·Td.
+	Transient Method = "transient"
+	// HB is box-truncated two-tone harmonic balance.
+	HB Method = "hb"
+)
+
+// Valid reports whether m names a known analysis.
+func (m Method) Valid() bool {
+	switch m {
+	case QPSS, Envelope, Shooting, Transient, HB:
+		return true
+	}
+	return false
+}
+
+// Point is one vertex of the sweep grid. Zero-valued fields mean "the
+// builder's / analysis's default": Fd=0 lets the Builder pick its default
+// tone spacing, N1=N2=0 the analysis's default grid.
+type Point struct {
+	// Fd is the requested tone spacing (difference frequency) in Hz.
+	Fd float64 `json:"fd,omitempty"`
+	// Amp is the requested drive amplitude in volts.
+	Amp float64 `json:"amp,omitempty"`
+	// N1, N2 are the grid sizes along the fast and slow axes.
+	N1 int `json:"n1,omitempty"`
+	N2 int `json:"n2,omitempty"`
+}
+
+// Grid is a cartesian parameter grid. Empty axes contribute a single
+// zero value (the builder/analysis default).
+type Grid struct {
+	Fd  []float64
+	Amp []float64
+	N1  []int
+	N2  []int
+}
+
+// Points expands the grid in deterministic order: Fd-major, then Amp, then
+// N1, then N2.
+func (g Grid) Points() []Point {
+	fds := g.Fd
+	if len(fds) == 0 {
+		fds = []float64{0}
+	}
+	amps := g.Amp
+	if len(amps) == 0 {
+		amps = []float64{0}
+	}
+	n1s := g.N1
+	if len(n1s) == 0 {
+		n1s = []int{0}
+	}
+	n2s := g.N2
+	if len(n2s) == 0 {
+		n2s = []int{0}
+	}
+	pts := make([]Point, 0, len(fds)*len(amps)*len(n1s)*len(n2s))
+	for _, fd := range fds {
+		for _, amp := range amps {
+			for _, n1 := range n1s {
+				for _, n2 := range n2s {
+					pts = append(pts, Point{Fd: fd, Amp: amp, N1: n1, N2: n2})
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// Target is the circuit under test at one grid point, as produced by a
+// Builder. The engine finalises Ckt itself; a Builder may return a fresh
+// circuit per call or the same one for every point (see the package comment
+// for why sharing is safe).
+type Target struct {
+	Ckt   *circuit.Circuit
+	Shear core.Shear
+	// OutP is the probed output unknown; OutM, when ≥ 0, selects
+	// differential probing of OutP − OutM.
+	OutP, OutM int
+	// RFAmp is the input drive amplitude the conversion gain is referenced
+	// to; 0 disables gain measurement (swing is still reported).
+	RFAmp float64
+}
+
+// Builder constructs the circuit under test for one grid point.
+type Builder func(Point) (*Target, error)
+
+// Spec describes a sweep.
+type Spec struct {
+	// Name labels the sweep in exports.
+	Name string
+	// Methods lists the analyses to run at every grid point; default
+	// {QPSS}. Jobs are ordered method-major.
+	Methods []Method
+	// Grid is expanded via Grid.Points(); Points, when non-nil, is used
+	// verbatim instead.
+	Grid   Grid
+	Points []Point
+	// Build constructs the target at each point (required).
+	Build Builder
+	// Workers bounds the pool; ≤ 0 means runtime.NumCPU().
+	Workers int
+	// JobTimeout, when > 0, cancels each job that runs longer.
+	JobTimeout time.Duration
+	// WarmStart reuses the first converged QPSS grid of each
+	// (method, N1, N2) group as the initial guess for the group's
+	// remaining jobs.
+	WarmStart bool
+	// Newton overrides the nonlinear-solver configuration. A zero MaxIter
+	// selects per-analysis defaults for the solver-based methods; HB runs
+	// its own Newton loop, onto which the set fields are mapped
+	// individually (MaxIter, ResidTol→Tol, GMRESTol, GMRESIter).
+	Newton solver.Options
+	// DiffT1, DiffT2 select the finite-difference order of QPSS jobs
+	// (zero values → first order, matching core.Options).
+	DiffT1, DiffT2 core.DiffOrder
+	// SpectrumTop is the number of dominant mixes reported per QPSS job
+	// (default 5; negative disables).
+	SpectrumTop int
+	// TransientPeriods is the integration horizon in difference periods
+	// for Transient jobs (default 3; the last period is measured).
+	TransientPeriods float64
+	// StepsPerFastPeriod sets the time resolution of Shooting and
+	// Transient jobs, per period of the fastest retained harmonic K·F1
+	// (default 10).
+	StepsPerFastPeriod int
+}
+
+// Status classifies a job outcome.
+type Status string
+
+// Job outcomes.
+const (
+	StatusOK       Status = "ok"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+	StatusTimeout  Status = "timeout"
+)
+
+// Job is one scheduled analysis.
+type Job struct {
+	// ID is the job's index in Result.Jobs — deterministic for a given
+	// Spec regardless of worker count.
+	ID     int    `json:"id"`
+	Method Method `json:"method"`
+	Point  Point  `json:"point"`
+}
+
+// Line is one reported spectral mix.
+type Line struct {
+	K1   int     `json:"k1"`
+	K2   int     `json:"k2"`
+	Freq float64 `json:"freq"`
+	Amp  float64 `json:"amp"`
+}
+
+// JobResult aggregates one job's outcome and measurements.
+type JobResult struct {
+	Job    Job    `json:"job"`
+	Status Status `json:"status"`
+	Err    string `json:"err,omitempty"`
+	// Wall is the job's wall-clock time (excluded from the timing-free
+	// serialisations so runs are byte-comparable).
+	Wall time.Duration `json:"wall_ns"`
+	// NewtonIters totals nonlinear iterations; TimeSteps totals
+	// integration steps (shooting/transient/envelope); Unknowns is the
+	// solved system size.
+	NewtonIters int `json:"newton_iters"`
+	TimeSteps   int `json:"time_steps,omitempty"`
+	Unknowns    int `json:"unknowns,omitempty"`
+	// UsedContinuation marks QPSS jobs rescued by source stepping.
+	UsedContinuation bool `json:"used_continuation,omitempty"`
+	// GainValid guards Gain: conversion gain referenced to Target.RFAmp.
+	GainValid bool              `json:"gain_valid"`
+	Gain      rf.ConversionGain `json:"gain,omitempty"`
+	// Swing is max−min of the method's native output record: the t1-mean
+	// baseband for QPSS/envelope, the raw waveform (carrier included) for
+	// shooting/transient, and for HB the peak-to-peak of the
+	// down-converted fundamental line alone — comparable in order of
+	// magnitude across methods, not bit-for-bit.
+	Swing float64 `json:"swing"`
+	// Spectrum holds the dominant output mixes (QPSS jobs only).
+	Spectrum []Line `json:"spectrum,omitempty"`
+}
+
+// Result is the aggregated outcome of a sweep. Jobs is ordered by Job.ID.
+type Result struct {
+	Name    string        `json:"name"`
+	Workers int           `json:"workers"`
+	Wall    time.Duration `json:"wall_ns"`
+	Jobs    []JobResult   `json:"jobs"`
+}
+
+// Counts tallies job outcomes.
+func (r *Result) Counts() (ok, failed, canceled int) {
+	for i := range r.Jobs {
+		switch r.Jobs[i].Status {
+		case StatusOK:
+			ok++
+		case StatusFailed:
+			failed++
+		default:
+			canceled++
+		}
+	}
+	return ok, failed, canceled
+}
+
+// Errors collects the distinct failure messages (diagnostics for logs).
+func (r *Result) Errors() []string {
+	seen := map[string]bool{}
+	var out []string
+	for i := range r.Jobs {
+		if e := r.Jobs[i].Err; e != "" && !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// usesGridAxes reports whether a method reads Point.N1/N2 (shooting and
+// transient derive their time resolution from the shear alone).
+func usesGridAxes(m Method) bool { return m != Shooting && m != Transient }
+
+// jobs expands the spec into its deterministic job list. Grid axes a
+// method ignores are canonicalised to zero and the resulting duplicate
+// points dropped, so an N1×N2 grid does not re-run the (expensive)
+// integration methods once per grid shape.
+func (s *Spec) jobs() ([]Job, error) {
+	methods := s.Methods
+	if len(methods) == 0 {
+		methods = []Method{QPSS}
+	}
+	for _, m := range methods {
+		if !m.Valid() {
+			return nil, errors.New("sweep: unknown method " + string(m))
+		}
+	}
+	pts := s.Points
+	if pts == nil {
+		pts = s.Grid.Points()
+	}
+	if len(pts) == 0 {
+		return nil, errors.New("sweep: empty point set")
+	}
+	var jobs []Job
+	for _, m := range methods {
+		seen := map[Point]bool{}
+		for _, p := range pts {
+			if !usesGridAxes(m) {
+				p.N1, p.N2 = 0, 0
+			}
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			jobs = append(jobs, Job{ID: len(jobs), Method: m, Point: p})
+		}
+	}
+	return jobs, nil
+}

@@ -1,0 +1,338 @@
+package sweep_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/ckts"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/sweep"
+)
+
+// balancedTarget builds the paper's balanced mixer scaled to a 10 MHz LO so
+// one QPSS job costs tens of milliseconds instead of paper-scale seconds.
+func balancedTarget(p sweep.Point) (*sweep.Target, error) {
+	cfg := ckts.BalancedMixerConfig{F1: 10e6, Fd: p.Fd, RFAmp: p.Amp}
+	if cfg.Fd == 0 {
+		cfg.Fd = 100e3
+	}
+	mix := ckts.NewBalancedMixer(cfg)
+	return &sweep.Target{
+		Ckt: mix.Ckt, Shear: mix.Shear,
+		OutP: mix.OutP, OutM: mix.OutM, RFAmp: mix.Cfg.RFAmp,
+	}, nil
+}
+
+// rcFdTarget drives an RC low-pass with a baseband tone at the difference
+// frequency declared on the torus (mix (1, −1)), with the corner placed at
+// fd so every method must report |H(j2πfd)| = 1/√2.
+func rcFdTarget(p sweep.Point) (*sweep.Target, error) {
+	fd := p.Fd
+	if fd == 0 {
+		fd = 1e5
+	}
+	amp := p.Amp
+	if amp == 0 {
+		amp = 1
+	}
+	sh := core.Shear{F1: 1e6, F2: 1e6 - fd, K: 1}
+	w := device.Sine{Amp: amp, F1: sh.F1, F2: sh.F2, K1: 1, K2: -1}
+	r := 1000.0
+	ckt, out := ckts.RCLowpass(w, r, 1/(2*math.Pi*fd*r))
+	return &sweep.Target{Ckt: ckt, Shear: sh, OutP: out, OutM: -1, RFAmp: amp}, nil
+}
+
+func TestGridPointsDeterministicOrder(t *testing.T) {
+	g := sweep.Grid{Fd: []float64{1, 2}, Amp: []float64{0.1}, N1: []int{8, 16}, N2: []int{4}}
+	pts := g.Points()
+	want := []sweep.Point{
+		{Fd: 1, Amp: 0.1, N1: 8, N2: 4},
+		{Fd: 1, Amp: 0.1, N1: 16, N2: 4},
+		{Fd: 2, Amp: 0.1, N1: 8, N2: 4},
+		{Fd: 2, Amp: 0.1, N1: 16, N2: 4},
+	}
+	if len(pts) != len(want) {
+		t.Fatalf("got %d points, want %d", len(pts), len(want))
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("point %d: got %+v want %+v", i, pts[i], want[i])
+		}
+	}
+	if n := len((sweep.Grid{}).Points()); n != 1 {
+		t.Fatalf("empty grid should expand to 1 default point, got %d", n)
+	}
+}
+
+// TestSweepDeterministicAndFasterParallel is the PR's acceptance check: a
+// ≥20-job QPSS sweep of the balanced mixer must produce byte-identical
+// aggregated results with Workers=1 and Workers=NumCPU, and the parallel
+// run must be measurably faster (asserted loosely here; measured precisely
+// in BenchmarkSweepWorkers*).
+func TestSweepDeterministicAndFasterParallel(t *testing.T) {
+	spec := sweep.Spec{
+		Name:    "acceptance",
+		Methods: []sweep.Method{sweep.QPSS},
+		Grid: sweep.Grid{
+			Fd:  []float64{60e3, 80e3, 100e3, 120e3, 140e3},
+			Amp: []float64{0.04, 0.05, 0.06, 0.07},
+			N1:  []int{24},
+			N2:  []int{16},
+		},
+		Build: balancedTarget,
+	}
+	spec.Workers = 1
+	serial, err := sweep.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Workers = runtime.NumCPU()
+	parallel, err := sweep.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(serial.Jobs) < 20 {
+		t.Fatalf("acceptance sweep must have ≥20 jobs, got %d", len(serial.Jobs))
+	}
+	for _, r := range []*sweep.Result{serial, parallel} {
+		ok, failed, canceled := r.Counts()
+		if failed != 0 || canceled != 0 || ok != len(r.Jobs) {
+			t.Fatalf("workers=%d: ok=%d failed=%d canceled=%d errs=%v",
+				r.Workers, ok, failed, canceled, r.Errors())
+		}
+	}
+	for i := range serial.Jobs {
+		if !serial.Jobs[i].GainValid {
+			t.Fatalf("job %d: no conversion gain measured", i)
+		}
+		if g := serial.Jobs[i].Gain.Ratio; g < 0.1 || g > 100 {
+			t.Fatalf("job %d: implausible gain %v", i, g)
+		}
+	}
+
+	var a, b bytes.Buffer
+	if err := serial.WriteCSV(&a, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.WriteCSV(&b, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("aggregated CSV differs between workers=1 and workers=%d:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			parallel.Workers, a.String(), b.String())
+	}
+	a.Reset()
+	b.Reset()
+	if err := serial.WriteJSON(&a, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.WriteJSON(&b, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("aggregated JSON differs between worker counts")
+	}
+
+	if runtime.NumCPU() >= 4 {
+		if parallel.Wall >= serial.Wall {
+			t.Errorf("parallel sweep (%v, %d workers) not faster than serial (%v)",
+				parallel.Wall, parallel.Workers, serial.Wall)
+		}
+	} else {
+		t.Logf("only %d CPUs; skipping the loose speedup assertion", runtime.NumCPU())
+	}
+	t.Logf("serial %v vs parallel %v on %d workers", serial.Wall, parallel.Wall, parallel.Workers)
+}
+
+// TestSweepMultiMethodOnLinearRC runs all five analyses at two grid points
+// of a linear RC whose exact answer is known, and cross-checks the engine's
+// per-method gain extraction paths against |H(j2πfd)| = 1/√2.
+func TestSweepMultiMethodOnLinearRC(t *testing.T) {
+	spec := sweep.Spec{
+		Name: "rc-all-methods",
+		Methods: []sweep.Method{
+			sweep.QPSS, sweep.Envelope, sweep.Shooting, sweep.Transient, sweep.HB,
+		},
+		Grid: sweep.Grid{
+			Fd: []float64{1e5, 2e5},
+			N1: []int{16},
+			N2: []int{32},
+		},
+		Build:     rcFdTarget,
+		WarmStart: true,
+		DiffT1:    core.Order2,
+		DiffT2:    core.Order2,
+	}
+	res, err := sweep.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, failed, canceled := res.Counts()
+	if failed != 0 || canceled != 0 {
+		t.Fatalf("ok=%d failed=%d canceled=%d errs=%v", ok, failed, canceled, res.Errors())
+	}
+	want := 1 / math.Sqrt2
+	for i := range res.Jobs {
+		jr := &res.Jobs[i]
+		if jr.Job.Method == sweep.Envelope {
+			if jr.GainValid {
+				t.Fatalf("envelope jobs report swing only, got gain %+v", jr.Gain)
+			}
+			if jr.Swing <= 0 {
+				t.Fatalf("envelope job %d: no baseband swing", jr.Job.ID)
+			}
+			continue
+		}
+		if !jr.GainValid {
+			t.Fatalf("%s job %d: gain not measured", jr.Job.Method, jr.Job.ID)
+		}
+		if math.Abs(jr.Gain.Ratio-want) > 0.05*want {
+			t.Fatalf("%s at fd=%g: gain %v, want %v ±5%%",
+				jr.Job.Method, jr.Job.Point.Fd, jr.Gain.Ratio, want)
+		}
+	}
+}
+
+// TestSweepWarmStartSeedsFollowers checks that with WarmStart the follower
+// jobs of a group converge in no more iterations than the cold leader, and
+// that warm-started results stay deterministic across worker counts.
+func TestSweepWarmStartSeedsFollowers(t *testing.T) {
+	spec := sweep.Spec{
+		Name:    "warm",
+		Methods: []sweep.Method{sweep.QPSS},
+		Grid: sweep.Grid{
+			Fd: []float64{90e3, 100e3, 110e3, 120e3},
+			N1: []int{20},
+			N2: []int{12},
+		},
+		Build:     balancedTarget,
+		WarmStart: true,
+		Workers:   1,
+	}
+	warm, err := sweep.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, failed, canceled := warm.Counts(); failed+canceled != 0 {
+		t.Fatalf("warm sweep failed: %v", warm.Errors())
+	}
+	leader := warm.Jobs[0]
+	for _, jr := range warm.Jobs[1:] {
+		if jr.NewtonIters > leader.NewtonIters {
+			t.Errorf("follower fd=%g took %d iters > leader's %d — warm start not engaged?",
+				jr.Job.Point.Fd, jr.NewtonIters, leader.NewtonIters)
+		}
+	}
+
+	spec.Workers = runtime.NumCPU()
+	warmPar, err := sweep.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := warm.WriteCSV(&a, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := warmPar.WriteCSV(&b, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("warm-started sweep not deterministic across worker counts")
+	}
+}
+
+func TestSweepBuilderAndSpecErrors(t *testing.T) {
+	if _, err := sweep.Run(context.Background(), sweep.Spec{}); err == nil {
+		t.Fatal("nil Build must be rejected")
+	}
+	if _, err := sweep.Run(context.Background(), sweep.Spec{
+		Build:   rcFdTarget,
+		Methods: []sweep.Method{"warp-drive"},
+	}); err == nil {
+		t.Fatal("unknown method must be rejected")
+	}
+	spec := sweep.Spec{
+		Build: func(p sweep.Point) (*sweep.Target, error) {
+			return nil, context.DeadlineExceeded // any error will do
+		},
+		Grid: sweep.Grid{Fd: []float64{1e5, 2e5}},
+	}
+	res, err := sweep.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, failed, _ := res.Counts(); failed != 2 {
+		t.Fatalf("builder errors must mark jobs failed, got %+v", res.Jobs)
+	}
+
+	// A panicking job (probe index out of range) fails alone instead of
+	// taking down the sweep.
+	panicky := sweep.Spec{
+		Build: func(p sweep.Point) (*sweep.Target, error) {
+			tgt, err := rcFdTarget(p)
+			if err == nil && p.Fd > 1.5e5 {
+				tgt.OutP = 10_000 // out of range → panic inside the analysis
+			}
+			return tgt, err
+		},
+		Grid:    sweep.Grid{Fd: []float64{1e5, 2e5}, N1: []int{8}, N2: []int{8}},
+		Workers: 1,
+	}
+	res, err = sweep.Run(context.Background(), panicky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[0].Status != sweep.StatusOK {
+		t.Fatalf("healthy job must survive a sibling's panic: %+v", res.Jobs[0])
+	}
+	if res.Jobs[1].Status != sweep.StatusFailed || !strings.Contains(res.Jobs[1].Err, "panic") {
+		t.Fatalf("panicking job must be marked failed with the panic message, got %+v", res.Jobs[1])
+	}
+}
+
+func TestSweepExportShapes(t *testing.T) {
+	spec := sweep.Spec{
+		Name:    "export",
+		Methods: []sweep.Method{sweep.QPSS},
+		Grid:    sweep.Grid{Fd: []float64{1e5}, N1: []int{16}, N2: []int{16}},
+		Build:   rcFdTarget,
+		Workers: 1,
+	}
+	res, err := sweep.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvBuf bytes.Buffer
+	if err := res.WriteCSV(&csvBuf, true); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 1+len(res.Jobs) {
+		t.Fatalf("CSV rows: got %d, want %d", len(lines), 1+len(res.Jobs))
+	}
+	if !strings.HasPrefix(lines[0], "id,method,fd") || !strings.HasSuffix(lines[0], "wall_ns") {
+		t.Fatalf("unexpected CSV header: %s", lines[0])
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := res.WriteJSON(&jsonBuf, true); err != nil {
+		t.Fatal(err)
+	}
+	var back sweep.Result
+	if err := json.Unmarshal(jsonBuf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "export" || len(back.Jobs) != len(res.Jobs) {
+		t.Fatalf("JSON roundtrip lost data: %+v", back)
+	}
+	if back.Jobs[0].Wall == 0 {
+		t.Fatal("timing JSON must include wall times")
+	}
+}

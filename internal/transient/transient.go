@@ -236,6 +236,9 @@ func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
 		st, err := solver.Solve(sys, xNew, opt.Newton)
 		res.NewtonIters += st.Iterations
 		if err != nil {
+			if solver.Interrupted(err) {
+				return res, fmt.Errorf("transient: interrupted at t=%.6e: %w", t, err)
+			}
 			h /= 4
 			res.Rejected++
 			if h < opt.MinStep {
