@@ -14,7 +14,10 @@
 //   - Sweep, the concurrent batch engine that fans families of analyses
 //     (QPSS, envelope, shooting, transient, HB) across a bounded worker
 //     pool over parameter grids of tone spacing, drive amplitude and grid
-//     size, with per-job cancellation and deterministic aggregation.
+//     size, with per-job cancellation and deterministic aggregation, and
+//   - Serve, the HTTP simulation service that accepts decks with analysis
+//     specs over JSON, multiplexes them onto the sweep engine behind a
+//     content-addressed result cache, and streams per-job progress.
 //
 // A minimal session:
 //
@@ -36,6 +39,7 @@ import (
 	"repro/internal/hb"
 	"repro/internal/netlist"
 	"repro/internal/pac"
+	"repro/internal/server"
 	"repro/internal/shooting"
 	"repro/internal/solver"
 	"repro/internal/sweep"
@@ -272,6 +276,22 @@ const (
 // with partial results; see internal/sweep for the determinism guarantees.
 func Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
 	return sweep.Run(ctx, spec)
+}
+
+// --- the simulation service ---------------------------------------------------
+
+// ServerOptions configures the HTTP simulation service: concurrency and
+// queue bounds, the content-addressed result cache, drain behaviour, and
+// the spool directory for flushed results.
+type ServerOptions = server.Options
+
+// Serve runs the HTTP simulation service on addr until ctx is canceled,
+// then drains: running jobs get ServerOptions.DrainTimeout to finish,
+// stragglers are interrupted cooperatively, and their partial sweep
+// results are still flushed. See internal/server for the API surface
+// (submit decks, SSE progress streams, /metrics).
+func Serve(ctx context.Context, addr string, opt ServerOptions) error {
+	return server.Serve(ctx, addr, opt)
 }
 
 // --- canonical circuits -------------------------------------------------------

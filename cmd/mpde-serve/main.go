@@ -1,0 +1,74 @@
+// Command mpde-serve runs the reproduction as a long-running simulation
+// service: an HTTP/JSON API accepting SPICE-ish decks with analysis specs,
+// multiplexed onto the concurrent sweep engine behind a content-addressed
+// result cache.
+//
+// Usage:
+//
+//	mpde-serve -addr :8080
+//	mpde-serve -addr :8080 -max-concurrent 4 -cache-bytes 268435456 -spool /var/spool/mpde
+//
+// A session:
+//
+//	curl -s localhost:8080/v1/jobs -d @mixer.cir             # submit (202 + id)
+//	curl -N localhost:8080/v1/jobs/j000001/events             # follow SSE progress
+//	curl -s localhost:8080/v1/jobs/j000001/result             # fetch the aggregate
+//	curl -s localhost:8080/metrics                            # cache/job/solver counters
+//
+// SIGINT/SIGTERM drains: new submits are rejected, running jobs get
+// -drain to finish, stragglers are interrupted cooperatively and their
+// partial sweep results are flushed (and spooled with -spool) before the
+// process exits. A second signal aborts the drain immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		maxConc = flag.Int("max-concurrent", 2, "simulations running at once")
+		maxQ    = flag.Int("max-queue", 64, "bound on in-flight (queued+running) jobs")
+		workers = flag.Int("sweep-workers", 0, "worker pool per simulation (0 = NumCPU)")
+		cacheB  = flag.Int64("cache-bytes", 64<<20, "result cache bound in bytes (negative disables)")
+		drain   = flag.Duration("drain", 30e9, "graceful-shutdown window for running jobs")
+		spool   = flag.String("spool", "", "directory receiving every finished job's result JSON")
+	)
+	flag.Parse()
+
+	if *spool != "" {
+		if err := os.MkdirAll(*spool, 0o755); err != nil {
+			log.Fatalf("mpde-serve: -spool: %v", err)
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		// Second signal: abandon the drain and die now.
+		<-ctx.Done()
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Fatal("mpde-serve: second signal, aborting drain")
+	}()
+
+	err := repro.Serve(ctx, *addr, repro.ServerOptions{
+		MaxConcurrent: *maxConc,
+		MaxQueue:      *maxQ,
+		SweepWorkers:  *workers,
+		CacheBytes:    *cacheB,
+		DrainTimeout:  *drain,
+		SpoolDir:      *spool,
+	})
+	if err != nil {
+		log.Fatalf("mpde-serve: %v", err)
+	}
+}

@@ -1,0 +1,153 @@
+// Example service drives the HTTP simulation API end to end: it starts the
+// server in-process, submits the balanced LO-doubling mixer deck twice
+// concurrently (demonstrating singleflight — the metrics show one engine
+// run), follows the SSE progress stream, fetches the cached result, and
+// drains the server.
+//
+// Run with:
+//
+//	go run ./examples/service
+package main
+
+import (
+	"bytes"
+	"context"
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+//go:embed balancedmixer.cir
+var mixerDeck string
+
+const addr = "127.0.0.1:8437"
+
+func main() {
+	ctx, stop := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- repro.Serve(ctx, addr, repro.ServerOptions{
+			MaxConcurrent: 2,
+			DrainTimeout:  5 * time.Second,
+			Logf:          log.Printf,
+		})
+	}()
+	base := "http://" + addr
+	waitHealthy(base)
+
+	body, err := json.Marshal(map[string]any{
+		"deck":        mixerDeck,
+		"probe":       "outp",
+		"probe_minus": "outm",
+		"rf_amp":      0.05,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two identical concurrent submissions: singleflight coalesces them
+	// onto one engine run and both get the same bytes.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(base+"/v1/simulate", "application/json", bytes.NewReader(body))
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			fmt.Printf("simulate[%d]: %s (job %s, X-Cache %s)\n",
+				i, resp.Status, resp.Header.Get("X-Job-ID"), resp.Header.Get("X-Cache"))
+		}(i)
+	}
+	wg.Wait()
+
+	// Resubmit asynchronously: a pure cache hit, then stream its (already
+	// terminal) event log and fetch the result.
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var info struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+		Cached bool   `json:"cached"`
+	}
+	json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	fmt.Printf("async resubmit: job %s status %s cached %v\n", info.ID, info.Status, info.Cached)
+
+	sresp, err := http.Get(base + "/v1/jobs/" + info.ID + "/events?format=ndjson")
+	if err != nil {
+		log.Fatal(err)
+	}
+	events, _ := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	fmt.Printf("events:\n%s", events)
+
+	rresp, err := http.Get(base + "/v1/jobs/" + info.ID + "/result")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var result struct {
+		Name string `json:"name"`
+		Jobs []struct {
+			Status string `json:"status"`
+			Gain   struct {
+				DB float64 `json:"db"`
+			} `json:"gain"`
+			Swing float64 `json:"swing"`
+		} `json:"jobs"`
+	}
+	json.NewDecoder(rresp.Body).Decode(&result)
+	rresp.Body.Close()
+	for _, j := range result.Jobs {
+		fmt.Printf("result %q: status %s, conversion gain %.2f dB, swing %.1f mV\n",
+			result.Name, j.Status, j.Gain.DB, 1e3*j.Swing)
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	fmt.Println("metrics (excerpt):")
+	for _, line := range strings.Split(string(metrics), "\n") {
+		if strings.HasPrefix(line, "mpde_engine_runs_total") ||
+			strings.HasPrefix(line, "mpde_jobs_submitted_total") ||
+			strings.HasPrefix(line, "mpde_cache_hits_total") ||
+			strings.HasPrefix(line, "mpde_singleflight_shared_total") {
+			fmt.Println("  " + line)
+		}
+	}
+
+	stop()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+}
+
+func waitHealthy(base string) {
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	log.Fatal("server never became healthy")
+}

@@ -1,0 +1,76 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hammers the deck parser with hostile input: decks now arrive
+// over HTTP, so whatever bytes a client sends must produce either a Deck or
+// an error — never a panic. Seeds cover every card type, the analysis
+// directives, and the known tricky shapes (suffix parsing, tone mapping,
+// truncated key=value pairs, comments, .end handling).
+//
+// Run the corpus as part of `go test`; explore with
+// `go test -fuzz FuzzParse ./internal/netlist`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"\n\n\n",
+		"* only a comment\n",
+		dividerDeck,
+		mixerDeck,
+		analysisDeck,
+		".title x\n.tones 1e6 0.9e6 2\nV1 a 0 SIN 0 1 1e6\n.end\n",
+		".tones 1e6 0.9e6\nV1 a 0 SQU 0 1 1e6 0.3 0.01\n",
+		"R1 a 0 10k\nC1 a 0 2.2uF\nL1 a 0 10n\n",
+		"D1 a 0 IS=1e-15 CJ0=1p TT=1n N=1.5\n",
+		"M1 d g s VT=0.5 KP=4m LAMBDA=0.01 CGS=1f CGD=1f PMOS\n",
+		"Q1 c b e IS=1e-16 BF=100 PNP\n",
+		"G1 a 0 b 0 1m\nE1 a 0 b 0 10\nX1 o a b 1m\n",
+		".analysis qpss n1=40 n2=30\n",
+		".qpss n1=40\n.hb h1=8 h2=8\n.envelope\n.shooting steps=12\n.transient periods=5\n",
+		".analysis\n",
+		".analysis nosuch n1=4\n",
+		".qpss n1=\n",
+		".qpss =4\n",
+		"V1 a 0 DC\n",
+		"V1 a 0 SIN 0 1\n",
+		"V1 a 0 SIN 0 1 3.14e5\n",
+		".tones\n.tones 1e6\n",
+		".tones 1e6 0.9e6 x\n",
+		"R1 a 0 -5\n",
+		"R1 a 0 1e999\n",
+		"R1 a 0 10kohm\n",
+		"R1 a 0 450MEG\n",
+		".end\nR1 a 0 1k\n",
+		"Z9 what ever\n",
+		"M1 d g\n",
+		"\x00\x01\x02",
+		"R1 \xff\xfe 0 1k\n",
+		strings.Repeat("R1 a 0 1k\n", 100),
+		"R1 a 0 " + strings.Repeat("9", 400) + "\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, deck string) {
+		d, err := ParseString(deck)
+		if err != nil {
+			if d != nil {
+				t.Fatal("Parse returned both a deck and an error")
+			}
+			return
+		}
+		if d == nil || d.Ckt == nil {
+			t.Fatal("Parse returned neither deck nor error")
+		}
+		// Whatever parsed must survive the derived accessors too.
+		d.Shear()
+		d.Ckt.NodeNames()
+		for _, a := range d.Analyses {
+			a.Int("n1", 0)
+			a.Float("periods", 0)
+		}
+	})
+}

@@ -29,6 +29,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"unicode"
 
 	"repro/internal/circuit"
 	"repro/internal/core"
@@ -42,6 +43,47 @@ type Deck struct {
 	// Tones holds the declared (F1, F2, K); Shear() derives the MPDE map.
 	F1, F2 float64
 	K      int
+	// Analyses lists the deck's .analysis directives in declaration order,
+	// so a deck can carry its own analysis spec to batch drivers and the
+	// HTTP service.
+	Analyses []Analysis
+}
+
+// Analysis is one analysis request parsed from a deck directive, either the
+// explicit form or a method shorthand:
+//
+//	.analysis qpss n1=40 n2=30
+//	.qpss n1=40 n2=30
+//	.hb h1=8 h2=8            ; h1/h2 are aliases for n1/n2
+//	.transient periods=5 steps=12
+//	.shooting steps=12
+//
+// Params holds the normalised numeric parameters (aliases resolved):
+// n1/n2 grid sizes, periods (transient horizon in difference periods),
+// steps (time steps per fast period), top (spectrum mixes reported).
+type Analysis struct {
+	Method string
+	Params map[string]float64
+	// Line is the directive's line number in the deck.
+	Line int
+}
+
+// Int returns the integer value of a parameter, or def when it is absent.
+func (a Analysis) Int(key string, def int) int {
+	v, ok := a.Params[key]
+	if !ok {
+		return def
+	}
+	return int(v)
+}
+
+// Float returns a parameter value, or def when it is absent.
+func (a Analysis) Float(key string, def float64) float64 {
+	v, ok := a.Params[key]
+	if !ok {
+		return def
+	}
+	return v
 }
 
 // Shear returns the difference-frequency shear declared by .tones.
@@ -56,16 +98,63 @@ func (d *Deck) Shear() (core.Shear, error) {
 	return sh, nil
 }
 
-// ParseError reports a syntax problem with its line number.
+// ParseError reports a syntax problem with its position in the deck.
 type ParseError struct {
 	Line int
-	Msg  string
+	// Col is the 1-based byte column of the offending token within its
+	// line (0 when the error has no single-token position). Decks arriving
+	// over HTTP get the column echoed back so clients can point at the
+	// exact field.
+	Col int
+	Msg string
 }
 
-func (e *ParseError) Error() string { return fmt.Sprintf("netlist: line %d: %s", e.Line, e.Msg) }
+func (e *ParseError) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("netlist: line %d, col %d: %s", e.Line, e.Col, e.Msg)
+	}
+	return fmt.Sprintf("netlist: line %d: %s", e.Line, e.Msg)
+}
 
-func errf(line int, format string, args ...any) error {
-	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+// lineRef carries a card's position — line number plus the comment-stripped
+// text its fields were split from — so parse helpers can attach
+// byte-accurate columns to their errors.
+type lineRef struct {
+	no   int
+	text string
+}
+
+// errf reports an error against the whole line.
+func (ln lineRef) errf(format string, args ...any) error {
+	return &ParseError{Line: ln.no, Msg: fmt.Sprintf(format, args...)}
+}
+
+// fieldErrf reports an error positioned at the i-th whitespace-separated
+// field of the line.
+func (ln lineRef) fieldErrf(i int, format string, args ...any) error {
+	return &ParseError{Line: ln.no, Col: fieldCol(ln.text, i), Msg: fmt.Sprintf(format, args...)}
+}
+
+// fieldCol returns the 1-based byte column where the i-th field of text
+// starts (0 when text has fewer fields). Field splitting mirrors
+// strings.Fields: any run of Unicode whitespace separates fields.
+func fieldCol(text string, i int) int {
+	inField := false
+	fi := -1
+	for bi, r := range text {
+		if unicode.IsSpace(r) {
+			inField = false
+			continue
+		}
+		if !inField {
+			inField = true
+			fi++
+			if fi == i {
+				return bi + 1
+			}
+		}
+	}
+	return 0
 }
 
 // Parse reads a netlist deck.
@@ -76,16 +165,15 @@ func Parse(r io.Reader) (*Deck, error) {
 	ended := false
 	for sc.Scan() {
 		lineNo++
-		line := sc.Text()
-		if i := strings.IndexAny(line, ";"); i >= 0 {
-			line = line[:i]
-		}
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "*") {
+		raw, line := stripLine(sc.Text())
+		if line == "" {
 			continue
 		}
+		// Columns are computed against the comment-stripped but untrimmed
+		// line, so indented decks report accurate positions.
+		ln := lineRef{no: lineNo, text: raw}
 		if ended {
-			return nil, errf(lineNo, "content after .end")
+			return nil, ln.errf("content after .end")
 		}
 		fields := strings.Fields(line)
 		card := strings.ToLower(fields[0])
@@ -97,31 +185,33 @@ func Parse(r io.Reader) (*Deck, error) {
 			d.Title = strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
 			d.Ckt.Title = d.Title
 		case card == ".tones":
-			err = d.parseTones(fields, lineNo)
+			err = d.parseTones(fields, ln)
+		case card == ".analysis" || analysisShorthand(card):
+			err = d.parseAnalysis(fields, ln)
 		case strings.HasPrefix(card, "r"):
-			err = d.parseRCL(fields, lineNo, 'r')
+			err = d.parseRCL(fields, ln, 'r')
 		case strings.HasPrefix(card, "c"):
-			err = d.parseRCL(fields, lineNo, 'c')
+			err = d.parseRCL(fields, ln, 'c')
 		case strings.HasPrefix(card, "l"):
-			err = d.parseRCL(fields, lineNo, 'l')
+			err = d.parseRCL(fields, ln, 'l')
 		case strings.HasPrefix(card, "v"):
-			err = d.parseSource(fields, lineNo, true)
+			err = d.parseSource(fields, ln, true)
 		case strings.HasPrefix(card, "i"):
-			err = d.parseSource(fields, lineNo, false)
+			err = d.parseSource(fields, ln, false)
 		case strings.HasPrefix(card, "d"):
-			err = d.parseDiode(fields, lineNo)
+			err = d.parseDiode(fields, ln)
 		case strings.HasPrefix(card, "m"):
-			err = d.parseMOS(fields, lineNo)
+			err = d.parseMOS(fields, ln)
 		case strings.HasPrefix(card, "q"):
-			err = d.parseBJT(fields, lineNo)
+			err = d.parseBJT(fields, ln)
 		case strings.HasPrefix(card, "g"):
-			err = d.parseControlled(fields, lineNo, true)
+			err = d.parseControlled(fields, ln, true)
 		case strings.HasPrefix(card, "e"):
-			err = d.parseControlled(fields, lineNo, false)
+			err = d.parseControlled(fields, ln, false)
 		case strings.HasPrefix(card, "x"):
-			err = d.parseMult(fields, lineNo)
+			err = d.parseMult(fields, ln)
 		default:
-			err = errf(lineNo, "unknown card %q", fields[0])
+			err = ln.fieldErrf(0, "unknown card %q", fields[0])
 		}
 		if err != nil {
 			return nil, err
@@ -137,61 +227,151 @@ func Parse(r io.Reader) (*Deck, error) {
 // ParseString parses a deck held in a string.
 func ParseString(s string) (*Deck, error) { return Parse(strings.NewReader(s)) }
 
-func (d *Deck) parseTones(f []string, line int) error {
+// stripLine applies the dialect's lexical rules to one line: the trailing
+// ";" comment is removed, and body is the trimmed content — empty for
+// blank and "*" comment lines. raw keeps the comment-stripped, untrimmed
+// text for byte-accurate column reporting. Parse and Canonical share this
+// so they can never disagree about what a line means.
+func stripLine(line string) (raw, body string) {
+	if i := strings.IndexAny(line, ";"); i >= 0 {
+		line = line[:i]
+	}
+	body = strings.TrimSpace(line)
+	if strings.HasPrefix(body, "*") {
+		body = ""
+	}
+	return line, body
+}
+
+// Canonical returns a deck's canonical text for content addressing:
+// comments and blank lines dropped, whitespace runs collapsed to single
+// spaces, content after .end ignored. Case is preserved — node names are
+// case-sensitive, so decks differing only in case are different circuits
+// and must stay distinguishable. Because it reuses Parse's own line
+// lexing, two decks with equal canonical forms are guaranteed to parse
+// identically, which is what lets a server key result caches on the
+// canonical bytes.
+func Canonical(deck string) string {
+	var b strings.Builder
+	sc := bufio.NewScanner(strings.NewReader(deck))
+	sc.Buffer(make([]byte, 0, 4*1024), 1024*1024)
+	for sc.Scan() {
+		_, body := stripLine(sc.Text())
+		if body == "" {
+			continue
+		}
+		f := strings.Fields(body)
+		b.WriteString(strings.Join(f, " "))
+		b.WriteByte('\n')
+		if strings.EqualFold(f[0], ".end") {
+			break
+		}
+	}
+	return b.String()
+}
+
+func (d *Deck) parseTones(f []string, ln lineRef) error {
 	if len(f) < 3 {
-		return errf(line, ".tones needs F1 F2 [K]")
+		return ln.errf(".tones needs F1 F2 [K]")
 	}
 	var err error
 	if d.F1, err = ParseValue(f[1]); err != nil {
-		return errf(line, "bad F1: %v", err)
+		return ln.fieldErrf(1, "bad F1: %v", err)
 	}
 	if d.F2, err = ParseValue(f[2]); err != nil {
-		return errf(line, "bad F2: %v", err)
+		return ln.fieldErrf(2, "bad F2: %v", err)
 	}
 	d.K = 1
 	if len(f) >= 4 {
 		k, err := strconv.Atoi(f[3])
 		if err != nil {
-			return errf(line, "bad K: %v", err)
+			return ln.fieldErrf(3, "bad K: %v", err)
 		}
 		d.K = k
 	}
 	return nil
 }
 
-func (d *Deck) parseRCL(f []string, line int, kind byte) error {
+// analysisMethods is the directive vocabulary; the keys double as the
+// shorthand card names (".qpss", ".hb", ...).
+var analysisMethods = map[string]bool{
+	"qpss": true, "envelope": true, "shooting": true, "transient": true, "hb": true,
+}
+
+func analysisShorthand(card string) bool {
+	return strings.HasPrefix(card, ".") && analysisMethods[card[1:]]
+}
+
+// analysisParamAliases maps accepted parameter spellings onto the
+// normalised keys stored in Analysis.Params.
+var analysisParamAliases = map[string]string{
+	"n1": "n1", "n2": "n2", "h1": "n1", "h2": "n2",
+	"periods": "periods", "steps": "steps", "top": "top",
+}
+
+func (d *Deck) parseAnalysis(f []string, ln lineRef) error {
+	method := strings.ToLower(f[0])[1:]
+	pi := 1 // index of the first key=value field
+	if method == "analysis" {
+		if len(f) < 2 {
+			return ln.errf(".analysis needs a method (qpss, envelope, shooting, transient or hb)")
+		}
+		method = strings.ToLower(f[1])
+		pi = 2
+	}
+	if !analysisMethods[method] {
+		return ln.fieldErrf(1, "unknown analysis %q (want qpss, envelope, shooting, transient or hb)", method)
+	}
+	a := Analysis{Method: method, Params: map[string]float64{}, Line: ln.no}
+	for i := pi; i < len(f); i++ {
+		key, val, err := parseKV(f[i], ln, i)
+		if err != nil {
+			return err
+		}
+		norm, ok := analysisParamAliases[key]
+		if !ok {
+			return ln.fieldErrf(i, "unknown %s parameter %q (want n1, n2, h1, h2, periods, steps or top)", method, key)
+		}
+		a.Params[norm] = val
+	}
+	d.Analyses = append(d.Analyses, a)
+	return nil
+}
+
+func (d *Deck) parseRCL(f []string, ln lineRef, kind byte) error {
 	if len(f) != 4 {
-		return errf(line, "%c-card needs: name n+ n- value", kind)
+		return ln.errf("%c-card needs: name n+ n- value", kind)
 	}
 	v, err := ParseValue(f[3])
 	if err != nil {
-		return errf(line, "bad value %q: %v", f[3], err)
+		return ln.fieldErrf(3, "bad value %q: %v", f[3], err)
 	}
 	switch kind {
 	case 'r':
 		if v <= 0 {
-			return errf(line, "resistance must be positive")
+			return ln.fieldErrf(3, "resistance must be positive")
 		}
 		d.Ckt.R(f[0], f[1], f[2], v)
 	case 'c':
 		if v <= 0 {
-			return errf(line, "capacitance must be positive")
+			return ln.fieldErrf(3, "capacitance must be positive")
 		}
 		d.Ckt.C(f[0], f[1], f[2], v)
 	case 'l':
 		if v <= 0 {
-			return errf(line, "inductance must be positive")
+			return ln.fieldErrf(3, "inductance must be positive")
 		}
 		d.Ckt.L(f[0], f[1], f[2], v)
 	}
 	return nil
 }
 
-// toneCoeffs finds small integers (k1, k2) with k1·F1 + k2·F2 ≈ freq.
-func (d *Deck) toneCoeffs(freq float64, line int) (int, int, error) {
+// toneCoeffs finds small integers (k1, k2) with k1·F1 + k2·F2 ≈ freq. The
+// fi index positions errors at the frequency field of the source card.
+func (d *Deck) toneCoeffs(freq float64, ln lineRef, fi int) (int, int, error) {
 	if d.F1 <= 0 {
 		// No .tones: single-tone circuit, treat freq as F1 itself.
-		return 0, 0, errf(line, "SIN source needs a .tones declaration to map %g Hz onto the torus", freq)
+		return 0, 0, ln.fieldErrf(fi, "SIN source needs a .tones declaration to map %g Hz onto the torus", freq)
 	}
 	const rng = 6
 	for k1 := -rng; k1 <= rng; k1++ {
@@ -202,7 +382,7 @@ func (d *Deck) toneCoeffs(freq float64, line int) (int, int, error) {
 			}
 		}
 	}
-	return 0, 0, errf(line, "frequency %g is not a small-integer mix of tones (%g, %g)", freq, d.F1, d.F2)
+	return 0, 0, ln.fieldErrf(fi, "frequency %g is not a small-integer mix of tones (%g, %g)", freq, d.F1, d.F2)
 }
 
 func absf(x float64) float64 {
@@ -212,37 +392,37 @@ func absf(x float64) float64 {
 	return x
 }
 
-func (d *Deck) parseSource(f []string, line int, voltage bool) error {
+func (d *Deck) parseSource(f []string, ln lineRef, voltage bool) error {
 	if len(f) < 5 {
-		return errf(line, "source needs: name n+ n- DC v | SIN offset amp freq [phase]")
+		return ln.errf("source needs: name n+ n- DC v | SIN offset amp freq [phase]")
 	}
 	var w device.Waveform
 	switch strings.ToLower(f[3]) {
 	case "dc":
 		v, err := ParseValue(f[4])
 		if err != nil {
-			return errf(line, "bad DC value: %v", err)
+			return ln.fieldErrf(4, "bad DC value: %v", err)
 		}
 		w = device.DC(v)
 	case "sin":
 		if len(f) < 7 {
-			return errf(line, "SIN needs offset amp freq [phase_deg]")
+			return ln.errf("SIN needs offset amp freq [phase_deg]")
 		}
 		off, err1 := ParseValue(f[4])
 		amp, err2 := ParseValue(f[5])
 		freq, err3 := ParseValue(f[6])
 		if err1 != nil || err2 != nil || err3 != nil {
-			return errf(line, "bad SIN parameters")
+			return ln.errf("bad SIN parameters")
 		}
 		phase := 0.0
 		if len(f) >= 8 {
 			p, err := ParseValue(f[7])
 			if err != nil {
-				return errf(line, "bad SIN phase: %v", err)
+				return ln.fieldErrf(7, "bad SIN phase: %v", err)
 			}
 			phase = p * 3.14159265358979323846 / 180
 		}
-		k1, k2, err := d.toneCoeffs(freq, line)
+		k1, k2, err := d.toneCoeffs(freq, ln, 6)
 		if err != nil {
 			return err
 		}
@@ -254,37 +434,37 @@ func (d *Deck) parseSource(f []string, line int, voltage bool) error {
 		}
 	case "squ":
 		if len(f) < 7 {
-			return errf(line, "SQU needs offset amp freq [duty] [edge]")
+			return ln.errf("SQU needs offset amp freq [duty] [edge]")
 		}
 		off, err1 := ParseValue(f[4])
 		amp, err2 := ParseValue(f[5])
 		freq, err3 := ParseValue(f[6])
 		if err1 != nil || err2 != nil || err3 != nil {
-			return errf(line, "bad SQU parameters")
+			return ln.errf("bad SQU parameters")
 		}
 		duty, edge := 0.5, 0.02
 		if len(f) >= 8 {
 			v, err := ParseValue(f[7])
 			if err != nil {
-				return errf(line, "bad SQU duty: %v", err)
+				return ln.fieldErrf(7, "bad SQU duty: %v", err)
 			}
 			duty = v
 		}
 		if len(f) >= 9 {
 			v, err := ParseValue(f[8])
 			if err != nil {
-				return errf(line, "bad SQU edge: %v", err)
+				return ln.fieldErrf(8, "bad SQU edge: %v", err)
 			}
 			edge = v
 		}
-		k1, k2, err := d.toneCoeffs(freq, line)
+		k1, k2, err := d.toneCoeffs(freq, ln, 6)
 		if err != nil {
 			return err
 		}
 		w = device.TorusSquare{Offset: off, Amp: amp, Duty: duty, Edge: edge,
 			F1: d.F1, F2: d.F2, K1: k1, K2: k2}
 	default:
-		return errf(line, "unknown source kind %q (want DC, SIN or SQU)", f[3])
+		return ln.fieldErrf(3, "unknown source kind %q (want DC, SIN or SQU)", f[3])
 	}
 	if voltage {
 		d.Ckt.V(f[0], f[1], f[2], w)
@@ -294,13 +474,13 @@ func (d *Deck) parseSource(f []string, line int, voltage bool) error {
 	return nil
 }
 
-func (d *Deck) parseDiode(f []string, line int) error {
+func (d *Deck) parseDiode(f []string, ln lineRef) error {
 	if len(f) < 3 {
-		return errf(line, "diode needs: name anode cathode [IS=..] [CJ0=..] [TT=..]")
+		return ln.errf("diode needs: name anode cathode [IS=..] [CJ0=..] [TT=..]")
 	}
 	dev := &device.Diode{Inst: f[0], P: d.Ckt.Node(f[1]), N: d.Ckt.Node(f[2]), Is: 1e-14}
-	for _, kv := range f[3:] {
-		key, val, err := parseKV(kv, line)
+	for i, kv := range f[3:] {
+		key, val, err := parseKV(kv, ln, 3+i)
 		if err != nil {
 			return err
 		}
@@ -314,19 +494,19 @@ func (d *Deck) parseDiode(f []string, line int) error {
 		case "n":
 			dev.Nf = val
 		default:
-			return errf(line, "unknown diode parameter %q", key)
+			return ln.fieldErrf(3+i, "unknown diode parameter %q", key)
 		}
 	}
 	d.Ckt.Add(dev)
 	return nil
 }
 
-func (d *Deck) parseMOS(f []string, line int) error {
+func (d *Deck) parseMOS(f []string, ln lineRef) error {
 	if len(f) < 4 {
-		return errf(line, "mosfet needs: name d g s [VT=..] [KP=..] [LAMBDA=..] [CGS=..] [CGD=..] [PMOS]")
+		return ln.errf("mosfet needs: name d g s [VT=..] [KP=..] [LAMBDA=..] [CGS=..] [CGD=..] [PMOS]")
 	}
 	m := device.MOSFET{Vt0: 0.5, KP: 2e-4}
-	for _, kv := range f[4:] {
+	for i, kv := range f[4:] {
 		if strings.EqualFold(kv, "pmos") {
 			m.TypeP = true
 			if m.Vt0 == 0.5 {
@@ -334,7 +514,7 @@ func (d *Deck) parseMOS(f []string, line int) error {
 			}
 			continue
 		}
-		key, val, err := parseKV(kv, line)
+		key, val, err := parseKV(kv, ln, 4+i)
 		if err != nil {
 			return err
 		}
@@ -354,25 +534,25 @@ func (d *Deck) parseMOS(f []string, line int) error {
 		case "l":
 			m.L = val
 		default:
-			return errf(line, "unknown mosfet parameter %q", key)
+			return ln.fieldErrf(4+i, "unknown mosfet parameter %q", key)
 		}
 	}
 	d.Ckt.M(f[0], f[1], f[2], f[3], m)
 	return nil
 }
 
-func (d *Deck) parseBJT(f []string, line int) error {
+func (d *Deck) parseBJT(f []string, ln lineRef) error {
 	if len(f) < 4 {
-		return errf(line, "bjt needs: name c b e [IS=..] [BF=..] [BR=..] [CJE=..] [CJC=..] [PNP]")
+		return ln.errf("bjt needs: name c b e [IS=..] [BF=..] [BR=..] [CJE=..] [CJC=..] [PNP]")
 	}
 	q := &device.BJT{Inst: f[0],
 		C: d.Ckt.Node(f[1]), B: d.Ckt.Node(f[2]), E: d.Ckt.Node(f[3])}
-	for _, kv := range f[4:] {
+	for i, kv := range f[4:] {
 		if strings.EqualFold(kv, "pnp") {
 			q.TypeP = true
 			continue
 		}
-		key, val, err := parseKV(kv, line)
+		key, val, err := parseKV(kv, ln, 4+i)
 		if err != nil {
 			return err
 		}
@@ -388,20 +568,20 @@ func (d *Deck) parseBJT(f []string, line int) error {
 		case "cjc":
 			q.Cjc = val
 		default:
-			return errf(line, "unknown bjt parameter %q", key)
+			return ln.fieldErrf(4+i, "unknown bjt parameter %q", key)
 		}
 	}
 	d.Ckt.Add(q)
 	return nil
 }
 
-func (d *Deck) parseControlled(f []string, line int, vccs bool) error {
+func (d *Deck) parseControlled(f []string, ln lineRef, vccs bool) error {
 	if len(f) != 6 {
-		return errf(line, "controlled source needs: name n+ n- nc+ nc- gain")
+		return ln.errf("controlled source needs: name n+ n- nc+ nc- gain")
 	}
 	g, err := ParseValue(f[5])
 	if err != nil {
-		return errf(line, "bad gain: %v", err)
+		return ln.fieldErrf(5, "bad gain: %v", err)
 	}
 	if vccs {
 		d.Ckt.Gm(f[0], f[1], f[2], f[3], f[4], g)
@@ -411,26 +591,26 @@ func (d *Deck) parseControlled(f []string, line int, vccs bool) error {
 	return nil
 }
 
-func (d *Deck) parseMult(f []string, line int) error {
+func (d *Deck) parseMult(f []string, ln lineRef) error {
 	if len(f) != 5 {
-		return errf(line, "multiplier needs: name out a b gm")
+		return ln.errf("multiplier needs: name out a b gm")
 	}
 	g, err := ParseValue(f[4])
 	if err != nil {
-		return errf(line, "bad gm: %v", err)
+		return ln.fieldErrf(4, "bad gm: %v", err)
 	}
 	d.Ckt.Mult(f[0], f[1], f[2], f[3], g)
 	return nil
 }
 
-func parseKV(s string, line int) (string, float64, error) {
+func parseKV(s string, ln lineRef, fi int) (string, float64, error) {
 	i := strings.IndexByte(s, '=')
 	if i <= 0 {
-		return "", 0, errf(line, "expected key=value, got %q", s)
+		return "", 0, ln.fieldErrf(fi, "expected key=value, got %q", s)
 	}
 	v, err := ParseValue(s[i+1:])
 	if err != nil {
-		return "", 0, errf(line, "bad value in %q: %v", s, err)
+		return "", 0, ln.fieldErrf(fi, "bad value in %q: %v", s, err)
 	}
 	return strings.ToLower(s[:i]), v, nil
 }

@@ -264,3 +264,125 @@ func TestParseSquareSource(t *testing.T) {
 		t.Fatal("short SQU should fail")
 	}
 }
+
+const analysisDeck = `
+.title mixer with its own analysis spec
+.tones 1e6 0.9e6
+VLO lo 0 SIN 0 1 1e6
+VRF rf 0 SIN 0 0.1 0.9e6
+RL out 0 1k
+X1 out lo rf 1m
+.analysis qpss n1=40 n2=30
+.hb h1=8 h2=6
+.transient periods=5 steps=12
+.end
+`
+
+func TestParseAnalysisDirectives(t *testing.T) {
+	d, err := ParseString(analysisDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Analyses) != 3 {
+		t.Fatalf("got %d analyses, want 3: %+v", len(d.Analyses), d.Analyses)
+	}
+	q := d.Analyses[0]
+	if q.Method != "qpss" || q.Int("n1", 0) != 40 || q.Int("n2", 0) != 30 {
+		t.Fatalf("qpss directive = %+v", q)
+	}
+	h := d.Analyses[1]
+	if h.Method != "hb" || h.Int("n1", 0) != 8 || h.Int("n2", 0) != 6 {
+		t.Fatalf("hb directive must normalise h1/h2 onto n1/n2: %+v", h)
+	}
+	tr := d.Analyses[2]
+	if tr.Method != "transient" || tr.Float("periods", 0) != 5 || tr.Int("steps", 0) != 12 {
+		t.Fatalf("transient directive = %+v", tr)
+	}
+	if tr.Int("n1", 17) != 17 || tr.Float("periods", -1) != 5 {
+		t.Fatal("Analysis accessors must fall back to defaults only when absent")
+	}
+	if q.Line != 8 {
+		t.Fatalf("directive line = %d, want 8", q.Line)
+	}
+}
+
+func TestParseAnalysisErrors(t *testing.T) {
+	cases := []struct {
+		deck string
+		want string
+	}{
+		{".analysis\n", "needs a method"},
+		{".analysis spice\n", "unknown analysis"},
+		{".qpss n1\n", "key=value"},
+		{".qpss bogus=3\n", "unknown qpss parameter"},
+		{".hb h1=x\n", "bad value"},
+	}
+	for _, c := range cases {
+		_, err := ParseString(c.deck)
+		if err == nil {
+			t.Fatalf("deck %q should fail", c.deck)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("deck %q: error %q does not mention %q", c.deck, err, c.want)
+		}
+	}
+}
+
+// TestParseErrorColumns pins the byte-accurate column reporting: the error
+// must point at the offending field, not just the line.
+func TestParseErrorColumns(t *testing.T) {
+	cases := []struct {
+		deck      string
+		line, col int
+	}{
+		{"R1 a 0 xx\n", 1, 8},                 // bad value → the value field
+		{"R1 a 0   -5\n", 1, 10},              // run of spaces before the field
+		{"  R1 a 0 xx\n", 1, 10},              // indentation counts toward the column
+		{"bogus card here\n", 1, 1},           // unknown card → field 0
+		{"* c\n.tones 1e6 zz\n", 2, 12},       // bad F2
+		{"M1 d g s VT=0.5 Z=1\n", 1, 17},      // unknown mosfet parameter
+		{".analysis qpss n1=40 q=1\n", 1, 22}, // unknown analysis parameter
+		{"V1 a 0 SIN 0 1 3e6\n", 1, 16},       // unmappable frequency field
+	}
+	for _, c := range cases {
+		_, err := ParseString(c.deck)
+		if err == nil {
+			t.Fatalf("deck %q should fail", c.deck)
+		}
+		var pe *ParseError
+		if !errorsAs(err, &pe) {
+			t.Fatalf("deck %q: want *ParseError, got %T (%v)", c.deck, err, err)
+		}
+		if pe.Line != c.line || pe.Col != c.col {
+			t.Fatalf("deck %q: position %d:%d, want %d:%d (%v)", c.deck, pe.Line, pe.Col, c.line, c.col, err)
+		}
+		if !strings.Contains(err.Error(), "col") {
+			t.Fatalf("deck %q: error %q does not render the column", c.deck, err)
+		}
+	}
+}
+
+// errorsAs avoids importing errors for one call in this old-style test file.
+func errorsAs(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+// TestCanonical pins the normalisation rules content-addressed caches
+// depend on: lexical noise collapses, semantics (including case) survive.
+func TestCanonical(t *testing.T) {
+	a := Canonical("* c\n\nR1  a 0\t1k ; load\n.end\nGARBAGE AFTER END\n")
+	b := Canonical("R1 a 0 1k\n.end\n")
+	if a != b {
+		t.Fatalf("canonical forms differ:\n%q\n%q", a, b)
+	}
+	if Canonical("R1 A 0 1k\n") == Canonical("R1 a 0 1k\n") {
+		t.Fatal("canonicalisation must preserve node-name case")
+	}
+	if Canonical("R1 a 0 1k\n") == Canonical("R1 a 0 2k\n") {
+		t.Fatal("different decks must stay distinguishable")
+	}
+}

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// BenchmarkResolveRequest measures the full submit-side preprocessing:
+// deck parse, analysis resolution, canonicalisation and content hashing —
+// the work every request pays even on a cache hit.
+func BenchmarkResolveRequest(b *testing.B) {
+	req := &Request{Deck: fastDeck}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := resolveRequest(req, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCanonicalDeck isolates the cache-key normalisation.
+func BenchmarkCanonicalDeck(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		netlist.Canonical(fastDeck)
+	}
+}
+
+// BenchmarkResultCache measures hot Get/Put cycling under the LRU bound.
+func BenchmarkResultCache(b *testing.B) {
+	c := newResultCache(1 << 20)
+	val := bytes.Repeat([]byte("x"), 4096)
+	for i := 0; i < 64; i++ {
+		c.Put(fmt.Sprintf("k%03d", i), val)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("k%03d", i%128)
+		if _, ok := c.Get(key); !ok {
+			c.Put(key, val)
+		}
+	}
+}
+
+// BenchmarkCachedSimulate is the serving hot path at scale: identical
+// requests answered from the content-addressed cache over real HTTP.
+func BenchmarkCachedSimulate(b *testing.B) {
+	s := New(Options{Logf: func(string, ...any) {}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body := []byte(fastDeck)
+	post := func() (*http.Response, error) {
+		return http.Post(ts.URL+"/v1/simulate", "text/plain", bytes.NewReader(body))
+	}
+	// Warm the cache with the one real engine run.
+	resp, err := post()
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("warmup: %d", resp.StatusCode)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := post()
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.Header.Get("X-Cache") != "hit" {
+			b.Fatal("fell off the cached path")
+		}
+	}
+}

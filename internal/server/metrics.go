@@ -1,0 +1,88 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the server's counter set, exposed at GET /metrics in
+// Prometheus text exposition format (append ?format=json for a flat JSON
+// object). Counters are monotone over the process lifetime; queued/running
+// and the cache sizes are gauges.
+type metrics struct {
+	submitted   atomic.Int64 // jobs accepted (cache hits included)
+	queued      atomic.Int64 // gauge: accepted, waiting for a slot
+	running     atomic.Int64 // gauge: holding a slot
+	done        atomic.Int64 // finished with a complete sweep
+	failed      atomic.Int64 // finished with a hard error
+	canceled    atomic.Int64 // canceled (client gone, DELETE, or drain)
+	engineRuns  atomic.Int64 // sweep.Run invocations — < submitted thanks to dedup
+	sharedHits  atomic.Int64 // submits coalesced onto an in-flight run
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	newtonIters atomic.Int64 // solver iterations summed over engine runs
+	sweepOK     atomic.Int64 // per-analysis outcomes inside engine runs
+	sweepFailed atomic.Int64
+	sweepCanc   atomic.Int64
+}
+
+// metricPoint is one rendered sample.
+type metricPoint struct {
+	Name  string
+	Help  string
+	Gauge bool
+	Value float64
+}
+
+// snapshot renders the full metric set in stable order.
+func (m *metrics) snapshot(cache *resultCache, start time.Time) []metricPoint {
+	entries, bytes := cache.Stats()
+	pts := []metricPoint{
+		{"mpde_uptime_seconds", "Seconds since the server started.", true, time.Since(start).Seconds()},
+		{"mpde_jobs_submitted_total", "Jobs accepted, including cache hits.", false, float64(m.submitted.Load())},
+		{"mpde_jobs_queued", "Jobs waiting for a simulation slot.", true, float64(m.queued.Load())},
+		{"mpde_jobs_running", "Jobs holding a simulation slot.", true, float64(m.running.Load())},
+		{"mpde_jobs_done_total", "Jobs finished with a complete sweep.", false, float64(m.done.Load())},
+		{"mpde_jobs_failed_total", "Jobs finished with a hard error.", false, float64(m.failed.Load())},
+		{"mpde_jobs_canceled_total", "Jobs canceled by client disconnect, DELETE, or drain.", false, float64(m.canceled.Load())},
+		{"mpde_engine_runs_total", "sweep.Run invocations; submits minus cache and singleflight hits.", false, float64(m.engineRuns.Load())},
+		{"mpde_singleflight_shared_total", "Submits coalesced onto an identical in-flight run.", false, float64(m.sharedHits.Load())},
+		{"mpde_cache_hits_total", "Submits served from the result cache.", false, float64(m.cacheHits.Load())},
+		{"mpde_cache_misses_total", "Cacheable submits that had to run.", false, float64(m.cacheMisses.Load())},
+		{"mpde_cache_entries", "Resident result-cache entries.", true, float64(entries)},
+		{"mpde_cache_bytes", "Resident result-cache bytes.", true, float64(bytes)},
+		{"mpde_solver_newton_iters_total", "Nonlinear solver iterations summed over engine runs.", false, float64(m.newtonIters.Load())},
+		{"mpde_sweep_jobs_ok_total", "Per-analysis ok outcomes inside engine runs.", false, float64(m.sweepOK.Load())},
+		{"mpde_sweep_jobs_failed_total", "Per-analysis failures inside engine runs.", false, float64(m.sweepFailed.Load())},
+		{"mpde_sweep_jobs_canceled_total", "Per-analysis cancellations inside engine runs.", false, float64(m.sweepCanc.Load())},
+	}
+	return pts
+}
+
+// writeProm renders Prometheus text exposition format.
+func writeProm(w io.Writer, pts []metricPoint) {
+	for _, p := range pts {
+		kind := "counter"
+		if p.Gauge {
+			kind = "gauge"
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", p.Name, p.Help, p.Name, kind, p.Name, p.Value)
+	}
+}
+
+// writeMetricsJSON renders a flat {"name": value} object with sorted keys.
+func writeMetricsJSON(w io.Writer, pts []metricPoint) {
+	sorted := append([]metricPoint(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	io.WriteString(w, "{")
+	for i, p := range sorted {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		fmt.Fprintf(w, "\n  %q: %g", p.Name, p.Value)
+	}
+	io.WriteString(w, "\n}\n")
+}

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// wantsNDJSON selects line-delimited JSON instead of SSE framing.
+func wantsNDJSON(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "ndjson" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// handleEvents streams a job's progress log: every recorded event is
+// replayed (resumable via Last-Event-ID or ?from=seq), then the stream
+// follows live appends until the terminal "done" event. Following a job
+// counts as an attachment, so a watched job survives its submitter
+// disconnecting — and an unpinned job whose last watcher drops is
+// canceled.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	release := j.attach(false)
+	defer release()
+
+	ndjson := wantsNDJSON(r)
+	if ndjson {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	} else {
+		w.Header().Set("Content-Type", "text/event-stream")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher, canFlush := w.(http.Flusher)
+
+	from := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			from = n
+		}
+	}
+	if v := r.URL.Query().Get("from"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			from = n
+		}
+	}
+
+	for {
+		evs, changed, finished := j.eventsSince(from)
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if ndjson {
+				fmt.Fprintf(w, "%s\n", data)
+			} else {
+				fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+			}
+			from = ev.Seq
+		}
+		if canFlush {
+			flusher.Flush()
+		}
+		if finished && len(evs) == 0 {
+			return
+		}
+		if finished {
+			// Drain whatever the terminal flush appended, then stop.
+			continue
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/circuit"
@@ -39,7 +40,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	if spec.Build == nil {
 		return nil, errors.New("sweep: Spec.Build is required")
 	}
-	jobs, err := spec.jobs()
+	jobs, err := spec.Jobs()
 	if err != nil {
 		return nil, err
 	}
@@ -98,6 +99,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	}
 
 	start := time.Now()
+	var doneCount atomic.Int64
 	runStage := func(ids []int, storeSeeds bool) {
 		if len(ids) == 0 {
 			return
@@ -109,6 +111,12 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 			go func() {
 				defer wg.Done()
 				for id := range ch {
+					if spec.Progress != nil {
+						spec.Progress(ProgressEvent{
+							Kind: ProgressJobStart, Job: jobs[id],
+							Done: int(doneCount.Load()), Total: len(jobs),
+						})
+					}
 					jr, raw := spec.runJob(ctx, jobs[id], seedFor(jobs[id]))
 					res.Jobs[id] = jr
 					if storeSeeds && raw != nil && jr.Status == StatusOK {
@@ -118,6 +126,15 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 							seeds[k] = raw
 						}
 						seedMu.Unlock()
+					}
+					if spec.Progress != nil {
+						cp := jr
+						spec.Progress(ProgressEvent{
+							Kind: ProgressJobDone, Job: jobs[id], Result: &cp,
+							Done: int(doneCount.Add(1)), Total: len(jobs),
+						})
+					} else {
+						doneCount.Add(1)
 					}
 				}
 			}()

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"bufio"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -78,20 +79,56 @@ func spectrumCell(lines []Line) string {
 func fmtG(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 func fmtE(v float64) string { return strconv.FormatFloat(v, 'e', 9, 64) }
 
-// WriteJSON writes the full aggregate. With timing=false the wall-clock
-// fields are zeroed (on a copy) so the serialisation is scheduling-free.
+// WriteJSON writes the full aggregate. With timing=false the scheduling
+// metadata — the wall-clock fields and the pool's worker count — is zeroed
+// (on copies) so the serialisation depends only on the Spec and the solved
+// numbers: two runs of the same Spec at different worker counts are
+// byte-identical, which is what lets a server cache entries by content
+// hash.
+//
+// The envelope is written by hand in the Result struct's field order and
+// each job is encoded and flushed individually, so a large sweep streams
+// out job by job instead of buffering the whole payload. The bytes are
+// exactly what a json.Encoder with two-space indentation produces for the
+// equivalent Result value.
 func (r *Result) WriteJSON(w io.Writer, timing bool) error {
-	out := r
-	if !timing {
-		cp := *r
-		cp.Wall = 0
-		cp.Jobs = append([]JobResult(nil), r.Jobs...)
-		for i := range cp.Jobs {
-			cp.Jobs[i].Wall = 0
-		}
-		out = &cp
+	bw := bufio.NewWriter(w)
+	name, err := json.Marshal(r.Name)
+	if err != nil {
+		return err
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	wall, workers := r.Wall, r.Workers
+	if !timing {
+		wall, workers = 0, 0
+	}
+	fmt.Fprintf(bw, "{\n  \"name\": %s,\n  \"workers\": %d,\n  \"wall_ns\": %d,\n  \"jobs\": ",
+		name, workers, wall)
+	switch {
+	case r.Jobs == nil:
+		bw.WriteString("null")
+	case len(r.Jobs) == 0:
+		bw.WriteString("[]")
+	default:
+		bw.WriteString("[\n")
+		for i := range r.Jobs {
+			jr := r.Jobs[i]
+			if !timing {
+				jr.Wall = 0
+			}
+			b, err := json.MarshalIndent(&jr, "    ", "  ")
+			if err != nil {
+				return err
+			}
+			bw.WriteString("    ")
+			bw.Write(b)
+			if i < len(r.Jobs)-1 {
+				bw.WriteString(",\n")
+			} else {
+				bw.WriteString("\n")
+			}
+		}
+		bw.WriteString("  ]")
+	}
+	bw.WriteString("\n}\n")
+	return bw.Flush()
 }

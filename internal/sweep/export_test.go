@@ -1,0 +1,151 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// exportResult is a fixed aggregate exercising every JobResult field shape:
+// omitted optionals, spectra, error strings with JSON-escaped characters.
+func exportResult() *Result {
+	return &Result{
+		Name:    `mixer "fd" sweep`,
+		Workers: 3,
+		Wall:    1234567 * time.Nanosecond,
+		Jobs: []JobResult{
+			{
+				Job:    Job{ID: 0, Method: QPSS, Point: Point{Fd: 15e3, N1: 40, N2: 30}},
+				Status: StatusOK, Wall: 42 * time.Millisecond,
+				NewtonIters: 7, Unknowns: 13200, GainValid: true,
+				Swing: 0.123,
+				Spectrum: []Line{
+					{K1: 2, K2: -1, Freq: 15e3, Amp: 0.06},
+					{K1: 0, K2: 0, Freq: 0, Amp: 1.9},
+				},
+			},
+			{
+				Job:    Job{ID: 1, Method: Shooting, Point: Point{Fd: 15e3}},
+				Status: StatusFailed, Err: "newton: no convergence <&>",
+				Wall: time.Second,
+			},
+			{
+				Job:    Job{ID: 2, Method: HB, Point: Point{N1: 8, N2: 8}},
+				Status: StatusCanceled, Err: "solver: solve interrupted",
+			},
+		},
+	}
+}
+
+// referenceJSON is the pre-streaming serialisation: one json.Encoder pass
+// over the whole aggregate, with the scheduling metadata (wall clocks,
+// worker count) zeroed in timing-free mode.
+func referenceJSON(t *testing.T, r *Result, timing bool) []byte {
+	t.Helper()
+	out := r
+	if !timing {
+		cp := *r
+		cp.Wall = 0
+		cp.Workers = 0
+		cp.Jobs = append([]JobResult(nil), r.Jobs...)
+		for i := range cp.Jobs {
+			cp.Jobs[i].Wall = 0
+		}
+		out = &cp
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestWriteJSONMatchesEncoder pins the streaming writer to the exact bytes
+// of the buffered encoder it replaced: server cache entries keyed on these
+// bytes must not shift when the export path changes.
+func TestWriteJSONMatchesEncoder(t *testing.T) {
+	for _, timing := range []bool{true, false} {
+		r := exportResult()
+		var got bytes.Buffer
+		if err := r.WriteJSON(&got, timing); err != nil {
+			t.Fatal(err)
+		}
+		want := referenceJSON(t, r, timing)
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Fatalf("timing=%v: streaming output diverged\n got: %s\nwant: %s",
+				timing, got.Bytes(), want)
+		}
+	}
+	// Edge shapes: nil and empty job slices.
+	for _, jobs := range [][]JobResult{nil, {}} {
+		r := &Result{Name: "empty", Workers: 1, Jobs: jobs}
+		var got bytes.Buffer
+		if err := r.WriteJSON(&got, true); err != nil {
+			t.Fatal(err)
+		}
+		want := referenceJSON(t, r, true)
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Fatalf("jobs=%#v: got %s want %s", jobs, got.Bytes(), want)
+		}
+	}
+}
+
+// TestWriteJSONTimingFree checks the timing=false output hides wall-clock
+// noise without mutating the aggregate itself.
+func TestWriteJSONTimingFree(t *testing.T) {
+	r := exportResult()
+	var a, b bytes.Buffer
+	if err := r.WriteJSON(&a, false); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(a.Bytes(), []byte(`"wall_ns": 1234567`)) {
+		t.Fatal("timing=false output still carries the sweep wall time")
+	}
+	if r.Wall == 0 || r.Jobs[0].Wall == 0 {
+		t.Fatal("WriteJSON(timing=false) mutated the Result")
+	}
+	if err := r.WriteJSON(&b, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("timing-free serialisation is not reproducible")
+	}
+}
+
+// TestJobsFromJobList covers the explicit per-method job list: order,
+// dedup, and canonicalisation of grid axes the method ignores.
+func TestJobsFromJobList(t *testing.T) {
+	spec := Spec{JobList: []JobSpec{
+		{Method: QPSS, Point: Point{N1: 40, N2: 30}},
+		{Method: HB, Point: Point{N1: 8, N2: 8}},
+		{Method: Shooting, Point: Point{N1: 40, N2: 30}}, // axes ignored → zeroed
+		{Method: Shooting, Point: Point{N1: 8, N2: 8}},   // dup after zeroing
+		{Method: QPSS, Point: Point{N1: 40, N2: 30}},     // exact dup
+	}}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Job{
+		{ID: 0, Method: QPSS, Point: Point{N1: 40, N2: 30}},
+		{ID: 1, Method: HB, Point: Point{N1: 8, N2: 8}},
+		{ID: 2, Method: Shooting},
+	}
+	if len(jobs) != len(want) {
+		t.Fatalf("got %d jobs %+v, want %d", len(jobs), jobs, len(want))
+	}
+	for i := range want {
+		if jobs[i] != want[i] {
+			t.Fatalf("job %d = %+v, want %+v", i, jobs[i], want[i])
+		}
+	}
+	if _, err := (&Spec{JobList: []JobSpec{{Method: "bogus"}}}).Jobs(); err == nil {
+		t.Fatal("unknown method in JobList must fail")
+	}
+	if _, err := (&Spec{JobList: []JobSpec{}}).Jobs(); err == nil {
+		t.Fatal("empty (non-nil) JobList must fail")
+	}
+}

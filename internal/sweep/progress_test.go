@@ -1,0 +1,73 @@
+package sweep_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// TestProgressEvents runs a small real sweep with a Progress hook and
+// checks the event stream is complete and consistent: one start and one
+// done per job, monotone Done counters, and a Result attached to every
+// job_done — the contract the HTTP server's SSE stream is built on.
+func TestProgressEvents(t *testing.T) {
+	var mu sync.Mutex
+	var events []sweep.ProgressEvent
+	spec := sweep.Spec{
+		Name:    "progress",
+		Methods: []sweep.Method{sweep.QPSS},
+		Grid:    sweep.Grid{Fd: []float64{80e3, 100e3}, N1: []int{12}, N2: []int{8}},
+		Build:   rcFdTarget,
+		Workers: 2,
+		Progress: func(ev sweep.ProgressEvent) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		},
+	}
+	res, err := sweep.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, failed, canceled := res.Counts(); ok != 2 || failed != 0 || canceled != 0 {
+		t.Fatalf("sweep: ok=%d failed=%d canceled=%d errs=%v", ok, failed, canceled, res.Errors())
+	}
+
+	starts, dones := map[int]int{}, map[int]int{}
+	maxDone := 0
+	for _, ev := range events {
+		if ev.Total != 2 {
+			t.Fatalf("event total = %d, want 2", ev.Total)
+		}
+		switch ev.Kind {
+		case sweep.ProgressJobStart:
+			starts[ev.Job.ID]++
+			if ev.Result != nil {
+				t.Fatal("job_start carried a result")
+			}
+		case sweep.ProgressJobDone:
+			dones[ev.Job.ID]++
+			if ev.Result == nil || ev.Result.Status != sweep.StatusOK {
+				t.Fatalf("job_done without ok result: %+v", ev.Result)
+			}
+			if ev.Done < 1 || ev.Done > 2 {
+				t.Fatalf("done counter %d out of range", ev.Done)
+			}
+			if ev.Done > maxDone {
+				maxDone = ev.Done
+			}
+		default:
+			t.Fatalf("unknown event kind %q", ev.Kind)
+		}
+	}
+	for id := 0; id < 2; id++ {
+		if starts[id] != 1 || dones[id] != 1 {
+			t.Fatalf("job %d: %d starts, %d dones (want 1 each)", id, starts[id], dones[id])
+		}
+	}
+	if maxDone != 2 {
+		t.Fatalf("final done counter %d, want 2", maxDone)
+	}
+}

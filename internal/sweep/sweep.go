@@ -144,8 +144,19 @@ type Spec struct {
 	// verbatim instead.
 	Grid   Grid
 	Points []Point
+	// JobList, when non-nil, bypasses the Methods×Grid cross product and
+	// pins exactly one analysis per entry — the shape produced by a deck's
+	// per-method .analysis directives, where QPSS and HB want different
+	// grids. IDs follow list order after canonicalisation and dedup.
+	JobList []JobSpec
 	// Build constructs the target at each point (required).
 	Build Builder
+	// Progress, when non-nil, receives job lifecycle events from the
+	// worker pool while the sweep runs. It is called concurrently from
+	// worker goroutines and must be safe for parallel use; it should
+	// return quickly (hand off to a channel or buffer) so it never stalls
+	// the pool.
+	Progress func(ProgressEvent)
 	// Workers bounds the pool; ≤ 0 means runtime.NumCPU().
 	Workers int
 	// JobTimeout, when > 0, cancels each job that runs longer.
@@ -184,6 +195,34 @@ const (
 	StatusCanceled Status = "canceled"
 	StatusTimeout  Status = "timeout"
 )
+
+// JobSpec pins one analysis at one grid point in Spec.JobList.
+type JobSpec struct {
+	Method Method `json:"method"`
+	Point  Point  `json:"point"`
+}
+
+// ProgressKind names a job lifecycle event.
+type ProgressKind string
+
+// The progress events a running sweep emits.
+const (
+	// ProgressJobStart fires when a worker picks a job up.
+	ProgressJobStart ProgressKind = "job_start"
+	// ProgressJobDone fires when a job finishes (any status).
+	ProgressJobDone ProgressKind = "job_done"
+)
+
+// ProgressEvent is one notification delivered to Spec.Progress.
+type ProgressEvent struct {
+	Kind ProgressKind
+	Job  Job
+	// Result is the finished job's outcome; nil for ProgressJobStart.
+	Result *JobResult
+	// Done counts finished jobs — including this event's job for
+	// ProgressJobDone — and Total the jobs scheduled overall.
+	Done, Total int
+}
 
 // Job is one scheduled analysis.
 type Job struct {
@@ -271,11 +310,36 @@ func (r *Result) Errors() []string {
 // transient derive their time resolution from the shear alone).
 func usesGridAxes(m Method) bool { return m != Shooting && m != Transient }
 
-// jobs expands the spec into its deterministic job list. Grid axes a
-// method ignores are canonicalised to zero and the resulting duplicate
-// points dropped, so an N1×N2 grid does not re-run the (expensive)
-// integration methods once per grid shape.
-func (s *Spec) jobs() ([]Job, error) {
+// Jobs expands the spec into its deterministic job list, the same one Run
+// executes: IDs are assigned in expansion order regardless of worker
+// scheduling. Grid axes a method ignores are canonicalised to zero and the
+// resulting duplicate jobs dropped, so an N1×N2 grid does not re-run the
+// (expensive) integration methods once per grid shape. Callers that need a
+// scheduling-independent identity for a sweep — e.g. a server deriving a
+// result-cache key — canonicalise through this list rather than the raw
+// Grid/Methods/JobList fields.
+func (s *Spec) Jobs() ([]Job, error) {
+	if s.JobList != nil {
+		var jobs []Job
+		seen := map[JobSpec]bool{}
+		for _, js := range s.JobList {
+			if !js.Method.Valid() {
+				return nil, errors.New("sweep: unknown method " + string(js.Method))
+			}
+			if !usesGridAxes(js.Method) {
+				js.Point.N1, js.Point.N2 = 0, 0
+			}
+			if seen[js] {
+				continue
+			}
+			seen[js] = true
+			jobs = append(jobs, Job{ID: len(jobs), Method: js.Method, Point: js.Point})
+		}
+		if len(jobs) == 0 {
+			return nil, errors.New("sweep: empty job list")
+		}
+		return jobs, nil
+	}
 	methods := s.Methods
 	if len(methods) == 0 {
 		methods = []Method{QPSS}
