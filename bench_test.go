@@ -53,6 +53,7 @@ func BenchmarkFig2IdealMixSheared(b *testing.B) {
 // bit-modulated RF on the 40×30 grid — the computation behind Figs. 3, 4, 5.
 func BenchmarkFig3to5BalancedMixerQPSS(b *testing.B) {
 	bits := repro.PRBS7(0x4D, 8)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		mix := repro.NewBalancedMixer(repro.BalancedMixerConfig{Bits: bits})
 		sol, err := repro.MPDEQuasiPeriodic(mix.Ckt, repro.MPDEOptions{

@@ -156,6 +156,15 @@ func (r *Result) Residual(dst []float64) []float64 {
 // EvalAt stamps every device at iterate x under ctx. When jac is true the
 // sparse Jacobians C = ∂q/∂x and G = ∂f/∂x are compressed and returned.
 func (e *Eval) EvalAt(x []float64, ctx device.EvalCtx, jac bool) Result {
+	return e.EvalAtInto(x, ctx, jac, nil, nil)
+}
+
+// EvalAtInto is EvalAt with caller-owned Jacobian storage: when jac is set,
+// C and G are compressed into c and g (slices grown only when capacity is
+// short) instead of freshly allocated matrices. The MPDE grid assembler
+// keeps one (c, g) pair per grid point and re-stamps them every Newton
+// iteration without allocating. nil c/g allocate as EvalAt does.
+func (e *Eval) EvalAtInto(x []float64, ctx device.EvalCtx, jac bool, c, g *la.CSR) Result {
 	n := e.ckt.Size()
 	if len(x) != n {
 		panic(fmt.Sprintf("circuit: iterate size %d, want %d", len(x), n))
@@ -185,8 +194,8 @@ func (e *Eval) EvalAt(x []float64, ctx device.EvalCtx, jac bool) Result {
 	}
 	res := Result{Q: st.Q, F: st.F, B: st.B}
 	if jac {
-		res.C = st.C.Compress()
-		res.G = st.G.Compress()
+		res.C = st.C.CompressInto(c)
+		res.G = st.G.CompressInto(g)
 	}
 	return res
 }

@@ -25,7 +25,9 @@ type EnvelopeOptions struct {
 	T2Stop float64
 	// StepT2 is the slow step (default Td/30).
 	StepT2 float64
-	// Newton configures the per-step solves.
+	// Newton configures the per-step solves. Set fields survive: defaults
+	// are filled non-destructively, so Interrupt/Linear/… set by the caller
+	// are honoured even when MaxIter is left zero.
 	Newton solver.Options
 	// X0Line optionally warm-starts the first fast line (length N1·n).
 	X0Line []float64
@@ -42,7 +44,14 @@ type EnvelopeResult struct {
 	Lines [][]float64
 
 	NewtonIters int
-	n           int
+	// Factorizations/Refactorizations aggregate the sparse-LU work of every
+	// per-step solve; PatternBuilds/PatternReuse report the line Jacobian's
+	// symbolic assembly (the pattern is shared by every slow step).
+	Factorizations   int
+	Refactorizations int
+	PatternBuilds    int
+	PatternReuse     int
+	n                int
 }
 
 // LineAt returns the state at fast index i of slow point j.
@@ -64,6 +73,126 @@ func (e *EnvelopeResult) Baseband(k int) []float64 {
 	return out
 }
 
+// lineAssembler assembles the fast-axis periodic BVP at one slow time:
+// D1[q] + (q − qPrev)/h2 + f + b̂(·, t2) = 0 ; a nil qPrev drops the slow
+// derivative (the initial fast-periodic line). Like the QPSS grid assembler
+// it computes the line Jacobian's sparsity once and restamps values in
+// place — the pattern is identical for every slow step, so the whole march
+// shares one symbolic assembly.
+type lineAssembler struct {
+	ev    *circuit.Eval
+	sh    Shear
+	n, N1 int
+	h1    float64
+
+	q, r   []float64
+	cs, gs []*la.CSR
+
+	jm      *la.CSR
+	st      *la.RowStamper
+	pattern symbolicPattern
+}
+
+func newLineAssembler(ckt *circuit.Circuit, sh Shear, n, N1 int, h1 float64) *lineAssembler {
+	a := &lineAssembler{
+		ev: ckt.NewEval(), sh: sh, n: n, N1: N1, h1: h1,
+		q:  make([]float64, N1*n),
+		r:  make([]float64, N1*n),
+		cs: make([]*la.CSR, N1),
+		gs: make([]*la.CSR, N1),
+	}
+	for i := range a.cs {
+		a.cs[i] = &la.CSR{}
+		a.gs[i] = &la.CSR{}
+	}
+	return a
+}
+
+// assemble returns the residual, the Jacobian (nil unless jac), and the line
+// charges. All returned slices are reused by the next call.
+func (a *lineAssembler) assemble(xx []float64, t2 float64, qPrev []float64, h2 float64, jac bool) ([]float64, *la.CSR, []float64, error) {
+	n, N1 := a.n, a.N1
+	for i := 0; i < N1; i++ {
+		th1, th2 := a.sh.Phases(float64(i)*a.h1, t2)
+		ctx := device.EvalCtx{Torus: true, Th1: th1, Th2: th2, Lambda: 1}
+		var cDst, gDst *la.CSR
+		if jac {
+			cDst, gDst = a.cs[i], a.gs[i]
+		}
+		out := a.ev.EvalAtInto(xx[i*n:(i+1)*n], ctx, jac, cDst, gDst)
+		copy(a.q[i*n:(i+1)*n], out.Q)
+		for k := 0; k < n; k++ {
+			a.r[i*n+k] = out.F[k] + out.B[k]
+			if qPrev != nil {
+				a.r[i*n+k] += (out.Q[k] - qPrev[i*n+k]) / h2
+			}
+		}
+	}
+	// Fast-axis backward difference with periodic wrap.
+	for i := 0; i < N1; i++ {
+		im := mod(i-1, N1)
+		for k := 0; k < n; k++ {
+			a.r[i*n+k] += (a.q[i*n+k] - a.q[im*n+k]) / a.h1
+		}
+	}
+	if !jac {
+		return a.r, nil, a.q, nil
+	}
+	err := a.pattern.restamp(a.buildPattern, func() bool { return a.stampLine(qPrev, h2) }, "envelope line")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return a.r, a.jm, a.q, nil
+}
+
+func (a *lineAssembler) buildPattern() {
+	n, N1 := a.n, a.N1
+	pb := la.NewPatternBuilder(N1*n, N1*n)
+	for i := 0; i < N1; i++ {
+		im := mod(i-1, N1)
+		pb.AddBlock(a.gs[i], i*n, i*n)
+		pb.AddBlock(a.cs[i], i*n, i*n)
+		pb.AddBlock(a.cs[im], i*n, im*n)
+	}
+	a.jm = pb.Build()
+	a.st = la.NewRowStamper(a.jm)
+}
+
+func (a *lineAssembler) stampLine(qPrev []float64, h2 float64) bool {
+	n, N1 := a.n, a.N1
+	st := a.st
+	st.ZeroRows(0, N1*n)
+	for i := 0; i < N1; i++ {
+		im := mod(i-1, N1)
+		g, c, cm := a.gs[i], a.cs[i], a.cs[im]
+		// The diagonal C coefficient: fast-axis 1/h1 plus, when marching,
+		// the slow-axis 1/h2.
+		cDiag := 1 / a.h1
+		if qPrev != nil {
+			cDiag += 1 / h2
+		}
+		for li := 0; li < n; li++ {
+			st.SetRow(i*n + li)
+			for k := g.RowPtr[li]; k < g.RowPtr[li+1]; k++ {
+				if !st.Add(i*n+g.ColIdx[k], g.Val[k]) {
+					return false
+				}
+			}
+			for k := c.RowPtr[li]; k < c.RowPtr[li+1]; k++ {
+				if !st.Add(i*n+c.ColIdx[k], cDiag*c.Val[k]) {
+					return false
+				}
+			}
+			for k := cm.RowPtr[li]; k < cm.RowPtr[li+1]; k++ {
+				if !st.Add(im*n+cm.ColIdx[k], -cm.Val[k]/a.h1) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
 // EnvelopeFollow integrates the MPDE in the slow time scale.
 func EnvelopeFollow(ckt *circuit.Circuit, opt EnvelopeOptions) (*EnvelopeResult, error) {
 	if err := opt.Shear.Validate(); err != nil {
@@ -81,65 +210,25 @@ func EnvelopeFollow(ckt *circuit.Circuit, opt EnvelopeOptions) (*EnvelopeResult,
 	if opt.StepT2 <= 0 {
 		opt.StepT2 = opt.Shear.Td() / 30
 	}
+	// Non-destructive Newton defaults: a caller's Interrupt or linear-solver
+	// choice survives a zero MaxIter.
 	if opt.Newton.MaxIter == 0 {
-		opt.Newton = solver.NewOptions()
 		opt.Newton.MaxIter = 60
+		opt.Newton.Damping = true
 	}
+	opt.Newton.Fill()
 	ckt.Finalize()
 	n := ckt.Size()
 	N1 := opt.N1
 	nLine := N1 * n
 	h1 := opt.Shear.T1() / float64(N1)
 
-	ev := ckt.NewEval()
+	asm := newLineAssembler(ckt, opt.Shear, n, N1, h1)
 	res := &EnvelopeResult{Ckt: ckt, Shear: opt.Shear, N1: N1, n: n}
-
-	// lineResidual assembles the fast-axis periodic BVP at slow time t2:
-	// D1[q] + (q − qPrev)/h2 + f + b̂(·, t2) = 0 ; qPrev nil drops the slow
-	// derivative (used for the initial fast-periodic line).
-	lineAssemble := func(xx []float64, t2 float64, qPrev []float64, h2 float64, jac bool) ([]float64, *la.CSR, []float64, error) {
-		r := make([]float64, nLine)
-		q := make([]float64, nLine)
-		var tr *la.Triplet
-		if jac {
-			tr = la.NewTriplet(nLine, nLine)
-		}
-		cs := make([]*la.CSR, N1)
-		for i := 0; i < N1; i++ {
-			th1, th2 := opt.Shear.Phases(float64(i)*h1, t2)
-			ctx := device.EvalCtx{Torus: true, Th1: th1, Th2: th2, Lambda: 1}
-			out := ev.EvalAt(xx[i*n:(i+1)*n], ctx, jac)
-			copy(q[i*n:(i+1)*n], out.Q)
-			for k := 0; k < n; k++ {
-				r[i*n+k] = out.F[k] + out.B[k]
-				if qPrev != nil {
-					r[i*n+k] += (out.Q[k] - qPrev[i*n+k]) / h2
-				}
-			}
-			if jac {
-				cs[i] = out.C
-				stampLine(tr, i, i, out.G, 1, n)
-				if qPrev != nil {
-					stampLine(tr, i, i, out.C, 1/h2, n)
-				}
-			}
-		}
-		// Fast-axis backward difference with periodic wrap.
-		for i := 0; i < N1; i++ {
-			im := mod(i-1, N1)
-			for k := 0; k < n; k++ {
-				r[i*n+k] += (q[i*n+k] - q[im*n+k]) / h1
-			}
-			if jac {
-				stampLine(tr, i, i, cs[i], 1/h1, n)
-				stampLine(tr, i, im, cs[im], -1/h1, n)
-			}
-		}
-		var jm *la.CSR
-		if jac {
-			jm = tr.Compress()
-		}
-		return r, jm, q, nil
+	account := func(st solver.Stats) {
+		res.NewtonIters += st.Iterations
+		res.Factorizations += st.Factorizations
+		res.Refactorizations += st.Refactorizations
 	}
 
 	// Initial line: fast-periodic steady state with the slow derivative off.
@@ -159,11 +248,11 @@ func EnvelopeFollow(ckt *circuit.Circuit, opt EnvelopeOptions) (*EnvelopeResult,
 		}
 	}
 	sys0 := solver.FuncSystem{N: nLine, F: func(xx []float64, jac bool) ([]float64, *la.CSR, error) {
-		r, j, _, err := lineAssemble(xx, 0, nil, 0, jac)
+		r, j, _, err := asm.assemble(xx, 0, nil, 0, jac)
 		return r, j, err
 	}}
 	st, err := solver.Solve(sys0, x, opt.Newton)
-	res.NewtonIters += st.Iterations
+	account(st)
 	if err != nil {
 		return nil, fmt.Errorf("core: envelope initial fast-periodic line failed: %w", err)
 	}
@@ -174,7 +263,8 @@ func EnvelopeFollow(ckt *circuit.Circuit, opt EnvelopeOptions) (*EnvelopeResult,
 	record(0, x)
 
 	// March in t2.
-	_, _, qPrev, _ := lineAssemble(x, 0, nil, 0, false)
+	_, _, q0, _ := asm.assemble(x, 0, nil, 0, false)
+	qPrev := append([]float64(nil), q0...)
 	t2 := 0.0
 	h2 := opt.StepT2
 	for t2 < opt.T2Stop-1e-15*opt.T2Stop {
@@ -185,38 +275,29 @@ func EnvelopeFollow(ckt *circuit.Circuit, opt EnvelopeOptions) (*EnvelopeResult,
 		qp := qPrev
 		hh := h2
 		sys := solver.FuncSystem{N: nLine, F: func(xx []float64, jac bool) ([]float64, *la.CSR, error) {
-			r, j, _, err := lineAssemble(xx, tNew, qp, hh, jac)
+			r, j, _, err := asm.assemble(xx, tNew, qp, hh, jac)
 			return r, j, err
 		}}
 		st, err := solver.Solve(sys, x, opt.Newton)
-		res.NewtonIters += st.Iterations
+		account(st)
 		if err != nil {
 			if solver.Interrupted(err) {
+				res.PatternBuilds, res.PatternReuse = asm.pattern.builds, asm.pattern.reuse
 				return res, fmt.Errorf("core: envelope interrupted at t2=%.3e: %w", t2, err)
 			}
 			h2 /= 2
 			if h2 < opt.StepT2*1e-6 {
+				res.PatternBuilds, res.PatternReuse = asm.pattern.builds, asm.pattern.reuse
 				return res, fmt.Errorf("core: envelope step underflow at t2=%.3e: %w", t2, err)
 			}
 			continue
 		}
-		_, _, qNew, _ := lineAssemble(x, tNew, nil, 0, false)
-		qPrev = qNew
+		_, _, qNew, _ := asm.assemble(x, tNew, nil, 0, false)
+		qPrev = append(qPrev[:0], qNew...)
 		t2 = tNew
 		h2 = opt.StepT2
 		record(t2, x)
 	}
+	res.PatternBuilds, res.PatternReuse = asm.pattern.builds, asm.pattern.reuse
 	return res, nil
-}
-
-func stampLine(tr *la.Triplet, bi, bj int, m *la.CSR, coef float64, n int) {
-	if m == nil {
-		return
-	}
-	rb, cb := bi*n, bj*n
-	for i := 0; i < m.Rows; i++ {
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			tr.Append(rb+i, cb+m.ColIdx[k], coef*m.Val[k])
-		}
-	}
 }

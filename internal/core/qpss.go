@@ -3,6 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/device"
@@ -37,13 +41,22 @@ type Options struct {
 	N1, N2 int
 	// Shear defines the difference-frequency time-scale map (required).
 	Shear Shear
-	// Order1T1/Order1T2 select difference orders (defaults Order1).
+	// DiffT1/DiffT2 select difference orders (defaults Order1).
 	DiffT1, DiffT2 DiffOrder
-	// Newton configures the grid-level Newton solve.
+	// Newton configures the grid-level Newton solve. Set fields survive:
+	// defaults are filled non-destructively (solver.Options.Fill), so a
+	// caller who only sets Interrupt or Linear keeps them while MaxIter
+	// defaults to 60.
 	Newton solver.Options
 	// Continuation enables the source-stepping fallback when plain Newton
 	// fails — the paper's "10–20 minute" robust path (default true).
 	Continuation bool
+	// AssemblyWorkers bounds the worker pool that evaluates the N1·N2 grid
+	// points and stamps the Jacobian block rows in parallel. Results are
+	// byte-identical for every worker count (each grid point and each
+	// Jacobian row is assembled by exactly one worker in a fixed
+	// accumulation order). 0 uses runtime.GOMAXPROCS(0); 1 is sequential.
+	AssemblyWorkers int
 	// X0, when non-nil, warm-starts the grid unknowns (length N1·N2·n).
 	X0 []float64
 }
@@ -57,6 +70,20 @@ type Stats struct {
 	Unknowns           int
 	JacobianNNZ        int
 	FillFactor         float64
+	// Factorizations counts full symbolic+numeric sparse LU runs;
+	// Refactorizations the numeric-only decompositions that reused a
+	// previous symbolic analysis.
+	Factorizations   int
+	Refactorizations int
+	// PatternBuilds counts symbolic Jacobian-pattern constructions (1 for a
+	// converging solve); PatternReuse counts Jacobian assemblies that
+	// restamped values into an existing pattern in place.
+	PatternBuilds int
+	PatternReuse  int
+	// AssemblyTime totals residual/Jacobian assembly inside the Newton
+	// loop; FactorTime totals LU factorisation time.
+	AssemblyTime time.Duration
+	FactorTime   time.Duration
 }
 
 // Solution is a converged multi-time steady state on the bi-periodic grid.
@@ -109,10 +136,14 @@ func QPSS(ckt *circuit.Circuit, opt Options) (*Solution, error) {
 	if opt.DiffT1 == Order2 && opt.N1 < 3 || opt.DiffT2 == Order2 && opt.N2 < 3 {
 		return nil, errors.New("core: Order2 differences need at least 3 points per axis")
 	}
+	// Merge Newton defaults non-destructively: fields the caller set —
+	// Interrupt, Linear, PivotTol, … — survive even with MaxIter left zero
+	// (a zero MaxIter also opts into damping, the analysis default).
 	if opt.Newton.MaxIter == 0 {
-		opt.Newton = solver.NewOptions()
 		opt.Newton.MaxIter = 60
+		opt.Newton.Damping = true
 	}
+	opt.Newton.Fill()
 	ckt.Finalize()
 	n := ckt.Size()
 	N1, N2 := opt.N1, opt.N2
@@ -146,6 +177,11 @@ func QPSS(ckt *circuit.Circuit, opt Options) (*Solution, error) {
 	}}
 	st, err := solver.Solve(sys, x, opt.Newton)
 	sol.Stats.NewtonIters = st.Iterations
+	sol.Stats.Factorizations = st.Factorizations
+	sol.Stats.Refactorizations = st.Refactorizations
+	sol.Stats.FillFactor = st.FillFactor
+	sol.Stats.AssemblyTime = st.AssemblyTime
+	sol.Stats.FactorTime = st.FactorTime
 	if err != nil {
 		if solver.Interrupted(err) {
 			return nil, err
@@ -162,47 +198,120 @@ func QPSS(ckt *circuit.Circuit, opt Options) (*Solution, error) {
 		sol.Stats.UsedContinuation = true
 		sol.Stats.ContinuationSolves = cs.Solves
 		sol.Stats.NewtonIters += cs.NewtonIters
+		sol.Stats.Factorizations += cs.Factorizations
+		sol.Stats.Refactorizations += cs.Refactorizations
+		sol.Stats.AssemblyTime += cs.AssemblyTime
+		sol.Stats.FactorTime += cs.FactorTime
+		if cs.FillFactor > 0 {
+			sol.Stats.FillFactor = cs.FillFactor
+		}
 		if cerr != nil {
 			return nil, fmt.Errorf("core: QPSS Newton failed (%v) and continuation failed: %w", err, cerr)
 		}
 	}
 	sol.X = x
 	sol.Stats.JacobianNNZ = asm.lastNNZ
-	sol.Stats.FillFactor = asm.lastFill
+	sol.Stats.PatternBuilds = asm.pattern.builds
+	sol.Stats.PatternReuse = asm.pattern.reuse
 	return sol, nil
 }
 
-// assembler evaluates the MPDE residual and Jacobian over the grid.
+// assembler evaluates the MPDE residual and Jacobian over the grid. The
+// Jacobian's sparsity — fixed by the difference stencil and the device
+// topology — is computed once (symbolic assembly) and the values are stamped
+// in place every iteration; the N1·N2 independent grid-point evaluations and
+// the block-row stamping both run on a worker pool with per-worker
+// circuit.Eval workspaces. Each grid point and each Jacobian block row is
+// produced by exactly one worker in a fixed accumulation order, so the
+// result is byte-identical for every worker count.
 type assembler struct {
-	ckt    *circuit.Circuit
-	ev     *circuit.Eval
-	opt    Options
-	n      int
-	N1, N2 int
-	h1, h2 float64
+	ckt     *circuit.Circuit
+	opt     Options
+	n       int
+	N1, N2  int
+	h1, h2  float64
+	workers int
+
+	evs []*circuit.Eval // one evaluation workspace per worker
+
 	// Per-point storage reused across assemblies.
 	q  []float64 // N1·N2·n charges
 	fb []float64 // N1·N2·n conductive + source residuals
-	cs []*la.CSR // per-point C matrices (when jac)
-	tr *la.Triplet
+	cs []*la.CSR // per-point C = ∂q/∂x, storage reused in place
+	gs []*la.CSR // per-point G = ∂f/∂x, storage reused in place
+	r  []float64 // residual buffer (the solver copies what it keeps)
 
-	lastNNZ  int
-	lastFill float64
+	// Difference stencils (fixed per solve).
+	d1c, d2c     []float64
+	d1off, d2off []int
+
+	// Symbolic-reuse state.
+	jm       *la.CSR          // global Jacobian: pattern fixed, values restamped
+	stampers []*la.RowStamper // one per worker
+	pattern  symbolicPattern
+
+	lastNNZ int
 }
 
 func newAssembler(ckt *circuit.Circuit, opt Options) *assembler {
 	n := ckt.Size()
 	N1, N2 := opt.N1, opt.N2
-	a := &assembler{
-		ckt: ckt, ev: ckt.NewEval(), opt: opt, n: n, N1: N1, N2: N2,
-		h1: opt.Shear.T1() / float64(N1),
-		h2: opt.Shear.Td() / float64(N2),
-		q:  make([]float64, N1*N2*n),
-		fb: make([]float64, N1*N2*n),
-		cs: make([]*la.CSR, N1*N2),
+	workers := opt.AssemblyWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	a.tr = la.NewTriplet(N1*N2*n, N1*N2*n)
+	if workers > N1*N2 {
+		workers = N1 * N2
+	}
+	a := &assembler{
+		ckt: ckt, opt: opt, n: n, N1: N1, N2: N2,
+		h1:      opt.Shear.T1() / float64(N1),
+		h2:      opt.Shear.Td() / float64(N2),
+		workers: workers,
+		q:       make([]float64, N1*N2*n),
+		fb:      make([]float64, N1*N2*n),
+		cs:      make([]*la.CSR, N1*N2),
+		gs:      make([]*la.CSR, N1*N2),
+		r:       make([]float64, N1*N2*n),
+	}
+	for p := range a.cs {
+		a.cs[p] = &la.CSR{}
+		a.gs[p] = &la.CSR{}
+	}
+	a.evs = make([]*circuit.Eval, workers)
+	for w := range a.evs {
+		a.evs[w] = ckt.NewEval()
+	}
+	a.d1c, a.d1off = stencil(opt.DiffT1, a.h1)
+	a.d2c, a.d2off = stencil(opt.DiffT2, a.h2)
 	return a
+}
+
+// parallel fans fn(worker, lo, hi) over [0, nItems) in contiguous chunks,
+// one goroutine per worker. Sequential when a single worker is configured.
+func (a *assembler) parallel(nItems int, fn func(w, lo, hi int)) {
+	if a.workers <= 1 {
+		fn(0, 0, nItems)
+		return
+	}
+	chunk := (nItems + a.workers - 1) / a.workers
+	var wg sync.WaitGroup
+	for w := 0; w < a.workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > nItems {
+			hi = nItems
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
 }
 
 // assemble computes the residual (and Jacobian) of the discretised MPDE at
@@ -219,96 +328,175 @@ func (a *assembler) assembleSignalLambda(xx []float64, lambda float64, jac bool)
 func (a *assembler) assembleCtx(xx []float64, baseCtx device.EvalCtx, jac bool) ([]float64, *la.CSR, error) {
 	n, N1, N2 := a.n, a.N1, a.N2
 	sh := a.opt.Shear
-	// Pass 1: evaluate the circuit at every grid point.
-	for j := 0; j < N2; j++ {
-		t2 := float64(j) * a.h2
-		for i := 0; i < N1; i++ {
-			t1 := float64(i) * a.h1
-			p := j*N1 + i
+	// Pass 1: evaluate the circuit at every grid point — N1·N2 independent
+	// device evaluations fanned across the worker pool, each writing only
+	// its own point's slices.
+	a.parallel(N1*N2, func(w, lo, hi int) {
+		ev := a.evs[w]
+		for p := lo; p < hi; p++ {
+			i, j := p%N1, p/N1
 			ctx := baseCtx
-			ctx.Th1, ctx.Th2 = sh.Phases(t1, t2)
-			res := a.ev.EvalAt(xx[p*n:(p+1)*n], ctx, jac)
+			ctx.Th1, ctx.Th2 = sh.Phases(float64(i)*a.h1, float64(j)*a.h2)
+			var cDst, gDst *la.CSR
+			if jac {
+				cDst, gDst = a.cs[p], a.gs[p]
+			}
+			res := ev.EvalAtInto(xx[p*n:(p+1)*n], ctx, jac, cDst, gDst)
 			copy(a.q[p*n:(p+1)*n], res.Q)
 			for k := 0; k < n; k++ {
 				a.fb[p*n+k] = res.F[k] + res.B[k]
 			}
-			if jac {
-				a.cs[p] = res.C
-			} else {
-				a.cs[p] = nil
-			}
-			if jac {
-				// Diagonal block: d1·C + d2·C + G  (leading difference
-				// coefficients added below in pass 2 via stencil loop), so
-				// here we only stash G; C is stenciled in pass 2.
-				_ = res.G
-				a.stampBlock(p, p, res.G, 1)
-			}
 		}
-	}
-	// Pass 2: difference stencils.
-	r := make([]float64, N1*N2*n)
-	copy(r, a.fb)
-	d1c, d1off := a.stencil(a.opt.DiffT1, a.h1)
-	d2c, d2off := a.stencil(a.opt.DiffT2, a.h2)
-	for j := 0; j < N2; j++ {
-		for i := 0; i < N1; i++ {
-			p := j*N1 + i
-			// t1 stencil.
-			for s, coef := range d1c {
-				ii := mod(i+d1off[s], N1)
-				pp := j*N1 + ii
+	})
+	// Pass 2: difference stencils — residual rows and, when requested,
+	// in-place Jacobian stamping, both parallel over grid points (block
+	// rows). Each point's rows are written by exactly one worker.
+	a.parallel(N1*N2, func(w, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			i, j := p%N1, p/N1
+			rp := a.r[p*n : (p+1)*n]
+			copy(rp, a.fb[p*n:(p+1)*n])
+			for s, coef := range a.d1c {
+				pp := j*N1 + mod(i+a.d1off[s], N1)
 				for k := 0; k < n; k++ {
-					r[p*n+k] += coef * a.q[pp*n+k]
-				}
-				if jac {
-					a.stampBlock(p, pp, a.cs[pp], coef)
+					rp[k] += coef * a.q[pp*n+k]
 				}
 			}
-			// t2 stencil.
-			for s, coef := range d2c {
-				jj := mod(j+d2off[s], N2)
-				pp := jj*N1 + i
+			for s, coef := range a.d2c {
+				pp := mod(j+a.d2off[s], N2)*N1 + i
 				for k := 0; k < n; k++ {
-					r[p*n+k] += coef * a.q[pp*n+k]
-				}
-				if jac {
-					a.stampBlock(p, pp, a.cs[pp], coef)
+					rp[k] += coef * a.q[pp*n+k]
 				}
 			}
 		}
+	})
+	if !jac {
+		return a.r, nil, nil
 	}
-	var jm *la.CSR
-	if jac {
-		jm = a.tr.Compress()
-		a.tr.Reset()
-		a.lastNNZ = jm.NNZ()
+	if err := a.pattern.restamp(a.buildPattern, a.stampAll, "grid"); err != nil {
+		return nil, nil, err
 	}
-	return r, jm, nil
+	a.lastNNZ = a.jm.NNZ()
+	return a.r, a.jm, nil
+}
+
+// stampAll zeroes and restamps every Jacobian block row across the worker
+// pool; false reports a pattern miss.
+func (a *assembler) stampAll() bool {
+	n := a.n
+	var missed atomic.Bool
+	a.parallel(a.N1*a.N2, func(w, lo, hi int) {
+		st := a.stampers[w]
+		st.ZeroRows(lo*n, hi*n)
+		for p := lo; p < hi; p++ {
+			if !a.stampPoint(st, p) {
+				missed.Store(true)
+				return
+			}
+		}
+	})
+	return !missed.Load()
+}
+
+// symbolicPattern tracks the build-once/restamp-in-place protocol shared by
+// the grid and line assemblers: the sparsity pattern is built once, later
+// assemblies only restamp values, and a pattern miss (a device whose
+// Jacobian stencil grew — effectively impossible for the MNA stamps, but
+// guarded regardless) rebuilds the pattern once and restamps.
+type symbolicPattern struct {
+	builds, reuse int
+	built         bool
+}
+
+func (sp *symbolicPattern) restamp(build func(), stamp func() bool, what string) error {
+	if sp.built {
+		sp.reuse++
+		if stamp() {
+			return nil
+		}
+		sp.reuse--
+	}
+	build()
+	sp.builds++
+	sp.built = true
+	if !stamp() {
+		return fmt.Errorf("core: %s Jacobian pattern rebuild failed to cover all stamps", what)
+	}
+	return nil
+}
+
+// buildPattern runs the symbolic assembly: the union of every grid point's
+// local G/C patterns placed at their stencil block positions.
+func (a *assembler) buildPattern() {
+	n, N1, N2 := a.n, a.N1, a.N2
+	nTot := N1 * N2 * n
+	pb := la.NewPatternBuilder(nTot, nTot)
+	for p := 0; p < N1*N2; p++ {
+		i, j := p%N1, p/N1
+		pb.AddBlock(a.gs[p], p*n, p*n)
+		for s := range a.d1c {
+			pp := j*N1 + mod(i+a.d1off[s], N1)
+			pb.AddBlock(a.cs[pp], p*n, pp*n)
+		}
+		for s := range a.d2c {
+			pp := mod(j+a.d2off[s], N2)*N1 + i
+			pb.AddBlock(a.cs[pp], p*n, pp*n)
+		}
+	}
+	a.jm = pb.Build()
+	a.stampers = make([]*la.RowStamper, a.workers)
+	for w := range a.stampers {
+		a.stampers[w] = la.NewRowStamper(a.jm)
+	}
+}
+
+// stampPoint stamps block row p of the global Jacobian: the diagonal G block
+// plus the stencil-weighted C blocks, row by row in a fixed order. It
+// reports false on a pattern miss.
+func (a *assembler) stampPoint(st *la.RowStamper, p int) bool {
+	n, N1, N2 := a.n, a.N1, a.N2
+	i, j := p%N1, p/N1
+	g := a.gs[p]
+	for li := 0; li < n; li++ {
+		st.SetRow(p*n + li)
+		colBase := p * n
+		for k := g.RowPtr[li]; k < g.RowPtr[li+1]; k++ {
+			if !st.Add(colBase+g.ColIdx[k], g.Val[k]) {
+				return false
+			}
+		}
+		for s, coef := range a.d1c {
+			pp := j*N1 + mod(i+a.d1off[s], N1)
+			c := a.cs[pp]
+			cb := pp * n
+			for k := c.RowPtr[li]; k < c.RowPtr[li+1]; k++ {
+				if !st.Add(cb+c.ColIdx[k], coef*c.Val[k]) {
+					return false
+				}
+			}
+		}
+		for s, coef := range a.d2c {
+			pp := mod(j+a.d2off[s], N2)*N1 + i
+			c := a.cs[pp]
+			cb := pp * n
+			for k := c.RowPtr[li]; k < c.RowPtr[li+1]; k++ {
+				if !st.Add(cb+c.ColIdx[k], coef*c.Val[k]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
 }
 
 // stencil returns difference coefficients and index offsets for the given
 // order and spacing.
-func (a *assembler) stencil(o DiffOrder, h float64) ([]float64, []int) {
+func stencil(o DiffOrder, h float64) ([]float64, []int) {
 	switch o {
 	case Order2:
 		return []float64{3 / (2 * h), -4 / (2 * h), 1 / (2 * h)}, []int{0, -1, -2}
 	default:
 		return []float64{1 / h, -1 / h}, []int{0, -1}
-	}
-}
-
-// stampBlock adds coef·M into the global Jacobian at block (pRow, pCol).
-func (a *assembler) stampBlock(pRow, pCol int, m *la.CSR, coef float64) {
-	if m == nil {
-		return
-	}
-	rowBase := pRow * a.n
-	colBase := pCol * a.n
-	for i := 0; i < m.Rows; i++ {
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			a.tr.Append(rowBase+i, colBase+m.ColIdx[k], coef*m.Val[k])
-		}
 	}
 }
 

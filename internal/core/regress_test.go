@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/solver"
+)
+
+// nonlinearMixer builds a small MOSFET downconversion mixer — nonlinear
+// enough that QPSS takes several Newton iterations, which exercises the
+// in-place Jacobian restamping and LU refactorisation paths.
+func nonlinearMixer(sh Shear) *circuit.Circuit {
+	ckt := circuit.New("regress-mixer")
+	ckt.V("VDD", "vdd", "0", device.DC(3))
+	ckt.V("VLO", "lo", "0", device.Sum{
+		device.DC(0.9),
+		device.Sine{Amp: 0.5, F1: sh.F1, F2: sh.F2, K1: 1},
+	})
+	ckt.V("VRF", "rf", "0", device.Sine{Amp: 0.05, F1: sh.F1, F2: sh.F2, K2: 1})
+	ckt.R("RB", "rf", "g", 100)
+	ckt.M("M1", "d", "g", "0", device.MOSFET{KP: 2e-3})
+	ckt.M("M2", "d2", "lo", "d", device.MOSFET{KP: 2e-3})
+	ckt.R("RL", "vdd", "d2", 2000)
+	ckt.C("CL", "d2", "0", 2e-10)
+	return ckt
+}
+
+// TestQPSSHonorsInterruptWithZeroMaxIter reproduces the Newton-option
+// clobber: a caller who sets only Interrupt (cooperative cancellation) and
+// leaves MaxIter zero must still be interruptible. Before the fix, QPSS
+// replaced the whole option struct with solver.NewOptions(), silently
+// dropping the hook, and the solve ran to convergence.
+func TestQPSSHonorsInterruptWithZeroMaxIter(t *testing.T) {
+	sh := Shear{F1: 1e6, F2: 0.9e6, K: 1}
+	ckt, _, _ := twoToneRC(sh, 1, 1)
+	var opt Options
+	opt.Shear = sh
+	opt.N1, opt.N2 = 16, 16
+	opt.Newton.Interrupt = func() bool { return true }
+	_, err := QPSS(ckt, opt)
+	if err == nil {
+		t.Fatal("QPSS converged despite an always-true Interrupt: Newton options were clobbered")
+	}
+	if !solver.Interrupted(err) {
+		t.Fatalf("want an interrupted error, got %v", err)
+	}
+}
+
+// TestEnvelopeHonorsInterruptWithZeroMaxIter is the envelope-following
+// variant of the clobber regression.
+func TestEnvelopeHonorsInterruptWithZeroMaxIter(t *testing.T) {
+	sh := Shear{F1: 1e6, F2: 0.9e6, K: 1}
+	ckt, _, _ := twoToneRC(sh, 1, 1)
+	var opt EnvelopeOptions
+	opt.Shear = sh
+	opt.N1 = 16
+	opt.Newton.Interrupt = func() bool { return true }
+	_, err := EnvelopeFollow(ckt, opt)
+	if err == nil {
+		t.Fatal("envelope ran despite an always-true Interrupt: Newton options were clobbered")
+	}
+	if !solver.Interrupted(err) {
+		t.Fatalf("want an interrupted error, got %v", err)
+	}
+}
+
+// TestQPSSHonorsPivotTolWithZeroMaxIter checks another set-but-clobbered
+// field: a caller-provided PivotTol must survive the default merge.
+func TestQPSSHonorsPivotTolWithZeroMaxIter(t *testing.T) {
+	var o solver.Options
+	o.PivotTol = 0.25
+	o.Fill()
+	if o.PivotTol != 0.25 {
+		t.Fatalf("Fill clobbered PivotTol: %v", o.PivotTol)
+	}
+	if o.MaxIter != 50 || o.GMRESIter != 400 {
+		t.Fatalf("Fill defaults wrong: MaxIter=%d GMRESIter=%d", o.MaxIter, o.GMRESIter)
+	}
+}
+
+func solveMixer(t *testing.T, workers int) *Solution {
+	t.Helper()
+	sh := Shear{F1: 1e6, F2: 0.875e6, K: 1}
+	ckt := nonlinearMixer(sh)
+	sol, err := QPSS(ckt, Options{N1: 24, N2: 16, Shear: sh, AssemblyWorkers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+// TestQPSSParallelAssemblyDeterminism: the parallel grid evaluation and
+// block-row stamping must be byte-identical to the sequential path — same
+// Solution.X bits, same Jacobian pattern — for any worker count and any
+// GOMAXPROCS.
+func TestQPSSParallelAssemblyDeterminism(t *testing.T) {
+	seq := solveMixer(t, 1)
+	if seq.Stats.PatternBuilds != 1 {
+		t.Fatalf("expected exactly one symbolic pattern build, got %d", seq.Stats.PatternBuilds)
+	}
+	for _, workers := range []int{2, 4, runtime.NumCPU()} {
+		par := solveMixer(t, workers)
+		if par.Stats.JacobianNNZ != seq.Stats.JacobianNNZ {
+			t.Fatalf("workers=%d: JacobianNNZ %d != sequential %d",
+				workers, par.Stats.JacobianNNZ, seq.Stats.JacobianNNZ)
+		}
+		if len(par.X) != len(seq.X) {
+			t.Fatalf("workers=%d: solution size mismatch", workers)
+		}
+		for i := range par.X {
+			if math.Float64bits(par.X[i]) != math.Float64bits(seq.X[i]) {
+				t.Fatalf("workers=%d: X[%d] differs bitwise: %x vs %x",
+					workers, i, math.Float64bits(par.X[i]), math.Float64bits(seq.X[i]))
+			}
+		}
+	}
+	// The default worker count follows GOMAXPROCS; pin it to 1 and back to
+	// confirm the knob the issue names is also deterministic.
+	old := runtime.GOMAXPROCS(1)
+	one := solveMixer(t, 0)
+	runtime.GOMAXPROCS(old)
+	many := solveMixer(t, 0)
+	for i := range one.X {
+		if math.Float64bits(one.X[i]) != math.Float64bits(many.X[i]) {
+			t.Fatalf("GOMAXPROCS 1 vs %d: X[%d] differs bitwise", old, i)
+		}
+	}
+}
+
+// TestQPSSPatternAndFactorizationReuse checks the hot-path bookkeeping: one
+// symbolic pattern build per solve, every later Jacobian assembly a reuse
+// hit, and at most one full LU factorisation when the pattern is stable.
+func TestQPSSPatternAndFactorizationReuse(t *testing.T) {
+	sol := solveMixer(t, 0)
+	st := sol.Stats
+	if st.NewtonIters < 2 {
+		t.Skipf("solve converged in %d iterations; reuse not exercised", st.NewtonIters)
+	}
+	if st.PatternBuilds != 1 {
+		t.Fatalf("PatternBuilds = %d, want 1", st.PatternBuilds)
+	}
+	if st.PatternReuse < st.NewtonIters-1 {
+		t.Fatalf("PatternReuse = %d, want ≥ %d", st.PatternReuse, st.NewtonIters-1)
+	}
+	if st.Factorizations != 1 {
+		t.Fatalf("Factorizations = %d, want 1 (refactorisations should cover the rest)", st.Factorizations)
+	}
+	if st.Refactorizations != st.NewtonIters-1 {
+		t.Fatalf("Refactorizations = %d, want %d", st.Refactorizations, st.NewtonIters-1)
+	}
+	if st.JacobianNNZ == 0 || st.FillFactor <= 0 {
+		t.Fatalf("missing Jacobian stats: nnz=%d fill=%v", st.JacobianNNZ, st.FillFactor)
+	}
+}
+
+// TestQPSSJacobianRefreshPolicy: the modified-Newton knob must still
+// converge to the same answer within tolerance while evaluating fewer
+// Jacobians than iterations.
+func TestQPSSJacobianRefreshPolicy(t *testing.T) {
+	sh := Shear{F1: 1e6, F2: 0.875e6, K: 1}
+	base, err := QPSS(nonlinearMixer(sh), Options{N1: 24, N2: 16, Shear: sh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var opt Options
+	opt.N1, opt.N2 = 24, 16
+	opt.Shear = sh
+	opt.Newton.JacobianRefresh = 3
+	sol, err := QPSS(nonlinearMixer(sh), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := sol.Stats.Factorizations + sol.Stats.Refactorizations; f >= sol.Stats.NewtonIters && sol.Stats.NewtonIters > 2 {
+		t.Fatalf("refresh policy did not skip factorisations: %d decompositions over %d iterations",
+			f, sol.Stats.NewtonIters)
+	}
+	for i := range sol.X {
+		if d := math.Abs(sol.X[i] - base.X[i]); d > 1e-6 {
+			t.Fatalf("modified Newton diverged from classic at %d by %v", i, d)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package la
+
+import "sort"
+
+// PatternBuilder accumulates the structural nonzero pattern of a sparse
+// matrix — positions only, no values. Build freezes the pattern into a CSR
+// with sorted, duplicate-free columns and zeroed values, ready for repeated
+// in-place numeric stamping through a RowStamper. This is the "symbolic
+// assembly" half of the split that lets the MPDE Newton loop compute the
+// Jacobian's sparsity once per solve (it is fixed by the difference stencil
+// and the device topology) and only restamp values each iteration.
+type PatternBuilder struct {
+	rows, cols int
+	i, j       []int32
+}
+
+// NewPatternBuilder returns an empty structural builder for an r×c matrix.
+func NewPatternBuilder(r, c int) *PatternBuilder {
+	return &PatternBuilder{rows: r, cols: c}
+}
+
+// Add records a structural entry at (i, j). Duplicates are cheap and merged
+// by Build.
+func (b *PatternBuilder) Add(i, j int) {
+	b.i = append(b.i, int32(i))
+	b.j = append(b.j, int32(j))
+}
+
+// AddBlock records every entry of m's pattern shifted to (rowBase, colBase).
+func (b *PatternBuilder) AddBlock(m *CSR, rowBase, colBase int) {
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			b.Add(rowBase+i, colBase+m.ColIdx[k])
+		}
+	}
+}
+
+// Build compresses the recorded positions into a CSR with sorted,
+// duplicate-free columns per row and all values zero.
+func (b *PatternBuilder) Build() *CSR {
+	rowCount := make([]int, b.rows+1)
+	for _, i := range b.i {
+		rowCount[i+1]++
+	}
+	for i := 0; i < b.rows; i++ {
+		rowCount[i+1] += rowCount[i]
+	}
+	colIdx := make([]int, len(b.j))
+	next := make([]int, b.rows)
+	copy(next, rowCount[:b.rows])
+	for k, i := range b.i {
+		colIdx[next[i]] = int(b.j[k])
+		next[i]++
+	}
+	m := &CSR{Rows: b.rows, Cols: b.cols, RowPtr: make([]int, b.rows+1)}
+	for i := 0; i < b.rows; i++ {
+		seg := colIdx[rowCount[i]:rowCount[i+1]]
+		sort.Ints(seg)
+		prev := -1
+		for _, c := range seg {
+			if c == prev {
+				continue
+			}
+			m.ColIdx = append(m.ColIdx, c)
+			prev = c
+		}
+		m.RowPtr[i+1] = len(m.ColIdx)
+	}
+	m.Val = make([]float64, len(m.ColIdx))
+	return m
+}
+
+// RowStamper adds values into a fixed-pattern CSR row by row in O(1) per
+// entry via a column→slot scatter map. One stamper serves one goroutine;
+// concurrent stampers over disjoint row ranges of the same matrix are safe
+// because they write disjoint slices of Val.
+type RowStamper struct {
+	m    *CSR
+	slot []int32 // column → Val index, valid when mark matches
+	mark []int32 // column → generation of the loaded row
+	gen  int32
+}
+
+// NewRowStamper binds a stamper to m. The pattern (RowPtr/ColIdx) of m must
+// not change while the stamper is in use; values may be rewritten freely.
+func NewRowStamper(m *CSR) *RowStamper {
+	return &RowStamper{
+		m:    m,
+		slot: make([]int32, m.Cols),
+		mark: make([]int32, m.Cols),
+	}
+}
+
+// ZeroRows clears the stored values of rows [lo, hi).
+func (s *RowStamper) ZeroRows(lo, hi int) {
+	Fill(s.m.Val[s.m.RowPtr[lo]:s.m.RowPtr[hi]], 0)
+}
+
+// SetRow loads row i's scatter map; subsequent Add calls target row i.
+func (s *RowStamper) SetRow(i int) {
+	s.gen++
+	if s.gen < 0 { // generation wrap: rebuild marks from scratch
+		Fill32(s.mark, 0)
+		s.gen = 1
+	}
+	m := s.m
+	for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+		c := m.ColIdx[k]
+		s.slot[c] = int32(k)
+		s.mark[c] = s.gen
+	}
+}
+
+// Add accumulates v at (current row, j). It reports false — leaving the
+// matrix unchanged — when (row, j) is not part of the pattern, which signals
+// the caller to rebuild its symbolic pattern.
+func (s *RowStamper) Add(j int, v float64) bool {
+	if s.mark[j] != s.gen {
+		return false
+	}
+	s.m.Val[s.slot[j]] += v
+	return true
+}
+
+// Fill32 sets every element of x to v.
+func Fill32(x []int32, v int32) {
+	for i := range x {
+		x[i] = v
+	}
+}

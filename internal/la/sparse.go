@@ -11,6 +11,10 @@ type Triplet struct {
 	Rows, Cols int
 	I, J       []int
 	V          []float64
+
+	// Compression scratch, reused across CompressInto calls.
+	scRowCount, scNext, scCol []int
+	scVal                     []float64
 }
 
 // NewTriplet returns an empty builder for an r×c matrix.
@@ -37,17 +41,35 @@ func (t *Triplet) Reset() {
 
 // Compress converts to CSR, summing duplicates.
 func (t *Triplet) Compress() *CSR {
+	return t.CompressInto(nil)
+}
+
+// CompressInto is Compress with caller-owned storage: the result is built
+// into dst (pattern and values overwritten, slices grown only when capacity
+// is short) and scratch buffers persist on the Triplet, so a hot loop that
+// compresses the same-shaped matrix every iteration performs no steady-state
+// allocations. dst == nil allocates a fresh matrix.
+func (t *Triplet) CompressInto(dst *CSR) *CSR {
+	if dst == nil {
+		dst = &CSR{}
+	}
+	dst.Rows, dst.Cols = t.Rows, t.Cols
 	nnzEst := len(t.V)
-	rowCount := make([]int, t.Rows+1)
+	t.scRowCount = growInts(t.scRowCount, t.Rows+1)
+	rowCount := t.scRowCount
+	for i := range rowCount {
+		rowCount[i] = 0
+	}
 	for _, i := range t.I {
 		rowCount[i+1]++
 	}
 	for i := 0; i < t.Rows; i++ {
 		rowCount[i+1] += rowCount[i]
 	}
-	colIdx := make([]int, nnzEst)
-	vals := make([]float64, nnzEst)
-	next := make([]int, t.Rows)
+	t.scCol = growInts(t.scCol, nnzEst)
+	t.scVal = growFloats(t.scVal, nnzEst)
+	t.scNext = growInts(t.scNext, t.Rows)
+	colIdx, vals, next := t.scCol, t.scVal, t.scNext
 	copy(next, rowCount[:t.Rows])
 	for k, i := range t.I {
 		p := next[i]
@@ -55,37 +77,58 @@ func (t *Triplet) Compress() *CSR {
 		vals[p] = t.V[k]
 		next[i]++
 	}
-	// Sort each row by column and merge duplicates.
-	m := &CSR{Rows: t.Rows, Cols: t.Cols, RowPtr: make([]int, t.Rows+1)}
+	dst.RowPtr = growInts(dst.RowPtr, t.Rows+1)
+	dst.ColIdx = dst.ColIdx[:0]
+	dst.Val = dst.Val[:0]
+	dst.RowPtr[0] = 0
 	for i := 0; i < t.Rows; i++ {
 		lo, hi := rowCount[i], rowCount[i+1]
-		seg := rowSeg{colIdx[lo:hi], vals[lo:hi]}
-		sort.Sort(seg)
+		sortRowSeg(colIdx[lo:hi], vals[lo:hi])
 		prev := -1
 		for k := lo; k < hi; k++ {
 			if colIdx[k] == prev {
-				m.Val[len(m.Val)-1] += vals[k]
+				dst.Val[len(dst.Val)-1] += vals[k]
 				continue
 			}
-			m.ColIdx = append(m.ColIdx, colIdx[k])
-			m.Val = append(m.Val, vals[k])
+			dst.ColIdx = append(dst.ColIdx, colIdx[k])
+			dst.Val = append(dst.Val, vals[k])
 			prev = colIdx[k]
 		}
-		m.RowPtr[i+1] = len(m.Val)
+		dst.RowPtr[i+1] = len(dst.Val)
 	}
-	return m
+	return dst
 }
 
-type rowSeg struct {
-	col []int
-	val []float64
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }
 
-func (s rowSeg) Len() int           { return len(s.col) }
-func (s rowSeg) Less(i, j int) bool { return s.col[i] < s.col[j] }
-func (s rowSeg) Swap(i, j int) {
-	s.col[i], s.col[j] = s.col[j], s.col[i]
-	s.val[i], s.val[j] = s.val[j], s.val[i]
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// sortRowSeg orders one row's (column, value) pairs by column with a stable
+// insertion sort: MNA rows are short, the sort allocates nothing (unlike a
+// sort.Interface conversion), and stability makes duplicate summation order
+// — and therefore the compressed bits — independent of the sort.
+func sortRowSeg(col []int, val []float64) {
+	for k := 1; k < len(col); k++ {
+		c, v := col[k], val[k]
+		kk := k
+		for kk > 0 && col[kk-1] > c {
+			col[kk] = col[kk-1]
+			val[kk] = val[kk-1]
+			kk--
+		}
+		col[kk] = c
+		val[kk] = v
+	}
 }
 
 // CSR is a compressed-sparse-row matrix with sorted, duplicate-free columns in

@@ -3,11 +3,18 @@ package la
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // SparseLU is a left-looking sparse LU factorisation with partial pivoting
 // (Gilbert–Peierls, in the style of CSparse's cs_lu): P·A = L·U, with L unit
 // lower triangular. Both factors are stored column-wise.
+//
+// A factorisation remembers its symbolic analysis — the elimination pattern,
+// the pivot order, and the column view of A — so a matrix with the same
+// sparsity pattern but new values can be re-decomposed by Refactor at the
+// cost of the numeric phase alone. This is the hot-path configuration of the
+// MPDE Newton iteration, whose Jacobian pattern is fixed across iterations.
 type SparseLU struct {
 	n          int
 	lp, li     []int
@@ -16,6 +23,44 @@ type SparseLU struct {
 	ux         []float64
 	pinv       []int // original row i is pivotal for column pinv[i]
 	FillFactor float64
+
+	// Symbolic-reuse state: a snapshot of the pattern the factorisation was
+	// computed from (copies, not references — the caller may rebuild its
+	// matrix in place, so aliasing the original slices would make the
+	// pattern check vacuous) and the CSC view of A with a gather map into
+	// the CSR value array.
+	aRowPtr, aColIdx []int
+	atp, ati, atMap  []int
+	work             []float64 // refactor scratch
+}
+
+// transposed column view of a with a gather map back into a.Val.
+func cscView(a *CSR) (atp, ati, atMap []int, atv []float64) {
+	n := a.Cols
+	nnz := a.NNZ()
+	atp = make([]int, n+1)
+	for _, j := range a.ColIdx {
+		atp[j+1]++
+	}
+	for j := 0; j < n; j++ {
+		atp[j+1] += atp[j]
+	}
+	ati = make([]int, nnz)
+	atMap = make([]int, nnz)
+	atv = make([]float64, nnz)
+	next := make([]int, n)
+	copy(next, atp[:n])
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.ColIdx[k]
+			p := next[j]
+			ati[p] = i
+			atMap[p] = k
+			atv[p] = a.Val[k]
+			next[j]++
+		}
+	}
+	return atp, ati, atMap, atv
 }
 
 // SparseLUFactor computes P·A = L·U with threshold partial pivoting. tol in
@@ -30,10 +75,13 @@ func SparseLUFactor(a *CSR, tol float64) (*SparseLU, error) {
 		tol = 1
 	}
 	n := a.Rows
-	// Column access: row j of Aᵀ is column j of A.
-	at := a.Transpose()
+	// Column access: the CSC view of A (row j of Aᵀ is column j of A).
+	atp, ati, atMap, atv := cscView(a)
 
-	f := &SparseLU{n: n}
+	f := &SparseLU{n: n,
+		aRowPtr: append([]int(nil), a.RowPtr...),
+		aColIdx: append([]int(nil), a.ColIdx...),
+		atp:     atp, ati: ati, atMap: atMap}
 	f.lp = make([]int, n+1)
 	f.up = make([]int, n+1)
 	f.pinv = make([]int, n)
@@ -51,8 +99,8 @@ func SparseLUFactor(a *CSR, tol float64) (*SparseLU, error) {
 		// --- symbolic: pattern of x = L \ A(:,k) via DFS over L's columns ---
 		stamp++
 		top := n
-		for p := at.RowPtr[k]; p < at.RowPtr[k+1]; p++ {
-			root := at.ColIdx[p]
+		for p := atp[k]; p < atp[k+1]; p++ {
+			root := ati[p]
 			if mark[root] == stamp {
 				continue
 			}
@@ -93,8 +141,8 @@ func SparseLUFactor(a *CSR, tol float64) (*SparseLU, error) {
 		for p := top; p < n; p++ {
 			x[xi[p]] = 0
 		}
-		for p := at.RowPtr[k]; p < at.RowPtr[k+1]; p++ {
-			x[at.ColIdx[p]] = at.Val[p]
+		for p := atp[k]; p < atp[k+1]; p++ {
+			x[ati[p]] = atv[p]
 		}
 		for p := top; p < n; p++ {
 			j := xi[p]
@@ -153,10 +201,116 @@ func SparseLUFactor(a *CSR, tol float64) (*SparseLU, error) {
 	for p := range f.li {
 		f.li[p] = f.pinv[f.li[p]]
 	}
+	// Sort each U column's off-diagonal entries by ascending pivotal row
+	// (keeping the diagonal last). Solve is order-independent within a
+	// column; Refactor relies on ascending order being topological.
+	for k := 0; k < n; k++ {
+		lo, hi := f.up[k], f.up[k+1]-1
+		sort.Sort(uSeg{f.ui[lo:hi], f.ux[lo:hi]})
+	}
 	if nnz := a.NNZ(); nnz > 0 {
 		f.FillFactor = float64(len(f.lx)+len(f.ux)) / float64(nnz)
 	}
 	return f, nil
+}
+
+type uSeg struct {
+	row []int
+	val []float64
+}
+
+func (s uSeg) Len() int           { return len(s.row) }
+func (s uSeg) Less(i, j int) bool { return s.row[i] < s.row[j] }
+func (s uSeg) Swap(i, j int) {
+	s.row[i], s.row[j] = s.row[j], s.row[i]
+	s.val[i], s.val[j] = s.val[j], s.val[i]
+}
+
+// refactorGrowth bounds the element growth a pivot-order-preserving
+// refactorisation accepts before bailing out to a fresh factorisation.
+const refactorGrowth = 1e8
+
+// SamePattern reports whether a has exactly the sparsity pattern this
+// factorisation was computed from, by comparing against the pattern
+// snapshot taken at factor time. The O(nnz) integer compare is noise next
+// to the numeric refactorisation it gates, and — unlike a slice-identity
+// shortcut — it stays correct when the caller rebuilds a matrix in place
+// (e.g. Triplet.CompressInto into the same destination).
+func (f *SparseLU) SamePattern(a *CSR) bool {
+	return a.Rows == f.n && a.Cols == f.n &&
+		sameInts(a.RowPtr, f.aRowPtr) && sameInts(a.ColIdx, f.aColIdx)
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Refactor recomputes the numeric factorisation for a matrix with the same
+// sparsity pattern as the one the factorisation was created from, reusing
+// the symbolic analysis and the pivot order. It costs one sparse triangular
+// sweep — no DFS, no pivot search, no allocation — which is the payoff for
+// Jacobians whose pattern is fixed across Newton iterations. It fails (and
+// leaves the factors unusable) when the pattern differs, a pivot vanishes,
+// or element growth exceeds a stability bound; callers then fall back to
+// SparseLUFactor.
+func (f *SparseLU) Refactor(a *CSR) error {
+	if !f.SamePattern(a) {
+		return fmt.Errorf("la: refactor pattern mismatch (want the factored %d×%d pattern)", f.n, f.n)
+	}
+	n := f.n
+	if f.work == nil {
+		f.work = make([]float64, n)
+	}
+	x := f.work
+	for k := 0; k < n; k++ {
+		// Zero the column's pattern, scatter A(:,k) in pivotal numbering.
+		for p := f.up[k]; p < f.up[k+1]; p++ {
+			x[f.ui[p]] = 0
+		}
+		for p := f.lp[k]; p < f.lp[k+1]; p++ {
+			x[f.li[p]] = 0
+		}
+		for p := f.atp[k]; p < f.atp[k+1]; p++ {
+			x[f.pinv[f.ati[p]]] = a.Val[f.atMap[p]]
+		}
+		// Eliminate with the already-refactored columns: U's off-diagonal
+		// entries ascend in pivotal order, which is topological here because
+		// L(:,j) only updates rows with pivotal index > j.
+		for p := f.up[k]; p < f.up[k+1]-1; p++ {
+			j := f.ui[p]
+			xj := x[j]
+			f.ux[p] = xj
+			if xj == 0 {
+				continue
+			}
+			for q := f.lp[j] + 1; q < f.lp[j+1]; q++ {
+				x[f.li[q]] -= f.lx[q] * xj
+			}
+		}
+		pivot := x[k]
+		maxBelow := 0.0
+		for q := f.lp[k] + 1; q < f.lp[k+1]; q++ {
+			if av := math.Abs(x[f.li[q]]); av > maxBelow {
+				maxBelow = av
+			}
+		}
+		if pivot == 0 || math.IsNaN(pivot) || maxBelow > refactorGrowth*math.Abs(pivot) {
+			return fmt.Errorf("%w (refactor: unstable pivot %.3e at column %d)", ErrSingular, pivot, k)
+		}
+		f.ux[f.up[k+1]-1] = pivot
+		for q := f.lp[k] + 1; q < f.lp[k+1]; q++ {
+			f.lx[q] = x[f.li[q]] / pivot
+		}
+	}
+	return nil
 }
 
 // Solve solves A·x = b. x and b may alias.

@@ -184,13 +184,20 @@ func (j *jobState) finalize(status JobStatus, res *sweep.Result, errMsg string) 
 	var ok, fail, canc, iters int
 	if res != nil {
 		ok, fail, canc = res.Counts()
+		var facts, refacts, pat int
 		for i := range res.Jobs {
 			iters += res.Jobs[i].NewtonIters
+			facts += res.Jobs[i].Factorizations
+			refacts += res.Jobs[i].Refactorizations
+			pat += res.Jobs[i].PatternReuse
 		}
 		m.srv.metrics.sweepOK.Add(int64(ok))
 		m.srv.metrics.sweepFailed.Add(int64(fail))
 		m.srv.metrics.sweepCanc.Add(int64(canc))
 		m.srv.metrics.newtonIters.Add(int64(iters))
+		m.srv.metrics.factorize.Add(int64(facts))
+		m.srv.metrics.refactorize.Add(int64(refacts))
+		m.srv.metrics.patternHits.Add(int64(pat))
 	}
 	switch status {
 	case StatusDone:

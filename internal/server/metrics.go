@@ -24,6 +24,9 @@ type metrics struct {
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 	newtonIters atomic.Int64 // solver iterations summed over engine runs
+	factorize   atomic.Int64 // full sparse-LU factorisations
+	refactorize atomic.Int64 // numeric-only refactorisations (symbolic reuse)
+	patternHits atomic.Int64 // in-place Jacobian restamps (pattern reuse)
 	sweepOK     atomic.Int64 // per-analysis outcomes inside engine runs
 	sweepFailed atomic.Int64
 	sweepCanc   atomic.Int64
@@ -55,6 +58,9 @@ func (m *metrics) snapshot(cache *resultCache, start time.Time) []metricPoint {
 		{"mpde_cache_entries", "Resident result-cache entries.", true, float64(entries)},
 		{"mpde_cache_bytes", "Resident result-cache bytes.", true, float64(bytes)},
 		{"mpde_solver_newton_iters_total", "Nonlinear solver iterations summed over engine runs.", false, float64(m.newtonIters.Load())},
+		{"mpde_solver_factorizations_total", "Full sparse-LU factorisations summed over engine runs.", false, float64(m.factorize.Load())},
+		{"mpde_solver_refactorizations_total", "Numeric-only LU refactorisations that reused a symbolic analysis.", false, float64(m.refactorize.Load())},
+		{"mpde_solver_pattern_reuse_total", "Jacobian assemblies restamped into an existing sparsity pattern.", false, float64(m.patternHits.Load())},
 		{"mpde_sweep_jobs_ok_total", "Per-analysis ok outcomes inside engine runs.", false, float64(m.sweepOK.Load())},
 		{"mpde_sweep_jobs_failed_total", "Per-analysis failures inside engine runs.", false, float64(m.sweepFailed.Load())},
 		{"mpde_sweep_jobs_canceled_total", "Per-analysis cancellations inside engine runs.", false, float64(m.sweepCanc.Load())},

@@ -225,9 +225,13 @@ func PSS(ckt *circuit.Circuit, opt Options) (*Result, error) {
 	if opt.Damping <= 0 || opt.Damping > 1 {
 		opt.Damping = 1
 	}
+	// Merge the inner-solve Newton defaults non-destructively: a caller who
+	// sets Interrupt, Linear or PivotTol but leaves MaxIter zero keeps them
+	// (a zero MaxIter also opts into damping, the analysis default).
 	if opt.Newton.MaxIter == 0 {
-		opt.Newton = solver.NewOptions()
+		opt.Newton.Damping = true
 	}
+	opt.Newton.Fill()
 	ckt.Finalize()
 	n := ckt.Size()
 

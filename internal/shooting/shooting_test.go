@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/device"
+	"repro/internal/solver"
 	"repro/internal/transient"
 )
 
@@ -238,5 +239,25 @@ func TestFloquetNonlinearMixerStable(t *testing.T) {
 	if !stable {
 		eig, _ := res.FloquetMultipliers()
 		t.Fatalf("forced mixer orbit should be stable; multipliers %v", eig)
+	}
+}
+
+// TestPSSHonorsInterruptWithZeroMaxIter reproduces the Newton-option
+// clobber: setting only Newton.Interrupt (MaxIter left zero) must abort the
+// inner per-timestep solves instead of being silently replaced by a fresh
+// default option set.
+func TestPSSHonorsInterruptWithZeroMaxIter(t *testing.T) {
+	f := 1000.0
+	ckt, _, _ := rcDriven(f)
+	var opt Options
+	opt.Period = 1 / f
+	opt.Steps = 64
+	opt.Newton.Interrupt = func() bool { return true }
+	_, err := PSS(ckt, opt)
+	if err == nil {
+		t.Fatal("PSS converged despite an always-true Interrupt: Newton options were clobbered")
+	}
+	if !solver.Interrupted(err) {
+		t.Fatalf("want an interrupted error, got %v", err)
 	}
 }

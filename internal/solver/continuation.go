@@ -3,6 +3,7 @@ package solver
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/la"
 )
@@ -44,6 +45,14 @@ type ContinuationStats struct {
 	Failures    int
 	FinalLambda float64
 	NewtonIters int
+	// Factorizations/Refactorizations/AssemblyTime/FactorTime aggregate the
+	// work of every inner Newton solve (see Stats); FillFactor is the last
+	// solve's LU fill.
+	Factorizations   int
+	Refactorizations int
+	AssemblyTime     time.Duration
+	FactorTime       time.Duration
+	FillFactor       float64
 }
 
 // ErrContinuation is returned when the path cannot reach λ = 1.
@@ -75,6 +84,13 @@ func Continue(sys ParamSystem, x []float64, opt ContinuationOptions) (Continuati
 		}}
 		st, err := Solve(sub, guess, opt.Newton)
 		cs.NewtonIters += st.Iterations
+		cs.Factorizations += st.Factorizations
+		cs.Refactorizations += st.Refactorizations
+		cs.AssemblyTime += st.AssemblyTime
+		cs.FactorTime += st.FactorTime
+		if st.FillFactor > 0 {
+			cs.FillFactor = st.FillFactor
+		}
 		return st, err
 	}
 

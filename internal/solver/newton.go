@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/la"
 )
@@ -18,6 +19,8 @@ import (
 type System interface {
 	Size() int
 	// Eval returns the residual at x and, when jac is set, the Jacobian.
+	// Both returned values may alias storage the system reuses on its next
+	// Eval call; Solve copies what it keeps across calls.
 	Eval(x []float64, jac bool) (r []float64, j *la.CSR, err error)
 }
 
@@ -60,6 +63,14 @@ type Options struct {
 	PivotTol  float64 // sparse LU threshold-pivoting tolerance (default 0.001)
 	GMRESTol  float64 // default 1e-10
 	GMRESIter int     // default 400
+	// JacobianRefresh is the modified-Newton policy: the Jacobian is
+	// re-evaluated and re-factorised only every JacobianRefresh-th
+	// iteration, with the stale factorisation reused in between (and sparse
+	// LU refactorised numerically into the same symbolic analysis when the
+	// pattern allows). A damping failure on a stale Jacobian forces an
+	// immediate refresh. 0 or 1 refreshes every iteration — classic Newton,
+	// the default.
+	JacobianRefresh int
 	// Interrupt, when non-nil, is polled between Newton iterations;
 	// returning true aborts the solve with ErrInterrupted. Analyses thread
 	// it through their inner solves so a long-running job can be cancelled
@@ -70,20 +81,19 @@ type Options struct {
 
 // NewOptions returns the defaults used across the analyses.
 func NewOptions() Options {
-	return Options{
-		MaxIter:  50,
-		AbsTol:   1e-9,
-		RelTol:   1e-6,
-		ResidTol: 1e-9,
-		MaxStep:  0,
-		Damping:  true,
-		MaxHalve: 8,
-		PivotTol: 0.001,
-		GMRESTol: 1e-10,
-	}
+	var o Options
+	o.Damping = true
+	o.Fill()
+	return o
 }
 
-func (o *Options) fill() {
+// Fill populates every unset (zero) numeric field with its documented
+// default, leaving fields the caller has set untouched. Analyses use it to
+// merge caller-provided options with their defaults non-destructively: a
+// caller who only sets Interrupt or Linear keeps those while the tolerances
+// default. Note Damping cannot be defaulted here (false is a meaningful
+// setting); NewOptions enables it.
+func (o *Options) Fill() {
 	if o.MaxIter <= 0 {
 		o.MaxIter = 50
 	}
@@ -108,6 +118,9 @@ func (o *Options) fill() {
 	if o.GMRESIter <= 0 {
 		o.GMRESIter = 400
 	}
+	if o.JacobianRefresh <= 0 {
+		o.JacobianRefresh = 1
+	}
 }
 
 // Stats reports how a Newton solve went.
@@ -118,6 +131,21 @@ type Stats struct {
 	Converged   bool
 	Halvings    int // total damping halvings
 	LinearIters int // total GMRES iterations (iterative mode)
+	// JacobianEvals counts full (residual + Jacobian) system evaluations;
+	// with JacobianRefresh > 1 it runs below Iterations.
+	JacobianEvals int
+	// Factorizations counts full symbolic+numeric LU factorisations;
+	// Refactorizations counts the cheaper numeric-only decompositions that
+	// reused a previous symbolic analysis (pattern-reuse hits).
+	Factorizations   int
+	Refactorizations int
+	// FillFactor is the L+U fill of the last direct factorisation relative
+	// to the Jacobian's nonzeros (0 in pure GMRES solves).
+	FillFactor float64
+	// AssemblyTime totals the time spent inside System.Eval (residual and
+	// Jacobian assembly); FactorTime totals LU factorisation time.
+	AssemblyTime time.Duration
+	FactorTime   time.Duration
 }
 
 // ErrNewton is wrapped by non-convergence errors.
@@ -131,9 +159,35 @@ var ErrInterrupted = errors.New("solver: solve interrupted")
 // Interrupted reports whether err stems from an Options.Interrupt abort.
 func Interrupted(err error) bool { return errors.Is(err, ErrInterrupted) }
 
+// directFactor owns the sparse LU state across iterations so a refresh can
+// reuse the symbolic analysis when the Jacobian pattern is unchanged.
+type directFactor struct {
+	f *la.SparseLU
+}
+
+func (d *directFactor) factor(j *la.CSR, st *Stats, opt Options) error {
+	if d.f != nil && d.f.SamePattern(j) {
+		if err := d.f.Refactor(j); err == nil {
+			st.Refactorizations++
+			st.FillFactor = d.f.FillFactor
+			return nil
+		}
+		// Unstable under the frozen pivot order — fall through to a fresh
+		// factorisation with pivoting.
+	}
+	f, err := la.SparseLUFactor(j, opt.PivotTol)
+	if err != nil {
+		return err
+	}
+	d.f = f
+	st.Factorizations++
+	st.FillFactor = f.FillFactor
+	return nil
+}
+
 // Solve runs damped Newton from x (updated in place to the solution).
 func Solve(sys System, x []float64, opt Options) (Stats, error) {
-	opt.fill()
+	opt.Fill()
 	n := sys.Size()
 	if len(x) != n {
 		return Stats{}, fmt.Errorf("solver: initial guess size %d, want %d", len(x), n)
@@ -141,51 +195,93 @@ func Solve(sys System, x []float64, opt Options) (Stats, error) {
 	var st Stats
 	dx := make([]float64, n)
 	xTrial := make([]float64, n)
+	neg := make([]float64, n)
+	r := make([]float64, n)
+	rNew := make([]float64, n)
 
-	r, j, err := sys.Eval(x, true)
-	if err != nil {
-		return st, err
+	evalInto := func(xx, dst []float64, jac bool) (*la.CSR, error) {
+		t0 := time.Now()
+		rr, j, err := sys.Eval(xx, jac)
+		st.AssemblyTime += time.Since(t0)
+		if err != nil {
+			return nil, err
+		}
+		copy(dst, rr)
+		if jac {
+			st.JacobianEvals++
+			if j == nil {
+				return nil, errors.New("solver: system returned no Jacobian")
+			}
+		}
+		return j, nil
 	}
-	rNorm := la.NormInf(r)
-	// Residual acceptance is scaled by the starting residual so the same
-	// tolerances work for milliamp-level MNA residuals and unit-level
-	// normalised systems alike.
-	residCap := opt.ResidTol * math.Max(1, rNorm)
+
+	// rNorm and residCap are established by iteration 0's Jacobian
+	// evaluation (jacAge starts negative, so it always runs) rather than a
+	// separate pre-loop residual pass — one full assembly saved per Solve,
+	// which the envelope march pays once per slow timestep.
+	var rNorm, residCap float64
+
+	var direct directFactor
+	var j *la.CSR // current (possibly stale) Jacobian, GMRES operator
+	var prec la.Preconditioner
+	jacAge := -1 // -1: no Jacobian factored yet
 	for it := 0; it < opt.MaxIter; it++ {
 		if opt.Interrupt != nil && opt.Interrupt() {
 			return st, fmt.Errorf("%w after %d iterations", ErrInterrupted, st.Iterations)
 		}
 		st.Iterations = it + 1
+		if jacAge < 0 || jacAge >= opt.JacobianRefresh {
+			jj, err := evalInto(x, r, true)
+			if err != nil {
+				return st, err
+			}
+			j = jj
+			if it == 0 {
+				rNorm = la.NormInf(r)
+				// Residual acceptance is scaled by the starting residual so
+				// the same tolerances work for milliamp-level MNA residuals
+				// and unit-level normalised systems alike.
+				residCap = opt.ResidTol * math.Max(1, rNorm)
+			}
+			t0 := time.Now()
+			switch opt.Linear {
+			case IterativeGMRES:
+				if p, perr := la.NewILU0(j); perr == nil {
+					prec = p
+				} else {
+					prec = nil
+				}
+			default:
+				if err := direct.factor(j, &st, opt); err != nil {
+					st.FactorTime += time.Since(t0)
+					return st, fmt.Errorf("solver: Jacobian factorisation failed at iter %d: %w", it, err)
+				}
+			}
+			st.FactorTime += time.Since(t0)
+			jacAge = 0
+		}
 		// Solve J·dx = −r.
-		neg := make([]float64, n)
 		for i := range neg {
 			neg[i] = -r[i]
 		}
-		switch opt.Linear {
-		case IterativeGMRES:
-			prec, perr := la.NewILU0(j)
-			var m la.Preconditioner
-			if perr == nil {
-				m = prec
-			}
+		if opt.Linear == IterativeGMRES {
 			la.Fill(dx, 0)
 			res, gerr := la.GMRES(la.AsOperator(j), neg, dx, la.GMRESOptions{
-				Tol: opt.GMRESTol, MaxIter: opt.GMRESIter, M: m})
+				Tol: opt.GMRESTol, MaxIter: opt.GMRESIter, M: prec})
 			st.LinearIters += res.Iterations
 			if gerr != nil {
 				// Fall back to a direct solve rather than failing Newton.
-				f, ferr := la.SparseLUFactor(j, opt.PivotTol)
-				if ferr != nil {
-					return st, fmt.Errorf("solver: linear solve failed: %w", ferr)
+				t0 := time.Now()
+				err := direct.factor(j, &st, opt)
+				st.FactorTime += time.Since(t0)
+				if err != nil {
+					return st, fmt.Errorf("solver: linear solve failed: %w", err)
 				}
-				f.Solve(neg, dx)
+				direct.f.Solve(neg, dx)
 			}
-		default:
-			f, ferr := la.SparseLUFactor(j, opt.PivotTol)
-			if ferr != nil {
-				return st, fmt.Errorf("solver: Jacobian factorisation failed at iter %d: %w", it, ferr)
-			}
-			f.Solve(neg, dx)
+		} else {
+			direct.f.Solve(neg, dx)
 		}
 		// Optional ∞-norm clamp (device-voltage limiting in the large).
 		if opt.MaxStep > 0 {
@@ -194,39 +290,49 @@ func Solve(sys System, x []float64, opt Options) (Stats, error) {
 			}
 		}
 		// Damped update: halve until the residual stops increasing badly.
+		// Trials evaluate the residual only — the Jacobian is assembled once
+		// per refresh at the accepted iterate, never at discarded trials.
 		alpha := 1.0
-		var rNew []float64
-		var jNew *la.CSR
+		accepted := true
+		var nrm float64
 		for h := 0; ; h++ {
 			for i := range xTrial {
 				xTrial[i] = x[i] + alpha*dx[i]
 			}
-			rNew, jNew, err = sys.Eval(xTrial, true)
-			if err != nil {
+			if _, err := evalInto(xTrial, rNew, false); err != nil {
 				return st, err
 			}
-			nrm := la.NormInf(rNew)
+			nrm = la.NormInf(rNew)
 			if !opt.Damping || nrm <= 2*rNorm || h >= opt.MaxHalve || math.IsNaN(rNorm) {
 				if math.IsNaN(nrm) && h < opt.MaxHalve {
 					alpha /= 2
 					st.Halvings++
 					continue
 				}
-				rNorm = nrm
+				// Damping exhausted on a stale Jacobian: reject the trial and
+				// refresh instead — the chord direction was the problem.
+				if opt.Damping && jacAge > 0 && h >= opt.MaxHalve && nrm > 2*rNorm && !math.IsNaN(rNorm) {
+					accepted = false
+				}
 				break
 			}
 			alpha /= 2
 			st.Halvings++
 		}
+		if !accepted {
+			jacAge = opt.JacobianRefresh // force refresh next iteration
+			continue
+		}
+		rNorm = nrm
 		copy(x, xTrial)
-		r, j = rNew, jNew
+		copy(r, rNew)
+		jacAge++
 
 		// Convergence: weighted step norm AND residual check.
-		stepScaled := make([]float64, n)
-		for i := range stepScaled {
-			stepScaled[i] = alpha * dx[i]
+		for i := range xTrial {
+			xTrial[i] = alpha * dx[i] // reuse as the scaled-step scratch
 		}
-		st.StepNorm = la.WeightedMaxNorm(stepScaled, x, opt.AbsTol, opt.RelTol)
+		st.StepNorm = la.WeightedMaxNorm(xTrial, x, opt.AbsTol, opt.RelTol)
 		st.Residual = rNorm
 		// Primary acceptance: small step and small residual. Secondary:
 		// a full (undamped) Newton step that is essentially zero means the

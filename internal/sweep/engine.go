@@ -182,11 +182,16 @@ func (s *Spec) runJob(ctx context.Context, job Job, seed []float64) (jr JobResul
 			return false
 		}
 	}
+	// Merge the spec's Newton overrides with the engine defaults
+	// non-destructively: set fields (Linear, PivotTol, JacobianRefresh, …)
+	// survive a zero MaxIter instead of being clobbered by a fresh default
+	// set.
 	newton := s.Newton
 	if newton.MaxIter == 0 {
-		newton = solver.NewOptions()
 		newton.MaxIter = 60
+		newton.Damping = true
 	}
+	newton.Fill()
 	newton.Interrupt = interrupt
 
 	t0 := time.Now()

@@ -14,6 +14,7 @@ import (
 var csvHeader = []string{
 	"id", "method", "fd", "amp", "n1", "n2", "status",
 	"unknowns", "newton_iters", "time_steps", "continuation",
+	"factorizations", "refactorizations", "pattern_reuse",
 	"gain_valid", "gain_ratio", "gain_db", "hd2", "hd3", "swing",
 	"spectrum", "err",
 }
@@ -44,6 +45,9 @@ func (r *Result) WriteCSV(w io.Writer, timing bool) error {
 			strconv.Itoa(jr.NewtonIters),
 			strconv.Itoa(jr.TimeSteps),
 			strconv.FormatBool(jr.UsedContinuation),
+			strconv.Itoa(jr.Factorizations),
+			strconv.Itoa(jr.Refactorizations),
+			strconv.Itoa(jr.PatternReuse),
 			strconv.FormatBool(jr.GainValid),
 			fmtE(jr.Gain.Ratio),
 			fmtE(jr.Gain.DB),

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/hb"
@@ -86,12 +87,30 @@ func qpssBaseband(sol *core.Solution, tgt *Target) []float64 {
 	return sol.BasebandMean(tgt.OutP)
 }
 
+// assemblyWorkers bounds a QPSS job's intra-job assembly parallelism: when
+// the engine pool itself runs jobs concurrently, job-level parallelism
+// already saturates the cores, and letting every job additionally fan
+// GOMAXPROCS assembly goroutines would oversubscribe quadratically. A
+// single-worker pool keeps the assembler's default (all cores). Results are
+// byte-identical either way.
+func (s *Spec) assemblyWorkers() int {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > 1 {
+		return 1
+	}
+	return 0 // assembler default: GOMAXPROCS
+}
+
 func (s *Spec) measureQPSS(jr *JobResult, tgt *Target, newton solver.Options, seed []float64) ([]float64, error) {
 	p := jr.Job.Point
 	opt := core.Options{
 		N1: p.N1, N2: p.N2, Shear: tgt.Shear,
 		DiffT1: s.DiffT1, DiffT2: s.DiffT2,
 		Newton: newton, Continuation: true,
+		AssemblyWorkers: s.assemblyWorkers(),
 	}
 	n1, n2 := orDefault(p.N1, defaultQPSSN1), orDefault(p.N2, defaultQPSSN2)
 	if len(seed) == n1*n2*tgt.Ckt.Size() {
@@ -106,6 +125,9 @@ func (s *Spec) measureQPSS(jr *JobResult, tgt *Target, newton solver.Options, se
 	jr.NewtonIters = sol.Stats.NewtonIters
 	jr.Unknowns = sol.Stats.Unknowns
 	jr.UsedContinuation = sol.Stats.UsedContinuation
+	jr.Factorizations = sol.Stats.Factorizations
+	jr.Refactorizations = sol.Stats.Refactorizations
+	jr.PatternReuse = sol.Stats.PatternReuse
 
 	bb := qpssBaseband(sol, tgt)
 	measureRecord(jr, bb, tgt.Shear.Td()/float64(len(bb)), math.Abs(tgt.Shear.Fd()), tgt.RFAmp)
@@ -138,6 +160,9 @@ func (s *Spec) measureEnvelope(jr *JobResult, tgt *Target, newton solver.Options
 		return err
 	}
 	jr.NewtonIters = env.NewtonIters
+	jr.Factorizations = env.Factorizations
+	jr.Refactorizations = env.Refactorizations
+	jr.PatternReuse = env.PatternReuse
 	jr.TimeSteps = len(env.T2)
 	jr.Unknowns = orDefault(p.N1, defaultQPSSN1) * tgt.Ckt.Size()
 	bb := env.Baseband(tgt.OutP)

@@ -255,6 +255,14 @@ type JobResult struct {
 	NewtonIters int `json:"newton_iters"`
 	TimeSteps   int `json:"time_steps,omitempty"`
 	Unknowns    int `json:"unknowns,omitempty"`
+	// Factorizations counts full sparse-LU factorisations;
+	// Refactorizations the numeric-only decompositions that reused a
+	// previous symbolic analysis; PatternReuse the Jacobian assemblies that
+	// restamped an existing sparsity pattern in place (QPSS/envelope).
+	// All are deterministic counts, safe for the byte-stable exports.
+	Factorizations   int `json:"factorizations,omitempty"`
+	Refactorizations int `json:"refactorizations,omitempty"`
+	PatternReuse     int `json:"pattern_reuse,omitempty"`
 	// UsedContinuation marks QPSS jobs rescued by source stepping.
 	UsedContinuation bool `json:"used_continuation,omitempty"`
 	// GainValid guards Gain: conversion gain referenced to Target.RFAmp.

@@ -37,11 +37,17 @@ func DC(ckt *circuit.Circuit, opt DCOptions) ([]float64, solver.Stats, error) {
 	ckt.Finalize()
 	ev := ckt.NewEval()
 	n := ckt.Size()
+	// Merge Newton defaults non-destructively so set fields (Interrupt,
+	// Linear, …) survive a zero MaxIter.
 	if opt.Newton.MaxIter == 0 {
-		opt.Newton = solver.NewOptions()
-		// DC benefits from a modest voltage clamp per iteration.
-		opt.Newton.MaxStep = 10
+		opt.Newton.Damping = true
+		// DC benefits from a modest voltage clamp per iteration; a
+		// caller-set clamp survives.
+		if opt.Newton.MaxStep == 0 {
+			opt.Newton.MaxStep = 10
+		}
 	}
+	opt.Newton.Fill()
 
 	evalAt := func(lambda float64, x []float64, jac bool) ([]float64, *la.CSR, error) {
 		if opt.SignalsOff {

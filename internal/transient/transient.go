@@ -131,9 +131,11 @@ func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
 	if opt.LTETol <= 0 {
 		opt.LTETol = 1e-3
 	}
+	// Non-destructive Newton defaults (set fields survive a zero MaxIter).
 	if opt.Newton.MaxIter == 0 {
-		opt.Newton = solver.NewOptions()
+		opt.Newton.Damping = true
 	}
+	opt.Newton.Fill()
 	if opt.MaxPoints <= 0 {
 		opt.MaxPoints = 4_000_000
 	}
