@@ -5,12 +5,14 @@
 //
 //   - circuit construction (NewCircuit, the device builders on Circuit,
 //     waveforms DC/Sine/ModulatedCarrier, and the SPICE-ish netlist parser),
-//   - conventional analyses (DCOperatingPoint, Transient, ShootingPSS,
-//     HarmonicBalance) as baselines,
-//   - the paper's method: MPDEQuasiPeriodic (steady state on the sheared
-//     difference-frequency grid) and MPDEEnvelope (slow-time envelope
-//     following), with NewShear defining the difference-frequency time
-//     scale fd = K·F1 − F2, and
+//   - Analyze, the unified context-first analysis entry point: every
+//     analysis — the paper's "qpss" and "envelope" methods next to the
+//     "dc"/"transient"/"shooting"/"hb"/"ac"/"pac" baselines — is registered
+//     under a name and driven through one Request/Result contract, with
+//     cooperative cancellation via the context (the per-method wrappers
+//     below remain as deprecated adapters),
+//   - NewShear defining the difference-frequency time scale
+//     fd = K·F1 − F2 of the paper's sheared grid, and
 //   - Sweep, the concurrent batch engine that fans families of analyses
 //     (QPSS, envelope, shooting, transient, HB) across a bounded worker
 //     pool over parameter grids of tone spacing, drive amplitude and grid
@@ -21,9 +23,13 @@
 //
 // A minimal session:
 //
-//	sh := repro.NewShear(450e6, 2*450e6-15e3, 2) // LO-doubling mixer, fd = 15 kHz
-//	mix := repro.NewBalancedMixer(repro.BalancedMixerConfig{})
-//	sol, err := repro.MPDEQuasiPeriodic(mix.Ckt, repro.MPDEOptions{N1: 40, N2: 30, Shear: mix.Shear})
+//	mix := repro.NewBalancedMixer(repro.BalancedMixerConfig{}) // LO-doubling mixer
+//	res, err := repro.Analyze(ctx, repro.AnalysisRequest{
+//	        Method:  "qpss",
+//	        Circuit: mix.Ckt,
+//	        Params:  repro.QPSSParams{N1: 40, N2: 30, Shear: mix.Shear},
+//	})
+//	sol := res.Raw().(*repro.MPDESolution)
 //	bb := sol.DifferentialBaseband(mix.OutP, mix.OutM) // the down-converted bit stream
 package repro
 
@@ -32,6 +38,7 @@ import (
 	"io"
 
 	"repro/internal/ac"
+	"repro/internal/analysis"
 	"repro/internal/circuit"
 	"repro/internal/ckts"
 	"repro/internal/core"
@@ -89,6 +96,75 @@ func ParseNetlist(r io.Reader) (*netlist.Deck, error) { return netlist.Parse(r) 
 // ParseNetlistString parses a deck held in a string.
 func ParseNetlistString(s string) (*netlist.Deck, error) { return netlist.ParseString(s) }
 
+// --- the unified analysis API -------------------------------------------------
+
+// AnalysisRequest describes one analysis invocation for Analyze: the
+// circuit under test, the registry method name, its typed parameters, and
+// the common knobs (Newton options, probes, warm-start seed, progress
+// hook). See internal/analysis for the full contract.
+type AnalysisRequest = analysis.Request
+
+// AnalysisResult is the uniform view of a finished analysis: node
+// waveforms, spectra, solver stats and measurement extraction.
+type AnalysisResult = analysis.Result
+
+// AnalysisStats is the uniform solver-work report (Result.Stats).
+type AnalysisStats = analysis.Stats
+
+// AnalysisProbe selects a measured unknown (single-ended when M < 0).
+type AnalysisProbe = analysis.Probe
+
+// AnalysisWaveform is a sampled record of one probed output.
+type AnalysisWaveform = analysis.Waveform
+
+// AnalysisLine is one reported spectral mix.
+type AnalysisLine = analysis.Line
+
+// AnalysisMeasurement is the uniform swing/conversion-gain extraction.
+type AnalysisMeasurement = analysis.Measurement
+
+// AnalysisProgress is one coarse progress notification.
+type AnalysisProgress = analysis.Progress
+
+// Typed parameter structs for AnalysisRequest.Params, one per registered
+// analysis.
+type (
+	// QPSSParams configures the paper's "qpss" method.
+	QPSSParams = analysis.QPSSParams
+	// EnvelopeParams configures "envelope" following.
+	EnvelopeParams = analysis.EnvelopeParams
+	// ShootingParams configures "shooting".
+	ShootingParams = analysis.ShootingParams
+	// TransientParams configures "transient".
+	TransientParams = analysis.TransientParams
+	// HBParams configures "hb".
+	HBParams = analysis.HBParams
+	// ACParams configures "ac".
+	ACParams = analysis.ACParams
+	// PACParams configures "pac".
+	PACParams = analysis.PACParams
+	// DCParams configures "dc".
+	DCParams = analysis.DCParams
+)
+
+// Analyze runs one analysis through the name-keyed registry — the single
+// context-first entry point every dispatcher (sweep, HTTP service, deck
+// directives, CLI) is built on. Cancelling ctx interrupts an in-flight
+// Newton solve cooperatively, and an already-canceled context returns
+// ctx.Err() before any assembly work:
+//
+//	sol, err := repro.Analyze(ctx, repro.AnalysisRequest{
+//	        Method:  "qpss",
+//	        Circuit: mix.Ckt,
+//	        Params:  repro.QPSSParams{N1: 40, N2: 30, Shear: mix.Shear},
+//	})
+func Analyze(ctx context.Context, req AnalysisRequest) (AnalysisResult, error) {
+	return analysis.Run(ctx, req)
+}
+
+// AnalysisNames lists the registered analyses, sorted.
+func AnalysisNames() []string { return analysis.Names() }
+
 // --- the paper's method -----------------------------------------------------
 
 // Shear is the difference-frequency time-scale map (paper Section 2).
@@ -119,8 +195,12 @@ const (
 
 // MPDEQuasiPeriodic computes the quasi-periodic steady state on the sheared
 // bi-periodic grid — the paper's headline method.
+//
+// Deprecated: use Analyze(ctx, AnalysisRequest{Method: "qpss", Params:
+// QPSSParams{...}}) — the context-first entry point with cooperative
+// cancellation. This wrapper runs under context.Background().
 func MPDEQuasiPeriodic(ckt *Circuit, opt MPDEOptions) (*MPDESolution, error) {
-	return core.QPSS(ckt, opt)
+	return core.QPSS(context.Background(), ckt, opt)
 }
 
 // MPDEEnvelopeOptions configures slow-time envelope following.
@@ -131,8 +211,11 @@ type MPDEEnvelopeResult = core.EnvelopeResult
 
 // MPDEEnvelope marches the MPDE in the difference-frequency time scale
 // without imposing slow periodicity (envelope transients).
+//
+// Deprecated: use Analyze(ctx, AnalysisRequest{Method: "envelope", Params:
+// EnvelopeParams{...}}). This wrapper runs under context.Background().
 func MPDEEnvelope(ckt *Circuit, opt MPDEEnvelopeOptions) (*MPDEEnvelopeResult, error) {
-	return core.EnvelopeFollow(ckt, opt)
+	return core.EnvelopeFollow(context.Background(), ckt, opt)
 }
 
 // --- baseline analyses --------------------------------------------------------
@@ -142,8 +225,11 @@ type DCOptions = transient.DCOptions
 
 // DCOperatingPoint solves f(x) + b = 0 with Newton, source stepping and gmin
 // stepping fallbacks.
+//
+// Deprecated: use Analyze(ctx, AnalysisRequest{Method: "dc", Params:
+// DCParams{...}}). This wrapper runs under context.Background().
 func DCOperatingPoint(ckt *Circuit, opt DCOptions) ([]float64, error) {
-	x, _, err := transient.DC(ckt, opt)
+	x, _, err := transient.DC(context.Background(), ckt, opt)
 	return x, err
 }
 
@@ -165,8 +251,12 @@ const (
 
 // Transient integrates the circuit equations over time — the "traditional
 // time-stepping" baseline of the paper.
+//
+// Deprecated: use Analyze(ctx, AnalysisRequest{Method: "transient",
+// Params: TransientParams{...}}). This wrapper runs under
+// context.Background().
 func Transient(ckt *Circuit, opt TransientOptions) (*TransientResult, error) {
-	return transient.Run(ckt, opt)
+	return transient.Run(context.Background(), ckt, opt)
 }
 
 // ShootingOptions configures periodic steady-state shooting.
@@ -177,8 +267,11 @@ type ShootingResult = shooting.Result
 
 // ShootingPSS computes a single-tone periodic steady state by the
 // Aprille–Trick shooting method — the paper's CPU-time comparison baseline.
+//
+// Deprecated: use Analyze(ctx, AnalysisRequest{Method: "shooting", Params:
+// ShootingParams{...}}). This wrapper runs under context.Background().
 func ShootingPSS(ckt *Circuit, opt ShootingOptions) (*ShootingResult, error) {
-	return shooting.PSS(ckt, opt)
+	return shooting.PSS(context.Background(), ckt, opt)
 }
 
 // HBOptions configures two-tone harmonic balance.
@@ -190,8 +283,11 @@ type HBSolution = hb.Solution
 // HarmonicBalance runs box-truncated two-tone harmonic balance — the
 // frequency-domain comparator whose weakness on switching waveforms
 // motivates the paper.
+//
+// Deprecated: use Analyze(ctx, AnalysisRequest{Method: "hb", Params:
+// HBParams{...}}). This wrapper runs under context.Background().
 func HarmonicBalance(ckt *Circuit, opt HBOptions) (*HBSolution, error) {
-	return hb.Solve(ckt, opt)
+	return hb.Solve(context.Background(), ckt, opt)
 }
 
 // NewtonOptions exposes the shared nonlinear-solver configuration.
@@ -205,7 +301,12 @@ type ACResult = ac.Result
 
 // ACAnalyze linearises the circuit at its bias point and sweeps
 // (G + jωC)·X = B over frequency.
-func ACAnalyze(ckt *Circuit, opt ACOptions) (*ACResult, error) { return ac.Analyze(ckt, opt) }
+//
+// Deprecated: use Analyze(ctx, AnalysisRequest{Method: "ac", Params:
+// ACParams{...}}). This wrapper runs under context.Background().
+func ACAnalyze(ckt *Circuit, opt ACOptions) (*ACResult, error) {
+	return ac.Analyze(context.Background(), ckt, opt)
+}
 
 // ACLogSweep returns log-spaced frequencies for ACAnalyze.
 func ACLogSweep(f0, f1 float64, nPts int) []float64 { return ac.LogSweep(f0, f1, nPts) }
@@ -219,7 +320,12 @@ type PACResult = pac.Result
 // PACAnalyze linearises around a periodic steady state and computes the
 // small-signal conversion gains from a stimulus at fs to every LO sideband
 // fs + k·f0.
-func PACAnalyze(ckt *Circuit, opt PACOptions) (*PACResult, error) { return pac.Analyze(ckt, opt) }
+//
+// Deprecated: use Analyze(ctx, AnalysisRequest{Method: "pac", Params:
+// PACParams{...}}). This wrapper runs under context.Background().
+func PACAnalyze(ckt *Circuit, opt PACOptions) (*PACResult, error) {
+	return pac.Analyze(context.Background(), ckt, opt)
+}
 
 // --- concurrent sweeps --------------------------------------------------------
 

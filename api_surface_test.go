@@ -1,0 +1,61 @@
+// API-compatibility gate: the deprecated pre-registry wrappers must keep
+// their exact signatures so every published example and golden test keeps
+// compiling, and the new context-first surface must exist. A signature
+// change here is a breaking change — these assignments fail to compile
+// before any test runs.
+package repro_test
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"repro"
+)
+
+// Compile-time pins of the deprecated wrapper signatures.
+var (
+	_ func(*repro.Circuit, repro.MPDEOptions) (*repro.MPDESolution, error)               = repro.MPDEQuasiPeriodic
+	_ func(*repro.Circuit, repro.MPDEEnvelopeOptions) (*repro.MPDEEnvelopeResult, error) = repro.MPDEEnvelope
+	_ func(*repro.Circuit, repro.DCOptions) ([]float64, error)                           = repro.DCOperatingPoint
+	_ func(*repro.Circuit, repro.TransientOptions) (*repro.TransientResult, error)       = repro.Transient
+	_ func(*repro.Circuit, repro.ShootingOptions) (*repro.ShootingResult, error)         = repro.ShootingPSS
+	_ func(*repro.Circuit, repro.HBOptions) (*repro.HBSolution, error)                   = repro.HarmonicBalance
+	_ func(*repro.Circuit, repro.ACOptions) (*repro.ACResult, error)                     = repro.ACAnalyze
+	_ func(*repro.Circuit, repro.PACOptions) (*repro.PACResult, error)                   = repro.PACAnalyze
+	_ func(context.Context, repro.SweepSpec) (*repro.SweepResult, error)                 = repro.Sweep
+	_ func(context.Context, string, repro.ServerOptions) error                           = repro.Serve
+	_ func(float64, float64, int) repro.Shear                                            = repro.NewShear
+	_ func(context.Context, repro.AnalysisRequest) (repro.AnalysisResult, error)         = repro.Analyze
+	_ func() []string                                                                    = repro.AnalysisNames
+)
+
+// Compile-time pins of the typed parameter structs backing the new surface.
+var (
+	_ repro.QPSSParams
+	_ repro.EnvelopeParams
+	_ repro.ShootingParams
+	_ repro.TransientParams
+	_ repro.HBParams
+	_ repro.ACParams
+	_ repro.PACParams
+	_ repro.DCParams
+)
+
+// TestAnalysisNamesCoverEveryDispatcherMethod asserts the registry carries
+// at least the analyses the dispatchers were rebuilt around.
+func TestAnalysisNamesCoverEveryDispatcherMethod(t *testing.T) {
+	names := repro.AnalysisNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("AnalysisNames not sorted: %v", names)
+	}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, want := range []string{"qpss", "envelope", "shooting", "transient", "hb", "dc", "ac", "pac"} {
+		if !have[want] {
+			t.Fatalf("registry is missing %q (have %v)", want, names)
+		}
+	}
+}

@@ -1,4 +1,9 @@
-// Command mpde-sim runs an analysis on a SPICE-flavoured netlist.
+// Command mpde-sim runs an analysis on a SPICE-flavoured netlist through
+// the unified analysis registry: every analysis known to internal/analysis
+// (dc, transient, shooting, hb, qpss, envelope, ac, pac, ...) is resolved
+// by name and driven through the one context-first entry point, so the CLI
+// needs no per-method code and Ctrl-C cancels an in-flight Newton solve
+// cooperatively.
 //
 // Usage:
 //
@@ -8,31 +13,38 @@
 //	mpde-sim -deck mixer.cir -analysis hb  -n1 32 -n2 8
 //	mpde-sim -deck mixer.cir -analysis qpss -n1 40 -n2 30 [-order2]
 //	mpde-sim -deck mixer.cir -analysis envelope -n1 40 -t2stop 2e-4
+//	mpde-sim -deck mixer.cir -analysis ac -source VRF -f0 1k -f1 1g -npts 40
 //	mpde-sim sweep -circuit balanced -fd 10k,15k,20k -methods qpss,shooting
 //
 // qpss/hb/envelope need a ".tones F1 F2 [K]" card in the deck. Probed node
-// waveforms (all nodes, or -probe n1,n2,...) are written as CSV to stdout or
-// -out FILE. The sweep subcommand (see sweepMain) batches whole families of
-// analyses over parameter grids on a worker pool.
+// waveforms (all nodes, or -probe n1,n2,...) are written as CSV to stdout
+// or -out FILE; the abscissa column is the analysis's native axis (t, slow
+// time t2, frequency f, or a single operating point). The sweep subcommand
+// (see sweepMain) batches whole families of analyses over parameter grids
+// on a worker pool.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro"
+	"repro/internal/analysis"
 	"repro/internal/netlist"
 )
 
 var (
-	deckPath = flag.String("deck", "", "netlist file (required)")
-	analysis = flag.String("analysis", "dc", "dc | tran | shooting | hb | qpss | envelope")
-	outPath  = flag.String("out", "", "output CSV file (default stdout)")
-	probes   = flag.String("probe", "", "comma-separated node names (default: all)")
+	deckPath  = flag.String("deck", "", "netlist file (required)")
+	analysisF = flag.String("analysis", "dc",
+		"analysis name: "+strings.Join(analysis.Names(), " | ")+" (tran = transient)")
+	outPath = flag.String("out", "", "output CSV file (default stdout)")
+	probes  = flag.String("probe", "", "comma-separated node names (default: all)")
 
 	tstop  = flag.String("tstop", "", "transient stop time (SPICE value)")
 	step   = flag.String("step", "", "transient step (SPICE value)")
@@ -44,6 +56,11 @@ var (
 	n2     = flag.Int("n2", 30, "slow-axis grid points")
 	order2 = flag.Bool("order2", false, "second-order MPDE differences")
 	t2stop = flag.String("t2stop", "", "envelope slow-time horizon (SPICE value)")
+
+	source = flag.String("source", "", "stimulus source name (ac/pac)")
+	f0Flag = flag.String("f0", "", "sweep start frequency (ac/pac, SPICE value)")
+	f1Flag = flag.String("f1", "", "sweep stop frequency (ac/pac, SPICE value)")
+	npts   = flag.Int("npts", 0, "sweep points (ac/pac)")
 )
 
 func main() {
@@ -65,7 +82,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ckt := deck.Ckt
+
+	name := strings.ToLower(strings.TrimSpace(*analysisF))
+	if name == "tran" {
+		name = "transient"
+	}
+	d, err := analysis.Get(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	params, err := analysis.ParamsFromDirective(name, directiveFromFlags(deck, d))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	out := io.Writer(os.Stdout)
 	if *outPath != "" {
@@ -78,127 +108,134 @@ func main() {
 	}
 
 	names, idxs := selectProbes(deck)
-	switch *analysis {
-	case "dc":
-		x, err := repro.DCOperatingPoint(ckt, repro.DCOptions{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		for k, name := range names {
-			fmt.Fprintf(out, "v(%s) = %.6g\n", name, x[idxs[k]])
-		}
-	case "tran":
-		ts := mustValue(*tstop, "-tstop")
-		st := ts / 1000
-		if *step != "" {
-			st = mustValue(*step, "-step")
-		}
-		res, err := repro.Transient(ckt, repro.TransientOptions{
-			Method: parseMethod(*method), TStop: ts, Step: st})
-		if err != nil {
-			log.Fatal(err)
-		}
-		writeHeader(out, names)
-		for k, tt := range res.T {
-			fmt.Fprintf(out, "%.9e", tt)
-			for _, idx := range idxs {
-				fmt.Fprintf(out, ",%.9e", res.X[k][idx])
-			}
-			fmt.Fprintln(out)
-		}
-	case "shooting":
-		p := mustValue(*period, "-period")
-		res, err := repro.ShootingPSS(ckt, repro.ShootingOptions{Period: p, Steps: *steps})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "shooting: %d iterations, error %.3e\n", res.Iterations, res.FinalError)
-		writeHeader(out, names)
-		for k, tt := range res.Orbit.T {
-			fmt.Fprintf(out, "%.9e", tt)
-			for _, idx := range idxs {
-				fmt.Fprintf(out, ",%.9e", res.Orbit.X[k][idx])
-			}
-			fmt.Fprintln(out)
-		}
-	case "hb":
-		sh := mustShear(deck)
-		sol, err := repro.HarmonicBalance(ckt, repro.HBOptions{
-			F1: sh.F1, F2: sh.F2, N1: *n1, N2: *n2})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "hb: %d Newton iterations, residual %.3e\n",
-			sol.Stats.NewtonIters, sol.Stats.Residual)
-		fmt.Fprintln(out, "node,k1,k2,amplitude")
-		for k, name := range names {
-			for h1 := 0; h1 <= 3; h1++ {
-				for h2 := -1; h2 <= 1; h2++ {
-					if h1 == 0 && h2 < 0 {
-						continue
-					}
-					fmt.Fprintf(out, "%s,%d,%d,%.6e\n", name, h1, h2, sol.HarmonicAmp(idxs[k], h1, h2))
-				}
+	probeList := make([]analysis.Probe, len(idxs))
+	for k, idx := range idxs {
+		probeList[k] = analysis.SingleEnded(idx)
+	}
+
+	// Ctrl-C cancels the in-flight solve cooperatively through the
+	// context-first analysis API.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := repro.Analyze(ctx, repro.AnalysisRequest{
+		Method:  name,
+		Circuit: deck.Ckt,
+		Params:  params,
+		Probes:  probeList,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := res.Stats()
+	fmt.Fprintf(os.Stderr, "%s: %d Newton iterations, %d unknowns, %d time steps, %d factorizations\n",
+		name, st.NewtonIters, st.Unknowns, st.TimeSteps, st.Factorizations)
+	render(out, res, names, probeList)
+}
+
+// directiveFromFlags translates the CLI flag set into the registry's
+// generic directive form, passing only the keys the chosen analysis
+// accepts so an irrelevant flag default never reaches a method that would
+// reject it.
+func directiveFromFlags(deck *netlist.Deck, d *analysis.Descriptor) analysis.DirectiveInput {
+	num := map[string]float64{}
+	str := map[string]string{}
+	setNum := func(key string, v float64) {
+		for _, k := range d.NumKeys {
+			if k == key {
+				num[key] = v
 			}
 		}
-	case "qpss":
-		sh := mustShear(deck)
-		opt := repro.MPDEOptions{N1: *n1, N2: *n2, Shear: sh}
-		if *order2 {
-			opt.DiffT1, opt.DiffT2 = repro.Order2, repro.Order2
+	}
+	setStr := func(key, v string) {
+		if v == "" {
+			return
 		}
-		sol, err := repro.MPDEQuasiPeriodic(ckt, opt)
+		for _, k := range d.StrKeys {
+			if k == key {
+				str[key] = v
+			}
+		}
+	}
+	setNum("n1", float64(*n1))
+	setNum("n2", float64(*n2))
+	setNum("nsteps", float64(*steps))
+	if *order2 {
+		setNum("order", 2)
+	}
+	if *npts > 0 {
+		setNum("npts", float64(*npts))
+	}
+	for _, fv := range []struct {
+		key string
+		val string
+	}{
+		{"tstop", *tstop}, {"step", *step}, {"period", *period},
+		{"t2stop", *t2stop}, {"f0", *f0Flag}, {"f1", *f1Flag},
+	} {
+		if fv.val == "" {
+			continue
+		}
+		v, err := netlist.ParseValue(fv.val)
 		if err != nil {
-			log.Fatal(err)
+			log.Fatalf("-%s: %v", fv.key, err)
 		}
-		fmt.Fprintf(os.Stderr, "qpss: grid %dx%d, %d unknowns, %d Newton iterations\n",
-			sol.N1, sol.N2, sol.Stats.Unknowns, sol.Stats.NewtonIters)
-		// Emit the baseband mean of every probe along t2.
-		fmt.Fprint(out, "t2")
-		for _, n := range names {
-			fmt.Fprintf(out, ",vbb(%s)", n)
+		setNum(fv.key, v)
+	}
+	setStr("method", strings.ToLower(*method))
+	setStr("source", strings.TrimSpace(*source))
+	in := deck.DirectiveInput(netlist.Analysis{Params: num, Str: str})
+	return in
+}
+
+// render writes the probed waveforms as CSV, keyed purely off the result's
+// shape: a single-sample "op" record prints one value per probe, anything
+// else prints the abscissa column plus one column per probe.
+func render(out io.Writer, res repro.AnalysisResult, names []string, probeList []analysis.Probe) {
+	wfs := make([]analysis.Waveform, 0, len(probeList))
+	for _, p := range probeList {
+		wf, ok := res.Waveform(p)
+		if !ok {
+			continue
+		}
+		wfs = append(wfs, wf)
+	}
+	if len(wfs) == 0 || len(wfs[0].T) == 0 {
+		// No waveform view — fall back to the spectrum table.
+		for k, p := range probeList {
+			lines, ok := res.Spectrum(p, 10)
+			if !ok {
+				continue
+			}
+			if k == 0 {
+				fmt.Fprintln(out, "node,k1,k2,freq,amplitude")
+			}
+			for _, l := range lines {
+				fmt.Fprintf(out, "%s,%d,%d,%.6g,%.6e\n", names[k], l.K1, l.K2, l.Freq, l.Amp)
+			}
+		}
+		return
+	}
+	if wfs[0].Label == "op" && len(wfs[0].T) == 1 {
+		for k := range wfs {
+			fmt.Fprintf(out, "v(%s) = %.6g\n", names[k], wfs[k].V[0])
+		}
+		return
+	}
+	vcol := "v"
+	if wfs[0].Label == "t2" {
+		vcol = "vbb"
+	}
+	fmt.Fprint(out, wfs[0].Label)
+	for _, n := range names[:len(wfs)] {
+		fmt.Fprintf(out, ",%s(%s)", vcol, n)
+	}
+	fmt.Fprintln(out)
+	for j := range wfs[0].T {
+		fmt.Fprintf(out, "%.9e", wfs[0].T[j])
+		for k := range wfs {
+			fmt.Fprintf(out, ",%.9e", wfs[k].V[j])
 		}
 		fmt.Fprintln(out)
-		t2 := sol.T2Axis()
-		bbs := make([][]float64, len(idxs))
-		for k, idx := range idxs {
-			bbs[k] = sol.BasebandMean(idx)
-		}
-		for j := range t2 {
-			fmt.Fprintf(out, "%.9e", t2[j])
-			for k := range idxs {
-				fmt.Fprintf(out, ",%.9e", bbs[k][j])
-			}
-			fmt.Fprintln(out)
-		}
-	case "envelope":
-		sh := mustShear(deck)
-		opt := repro.MPDEEnvelopeOptions{N1: *n1, Shear: sh}
-		if *t2stop != "" {
-			opt.T2Stop = mustValue(*t2stop, "-t2stop")
-		}
-		res, err := repro.MPDEEnvelope(ckt, opt)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprint(out, "t2")
-		for _, n := range names {
-			fmt.Fprintf(out, ",vbb(%s)", n)
-		}
-		fmt.Fprintln(out)
-		bbs := make([][]float64, len(idxs))
-		for k, idx := range idxs {
-			bbs[k] = res.Baseband(idx)
-		}
-		for j := range res.T2 {
-			fmt.Fprintf(out, "%.9e", res.T2[j])
-			for k := range idxs {
-				fmt.Fprintf(out, ",%.9e", bbs[k][j])
-			}
-			fmt.Fprintln(out)
-		}
-	default:
-		log.Fatalf("unknown analysis %q", *analysis)
 	}
 }
 
@@ -218,42 +255,4 @@ func selectProbes(deck *netlist.Deck) ([]string, []int) {
 		idxs[k] = idx
 	}
 	return names, idxs
-}
-
-func writeHeader(out io.Writer, names []string) {
-	fmt.Fprint(out, "t")
-	for _, n := range names {
-		fmt.Fprintf(out, ",v(%s)", n)
-	}
-	fmt.Fprintln(out)
-}
-
-func mustValue(s, flagName string) float64 {
-	if s == "" {
-		log.Fatalf("%s is required for this analysis", flagName)
-	}
-	v, err := netlist.ParseValue(s)
-	if err != nil {
-		log.Fatalf("%s: %v", flagName, err)
-	}
-	return v
-}
-
-func mustShear(deck *netlist.Deck) repro.Shear {
-	sh, err := deck.Shear()
-	if err != nil {
-		log.Fatal(err)
-	}
-	return sh
-}
-
-func parseMethod(s string) repro.TransientMethod {
-	switch strings.ToLower(s) {
-	case "be":
-		return repro.BE
-	case "trap":
-		return repro.TRAP
-	default:
-		return repro.GEAR2
-	}
 }

@@ -6,14 +6,17 @@
 package ac
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/cmplx"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/device"
 	"repro/internal/la"
+	"repro/internal/solver"
 	"repro/internal/transient"
 )
 
@@ -34,6 +37,12 @@ type Result struct {
 	Freqs []float64
 	// X[k] is the complex solution vector at Freqs[k].
 	X [][]complex128
+	// Stats aggregates the solver work: the operating-point Newton solve
+	// plus one dense complex factorisation per swept frequency, with
+	// assembly and factorisation time accounted like the steady-state
+	// analyses (so AC exports the same counters as QPSS through
+	// analysis.Result.Stats()).
+	Stats solver.Stats
 }
 
 // Gain returns |X(node)| across the sweep.
@@ -78,8 +87,13 @@ func (r *Result) Corner3dB(idx int) (float64, error) {
 	return 0, errors.New("ac: response does not cross -3 dB in the sweep")
 }
 
-// Analyze runs the AC sweep.
-func Analyze(ckt *circuit.Circuit, opt Options) (*Result, error) {
+// Analyze runs the AC sweep. Cancelling ctx stops the frequency sweep
+// between points; an already-canceled context returns ctx.Err() before the
+// operating-point solve.
+func Analyze(ctx context.Context, ckt *circuit.Circuit, opt Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if opt.Source == "" {
 		return nil, errors.New("ac: Source is required")
 	}
@@ -95,21 +109,26 @@ func Analyze(ckt *circuit.Circuit, opt Options) (*Result, error) {
 	n := ckt.Size()
 
 	// Operating point.
+	var st solver.Stats
 	x0 := opt.X0
 	if x0 == nil {
 		var err error
-		x0, _, err = transient.DC(ckt, transient.DCOptions{SignalsOff: true})
+		var dcSt solver.Stats
+		x0, dcSt, err = transient.DC(ctx, ckt, transient.DCOptions{SignalsOff: true})
 		if err != nil {
 			return nil, fmt.Errorf("ac: operating point failed: %w", err)
 		}
+		st = dcSt
 	} else if len(x0) != n {
 		return nil, fmt.Errorf("ac: X0 size %d, want %d", len(x0), n)
 	}
 
 	// Linearise: C, G at the operating point.
+	t0 := time.Now()
 	ev := ckt.NewEval()
 	res := ev.EvalAt(x0, device.EvalCtx{Lambda: 0, SignalOnlyLambda: true}, true)
 	cm, gm := res.C, res.G
+	st.AssemblyTime += time.Since(t0)
 
 	// Build the stimulus vector for the named source.
 	b, err := stimulus(ckt, opt.Source, n)
@@ -119,9 +138,13 @@ func Analyze(ckt *circuit.Circuit, opt Options) (*Result, error) {
 
 	out := &Result{Freqs: append([]float64(nil), opt.Freqs...)}
 	for _, f := range opt.Freqs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("ac: sweep interrupted at f=%g: %w", f, err)
+		}
 		w := 2 * math.Pi * f
 		// A = G + jωC as dense complex (MNA systems here are small; the
 		// sweep dominates, not the solve).
+		ta := time.Now()
 		a := la.NewCDense(n, n)
 		for i := 0; i < gm.Rows; i++ {
 			for k := gm.RowPtr[i]; k < gm.RowPtr[i+1]; k++ {
@@ -133,14 +156,19 @@ func Analyze(ckt *circuit.Circuit, opt Options) (*Result, error) {
 				a.Add(i, cm.ColIdx[k], complex(0, w*cm.Val[k]))
 			}
 		}
+		st.AssemblyTime += time.Since(ta)
+		tf := time.Now()
 		lu, err := la.CDenseLU(a)
+		st.FactorTime += time.Since(tf)
 		if err != nil {
 			return nil, fmt.Errorf("ac: singular at f=%g: %w", f, err)
 		}
+		st.Factorizations++
 		x := make([]complex128, n)
 		lu.Solve(b, x)
 		out.X = append(out.X, x)
 	}
+	out.Stats = st
 	return out, nil
 }
 

@@ -1,6 +1,7 @@
 package ac
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -19,7 +20,7 @@ func rcCkt() *circuit.Circuit {
 func TestACRCLowpassMatchesAnalytic(t *testing.T) {
 	ckt := rcCkt()
 	freqs := LogSweep(1, 1e5, 60)
-	res, err := Analyze(ckt, Options{Source: "V1", Freqs: freqs})
+	res, err := Analyze(context.Background(), ckt, Options{Source: "V1", Freqs: freqs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestACRCLowpassMatchesAnalytic(t *testing.T) {
 
 func TestACCorner3dB(t *testing.T) {
 	ckt := rcCkt()
-	res, err := Analyze(ckt, Options{Source: "V1", Freqs: LogSweep(1, 1e5, 200)})
+	res, err := Analyze(context.Background(), ckt, Options{Source: "V1", Freqs: LogSweep(1, 1e5, 200)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestACRLCResonance(t *testing.T) {
 	ckt.C("C1", "out", "0", 1e-9) // f0 ≈ 159.2 kHz, Q = √(L/C)/R = 100
 	f0 := 1 / (2 * math.Pi * math.Sqrt(1e-3*1e-9))
 	freqs := []float64{f0 / 10, f0, f0 * 10}
-	res, err := Analyze(ckt, Options{Source: "V1", Freqs: freqs})
+	res, err := Analyze(context.Background(), ckt, Options{Source: "V1", Freqs: freqs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestACCommonSourceAmpGain(t *testing.T) {
 	ckt.V("VG", "g", "0", device.DC(1)) // vov = 0.5
 	ckt.R("RD", "vdd", "d", 10e3)
 	ckt.M("M1", "d", "g", "0", device.MOSFET{Vt0: 0.5, KP: 2e-4})
-	res, err := Analyze(ckt, Options{Source: "VG", Freqs: []float64{1e3}})
+	res, err := Analyze(context.Background(), ckt, Options{Source: "VG", Freqs: []float64{1e3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestACCurrentSourceStimulus(t *testing.T) {
 	ckt.I("I1", "0", "out", device.DC(0)) // injects into out
 	ckt.R("R1", "out", "0", 50)
 	ckt.C("C1", "out", "0", 1e-12)
-	res, err := Analyze(ckt, Options{Source: "I1", Freqs: []float64{1e3}})
+	res, err := Analyze(context.Background(), ckt, Options{Source: "I1", Freqs: []float64{1e3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,27 +125,27 @@ func TestACCurrentSourceStimulus(t *testing.T) {
 
 func TestACErrors(t *testing.T) {
 	ckt := rcCkt()
-	if _, err := Analyze(ckt, Options{Freqs: []float64{1}}); err == nil {
+	if _, err := Analyze(context.Background(), ckt, Options{Freqs: []float64{1}}); err == nil {
 		t.Fatal("missing source should error")
 	}
 	ckt2 := rcCkt()
-	if _, err := Analyze(ckt2, Options{Source: "V1"}); err == nil {
+	if _, err := Analyze(context.Background(), ckt2, Options{Source: "V1"}); err == nil {
 		t.Fatal("missing freqs should error")
 	}
 	ckt3 := rcCkt()
-	if _, err := Analyze(ckt3, Options{Source: "V1", Freqs: []float64{0}}); err == nil {
+	if _, err := Analyze(context.Background(), ckt3, Options{Source: "V1", Freqs: []float64{0}}); err == nil {
 		t.Fatal("zero frequency should error")
 	}
 	ckt4 := rcCkt()
-	if _, err := Analyze(ckt4, Options{Source: "nope", Freqs: []float64{1}}); err == nil {
+	if _, err := Analyze(context.Background(), ckt4, Options{Source: "nope", Freqs: []float64{1}}); err == nil {
 		t.Fatal("unknown source should error")
 	}
 	ckt5 := rcCkt()
-	if _, err := Analyze(ckt5, Options{Source: "R1", Freqs: []float64{1}}); err == nil {
+	if _, err := Analyze(context.Background(), ckt5, Options{Source: "R1", Freqs: []float64{1}}); err == nil {
 		t.Fatal("non-source device should error")
 	}
 	ckt6 := rcCkt()
-	if _, err := Analyze(ckt6, Options{Source: "V1", Freqs: []float64{1}, X0: []float64{1}}); err == nil {
+	if _, err := Analyze(context.Background(), ckt6, Options{Source: "V1", Freqs: []float64{1}, X0: []float64{1}}); err == nil {
 		t.Fatal("bad X0 size should error")
 	}
 }

@@ -1,6 +1,7 @@
 package ckts
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -14,7 +15,7 @@ func TestBuckBeatDCLevel(t *testing.T) {
 	// meaningful DC point for a switched converter, but transient from zero
 	// must at least run a few cycles without step underflow.
 	b := NewBuckBeat(BuckBeatConfig{})
-	res, err := transient.Run(b.Ckt, transient.Options{
+	res, err := transient.Run(context.Background(), b.Ckt, transient.Options{
 		Method: transient.GEAR2, TStop: 5e-6, Step: 2e-9, FixedStep: true})
 	if err != nil {
 		t.Fatal(err)
@@ -27,7 +28,7 @@ func TestBuckBeatDCLevel(t *testing.T) {
 
 func TestBuckBeatQPSS(t *testing.T) {
 	b := NewBuckBeat(BuckBeatConfig{})
-	sol, err := core.QPSS(b.Ckt, core.Options{N1: 32, N2: 16, Shear: b.Shear})
+	sol, err := core.QPSS(context.Background(), b.Ckt, core.Options{N1: 32, N2: 16, Shear: b.Shear})
 	if err != nil {
 		t.Fatal(err)
 	}

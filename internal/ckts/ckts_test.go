@@ -1,6 +1,7 @@
 package ckts
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -13,7 +14,7 @@ import (
 func TestIdealMixerProductExact(t *testing.T) {
 	m := NewIdealMixer(IdealMixerConfig{F1: 1e9, F2: 1e9 - 1e4})
 	// Transient over a few carrier cycles: out must equal R·Gm·lo·rf.
-	res, err := transient.Run(m.Ckt, transient.Options{
+	res, err := transient.Run(context.Background(), m.Ckt, transient.Options{
 		Method: transient.TRAP, TStop: 3e-9, Step: 1e-11, FixedStep: true})
 	if err != nil {
 		t.Fatal(err)
@@ -30,7 +31,7 @@ func TestIdealMixerProductExact(t *testing.T) {
 
 func TestBalancedMixerTrueBiasSymmetric(t *testing.T) {
 	m := NewBalancedMixer(BalancedMixerConfig{})
-	x, _, err := transient.DC(m.Ckt, transient.DCOptions{SignalsOff: true})
+	x, _, err := transient.DC(context.Background(), m.Ckt, transient.DCOptions{SignalsOff: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestBalancedMixerDoublerProducesEvenHarmonics(t *testing.T) {
 	cfg := BalancedMixerConfig{RFAmp: 1e-12}
 	m := NewBalancedMixer(cfg)
 	f1 := m.Cfg.F1
-	res, err := transient.Run(m.Ckt, transient.Options{
+	res, err := transient.Run(context.Background(), m.Ckt, transient.Options{
 		Method: transient.GEAR2, TStop: 8 / f1, Step: 1 / f1 / 200, FixedStep: true})
 	if err != nil {
 		t.Fatal(err)
@@ -81,7 +82,7 @@ func TestBalancedMixerQPSSDownconvertsPureTone(t *testing.T) {
 	// Pure-tone RF at 2·f1 − fd: the differential baseband must carry a
 	// clean fd tone with measurable conversion gain.
 	m := NewBalancedMixer(BalancedMixerConfig{})
-	sol, err := core.QPSS(m.Ckt, core.Options{N1: 32, N2: 24, Shear: m.Shear})
+	sol, err := core.QPSS(context.Background(), m.Ckt, core.Options{N1: 32, N2: 24, Shear: m.Shear})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestBalancedMixerQPSSBitStream(t *testing.T) {
 	// the bit pattern with an open eye.
 	bits := rf.PRBS7(0x11, 8)
 	m := NewBalancedMixer(BalancedMixerConfig{Bits: bits})
-	sol, err := core.QPSS(m.Ckt, core.Options{N1: 32, N2: 48, Shear: m.Shear})
+	sol, err := core.QPSS(context.Background(), m.Ckt, core.Options{N1: 32, N2: 48, Shear: m.Shear})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestBalancedMixerQPSSBitStream(t *testing.T) {
 
 func TestUnbalancedMixerDownconverts(t *testing.T) {
 	m := NewUnbalancedMixer(UnbalancedMixerConfig{F1: 100e6, Fd: 1e4})
-	sol, err := core.QPSS(m.Ckt, core.Options{N1: 32, N2: 24, Shear: m.Shear})
+	sol, err := core.QPSS(context.Background(), m.Ckt, core.Options{N1: 32, N2: 24, Shear: m.Shear})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestRCLowpassAndRectifierBuilders(t *testing.T) {
 	if out2 < 0 || ckt2.Size() < 3 {
 		t.Fatal("DiodeRectifier malformed")
 	}
-	x, _, err := transient.DC(ckt, transient.DCOptions{})
+	x, _, err := transient.DC(context.Background(), ckt, transient.DCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

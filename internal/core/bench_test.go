@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"testing"
 )
@@ -68,7 +69,7 @@ func BenchmarkQPSSSolve(b *testing.B) {
 	sh := Shear{F1: 1e6, F2: 0.875e6, K: 1}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		sol, err := QPSS(nonlinearMixer(sh), Options{N1: 40, N2: 30, Shear: sh})
+		sol, err := QPSS(context.Background(), nonlinearMixer(sh), Options{N1: 40, N2: 30, Shear: sh})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -87,7 +88,7 @@ func BenchmarkQPSSSolveModifiedNewton(b *testing.B) {
 		opt.N1, opt.N2 = 40, 30
 		opt.Shear = sh
 		opt.Newton.JacobianRefresh = 3
-		sol, err := QPSS(nonlinearMixer(sh), opt)
+		sol, err := QPSS(context.Background(), nonlinearMixer(sh), opt)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/circuit"
@@ -32,7 +33,7 @@ func TestQPSSContinuationRescuesHardStart(t *testing.T) {
 	opt := Options{N1: 24, N2: 12, Shear: sh, Continuation: true}
 	opt.Newton = solver.NewOptions()
 	opt.Newton.MaxIter = 6 // starve the direct path; the λ=0 anchor still fits
-	sol, err := QPSS(ckt, opt)
+	sol, err := QPSS(context.Background(), ckt, opt)
 	if err != nil {
 		t.Fatalf("continuation did not rescue: %v", err)
 	}
@@ -58,7 +59,7 @@ func TestQPSSNoContinuationFailsFast(t *testing.T) {
 	opt := Options{N1: 24, N2: 12, Shear: sh, Continuation: false}
 	opt.Newton = solver.NewOptions()
 	opt.Newton.MaxIter = 3
-	if _, err := QPSS(ckt, opt); err == nil {
+	if _, err := QPSS(context.Background(), ckt, opt); err == nil {
 		t.Fatal("with continuation disabled and a starved Newton, QPSS should fail")
 	}
 }
@@ -67,7 +68,7 @@ func TestQPSSNegativeFd(t *testing.T) {
 	// F2 above F1 (fd < 0) must work end to end.
 	sh := Shear{F1: 1e6, F2: 1.1e6, K: 1}
 	ckt, _, _ := twoToneRC(sh, 1, 0.5)
-	sol, err := QPSS(ckt, Options{N1: 24, N2: 24, Shear: sh})
+	sol, err := QPSS(context.Background(), ckt, Options{N1: 24, N2: 24, Shear: sh})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,12 +87,12 @@ func TestQPSSMinimalGrids(t *testing.T) {
 	sh := Shear{F1: 1e6, F2: 0.9e6, K: 1}
 	// Order-2 differences on a 2-point axis must be rejected.
 	ckt, _, _ := twoToneRC(sh, 1, 1)
-	if _, err := QPSS(ckt, Options{N1: 2, N2: 8, Shear: sh, DiffT1: Order2}); err == nil {
+	if _, err := QPSS(context.Background(), ckt, Options{N1: 2, N2: 8, Shear: sh, DiffT1: Order2}); err == nil {
 		t.Fatal("Order2 on N1=2 should be rejected")
 	}
 	// Order-1 on tiny grids should still solve (badly, but solve).
 	ckt2, _, _ := twoToneRC(sh, 1, 1)
-	if _, err := QPSS(ckt2, Options{N1: 4, N2: 4, Shear: sh}); err != nil {
+	if _, err := QPSS(context.Background(), ckt2, Options{N1: 4, N2: 4, Shear: sh}); err != nil {
 		t.Fatalf("tiny grid failed: %v", err)
 	}
 }
@@ -99,7 +100,7 @@ func TestQPSSMinimalGrids(t *testing.T) {
 func TestQPSSMixedDiffOrders(t *testing.T) {
 	sh := Shear{F1: 1e6, F2: 0.9e6, K: 1}
 	ckt, _, _ := twoToneRC(sh, 1, 1)
-	sol, err := QPSS(ckt, Options{N1: 24, N2: 24, Shear: sh,
+	sol, err := QPSS(context.Background(), ckt, Options{N1: 24, N2: 24, Shear: sh,
 		DiffT1: Order2, DiffT2: Order1})
 	if err != nil {
 		t.Fatal(err)
@@ -114,7 +115,7 @@ func TestQPSSMixedDiffOrders(t *testing.T) {
 func TestResidualCheckRejectsWrongGrid(t *testing.T) {
 	sh := Shear{F1: 1e6, F2: 0.9e6, K: 1}
 	ckt, _, _ := twoToneRC(sh, 1, 1)
-	sol, err := QPSS(ckt, Options{N1: 8, N2: 8, Shear: sh})
+	sol, err := QPSS(context.Background(), ckt, Options{N1: 8, N2: 8, Shear: sh})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestQPSSKCLPropertyAtSolution(t *testing.T) {
 	// rails everywhere, a global sanity invariant.
 	sh := Shear{F1: 1e6, F2: 0.9e6, K: 1}
 	ckt, _, _ := twoToneRC(sh, 1, 1)
-	sol, err := QPSS(ckt, Options{N1: 32, N2: 32, Shear: sh})
+	sol, err := QPSS(context.Background(), ckt, Options{N1: 32, N2: 32, Shear: sh})
 	if err != nil {
 		t.Fatal(err)
 	}

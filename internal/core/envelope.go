@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/circuit"
@@ -26,7 +27,7 @@ type EnvelopeOptions struct {
 	// StepT2 is the slow step (default Td/30).
 	StepT2 float64
 	// Newton configures the per-step solves. Set fields survive: defaults
-	// are filled non-destructively, so Interrupt/Linear/… set by the caller
+	// are filled non-destructively, so Linear/PivotTol/… set by the caller
 	// are honoured even when MaxIter is left zero.
 	Newton solver.Options
 	// X0Line optionally warm-starts the first fast line (length N1·n).
@@ -193,8 +194,14 @@ func (a *lineAssembler) stampLine(qPrev []float64, h2 float64) bool {
 	return true
 }
 
-// EnvelopeFollow integrates the MPDE in the slow time scale.
-func EnvelopeFollow(ckt *circuit.Circuit, opt EnvelopeOptions) (*EnvelopeResult, error) {
+// EnvelopeFollow integrates the MPDE in the slow time scale. Cancelling ctx
+// aborts the march cooperatively between Newton iterations (the partial
+// trajectory marched so far is returned alongside the error); an
+// already-canceled context returns ctx.Err() before any assembly work.
+func EnvelopeFollow(ctx context.Context, ckt *circuit.Circuit, opt EnvelopeOptions) (*EnvelopeResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := opt.Shear.Validate(); err != nil {
 		return nil, err
 	}
@@ -210,8 +217,8 @@ func EnvelopeFollow(ckt *circuit.Circuit, opt EnvelopeOptions) (*EnvelopeResult,
 	if opt.StepT2 <= 0 {
 		opt.StepT2 = opt.Shear.Td() / 30
 	}
-	// Non-destructive Newton defaults: a caller's Interrupt or linear-solver
-	// choice survives a zero MaxIter.
+	// Non-destructive Newton defaults: a caller's linear-solver choice
+	// survives a zero MaxIter.
 	if opt.Newton.MaxIter == 0 {
 		opt.Newton.MaxIter = 60
 		opt.Newton.Damping = true
@@ -239,7 +246,7 @@ func EnvelopeFollow(ckt *circuit.Circuit, opt EnvelopeOptions) (*EnvelopeResult,
 		}
 		copy(x, opt.X0Line)
 	} else {
-		xdc, _, err := transient.DC(ckt, transient.DCOptions{})
+		xdc, _, err := transient.DC(ctx, ckt, transient.DCOptions{})
 		if err != nil {
 			return nil, fmt.Errorf("core: envelope DC start failed: %w", err)
 		}
@@ -251,7 +258,7 @@ func EnvelopeFollow(ckt *circuit.Circuit, opt EnvelopeOptions) (*EnvelopeResult,
 		r, j, _, err := asm.assemble(xx, 0, nil, 0, jac)
 		return r, j, err
 	}}
-	st, err := solver.Solve(sys0, x, opt.Newton)
+	st, err := solver.Solve(ctx, sys0, x, opt.Newton)
 	account(st)
 	if err != nil {
 		return nil, fmt.Errorf("core: envelope initial fast-periodic line failed: %w", err)
@@ -278,7 +285,7 @@ func EnvelopeFollow(ckt *circuit.Circuit, opt EnvelopeOptions) (*EnvelopeResult,
 			r, j, _, err := asm.assemble(xx, tNew, qp, hh, jac)
 			return r, j, err
 		}}
-		st, err := solver.Solve(sys, x, opt.Newton)
+		st, err := solver.Solve(ctx, sys, x, opt.Newton)
 		account(st)
 		if err != nil {
 			if solver.Interrupted(err) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -113,8 +114,14 @@ func (s *Solution) At(i, j int) []float64 {
 }
 
 // QPSS computes the quasi-periodic steady state by Newton on the
-// finite-difference MPDE over the sheared bi-periodic grid.
-func QPSS(ckt *circuit.Circuit, opt Options) (*Solution, error) {
+// finite-difference MPDE over the sheared bi-periodic grid. Cancelling ctx
+// aborts the grid Newton solve (and the continuation fallback)
+// cooperatively; an already-canceled context returns ctx.Err() before the
+// Jacobian pattern build or any grid assembly is paid for.
+func QPSS(ctx context.Context, ckt *circuit.Circuit, opt Options) (*Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := opt.Shear.Validate(); err != nil {
 		return nil, err
 	}
@@ -137,7 +144,7 @@ func QPSS(ckt *circuit.Circuit, opt Options) (*Solution, error) {
 		return nil, errors.New("core: Order2 differences need at least 3 points per axis")
 	}
 	// Merge Newton defaults non-destructively: fields the caller set —
-	// Interrupt, Linear, PivotTol, … — survive even with MaxIter left zero
+	// Linear, PivotTol, … — survive even with MaxIter left zero
 	// (a zero MaxIter also opts into damping, the analysis default).
 	if opt.Newton.MaxIter == 0 {
 		opt.Newton.MaxIter = 60
@@ -163,7 +170,7 @@ func QPSS(ckt *circuit.Circuit, opt Options) (*Solution, error) {
 		}
 		copy(x, opt.X0)
 	} else {
-		xdc, _, err := transient.DC(ckt, transient.DCOptions{})
+		xdc, _, err := transient.DC(ctx, ckt, transient.DCOptions{})
 		if err != nil {
 			return nil, fmt.Errorf("core: DC starting point failed: %w", err)
 		}
@@ -175,7 +182,7 @@ func QPSS(ckt *circuit.Circuit, opt Options) (*Solution, error) {
 	sys := solver.FuncSystem{N: nTot, F: func(xx []float64, jac bool) ([]float64, *la.CSR, error) {
 		return asm.assemble(xx, 1, jac)
 	}}
-	st, err := solver.Solve(sys, x, opt.Newton)
+	st, err := solver.Solve(ctx, sys, x, opt.Newton)
 	sol.Stats.NewtonIters = st.Iterations
 	sol.Stats.Factorizations = st.Factorizations
 	sol.Stats.Refactorizations = st.Refactorizations
@@ -194,7 +201,7 @@ func QPSS(ckt *circuit.Circuit, opt Options) (*Solution, error) {
 		ps := solver.FuncParamSystem{N: nTot, F: func(lambda float64, xx []float64, jac bool) ([]float64, *la.CSR, error) {
 			return asm.assembleSignalLambda(xx, lambda, jac)
 		}}
-		cs, cerr := solver.Continue(ps, x, solver.ContinuationOptions{Newton: opt.Newton})
+		cs, cerr := solver.Continue(ctx, ps, x, solver.ContinuationOptions{Newton: opt.Newton})
 		sol.Stats.UsedContinuation = true
 		sol.Stats.ContinuationSolves = cs.Solves
 		sol.Stats.NewtonIters += cs.NewtonIters

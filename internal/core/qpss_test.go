@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -34,7 +35,7 @@ func rcResponse(r, c, f, amp float64) (gain, phase float64) {
 func TestQPSSLinearTwoToneMatchesAnalytic(t *testing.T) {
 	sh := Shear{F1: 1e6, F2: 0.9e6, K: 1} // fd = 100 kHz, disparity 10
 	ckt, r, c := twoToneRC(sh, 1, 1)
-	sol, err := QPSS(ckt, Options{N1: 48, N2: 48, Shear: sh, DiffT1: Order2, DiffT2: Order2})
+	sol, err := QPSS(context.Background(), ckt, Options{N1: 48, N2: 48, Shear: sh, DiffT1: Order2, DiffT2: Order2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestQPSSOrder2BeatsOrder1(t *testing.T) {
 	sh := Shear{F1: 1e6, F2: 0.9e6, K: 1}
 	measure := func(o DiffOrder) float64 {
 		ckt, r, c := twoToneRC(sh, 1, 1)
-		sol, err := QPSS(ckt, Options{N1: 32, N2: 32, Shear: sh, DiffT1: o, DiffT2: o})
+		sol, err := QPSS(context.Background(), ckt, Options{N1: 32, N2: 32, Shear: sh, DiffT1: o, DiffT2: o})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,7 +94,7 @@ func TestQPSSIdealMixerBaseband(t *testing.T) {
 	ckt.V("VRF", "rf", "0", device.Sine{Amp: 1, F1: sh.F1, F2: sh.F2, K2: 1})
 	ckt.R("RL", "out", "0", 1000)
 	ckt.Mult("X1", "out", "lo", "rf", 1e-3) // R·Gm = 1
-	sol, err := QPSS(ckt, Options{N1: 32, N2: 48, Shear: sh, DiffT1: Order2, DiffT2: Order2})
+	sol, err := QPSS(context.Background(), ckt, Options{N1: 32, N2: 48, Shear: sh, DiffT1: Order2, DiffT2: Order2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,14 +130,14 @@ func TestQPSSDiagonalMatchesTransientNonlinear(t *testing.T) {
 		return ckt
 	}
 	ckt := build()
-	sol, err := QPSS(ckt, Options{N1: 48, N2: 32, Shear: sh, DiffT1: Order2, DiffT2: Order2})
+	sol, err := QPSS(context.Background(), ckt, Options{N1: 48, N2: 32, Shear: sh, DiffT1: Order2, DiffT2: Order2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Brute-force transient: integrate 6 difference periods, compare the
 	// last one.
 	ckt2 := build()
-	tr, err := transient.Run(ckt2, transient.Options{
+	tr, err := transient.Run(context.Background(), ckt2, transient.Options{
 		Method: transient.GEAR2, TStop: 6 * sh.Td(),
 		Step: sh.T1() / 100, FixedStep: true,
 	})
@@ -176,7 +177,7 @@ func TestQPSSResidualSmallAtSolution(t *testing.T) {
 	sh := Shear{F1: 1e6, F2: 0.9e6, K: 1}
 	ckt, _, _ := twoToneRC(sh, 1, 0.5)
 	opt := Options{N1: 24, N2: 24, Shear: sh}
-	sol, err := QPSS(ckt, opt)
+	sol, err := QPSS(context.Background(), ckt, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestQPSSRejectsNonTorusSources(t *testing.T) {
 	ckt := circuit.New("bad")
 	ckt.V("V1", "a", "0", device.Pulse{V2: 1, Width: 1, Period: 2})
 	ckt.R("R1", "a", "0", 50)
-	_, err := QPSS(ckt, Options{Shear: sh})
+	_, err := QPSS(context.Background(), ckt, Options{Shear: sh})
 	if !errors.Is(err, ErrNonTorusSource) {
 		t.Fatalf("expected ErrNonTorusSource, got %v", err)
 	}
@@ -202,11 +203,11 @@ func TestQPSSRejectsNonTorusSources(t *testing.T) {
 
 func TestQPSSRejectsBadShearAndX0(t *testing.T) {
 	ckt, _, _ := twoToneRC(Shear{F1: 1e6, F2: 0.9e6, K: 1}, 1, 1)
-	if _, err := QPSS(ckt, Options{Shear: Shear{}}); err == nil {
+	if _, err := QPSS(context.Background(), ckt, Options{Shear: Shear{}}); err == nil {
 		t.Fatal("expected shear validation error")
 	}
 	ckt2, _, _ := twoToneRC(Shear{F1: 1e6, F2: 0.9e6, K: 1}, 1, 1)
-	_, err := QPSS(ckt2, Options{Shear: Shear{F1: 1e6, F2: 0.9e6, K: 1}, X0: []float64{1}})
+	_, err := QPSS(context.Background(), ckt2, Options{Shear: Shear{F1: 1e6, F2: 0.9e6, K: 1}, X0: []float64{1}})
 	if err == nil {
 		t.Fatal("expected X0 size error")
 	}
@@ -216,14 +217,14 @@ func TestQPSSWarmStartFewerIterations(t *testing.T) {
 	sh := Shear{F1: 1e6, F2: 0.9e6, K: 1}
 	ckt, _, _ := twoToneRC(sh, 1, 1)
 	opt := Options{N1: 24, N2: 24, Shear: sh}
-	sol, err := QPSS(ckt, opt)
+	sol, err := QPSS(context.Background(), ckt, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ckt2, _, _ := twoToneRC(sh, 1, 1)
 	opt2 := opt
 	opt2.X0 = sol.X
-	sol2, err := QPSS(ckt2, opt2)
+	sol2, err := QPSS(context.Background(), ckt2, opt2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestQPSSWarmStartFewerIterations(t *testing.T) {
 func TestQPSSSurfaceAndSliceShapes(t *testing.T) {
 	sh := Shear{F1: 1e6, F2: 0.9e6, K: 1}
 	ckt, _, _ := twoToneRC(sh, 1, 1)
-	sol, err := QPSS(ckt, Options{N1: 16, N2: 12, Shear: sh})
+	sol, err := QPSS(context.Background(), ckt, Options{N1: 16, N2: 12, Shear: sh})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,12 +268,12 @@ func TestEnvelopeFollowApproachesQPSS(t *testing.T) {
 	// onto the quasi-periodic steady state within a few difference periods.
 	sh := Shear{F1: 1e6, F2: 0.9e6, K: 1}
 	ckt, _, _ := twoToneRC(sh, 1, 1)
-	sol, err := QPSS(ckt, Options{N1: 32, N2: 32, Shear: sh, DiffT1: Order2, DiffT2: Order2})
+	sol, err := QPSS(context.Background(), ckt, Options{N1: 32, N2: 32, Shear: sh, DiffT1: Order2, DiffT2: Order2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ckt2, _, _ := twoToneRC(sh, 1, 1)
-	env, err := EnvelopeFollow(ckt2, EnvelopeOptions{
+	env, err := EnvelopeFollow(context.Background(), ckt2, EnvelopeOptions{
 		N1: 32, Shear: sh, T2Stop: 3 * sh.Td(), StepT2: sh.Td() / 32,
 	})
 	if err != nil {
@@ -306,7 +307,7 @@ func TestEnvelopeFollowApproachesQPSS(t *testing.T) {
 
 func TestEnvelopeFollowRejectsBadInput(t *testing.T) {
 	ckt, _, _ := twoToneRC(Shear{F1: 1e6, F2: 0.9e6, K: 1}, 1, 1)
-	if _, err := EnvelopeFollow(ckt, EnvelopeOptions{Shear: Shear{}}); err == nil {
+	if _, err := EnvelopeFollow(context.Background(), ckt, EnvelopeOptions{Shear: Shear{}}); err == nil {
 		t.Fatal("expected shear error")
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"runtime"
 	"testing"
@@ -29,42 +31,42 @@ func nonlinearMixer(sh Shear) *circuit.Circuit {
 	return ckt
 }
 
-// TestQPSSHonorsInterruptWithZeroMaxIter reproduces the Newton-option
-// clobber: a caller who sets only Interrupt (cooperative cancellation) and
-// leaves MaxIter zero must still be interruptible. Before the fix, QPSS
-// replaced the whole option struct with solver.NewOptions(), silently
-// dropping the hook, and the solve ran to convergence.
-func TestQPSSHonorsInterruptWithZeroMaxIter(t *testing.T) {
+// TestQPSSHonorsCanceledContext: cancellation is context-first — a
+// canceled context must abort the solve before any assembly work, with
+// ctx.Err() surfaced.
+func TestQPSSHonorsCanceledContext(t *testing.T) {
 	sh := Shear{F1: 1e6, F2: 0.9e6, K: 1}
 	ckt, _, _ := twoToneRC(sh, 1, 1)
 	var opt Options
 	opt.Shear = sh
 	opt.N1, opt.N2 = 16, 16
-	opt.Newton.Interrupt = func() bool { return true }
-	_, err := QPSS(ckt, opt)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := QPSS(ctx, ckt, opt)
 	if err == nil {
-		t.Fatal("QPSS converged despite an always-true Interrupt: Newton options were clobbered")
+		t.Fatal("QPSS converged despite a canceled context")
 	}
-	if !solver.Interrupted(err) {
-		t.Fatalf("want an interrupted error, got %v", err)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }
 
-// TestEnvelopeHonorsInterruptWithZeroMaxIter is the envelope-following
-// variant of the clobber regression.
-func TestEnvelopeHonorsInterruptWithZeroMaxIter(t *testing.T) {
+// TestEnvelopeHonorsCanceledContext is the envelope-following variant of
+// the context-cancellation regression.
+func TestEnvelopeHonorsCanceledContext(t *testing.T) {
 	sh := Shear{F1: 1e6, F2: 0.9e6, K: 1}
 	ckt, _, _ := twoToneRC(sh, 1, 1)
 	var opt EnvelopeOptions
 	opt.Shear = sh
 	opt.N1 = 16
-	opt.Newton.Interrupt = func() bool { return true }
-	_, err := EnvelopeFollow(ckt, opt)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := EnvelopeFollow(ctx, ckt, opt)
 	if err == nil {
-		t.Fatal("envelope ran despite an always-true Interrupt: Newton options were clobbered")
+		t.Fatal("envelope ran despite a canceled context")
 	}
-	if !solver.Interrupted(err) {
-		t.Fatalf("want an interrupted error, got %v", err)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }
 
@@ -86,7 +88,7 @@ func solveMixer(t *testing.T, workers int) *Solution {
 	t.Helper()
 	sh := Shear{F1: 1e6, F2: 0.875e6, K: 1}
 	ckt := nonlinearMixer(sh)
-	sol, err := QPSS(ckt, Options{N1: 24, N2: 16, Shear: sh, AssemblyWorkers: workers})
+	sol, err := QPSS(context.Background(), ckt, Options{N1: 24, N2: 16, Shear: sh, AssemblyWorkers: workers})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +164,7 @@ func TestQPSSPatternAndFactorizationReuse(t *testing.T) {
 // Jacobians than iterations.
 func TestQPSSJacobianRefreshPolicy(t *testing.T) {
 	sh := Shear{F1: 1e6, F2: 0.875e6, K: 1}
-	base, err := QPSS(nonlinearMixer(sh), Options{N1: 24, N2: 16, Shear: sh})
+	base, err := QPSS(context.Background(), nonlinearMixer(sh), Options{N1: 24, N2: 16, Shear: sh})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +172,7 @@ func TestQPSSJacobianRefreshPolicy(t *testing.T) {
 	opt.N1, opt.N2 = 24, 16
 	opt.Shear = sh
 	opt.Newton.JacobianRefresh = 3
-	sol, err := QPSS(nonlinearMixer(sh), opt)
+	sol, err := QPSS(context.Background(), nonlinearMixer(sh), opt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestGridSpectrumIdealMixerLines(t *testing.T) {
 	ckt.V("VRF", "rf", "0", device.Sine{Amp: 1, F1: sh.F1, F2: sh.F2, K2: 1})
 	ckt.R("RL", "out", "0", 1000)
 	ckt.Mult("X1", "out", "lo", "rf", 1e-3)
-	sol, err := QPSS(ckt, Options{N1: 32, N2: 32, Shear: sh, DiffT1: Order2, DiffT2: Order2})
+	sol, err := QPSS(context.Background(), ckt, Options{N1: 32, N2: 32, Shear: sh, DiffT1: Order2, DiffT2: Order2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestGridSpectrumIdealMixerLines(t *testing.T) {
 func TestGridSpectrumDominantOrdering(t *testing.T) {
 	sh := Shear{F1: 1e6, F2: 0.9e6, K: 1}
 	ckt, _, _ := twoToneRC(sh, 1, 0.25)
-	sol, err := QPSS(ckt, Options{N1: 32, N2: 32, Shear: sh, DiffT1: Order2, DiffT2: Order2})
+	sol, err := QPSS(context.Background(), ckt, Options{N1: 32, N2: 32, Shear: sh, DiffT1: Order2, DiffT2: Order2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestGridSpectrumDCValue(t *testing.T) {
 	ckt := circuit.New("dcgrid")
 	ckt.V("V1", "a", "0", device.DC(2.5))
 	ckt.R("R1", "a", "0", 100)
-	sol, err := QPSS(ckt, Options{N1: 8, N2: 8, Shear: sh})
+	sol, err := QPSS(context.Background(), ckt, Options{N1: 8, N2: 8, Shear: sh})
 	if err != nil {
 		t.Fatal(err)
 	}

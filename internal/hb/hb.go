@@ -21,6 +21,7 @@
 package hb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -56,10 +57,10 @@ type Options struct {
 	GMRESIter int
 	// X0 warm-starts the grid (length N1·N2·n).
 	X0 []float64
-	// Interrupt, when non-nil, is polled between Newton iterations;
-	// returning true aborts the solve with ErrInterrupted (cooperative
-	// cancellation, mirroring solver.Options.Interrupt).
-	Interrupt func() bool
+	// Progress, when non-nil, is called at the top of every Newton
+	// iteration with the 1-based iteration count and the current residual
+	// ∞-norm (mirroring solver.Options.Progress).
+	Progress func(iter int, residual float64)
 }
 
 // Solution is a converged HB steady state on the torus grid.
@@ -83,11 +84,18 @@ type Stats struct {
 // ErrNoConvergence reports a failed HB Newton loop.
 var ErrNoConvergence = errors.New("hb: Newton did not converge")
 
-// ErrInterrupted reports a solve aborted through Options.Interrupt.
+// ErrInterrupted reports a solve aborted by context cancellation. The
+// returned errors also wrap ctx.Err(), so errors.Is against
+// context.Canceled / context.DeadlineExceeded classifies the cause.
 var ErrInterrupted = errors.New("hb: solve interrupted")
 
-// Solve runs harmonic balance.
-func Solve(ckt *circuit.Circuit, opt Options) (*Solution, error) {
+// Solve runs harmonic balance. Cancelling ctx aborts the Newton loop
+// cooperatively; an already-canceled context returns ctx.Err() before any
+// grid evaluation.
+func Solve(ctx context.Context, ckt *circuit.Circuit, opt Options) (*Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if opt.F1 <= 0 {
 		return nil, errors.New("hb: F1 must be positive")
 	}
@@ -130,7 +138,7 @@ func Solve(ckt *circuit.Circuit, opt Options) (*Solution, error) {
 		}
 		copy(x, opt.X0)
 	} else {
-		xdc, _, err := transient.DC(ckt, transient.DCOptions{})
+		xdc, _, err := transient.DC(ctx, ckt, transient.DCOptions{})
 		if err != nil {
 			return nil, fmt.Errorf("hb: DC start failed: %w", err)
 		}
@@ -143,11 +151,16 @@ func Solve(ckt *circuit.Circuit, opt Options) (*Solution, error) {
 	r0 := la.NormInf(r)
 	target := opt.Tol * math.Max(1, r0)
 	for it := 0; it < opt.MaxIter; it++ {
-		if opt.Interrupt != nil && opt.Interrupt() {
-			return nil, fmt.Errorf("%w after %d iterations", ErrInterrupted, sol.Stats.NewtonIters)
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w after %d iterations: %w", ErrInterrupted, sol.Stats.NewtonIters, ctx.Err())
+		default:
+		}
+		nrm := la.NormInf(r)
+		if opt.Progress != nil {
+			opt.Progress(it+1, nrm)
 		}
 		sol.Stats.NewtonIters = it + 1
-		nrm := la.NormInf(r)
 		sol.Stats.Residual = nrm
 		if nrm <= target {
 			sol.X = x

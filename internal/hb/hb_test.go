@@ -1,6 +1,7 @@
 package hb
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -28,7 +29,7 @@ func TestHBLinearTwoToneExact(t *testing.T) {
 	// HB is spectrally exact for linear circuits with band-limited drive.
 	f1, f2 := 1e6, 0.9e6
 	ckt, out, r, c := rcTwoTone(f1, f2)
-	sol, err := Solve(ckt, Options{F1: f1, F2: f2, N1: 8, N2: 8})
+	sol, err := Solve(context.Background(), ckt, Options{F1: f1, F2: f2, N1: 8, N2: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestHBSingleTone(t *testing.T) {
 	ckt.V("V1", "in", "0", device.Sine{Amp: 1, F1: f1, K1: 1})
 	ckt.R("R1", "in", "out", 1000)
 	ckt.C("C1", "out", "0", 1.59155e-10)
-	sol, err := Solve(ckt, Options{F1: f1, N1: 16})
+	sol, err := Solve(context.Background(), ckt, Options{F1: f1, N1: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestHBIdealMixerDifferenceTone(t *testing.T) {
 	// The multiplier generates the fd line at exactly (1, −1): HB must
 	// recover amplitude R·Gm/2 (paper Eq. 6).
 	m := ckts.NewIdealMixer(ckts.IdealMixerConfig{F1: 1e9, F2: 1e9 - 1e4})
-	sol, err := Solve(m.Ckt, Options{F1: 1e9, F2: 1e9 - 1e4, N1: 8, N2: 8})
+	sol, err := Solve(context.Background(), m.Ckt, Options{F1: 1e9, F2: 1e9 - 1e4, N1: 8, N2: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,11 +95,11 @@ func TestHBMatchesMPDEOnMildlyNonlinearMixer(t *testing.T) {
 	um := ckts.NewUnbalancedMixer(ckts.UnbalancedMixerConfig{
 		F1: 100e6, Fd: 1e6, LOAmp: 0.3, RFAmp: 0.02})
 	f2 := um.Shear.F2
-	hbSol, err := Solve(um.Ckt, Options{F1: 100e6, F2: f2, N1: 32, N2: 6})
+	hbSol, err := Solve(context.Background(), um.Ckt, Options{F1: 100e6, F2: f2, N1: 32, N2: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	mpde, err := core.QPSS(um.Ckt, core.Options{
+	mpde, err := core.QPSS(context.Background(), um.Ckt, core.Options{
 		N1: 64, N2: 32, Shear: um.Shear, DiffT1: core.Order2, DiffT2: core.Order2})
 	if err != nil {
 		t.Fatal(err)
@@ -136,7 +137,7 @@ func TestHBTruncationErrorGrowsWithSwitchingSharpness(t *testing.T) {
 	edge := func(loAmp float64) float64 {
 		um := ckts.NewUnbalancedMixer(ckts.UnbalancedMixerConfig{
 			F1: 100e6, Fd: 1e6, LOAmp: loAmp, RFAmp: 0.01})
-		sol, err := Solve(um.Ckt, Options{F1: 100e6, F2: um.Shear.F2, N1: 32, N2: 4})
+		sol, err := Solve(context.Background(), um.Ckt, Options{F1: 100e6, F2: um.Shear.F2, N1: 32, N2: 4})
 		if err != nil {
 			t.Fatalf("loAmp=%v: %v", loAmp, err)
 		}
@@ -153,12 +154,12 @@ func TestHBInvalidInputs(t *testing.T) {
 	ckt := circuit.New("bad")
 	ckt.V("V1", "a", "0", device.Pulse{V2: 1, Width: 1, Period: 2})
 	ckt.R("R1", "a", "0", 50)
-	if _, err := Solve(ckt, Options{F1: 1e6}); err == nil {
+	if _, err := Solve(context.Background(), ckt, Options{F1: 1e6}); err == nil {
 		t.Fatal("expected non-torus source error")
 	}
 	ckt2 := circuit.New("bad2")
 	ckt2.R("R1", "a", "0", 50)
-	if _, err := Solve(ckt2, Options{F1: 0}); err == nil {
+	if _, err := Solve(context.Background(), ckt2, Options{F1: 0}); err == nil {
 		t.Fatal("expected F1 error")
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"strings"
 	"unicode"
 
+	"repro/internal/analysis"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/device"
@@ -57,15 +58,30 @@ type Deck struct {
 //	.hb h1=8 h2=8            ; h1/h2 are aliases for n1/n2
 //	.transient periods=5 steps=12
 //	.shooting steps=12
+//	.ac source=VRF f0=1k f1=1g npts=40
 //
-// Params holds the normalised numeric parameters (aliases resolved):
-// n1/n2 grid sizes, periods (transient horizon in difference periods),
-// steps (time steps per fast period), top (spectrum mixes reported).
+// The method vocabulary and the accepted parameter keys come from the
+// internal/analysis registry (analysis.Names / analysis.DirectiveKeys), so
+// a newly registered analysis is immediately addressable from decks.
+// Params holds the normalised numeric parameters (aliases resolved) and
+// Str the string-valued ones (e.g. ac/pac's source).
 type Analysis struct {
 	Method string
 	Params map[string]float64
+	Str    map[string]string
 	// Line is the directive's line number in the deck.
 	Line int
+}
+
+// DirectiveInput converts the parsed directive into the registry's
+// primitive form, pairing it with the deck's shear (zero when the deck has
+// no usable .tones).
+func (d *Deck) DirectiveInput(a Analysis) analysis.DirectiveInput {
+	in := analysis.DirectiveInput{Num: a.Params, Str: a.Str}
+	if sh, err := d.Shear(); err == nil {
+		in.Shear = sh
+	}
+	return in
 }
 
 // Int returns the integer value of a parameter, or def when it is absent.
@@ -292,21 +308,17 @@ func (d *Deck) parseTones(f []string, ln lineRef) error {
 	return nil
 }
 
-// analysisMethods is the directive vocabulary; the keys double as the
-// shorthand card names (".qpss", ".hb", ...).
-var analysisMethods = map[string]bool{
-	"qpss": true, "envelope": true, "shooting": true, "transient": true, "hb": true,
-}
-
+// analysisShorthand reports whether card is a registered method used as a
+// directive shorthand (".qpss", ".hb", ...). The vocabulary is the
+// internal/analysis registry.
 func analysisShorthand(card string) bool {
-	return strings.HasPrefix(card, ".") && analysisMethods[card[1:]]
+	return strings.HasPrefix(card, ".") && analysis.Registered(card[1:])
 }
 
 // analysisParamAliases maps accepted parameter spellings onto the
-// normalised keys stored in Analysis.Params.
+// normalised keys the registry descriptors declare.
 var analysisParamAliases = map[string]string{
-	"n1": "n1", "n2": "n2", "h1": "n1", "h2": "n2",
-	"periods": "periods", "steps": "steps", "top": "top",
+	"h1": "n1", "h2": "n2",
 }
 
 func (d *Deck) parseAnalysis(f []string, ln lineRef) error {
@@ -314,25 +326,45 @@ func (d *Deck) parseAnalysis(f []string, ln lineRef) error {
 	pi := 1 // index of the first key=value field
 	if method == "analysis" {
 		if len(f) < 2 {
-			return ln.errf(".analysis needs a method (qpss, envelope, shooting, transient or hb)")
+			return ln.errf(".analysis needs a method (%s)", strings.Join(analysis.Names(), ", "))
 		}
 		method = strings.ToLower(f[1])
 		pi = 2
 	}
-	if !analysisMethods[method] {
-		return ln.fieldErrf(1, "unknown analysis %q (want qpss, envelope, shooting, transient or hb)", method)
+	numKeys, strKeys, known := analysis.DirectiveKeys(method)
+	if !known {
+		return ln.fieldErrf(1, "unknown analysis %q (want %s)", method, strings.Join(analysis.Names(), ", "))
 	}
-	a := Analysis{Method: method, Params: map[string]float64{}, Line: ln.no}
+	isNum := map[string]bool{}
+	for _, k := range numKeys {
+		isNum[k] = true
+	}
+	isStr := map[string]bool{}
+	for _, k := range strKeys {
+		isStr[k] = true
+	}
+	a := Analysis{Method: method, Params: map[string]float64{}, Str: map[string]string{}, Line: ln.no}
 	for i := pi; i < len(f); i++ {
-		key, val, err := parseKV(f[i], ln, i)
+		key, rawVal, err := splitKV(f[i], ln, i)
 		if err != nil {
 			return err
 		}
-		norm, ok := analysisParamAliases[key]
-		if !ok {
-			return ln.fieldErrf(i, "unknown %s parameter %q (want n1, n2, h1, h2, periods, steps or top)", method, key)
+		if norm, ok := analysisParamAliases[key]; ok {
+			key = norm
 		}
-		a.Params[norm] = val
+		switch {
+		case isNum[key]:
+			v, err := ParseValue(rawVal)
+			if err != nil {
+				return ln.fieldErrf(i, "bad value in %q: %v", f[i], err)
+			}
+			a.Params[key] = v
+		case isStr[key]:
+			a.Str[key] = rawVal
+		default:
+			want := append(append([]string(nil), numKeys...), strKeys...)
+			return ln.fieldErrf(i, "unknown %s parameter %q (want %s)", method, key, strings.Join(want, ", "))
+		}
 	}
 	d.Analyses = append(d.Analyses, a)
 	return nil
@@ -604,15 +636,24 @@ func (d *Deck) parseMult(f []string, ln lineRef) error {
 }
 
 func parseKV(s string, ln lineRef, fi int) (string, float64, error) {
-	i := strings.IndexByte(s, '=')
-	if i <= 0 {
-		return "", 0, ln.fieldErrf(fi, "expected key=value, got %q", s)
+	key, raw, err := splitKV(s, ln, fi)
+	if err != nil {
+		return "", 0, err
 	}
-	v, err := ParseValue(s[i+1:])
+	v, err := ParseValue(raw)
 	if err != nil {
 		return "", 0, ln.fieldErrf(fi, "bad value in %q: %v", s, err)
 	}
-	return strings.ToLower(s[:i]), v, nil
+	return key, v, nil
+}
+
+// splitKV splits a key=value token without interpreting the value.
+func splitKV(s string, ln lineRef, fi int) (string, string, error) {
+	i := strings.IndexByte(s, '=')
+	if i <= 0 {
+		return "", "", ln.fieldErrf(fi, "expected key=value, got %q", s)
+	}
+	return strings.ToLower(s[:i]), s[i+1:], nil
 }
 
 // ParseValue parses a SPICE number with magnitude suffix (case-insensitive:

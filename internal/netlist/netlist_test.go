@@ -1,6 +1,7 @@
 package netlist
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -58,7 +59,7 @@ func TestParseDividerAndSolve(t *testing.T) {
 	if d.Title != "divider" {
 		t.Fatalf("title %q", d.Title)
 	}
-	x, _, err := transient.DC(d.Ckt, transient.DCOptions{})
+	x, _, err := transient.DC(context.Background(), d.Ckt, transient.DCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestParseMixerDeckRunsQPSS(t *testing.T) {
 	if math.Abs(sh.Fd()-1e4) > 1 {
 		t.Fatalf("fd = %v", sh.Fd())
 	}
-	sol, err := core.QPSS(d.Ckt, core.Options{N1: 16, N2: 16, Shear: sh})
+	sol, err := core.QPSS(context.Background(), d.Ckt, core.Options{N1: 16, N2: 16, Shear: sh})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestParseAllDeviceCards(t *testing.T) {
 		t.Fatalf("device count = %d, want 12", got)
 	}
 	// Circuit must at least evaluate and solve DC.
-	if _, _, err := transient.DC(d.Ckt, transient.DCOptions{}); err != nil {
+	if _, _, err := transient.DC(context.Background(), d.Ckt, transient.DCOptions{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -220,7 +221,7 @@ func TestParseBJTCard(t *testing.T) {
 	if len(d.Ckt.Devices()) != 6 {
 		t.Fatalf("device count %d", len(d.Ckt.Devices()))
 	}
-	if _, _, err := transient.DC(d.Ckt, transient.DCOptions{SignalsOff: true}); err != nil {
+	if _, _, err := transient.DC(context.Background(), d.Ckt, transient.DCOptions{SignalsOff: true}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := ParseString("Q1 c b\n"); err == nil {
@@ -245,11 +246,11 @@ func TestParseSquareSource(t *testing.T) {
 	}
 	// Sample mid-plateau (the smooth edge occupies [0, edge) of the
 	// period): ON level is 6 − 6 = 0, OFF level is 6 + 6 = 12.
-	xOn, _, err := transient.DC(d.Ckt, transient.DCOptions{Time: 0.2e-6})
+	xOn, _, err := transient.DC(context.Background(), d.Ckt, transient.DCOptions{Time: 0.2e-6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	xOff, _, err := transient.DC(d.Ckt, transient.DCOptions{Time: 0.7e-6})
+	xOff, _, err := transient.DC(context.Background(), d.Ckt, transient.DCOptions{Time: 0.7e-6})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,16 +22,19 @@
 package pac
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/cmplx"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/device"
 	"repro/internal/fft"
 	"repro/internal/la"
 	"repro/internal/shooting"
+	"repro/internal/solver"
 )
 
 // Options configures a PAC run.
@@ -63,6 +66,14 @@ type Result struct {
 	// X[f][(k+K)*n + i] is the phasor of unknown i at sideband k for
 	// stimulus frequency Freqs[f].
 	X [][]complex128
+	// Stats aggregates the solver work: the internal PSS shooting-Newton
+	// iterations (when PAC ran shooting itself), the orbit linearisation,
+	// and one dense conversion-matrix factorisation per stimulus frequency
+	// — the same counters QPSS exports, via analysis.Result.Stats().
+	Stats solver.Stats
+	// PSSTimeSteps counts the backward-Euler steps of the internal PSS
+	// (0 when a converged orbit was supplied).
+	PSSTimeSteps int
 }
 
 // SidebandPhasor returns the complex phasor X̂_k(node) of the output
@@ -86,8 +97,13 @@ func (r *Result) DirectGain(f, node int) float64 { return r.SidebandAmp(f, node,
 // (k = −1 is the classical down-conversion product fs − f0).
 func (r *Result) ConversionGain(f, node, k int) float64 { return r.SidebandAmp(f, node, k) }
 
-// Analyze runs PAC.
-func Analyze(ckt *circuit.Circuit, opt Options) (*Result, error) {
+// Analyze runs PAC. Cancelling ctx aborts the internal PSS solve and the
+// stimulus-frequency sweep cooperatively; an already-canceled context
+// returns ctx.Err() before any work.
+func Analyze(ctx context.Context, ckt *circuit.Circuit, opt Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if opt.Period <= 0 {
 		return nil, errors.New("pac: Period must be positive")
 	}
@@ -111,16 +127,20 @@ func Analyze(ckt *circuit.Circuit, opt Options) (*Result, error) {
 	ckt.Finalize()
 	n := ckt.Size()
 
+	var st solver.Stats
+	pssSteps := 0
 	pss := opt.PSS
 	if pss == nil {
 		so := opt.Shooting
 		so.Period = opt.Period
 		so.Steps = opt.Steps
 		var err error
-		pss, err = shooting.PSS(ckt, so)
+		pss, err = shooting.PSS(ctx, ckt, so)
 		if err != nil {
 			return nil, fmt.Errorf("pac: PSS failed: %w", err)
 		}
+		st.Iterations = pss.Iterations
+		pssSteps = pss.TotalTimeSteps
 	}
 	orbit := pss.Orbit
 	if orbit == nil || len(orbit.X) < 2 {
@@ -130,6 +150,7 @@ func Analyze(ckt *circuit.Circuit, opt Options) (*Result, error) {
 
 	// Linearise around each orbit point and collect the union sparsity
 	// pattern of C and G.
+	ta := time.Now()
 	ev := ckt.NewEval()
 	cs := make([]*la.CSR, N)
 	gs := make([]*la.CSR, N)
@@ -140,6 +161,7 @@ func Analyze(ckt *circuit.Circuit, opt Options) (*Result, error) {
 	}
 	cHat := harmonics(cs, n, N, opt.K)
 	gHat := harmonics(gs, n, N, opt.K)
+	st.AssemblyTime += time.Since(ta)
 
 	// Stimulus vector (constant envelope → only the k=0 block).
 	bPat, err := stimulus(ckt, opt.Source, n)
@@ -155,7 +177,11 @@ func Analyze(ckt *circuit.Circuit, opt Options) (*Result, error) {
 		F0: 1 / opt.Period, K: K, n: n}
 
 	for _, fs := range opt.Freqs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("pac: sweep interrupted at fs=%g: %w", fs, err)
+		}
 		ws := 2 * math.Pi * fs
+		ta := time.Now()
 		a := la.NewCDense(dim, dim)
 		for kb := -K; kb <= K; kb++ { // output harmonic (block row)
 			rowBase := (kb + K) * n
@@ -182,14 +208,20 @@ func Analyze(ckt *circuit.Circuit, opt Options) (*Result, error) {
 		for i := 0; i < n; i++ {
 			rhs[K*n+i] = complex(-bPat[i], 0)
 		}
+		st.AssemblyTime += time.Since(ta)
+		tf := time.Now()
 		lu, err := la.CDenseLU(a)
+		st.FactorTime += time.Since(tf)
 		if err != nil {
 			return nil, fmt.Errorf("pac: conversion matrix singular at fs=%g: %w", fs, err)
 		}
+		st.Factorizations++
 		x := make([]complex128, dim)
 		lu.Solve(rhs, x)
 		out.X = append(out.X, x)
 	}
+	out.Stats = st
+	out.PSSTimeSteps = pssSteps
 	return out, nil
 }
 

@@ -1,6 +1,7 @@
 package pac
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -21,13 +22,13 @@ func TestPACStaticCircuitMatchesAC(t *testing.T) {
 	}
 	fs := []float64{1e4, 1.5915e5, 1e6}
 	ckt := build()
-	res, err := Analyze(ckt, Options{
+	res, err := Analyze(context.Background(), ckt, Options{
 		Period: 1e-6, Steps: 64, Source: "V1", Freqs: fs})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ckt2 := build()
-	acRes, err := ac.Analyze(ckt2, ac.Options{Source: "V1", Freqs: fs})
+	acRes, err := ac.Analyze(context.Background(), ckt2, ac.Options{Source: "V1", Freqs: fs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestPACIdealMixerConversionGain(t *testing.T) {
 	ckt.V("VRF", "rf", "0", device.DC(0))
 	ckt.R("RL", "out", "0", 1000)
 	ckt.Mult("X1", "out", "lo", "rf", 1e-3)
-	res, err := Analyze(ckt, Options{
+	res, err := Analyze(context.Background(), ckt, Options{
 		Period: 1 / f0, Steps: 128, Source: "VRF", Freqs: []float64{1.3e6}})
 	if err != nil {
 		t.Fatal(err)
@@ -91,7 +92,7 @@ func TestPACSwitchingMixerHasLOSidebands(t *testing.T) {
 	ckt.M("M1", "d", "lo", "s", device.MOSFET{Vt0: 0.5, KP: 2e-3})
 	ckt.R("RD", "vdd", "d", 2e3)
 	ckt.C("CD", "d", "0", 2e-12)
-	res, err := Analyze(ckt, Options{
+	res, err := Analyze(context.Background(), ckt, Options{
 		Period: 1 / f0, Steps: 256, Source: "VRF", Freqs: []float64{1e6}})
 	if err != nil {
 		t.Fatal(err)
@@ -111,25 +112,25 @@ func TestPACInvalidInputs(t *testing.T) {
 	ckt := circuit.New("bad")
 	ckt.V("V1", "a", "0", device.DC(0))
 	ckt.R("R1", "a", "0", 50)
-	if _, err := Analyze(ckt, Options{Period: 0, Source: "V1", Freqs: []float64{1}}); err == nil {
+	if _, err := Analyze(context.Background(), ckt, Options{Period: 0, Source: "V1", Freqs: []float64{1}}); err == nil {
 		t.Fatal("zero period should error")
 	}
 	ckt2 := circuit.New("bad2")
 	ckt2.V("V1", "a", "0", device.DC(0))
 	ckt2.R("R1", "a", "0", 50)
-	if _, err := Analyze(ckt2, Options{Period: 1e-6, Source: "V1"}); err == nil {
+	if _, err := Analyze(context.Background(), ckt2, Options{Period: 1e-6, Source: "V1"}); err == nil {
 		t.Fatal("missing freqs should error")
 	}
 	ckt3 := circuit.New("bad3")
 	ckt3.V("V1", "a", "0", device.DC(0))
 	ckt3.R("R1", "a", "0", 50)
-	if _, err := Analyze(ckt3, Options{Period: 1e-6, Source: "nope", Freqs: []float64{1}}); err == nil {
+	if _, err := Analyze(context.Background(), ckt3, Options{Period: 1e-6, Source: "nope", Freqs: []float64{1}}); err == nil {
 		t.Fatal("unknown source should error")
 	}
 	ckt4 := circuit.New("bad4")
 	ckt4.V("V1", "a", "0", device.DC(0))
 	ckt4.R("R1", "a", "0", 50)
-	if _, err := Analyze(ckt4, Options{Period: 1e-6, Source: "R1", Freqs: []float64{1}}); err == nil {
+	if _, err := Analyze(context.Background(), ckt4, Options{Period: 1e-6, Source: "R1", Freqs: []float64{1}}); err == nil {
 		t.Fatal("non-source should error")
 	}
 }

@@ -185,11 +185,14 @@ func (j *jobState) finalize(status JobStatus, res *sweep.Result, errMsg string) 
 	if res != nil {
 		ok, fail, canc = res.Counts()
 		var facts, refacts, pat int
+		var asmNS, facNS int64
 		for i := range res.Jobs {
 			iters += res.Jobs[i].NewtonIters
 			facts += res.Jobs[i].Factorizations
 			refacts += res.Jobs[i].Refactorizations
 			pat += res.Jobs[i].PatternReuse
+			asmNS += res.Jobs[i].Assembly.Nanoseconds()
+			facNS += res.Jobs[i].Factor.Nanoseconds()
 		}
 		m.srv.metrics.sweepOK.Add(int64(ok))
 		m.srv.metrics.sweepFailed.Add(int64(fail))
@@ -198,6 +201,8 @@ func (j *jobState) finalize(status JobStatus, res *sweep.Result, errMsg string) 
 		m.srv.metrics.factorize.Add(int64(facts))
 		m.srv.metrics.refactorize.Add(int64(refacts))
 		m.srv.metrics.patternHits.Add(int64(pat))
+		m.srv.metrics.assemblyNS.Add(asmNS)
+		m.srv.metrics.factorNS.Add(facNS)
 	}
 	switch status {
 	case StatusDone:

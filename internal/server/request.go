@@ -8,9 +8,19 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/netlist"
 	"repro/internal/sweep"
 )
+
+// deckMethods lists a deck's directive methods for diagnostics.
+func deckMethods(deck *netlist.Deck) string {
+	var names []string
+	for _, a := range deck.Analyses {
+		names = append(names, a.Method)
+	}
+	return strings.Join(names, ", ")
+}
 
 // Request is the JSON body of POST /v1/jobs and POST /v1/simulate. Only
 // Deck is required: analyses default to the deck's .analysis directives
@@ -178,7 +188,17 @@ func resolveRequest(req *Request, sweepWorkers int) (*runSpec, error) {
 		}
 	case len(deck.Analyses) > 0:
 		for _, a := range deck.Analyses {
-			spec.JobList = append(spec.JobList, analysisToJobSpec(a.Method, a.Int("n1", 0), a.Int("n2", 0)))
+			js := analysisToJobSpec(a.Method, a.Int("n1", 0), a.Int("n2", 0))
+			// The directive vocabulary is the whole analysis registry, but
+			// this service multiplexes decks onto the sweep engine — skip
+			// registered-but-unsweepable directives (dc/ac/pac, which need
+			// stimulus configuration a sweep job does not carry) so a deck
+			// that also drives the CLI still runs its sweepable analyses
+			// here. Unknown names still fail the request via Jobs() below.
+			if analysis.Registered(string(js.Method)) && !js.Method.Valid() {
+				continue
+			}
+			spec.JobList = append(spec.JobList, js)
 			// Directive-level tuning params apply sweep-wide, mirroring
 			// the engine's Spec granularity: the last directive to set one
 			// wins, and an explicit request field beats them all.
@@ -191,6 +211,9 @@ func resolveRequest(req *Request, sweepWorkers int) (*runSpec, error) {
 			if v := a.Int("top", 0); v > 0 && req.SpectrumTop == 0 {
 				spec.SpectrumTop = v
 			}
+		}
+		if len(spec.JobList) == 0 {
+			return nil, badRequestf("deck's .analysis directives (%s) cannot run as sweep jobs; submit a sweepable analysis (e.g. qpss)", deckMethods(deck))
 		}
 	default:
 		spec.JobList = []sweep.JobSpec{{Method: sweep.QPSS}}

@@ -1,0 +1,44 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestResolveRequestSkipsUnsweepableDirectives: the directive vocabulary is
+// the whole analysis registry, but this service runs sweeps — a deck mixing
+// sweepable and non-sweepable directives must run the sweepable subset, and
+// a deck with only non-sweepable ones must 400 with a useful message.
+func TestResolveRequestSkipsUnsweepableDirectives(t *testing.T) {
+	mixed := `.title mixed directives
+.tones 10meg 19.9meg 2
+R1 a 0 1k
+.qpss n1=8 n2=8
+.analysis ac source=VX f0=1k f1=1meg
+.end
+`
+	rs, err := resolveRequest(&Request{Deck: mixed}, 1)
+	if err != nil {
+		t.Fatalf("mixed deck must resolve: %v", err)
+	}
+	if rs.njobs != 1 {
+		t.Fatalf("want 1 sweepable job (qpss), got %d", rs.njobs)
+	}
+
+	only := `.title ac only
+.tones 10meg 19.9meg 2
+R1 a 0 1k
+.analysis ac source=VX f0=1k f1=1meg
+.end
+`
+	_, err = resolveRequest(&Request{Deck: only}, 1)
+	if err == nil {
+		t.Fatal("deck with only non-sweepable directives must be rejected")
+	}
+	if !strings.Contains(err.Error(), "cannot run as sweep jobs") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	if _, bad := err.(*badRequestError); !bad {
+		t.Fatalf("want a 400-classified badRequestError, got %T: %v", err, err)
+	}
+}

@@ -18,6 +18,7 @@
 package shooting
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -98,6 +99,7 @@ func (r *Result) spectralRadius() (float64, error) {
 var ErrNoConvergence = errors.New("shooting: Newton on the periodicity condition did not converge")
 
 type integrator struct {
+	ctx   context.Context
 	ckt   *circuit.Circuit
 	ev    *circuit.Eval
 	n     int
@@ -145,7 +147,7 @@ func (g *integrator) propagate(x0 []float64, wantM, record bool, t0 float64) ([]
 			}
 			return out, j, nil
 		}}
-		if _, err := solver.Solve(sys, x, g.opt); err != nil {
+		if _, err := solver.Solve(g.ctx, sys, x, g.opt); err != nil {
 			return nil, nil, nil, totalSteps, fmt.Errorf("shooting: step %d (t=%.3e) failed: %w", k, tNew, err)
 		}
 		totalSteps++
@@ -208,8 +210,13 @@ func combine(c, g *la.CSR, cScale float64) *la.CSR {
 	return tr.Compress()
 }
 
-// PSS computes the periodic steady state.
-func PSS(ckt *circuit.Circuit, opt Options) (*Result, error) {
+// PSS computes the periodic steady state. Cancelling ctx aborts the
+// per-timestep Newton solves cooperatively; an already-canceled context
+// returns ctx.Err() before any integration work.
+func PSS(ctx context.Context, ckt *circuit.Circuit, opt Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if opt.Period <= 0 {
 		return nil, errors.New("shooting: Period must be positive")
 	}
@@ -226,8 +233,8 @@ func PSS(ckt *circuit.Circuit, opt Options) (*Result, error) {
 		opt.Damping = 1
 	}
 	// Merge the inner-solve Newton defaults non-destructively: a caller who
-	// sets Interrupt, Linear or PivotTol but leaves MaxIter zero keeps them
-	// (a zero MaxIter also opts into damping, the analysis default).
+	// sets Linear or PivotTol but leaves MaxIter zero keeps them (a zero
+	// MaxIter also opts into damping, the analysis default).
 	if opt.Newton.MaxIter == 0 {
 		opt.Newton.Damping = true
 	}
@@ -242,14 +249,14 @@ func PSS(ckt *circuit.Circuit, opt Options) (*Result, error) {
 		}
 		copy(x0, opt.X0)
 	} else {
-		xdc, _, err := transient.DC(ckt, transient.DCOptions{})
+		xdc, _, err := transient.DC(ctx, ckt, transient.DCOptions{})
 		if err != nil {
 			return nil, fmt.Errorf("shooting: DC start failed: %w", err)
 		}
 		copy(x0, xdc)
 	}
 
-	g := &integrator{ckt: ckt, ev: ckt.NewEval(), n: n,
+	g := &integrator{ctx: ctx, ckt: ckt, ev: ckt.NewEval(), n: n,
 		h: opt.Period / float64(opt.Steps), steps: opt.Steps, opt: opt.Newton}
 
 	res := &Result{}

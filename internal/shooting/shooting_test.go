@@ -1,12 +1,13 @@
 package shooting
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
 	"repro/internal/circuit"
 	"repro/internal/device"
-	"repro/internal/solver"
 	"repro/internal/transient"
 )
 
@@ -23,7 +24,7 @@ func rcDriven(f float64) (*circuit.Circuit, float64, float64) {
 func TestPSSLinearRCMatchesAnalytic(t *testing.T) {
 	f := 500.0
 	ckt, r, c := rcDriven(f)
-	res, err := PSS(ckt, Options{Period: 1 / f, Steps: 400})
+	res, err := PSS(context.Background(), ckt, Options{Period: 1 / f, Steps: 400})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestPSSLinearRCMatchesAnalytic(t *testing.T) {
 func TestPSSPeriodicityResidual(t *testing.T) {
 	f := 1000.0
 	ckt, _, _ := rcDriven(f)
-	res, err := PSS(ckt, Options{Period: 1 / f, Steps: 256, Tol: 1e-9})
+	res, err := PSS(context.Background(), ckt, Options{Period: 1 / f, Steps: 256, Tol: 1e-9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestPSSConvergesInFewIterationsLinear(t *testing.T) {
 	// For a linear circuit, shooting-Newton is exact in ONE iteration.
 	f := 1000.0
 	ckt, _, _ := rcDriven(f)
-	res, err := PSS(ckt, Options{Period: 1 / f, Steps: 128})
+	res, err := PSS(context.Background(), ckt, Options{Period: 1 / f, Steps: 128})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,13 +85,13 @@ func TestPSSRectifierMatchesLongTransient(t *testing.T) {
 	}
 	f := 1e3
 	ckt := build()
-	res, err := PSS(ckt, Options{Period: 1 / f, Steps: 512, Tol: 1e-8})
+	res, err := PSS(context.Background(), ckt, Options{Period: 1 / f, Steps: 512, Tol: 1e-8})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Long transient reference (20 periods reaches steady state, τ = 2 ms).
 	ckt2 := build()
-	tr, err := transient.Run(ckt2, transient.Options{
+	tr, err := transient.Run(context.Background(), ckt2, transient.Options{
 		Method: transient.BE, TStop: 30e-3, Step: 1 / f / 512, FixedStep: true})
 	if err != nil {
 		t.Fatal(err)
@@ -115,12 +116,12 @@ func TestPSSRectifierMatchesLongTransient(t *testing.T) {
 func TestPSSMatrixFreeAgreesWithDense(t *testing.T) {
 	f := 1e3
 	ckt, _, _ := rcDriven(f)
-	dense, err := PSS(ckt, Options{Period: 1 / f, Steps: 128})
+	dense, err := PSS(context.Background(), ckt, Options{Period: 1 / f, Steps: 128})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ckt2, _, _ := rcDriven(f)
-	free, err := PSS(ckt2, Options{Period: 1 / f, Steps: 128, MatrixFree: true})
+	free, err := PSS(context.Background(), ckt2, Options{Period: 1 / f, Steps: 128, MatrixFree: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestPSSNonlinearMixerlikeCircuit(t *testing.T) {
 	ckt.R("RD", "vdd", "d", 5e3)
 	ckt.C("CD", "d", "0", 2e-12)
 	ckt.M("M1", "d", "g", "0", device.MOSFET{Vt0: 0.5, KP: 1e-3})
-	res, err := PSS(ckt, Options{Period: 1 / f, Steps: 256, Tol: 1e-7})
+	res, err := PSS(context.Background(), ckt, Options{Period: 1 / f, Steps: 256, Tol: 1e-7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,11 +166,11 @@ func TestPSSNonlinearMixerlikeCircuit(t *testing.T) {
 
 func TestPSSInvalidOptions(t *testing.T) {
 	ckt, _, _ := rcDriven(1e3)
-	if _, err := PSS(ckt, Options{Period: 0}); err == nil {
+	if _, err := PSS(context.Background(), ckt, Options{Period: 0}); err == nil {
 		t.Fatal("expected error for zero period")
 	}
 	ckt2, _, _ := rcDriven(1e3)
-	if _, err := PSS(ckt2, Options{Period: 1e-3, X0: make([]float64, 1)}); err == nil {
+	if _, err := PSS(context.Background(), ckt2, Options{Period: 1e-3, X0: make([]float64, 1)}); err == nil {
 		t.Fatal("expected error for bad X0 size")
 	}
 }
@@ -181,7 +182,7 @@ func TestFloquetMultipliersLinearRC(t *testing.T) {
 	f := 1e3
 	r, c := 1000.0, 1e-6
 	ckt, _, _ := rcDriven(f)
-	res, err := PSS(ckt, Options{Period: 1 / f, Steps: 2048})
+	res, err := PSS(context.Background(), ckt, Options{Period: 1 / f, Steps: 2048})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestFloquetMultipliersLinearRC(t *testing.T) {
 func TestFloquetUnavailableMatrixFree(t *testing.T) {
 	f := 1e3
 	ckt, _, _ := rcDriven(f)
-	res, err := PSS(ckt, Options{Period: 1 / f, Steps: 128, MatrixFree: true})
+	res, err := PSS(context.Background(), ckt, Options{Period: 1 / f, Steps: 128, MatrixFree: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestFloquetNonlinearMixerStable(t *testing.T) {
 	ckt.R("RD", "vdd", "d", 5e3)
 	ckt.C("CD", "d", "0", 2e-12)
 	ckt.M("M1", "d", "g", "0", device.MOSFET{Vt0: 0.5, KP: 1e-3})
-	res, err := PSS(ckt, Options{Period: 1 / f, Steps: 256})
+	res, err := PSS(context.Background(), ckt, Options{Period: 1 / f, Steps: 256})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,22 +243,21 @@ func TestFloquetNonlinearMixerStable(t *testing.T) {
 	}
 }
 
-// TestPSSHonorsInterruptWithZeroMaxIter reproduces the Newton-option
-// clobber: setting only Newton.Interrupt (MaxIter left zero) must abort the
-// inner per-timestep solves instead of being silently replaced by a fresh
-// default option set.
-func TestPSSHonorsInterruptWithZeroMaxIter(t *testing.T) {
+// TestPSSHonorsCanceledContext: a canceled context must abort the inner
+// per-timestep solves before any integration work.
+func TestPSSHonorsCanceledContext(t *testing.T) {
 	f := 1000.0
 	ckt, _, _ := rcDriven(f)
 	var opt Options
 	opt.Period = 1 / f
 	opt.Steps = 64
-	opt.Newton.Interrupt = func() bool { return true }
-	_, err := PSS(ckt, opt)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := PSS(ctx, ckt, opt)
 	if err == nil {
-		t.Fatal("PSS converged despite an always-true Interrupt: Newton options were clobbered")
+		t.Fatal("PSS converged despite a canceled context")
 	}
-	if !solver.Interrupted(err) {
-		t.Fatalf("want an interrupted error, got %v", err)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -61,7 +62,7 @@ var ErrContinuation = errors.New("solver: continuation failed to reach lambda=1"
 // Continue tracks the solution of H(x, λ) = 0 from λ = 0 to λ = 1 with
 // adaptive steps and secant prediction. x holds the initial guess for λ = 0
 // on entry and the λ = 1 solution on exit.
-func Continue(sys ParamSystem, x []float64, opt ContinuationOptions) (ContinuationStats, error) {
+func Continue(ctx context.Context, sys ParamSystem, x []float64, opt ContinuationOptions) (ContinuationStats, error) {
 	if opt.StartStep <= 0 {
 		opt.StartStep = 0.25
 	}
@@ -82,7 +83,7 @@ func Continue(sys ParamSystem, x []float64, opt ContinuationOptions) (Continuati
 		sub := FuncSystem{N: n, F: func(xx []float64, jac bool) ([]float64, *la.CSR, error) {
 			return sys.EvalAt(lambda, xx, jac)
 		}}
-		st, err := Solve(sub, guess, opt.Newton)
+		st, err := Solve(ctx, sub, guess, opt.Newton)
 		cs.NewtonIters += st.Iterations
 		cs.Factorizations += st.Factorizations
 		cs.Refactorizations += st.Refactorizations
@@ -150,17 +151,17 @@ func Continue(sys ParamSystem, x []float64, opt ContinuationOptions) (Continuati
 // embedding. This mirrors the paper's experience: "In cases where
 // Newton-Raphson did not converge, using continuation reliably obtained
 // solutions".
-func SolveWithFallback(sys ParamSystem, x []float64, newtonOpt Options) (Stats, ContinuationStats, error) {
+func SolveWithFallback(ctx context.Context, sys ParamSystem, x []float64, newtonOpt Options) (Stats, ContinuationStats, error) {
 	direct := FuncSystem{N: sys.Size(), F: func(xx []float64, jac bool) ([]float64, *la.CSR, error) {
 		return sys.EvalAt(1, xx, jac)
 	}}
 	xTry := append([]float64(nil), x...)
-	st, err := Solve(direct, xTry, newtonOpt)
+	st, err := Solve(ctx, direct, xTry, newtonOpt)
 	if err == nil {
 		copy(x, xTry)
 		return st, ContinuationStats{}, nil
 	}
-	cs, cerr := Continue(sys, x, ContinuationOptions{Newton: newtonOpt})
+	cs, cerr := Continue(ctx, sys, x, ContinuationOptions{Newton: newtonOpt})
 	if cerr != nil {
 		return st, cs, fmt.Errorf("solver: direct Newton failed (%v) and continuation failed: %w", err, cerr)
 	}

@@ -7,6 +7,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -71,12 +72,12 @@ type Options struct {
 	// immediate refresh. 0 or 1 refreshes every iteration — classic Newton,
 	// the default.
 	JacobianRefresh int
-	// Interrupt, when non-nil, is polled between Newton iterations;
-	// returning true aborts the solve with ErrInterrupted. Analyses thread
-	// it through their inner solves so a long-running job can be cancelled
-	// cooperatively (the sweep engine wires per-job context cancellation
-	// through this hook).
-	Interrupt func() bool
+	// Progress, when non-nil, is called at the top of every Newton
+	// iteration with the 1-based iteration count and the current residual
+	// ∞-norm (NaN on iteration 1 before the first evaluation). Analyses
+	// thread the analysis.Request progress hook through here. It must be
+	// cheap and must not block.
+	Progress func(iter int, residual float64)
 }
 
 // NewOptions returns the defaults used across the analyses.
@@ -151,13 +152,33 @@ type Stats struct {
 // ErrNewton is wrapped by non-convergence errors.
 var ErrNewton = errors.New("solver: Newton did not converge")
 
-// ErrInterrupted is wrapped by errors from solves aborted through
-// Options.Interrupt. Callers must not retry on it (unlike ErrNewton, where
-// step halving or continuation are reasonable responses).
+// ErrInterrupted is wrapped by errors from solves aborted by context
+// cancellation. Callers must not retry on it (unlike ErrNewton, where step
+// halving or continuation are reasonable responses). Interrupt errors also
+// wrap the context error, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) classify the cause.
 var ErrInterrupted = errors.New("solver: solve interrupted")
 
-// Interrupted reports whether err stems from an Options.Interrupt abort.
+// Interrupted reports whether err stems from a context-cancellation abort.
 func Interrupted(err error) bool { return errors.Is(err, ErrInterrupted) }
+
+// interruptShim derives the solver's internal cooperative-cancellation poll
+// from ctx.Done(). A nil-Done context (context.Background()) polls as never
+// interrupted without the select.
+func interruptShim(ctx context.Context) func() bool {
+	done := ctx.Done()
+	if done == nil {
+		return nil
+	}
+	return func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+}
 
 // directFactor owns the sparse LU state across iterations so a refresh can
 // reuse the symbolic analysis when the Jacobian pattern is unchanged.
@@ -186,12 +207,17 @@ func (d *directFactor) factor(j *la.CSR, st *Stats, opt Options) error {
 }
 
 // Solve runs damped Newton from x (updated in place to the solution).
-func Solve(sys System, x []float64, opt Options) (Stats, error) {
+// Cancelling ctx aborts the iteration cooperatively: the cancellation is
+// polled before every iteration (including the first, so an already-canceled
+// context returns before any assembly or factorisation work) and the
+// returned error wraps both ErrInterrupted and ctx.Err().
+func Solve(ctx context.Context, sys System, x []float64, opt Options) (Stats, error) {
 	opt.Fill()
 	n := sys.Size()
 	if len(x) != n {
 		return Stats{}, fmt.Errorf("solver: initial guess size %d, want %d", len(x), n)
 	}
+	interrupt := interruptShim(ctx)
 	var st Stats
 	dx := make([]float64, n)
 	xTrial := make([]float64, n)
@@ -220,15 +246,18 @@ func Solve(sys System, x []float64, opt Options) (Stats, error) {
 	// evaluation (jacAge starts negative, so it always runs) rather than a
 	// separate pre-loop residual pass — one full assembly saved per Solve,
 	// which the envelope march pays once per slow timestep.
-	var rNorm, residCap float64
+	rNorm, residCap := math.NaN(), 0.0
 
 	var direct directFactor
 	var j *la.CSR // current (possibly stale) Jacobian, GMRES operator
 	var prec la.Preconditioner
 	jacAge := -1 // -1: no Jacobian factored yet
 	for it := 0; it < opt.MaxIter; it++ {
-		if opt.Interrupt != nil && opt.Interrupt() {
-			return st, fmt.Errorf("%w after %d iterations", ErrInterrupted, st.Iterations)
+		if interrupt != nil && interrupt() {
+			return st, fmt.Errorf("%w after %d iterations: %w", ErrInterrupted, st.Iterations, ctx.Err())
+		}
+		if opt.Progress != nil {
+			opt.Progress(it+1, rNorm)
 		}
 		st.Iterations = it + 1
 		if jacAge < 0 || jacAge >= opt.JacobianRefresh {

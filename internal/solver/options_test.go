@@ -1,6 +1,8 @@
 package solver
 
 import (
+	"context"
+	"errors"
 	"math"
 	"reflect"
 	"testing"
@@ -29,7 +31,7 @@ func TestNewOptionsMatchesFill(t *testing.T) {
 
 // TestFillPreservesSetFields: Fill must merge defaults without clobbering
 // anything the caller set — the contract the analyses rely on to honour
-// Interrupt/Linear/PivotTol when MaxIter is left zero.
+// Linear/PivotTol/Progress when MaxIter is left zero.
 func TestFillPreservesSetFields(t *testing.T) {
 	called := false
 	o := Options{
@@ -37,21 +39,49 @@ func TestFillPreservesSetFields(t *testing.T) {
 		PivotTol:  0.5,
 		Linear:    IterativeGMRES,
 		GMRESIter: 33,
-		Interrupt: func() bool { called = true; return false },
+		Progress:  func(int, float64) { called = true },
 	}
 	o.Fill()
 	if o.MaxIter != 7 || o.PivotTol != 0.5 || o.Linear != IterativeGMRES || o.GMRESIter != 33 {
 		t.Fatalf("Fill clobbered set fields: %+v", o)
 	}
-	if o.Interrupt == nil {
-		t.Fatal("Fill dropped Interrupt")
+	if o.Progress == nil {
+		t.Fatal("Fill dropped Progress")
 	}
-	o.Interrupt()
+	o.Progress(1, 0)
 	if !called {
-		t.Fatal("Interrupt no longer wired to the caller's hook")
+		t.Fatal("Progress no longer wired to the caller's hook")
 	}
 	if o.AbsTol != 1e-9 || o.RelTol != 1e-6 || o.MaxHalve != 8 || o.GMRESTol != 1e-10 {
 		t.Fatalf("Fill missed defaults: %+v", o)
+	}
+}
+
+// TestSolveHonorsCanceledContext: a canceled context must abort the solve
+// before the first iteration with an error that wraps both ErrInterrupted
+// and the context error.
+func TestSolveHonorsCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	evals := 0
+	sys := FuncSystem{N: 1, F: func(x []float64, jac bool) ([]float64, *la.CSR, error) {
+		evals++
+		tr := la.NewTriplet(1, 1)
+		tr.Append(0, 0, 1)
+		return []float64{x[0] - 1}, tr.Compress(), nil
+	}}
+	_, err := Solve(ctx, sys, []float64{0}, NewOptions())
+	if err == nil {
+		t.Fatal("Solve converged under a canceled context")
+	}
+	if !Interrupted(err) {
+		t.Fatalf("want ErrInterrupted, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupt error must wrap context.Canceled, got %v", err)
+	}
+	if evals != 0 {
+		t.Fatalf("canceled solve still evaluated the system %d times", evals)
 	}
 }
 
@@ -89,7 +119,7 @@ func TestJacobianRefreshSkipsEvaluations(t *testing.T) {
 		x := []float64{5, 5}
 		opt := NewOptions()
 		opt.JacobianRefresh = refresh
-		st, err := Solve(chordSystem{&evals}, x, opt)
+		st, err := Solve(context.Background(), chordSystem{&evals}, x, opt)
 		if err != nil {
 			t.Fatalf("refresh=%d: %v", refresh, err)
 		}
@@ -123,7 +153,7 @@ func TestJacobianRefreshSkipsEvaluations(t *testing.T) {
 func TestSolveStatsBookkeeping(t *testing.T) {
 	evals := 0
 	x := []float64{5, 5}
-	st, err := Solve(chordSystem{&evals}, x, NewOptions())
+	st, err := Solve(context.Background(), chordSystem{&evals}, x, NewOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

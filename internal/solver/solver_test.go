@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -23,7 +24,7 @@ func sqrtSystem(a float64) FuncSystem {
 
 func TestNewtonScalarSqrt(t *testing.T) {
 	x := []float64{1}
-	st, err := Solve(sqrtSystem(2), x, NewOptions())
+	st, err := Solve(context.Background(), sqrtSystem(2), x, NewOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestNewtonScalarSqrt(t *testing.T) {
 
 func TestNewtonQuadraticConvergenceIterationCount(t *testing.T) {
 	x := []float64{1.5}
-	st, err := Solve(sqrtSystem(2), x, NewOptions())
+	st, err := Solve(context.Background(), sqrtSystem(2), x, NewOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestNewtonCoupledSystem(t *testing.T) {
 		return r, j, nil
 	}}
 	x := []float64{1, 2}
-	if _, err := Solve(sys, x, NewOptions()); err != nil {
+	if _, err := Solve(context.Background(), sys, x, NewOptions()); err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(x[0]-math.Sqrt2) > 1e-9 || math.Abs(x[1]-math.Sqrt2) > 1e-9 {
@@ -88,7 +89,7 @@ func TestNewtonDampingRescuesOvershoot(t *testing.T) {
 	opt := NewOptions()
 	opt.MaxIter = 200
 	opt.MaxStep = 5
-	st, err := Solve(sys, x, opt)
+	st, err := Solve(context.Background(), sys, x, opt)
 	if err != nil {
 		t.Fatalf("damped Newton failed: %v (%+v)", err, st)
 	}
@@ -115,13 +116,13 @@ func TestNewtonReportsNonConvergence(t *testing.T) {
 	x := []float64{1}
 	opt := NewOptions()
 	opt.MaxIter = 15
-	if _, err := Solve(sys, x, opt); err == nil {
+	if _, err := Solve(context.Background(), sys, x, opt); err == nil {
 		t.Fatal("expected non-convergence error")
 	}
 }
 
 func TestNewtonBadGuessSizeRejected(t *testing.T) {
-	if _, err := Solve(sqrtSystem(2), []float64{1, 2}, NewOptions()); err == nil {
+	if _, err := Solve(context.Background(), sqrtSystem(2), []float64{1, 2}, NewOptions()); err == nil {
 		t.Fatal("expected size mismatch error")
 	}
 }
@@ -144,7 +145,7 @@ func TestNewtonIterativeLinearSolver(t *testing.T) {
 	x := []float64{2, 1}
 	opt := NewOptions()
 	opt.Linear = IterativeGMRES
-	st, err := Solve(sys, x, opt)
+	st, err := Solve(context.Background(), sys, x, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestContinuationSolvesHardProblem(t *testing.T) {
 	x := []float64{0}
 	opt := ContinuationOptions{Newton: NewOptions()}
 	opt.Newton.MaxIter = 30
-	cs, err := Continue(ps, x, opt)
+	cs, err := Continue(context.Background(), ps, x, opt)
 	if err != nil {
 		t.Fatalf("continuation failed: %v (%+v)", err, cs)
 	}
@@ -213,7 +214,7 @@ func TestContinuationStallsReported(t *testing.T) {
 	x := []float64{1}
 	opt := ContinuationOptions{Newton: NewOptions(), MaxSolves: 60}
 	opt.Newton.MaxIter = 12
-	_, err := Continue(ps, x, opt)
+	_, err := Continue(context.Background(), ps, x, opt)
 	if err == nil {
 		t.Fatal("expected continuation failure")
 	}
@@ -233,7 +234,7 @@ func TestSolveWithFallbackPrefersDirect(t *testing.T) {
 		return r, j, nil
 	}}
 	x := []float64{0}
-	st, cs, err := SolveWithFallback(ps, x, NewOptions())
+	st, cs, err := SolveWithFallback(context.Background(), ps, x, NewOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,9 +9,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/circuit"
-	"repro/internal/hb"
-	"repro/internal/solver"
 )
 
 // finalizeMu serialises Circuit.Finalize across jobs: a Builder may hand the
@@ -156,12 +155,56 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	return res, ctx.Err()
 }
 
-// seedable reports whether a method accepts a full-grid X0 in the
-// (j·N1+i)·n+k layout shared by QPSS and HB.
-func seedable(m Method) bool { return m == QPSS || m == HB }
+// seedable reports whether a method's registry descriptor marks its
+// converged grid as a reusable warm start (full-grid X0 in the
+// (j·N1+i)·n+k layout shared by QPSS and HB).
+func seedable(m Method) bool {
+	d, ok := analysis.Lookup(string(m))
+	return ok && d.Seedable
+}
 
-// runJob executes one job under its per-job context and returns the result
-// plus, for seedable methods, the converged raw grid.
+func (s *Spec) spectrumTop() int {
+	switch {
+	case s.SpectrumTop > 0:
+		return s.SpectrumTop
+	case s.SpectrumTop < 0:
+		return 0
+	default:
+		return 5
+	}
+}
+
+// assemblyWorkers bounds a QPSS job's intra-job assembly parallelism: when
+// the engine pool itself runs jobs concurrently, job-level parallelism
+// already saturates the cores, and letting every job additionally fan
+// GOMAXPROCS assembly goroutines would oversubscribe quadratically. A
+// single-worker pool keeps the assembler's default (all cores). Results are
+// byte-identical either way.
+func (s *Spec) assemblyWorkers() int {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > 1 {
+		return 1
+	}
+	return 0 // assembler default: GOMAXPROCS
+}
+
+// tuning collects the engine-level knobs the registry descriptors use to
+// derive per-method parameters.
+func (s *Spec) tuning() analysis.Tuning {
+	return analysis.Tuning{
+		DiffT1: s.DiffT1, DiffT2: s.DiffT2,
+		TransientPeriods:   s.TransientPeriods,
+		StepsPerFastPeriod: s.StepsPerFastPeriod,
+		AssemblyWorkers:    s.assemblyWorkers(),
+	}
+}
+
+// runJob executes one job under its per-job context through the analysis
+// registry and returns the result plus, for seedable methods, the converged
+// raw grid.
 func (s *Spec) runJob(ctx context.Context, job Job, seed []float64) (jr JobResult, raw []float64) {
 	jr = JobResult{Job: job}
 	if err := ctx.Err(); err != nil {
@@ -174,25 +217,6 @@ func (s *Spec) runJob(ctx context.Context, job Job, seed []float64) (jr JobResul
 		jctx, cancel = context.WithTimeout(ctx, s.JobTimeout)
 		defer cancel()
 	}
-	interrupt := func() bool {
-		select {
-		case <-jctx.Done():
-			return true
-		default:
-			return false
-		}
-	}
-	// Merge the spec's Newton overrides with the engine defaults
-	// non-destructively: set fields (Linear, PivotTol, JacobianRefresh, …)
-	// survive a zero MaxIter instead of being clobbered by a fresh default
-	// set.
-	newton := s.Newton
-	if newton.MaxIter == 0 {
-		newton.MaxIter = 60
-		newton.Damping = true
-	}
-	newton.Fill()
-	newton.Interrupt = interrupt
 
 	t0 := time.Now()
 	defer func() { jr.Wall = time.Since(t0) }()
@@ -219,23 +243,40 @@ func (s *Spec) runJob(ctx context.Context, job Job, seed []float64) (jr JobResul
 	}
 	finalize(tgt.Ckt)
 
-	switch job.Method {
-	case QPSS:
-		raw, err = s.measureQPSS(&jr, tgt, newton, seed)
-	case Envelope:
-		err = s.measureEnvelope(&jr, tgt, newton)
-	case Shooting:
-		err = s.measureShooting(&jr, tgt, newton)
-	case Transient:
-		err = s.measureTransient(&jr, tgt, newton)
-	case HB:
-		raw, err = s.measureHB(&jr, tgt, interrupt, seed)
-	default:
-		err = errors.New("sweep: unknown method " + string(job.Method))
+	d, err := analysis.Get(string(job.Method))
+	if err == nil && d.SweepParams == nil {
+		err = errors.New("sweep: analysis " + string(job.Method) + " is not sweepable")
+	}
+	var params any
+	if err == nil {
+		params, err = d.SweepParams(analysis.BuildInput{Target: *tgt, Point: job.Point, Tune: s.tuning()})
 	}
 	if err != nil {
+		jr.Status, jr.Err = StatusFailed, err.Error()
+		return jr, nil
+	}
+
+	// Engine-level Newton default: a zero MaxIter selects 60 damped
+	// iterations for every method (the runners' own defaults are the
+	// solver-wide 50, tuned for single solves; sweep points lean on the
+	// extra headroom). Set fields pass through untouched — HB maps them
+	// onto its private loop field by field.
+	newton := s.Newton
+	if newton.MaxIter == 0 {
+		newton.MaxIter = 60
+		newton.Damping = true
+	}
+	res, err := analysis.Run(jctx, analysis.Request{
+		Method:  string(job.Method),
+		Circuit: tgt.Ckt,
+		Params:  params,
+		Newton:  newton,
+		Probes:  []analysis.Probe{tgt.Probe()},
+		Seed:    seed,
+	})
+	if err != nil {
 		jr.Err = err.Error()
-		if solver.Interrupted(err) || errors.Is(err, hb.ErrInterrupted) {
+		if analysis.Canceled(err) {
 			if errors.Is(jctx.Err(), context.DeadlineExceeded) {
 				jr.Status = StatusTimeout
 			} else {
@@ -246,6 +287,29 @@ func (s *Spec) runJob(ctx context.Context, job Job, seed []float64) (jr JobResul
 		}
 		return jr, nil
 	}
+
+	st := res.Stats()
+	jr.NewtonIters = st.NewtonIters
+	jr.TimeSteps = st.TimeSteps
+	jr.Unknowns = st.Unknowns
+	jr.UsedContinuation = st.UsedContinuation
+	jr.Factorizations = st.Factorizations
+	jr.Refactorizations = st.Refactorizations
+	jr.PatternReuse = st.PatternReuse
+	jr.Assembly = st.AssemblyTime
+	jr.Factor = st.FactorTime
+
+	probe := tgt.Probe()
+	m := res.Measure(probe, tgt.RFAmp)
+	jr.Swing, jr.GainValid, jr.Gain = m.Swing, m.GainValid, m.Gain
+	if top := s.spectrumTop(); top > 0 {
+		if lines, ok := res.Spectrum(probe, top); ok {
+			jr.Spectrum = lines
+		}
+	}
 	jr.Status = StatusOK
+	if d.Seedable {
+		raw = res.Seed()
+	}
 	return jr, raw
 }

@@ -10,7 +10,8 @@ import (
 	"strings"
 )
 
-// csvHeader is the fixed column set; wall_ns is appended when timing is on.
+// csvHeader is the fixed column set; wall_ns/assembly_ns/factor_ns are
+// appended when timing is on.
 var csvHeader = []string{
 	"id", "method", "fd", "amp", "n1", "n2", "status",
 	"unknowns", "newton_iters", "time_steps", "continuation",
@@ -26,7 +27,7 @@ func (r *Result) WriteCSV(w io.Writer, timing bool) error {
 	cw := csv.NewWriter(w)
 	header := csvHeader
 	if timing {
-		header = append(append([]string(nil), csvHeader...), "wall_ns")
+		header = append(append([]string(nil), csvHeader...), "wall_ns", "assembly_ns", "factor_ns")
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -58,7 +59,10 @@ func (r *Result) WriteCSV(w io.Writer, timing bool) error {
 			jr.Err,
 		}
 		if timing {
-			rec = append(rec, strconv.FormatInt(jr.Wall.Nanoseconds(), 10))
+			rec = append(rec,
+				strconv.FormatInt(jr.Wall.Nanoseconds(), 10),
+				strconv.FormatInt(jr.Assembly.Nanoseconds(), 10),
+				strconv.FormatInt(jr.Factor.Nanoseconds(), 10))
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -117,7 +121,7 @@ func (r *Result) WriteJSON(w io.Writer, timing bool) error {
 		for i := range r.Jobs {
 			jr := r.Jobs[i]
 			if !timing {
-				jr.Wall = 0
+				jr.Wall, jr.Assembly, jr.Factor = 0, 0, 0
 			}
 			b, err := json.MarshalIndent(&jr, "    ", "  ")
 			if err != nil {

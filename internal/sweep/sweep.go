@@ -6,14 +6,18 @@
 //
 // Design points:
 //
+//   - Registry-driven dispatch: jobs name their analysis by its
+//     internal/analysis registry key and run through analysis.Run; the
+//     engine has no per-method code. Any registered sweepable analysis is a
+//     valid Method.
 //   - Deterministic results: Result.Jobs is ordered by job ID (method-major,
 //     then grid order) no matter how the pool interleaves execution, and the
 //     timing-free CSV/JSON serialisations are byte-identical between a
 //     Workers=1 and a Workers=NumCPU run of the same Spec.
 //   - Per-job contexts: every job observes the parent context plus an
-//     optional per-job timeout. Cancellation is cooperative — it is threaded
-//     down to the Newton iterations through solver.Options.Interrupt — so a
-//     mid-sweep cancel returns promptly with partial results.
+//     optional per-job timeout. Cancellation is cooperative — the per-job
+//     context flows through analysis.Run down to the Newton iterations — so
+//     a mid-sweep cancel returns promptly with partial results.
 //   - Safe structure sharing: a Builder may return the same *circuit.Circuit
 //     for every point. The engine finalises each circuit once, under a lock,
 //     before handing it to an analysis; after finalisation the circuit and
@@ -28,16 +32,18 @@ import (
 	"errors"
 	"time"
 
-	"repro/internal/circuit"
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/rf"
 	"repro/internal/solver"
 )
 
-// Method names one of the analyses the engine can run at a grid point.
+// Method names one of the analyses the engine can run at a grid point: an
+// internal/analysis registry key whose descriptor is sweepable.
 type Method string
 
-// The supported analyses.
+// The analyses shipped sweepable; any analysis registered with sweep
+// support is equally valid.
 const (
 	// QPSS is the paper's sheared-grid quasi-periodic steady state.
 	QPSS Method = "qpss"
@@ -52,27 +58,22 @@ const (
 	HB Method = "hb"
 )
 
-// Valid reports whether m names a known analysis.
-func (m Method) Valid() bool {
-	switch m {
-	case QPSS, Envelope, Shooting, Transient, HB:
-		return true
+// Valid reports whether m names a registered sweepable analysis.
+func (m Method) Valid() bool { return analysis.Sweepable(string(m)) }
+
+// methodErr distinguishes a name the registry has never heard of from a
+// registered analysis that cannot run as a grid job (ac/pac need stimulus
+// configuration a sweep point does not carry).
+func methodErr(m Method) error {
+	if analysis.Registered(string(m)) {
+		return errors.New("sweep: analysis " + string(m) + " cannot run as a sweep job")
 	}
-	return false
+	return errors.New("sweep: unknown method " + string(m))
 }
 
-// Point is one vertex of the sweep grid. Zero-valued fields mean "the
-// builder's / analysis's default": Fd=0 lets the Builder pick its default
-// tone spacing, N1=N2=0 the analysis's default grid.
-type Point struct {
-	// Fd is the requested tone spacing (difference frequency) in Hz.
-	Fd float64 `json:"fd,omitempty"`
-	// Amp is the requested drive amplitude in volts.
-	Amp float64 `json:"amp,omitempty"`
-	// N1, N2 are the grid sizes along the fast and slow axes.
-	N1 int `json:"n1,omitempty"`
-	N2 int `json:"n2,omitempty"`
-}
+// Point is one vertex of the sweep grid (re-exported from the analysis
+// registry; zero-valued fields mean "the builder's / analysis's default").
+type Point = analysis.GridPoint
 
 // Grid is a cartesian parameter grid. Empty axes contribute a single
 // zero value (the builder/analysis default).
@@ -116,19 +117,10 @@ func (g Grid) Points() []Point {
 }
 
 // Target is the circuit under test at one grid point, as produced by a
-// Builder. The engine finalises Ckt itself; a Builder may return a fresh
-// circuit per call or the same one for every point (see the package comment
-// for why sharing is safe).
-type Target struct {
-	Ckt   *circuit.Circuit
-	Shear core.Shear
-	// OutP is the probed output unknown; OutM, when ≥ 0, selects
-	// differential probing of OutP − OutM.
-	OutP, OutM int
-	// RFAmp is the input drive amplitude the conversion gain is referenced
-	// to; 0 disables gain measurement (swing is still reported).
-	RFAmp float64
-}
+// Builder (re-exported from the analysis registry). The engine finalises
+// Ckt itself; a Builder may return a fresh circuit per call or the same one
+// for every point (see the package comment for why sharing is safe).
+type Target = analysis.Target
 
 // Builder constructs the circuit under test for one grid point.
 type Builder func(Point) (*Target, error)
@@ -165,16 +157,16 @@ type Spec struct {
 	// (method, N1, N2) group as the initial guess for the group's
 	// remaining jobs.
 	WarmStart bool
-	// Newton overrides the nonlinear-solver configuration. A zero MaxIter
-	// selects per-analysis defaults for the solver-based methods; HB runs
-	// its own Newton loop, onto which the set fields are mapped
-	// individually (MaxIter, ResidTol→Tol, GMRESTol, GMRESIter).
+	// Newton overrides the nonlinear-solver configuration. Set fields are
+	// merged non-destructively over each analysis's own defaults by the
+	// analysis runners; HB maps the set fields onto its private Newton
+	// loop (MaxIter, ResidTol→Tol, GMRESTol, GMRESIter).
 	Newton solver.Options
 	// DiffT1, DiffT2 select the finite-difference order of QPSS jobs
 	// (zero values → first order, matching core.Options).
 	DiffT1, DiffT2 core.DiffOrder
-	// SpectrumTop is the number of dominant mixes reported per QPSS job
-	// (default 5; negative disables).
+	// SpectrumTop is the number of dominant mixes reported per job for
+	// methods with a spectrum (default 5; negative disables).
 	SpectrumTop int
 	// TransientPeriods is the integration horizon in difference periods
 	// for Transient jobs (default 3; the last period is measured).
@@ -233,22 +225,21 @@ type Job struct {
 	Point  Point  `json:"point"`
 }
 
-// Line is one reported spectral mix.
-type Line struct {
-	K1   int     `json:"k1"`
-	K2   int     `json:"k2"`
-	Freq float64 `json:"freq"`
-	Amp  float64 `json:"amp"`
-}
+// Line is one reported spectral mix (re-exported from analysis).
+type Line = analysis.Line
 
 // JobResult aggregates one job's outcome and measurements.
 type JobResult struct {
 	Job    Job    `json:"job"`
 	Status Status `json:"status"`
 	Err    string `json:"err,omitempty"`
-	// Wall is the job's wall-clock time (excluded from the timing-free
-	// serialisations so runs are byte-comparable).
-	Wall time.Duration `json:"wall_ns"`
+	// Wall is the job's wall-clock time; Assembly and Factor split out the
+	// analysis's residual/Jacobian assembly and factorisation time (all
+	// excluded from the timing-free serialisations so runs are
+	// byte-comparable).
+	Wall     time.Duration `json:"wall_ns"`
+	Assembly time.Duration `json:"assembly_ns,omitempty"`
+	Factor   time.Duration `json:"factor_ns,omitempty"`
 	// NewtonIters totals nonlinear iterations; TimeSteps totals
 	// integration steps (shooting/transient/envelope); Unknowns is the
 	// solved system size.
@@ -274,7 +265,7 @@ type JobResult struct {
 	// down-converted fundamental line alone — comparable in order of
 	// magnitude across methods, not bit-for-bit.
 	Swing float64 `json:"swing"`
-	// Spectrum holds the dominant output mixes (QPSS jobs only).
+	// Spectrum holds the dominant output mixes (methods with a spectrum).
 	Spectrum []Line `json:"spectrum,omitempty"`
 }
 
@@ -314,9 +305,13 @@ func (r *Result) Errors() []string {
 	return out
 }
 
-// usesGridAxes reports whether a method reads Point.N1/N2 (shooting and
-// transient derive their time resolution from the shear alone).
-func usesGridAxes(m Method) bool { return m != Shooting && m != Transient }
+// usesGridAxes reports whether a method reads Point.N1/N2, per its registry
+// descriptor (shooting and transient derive their time resolution from the
+// shear alone).
+func usesGridAxes(m Method) bool {
+	d, ok := analysis.Lookup(string(m))
+	return ok && d.UsesGridAxes
+}
 
 // Jobs expands the spec into its deterministic job list, the same one Run
 // executes: IDs are assigned in expansion order regardless of worker
@@ -332,7 +327,7 @@ func (s *Spec) Jobs() ([]Job, error) {
 		seen := map[JobSpec]bool{}
 		for _, js := range s.JobList {
 			if !js.Method.Valid() {
-				return nil, errors.New("sweep: unknown method " + string(js.Method))
+				return nil, methodErr(js.Method)
 			}
 			if !usesGridAxes(js.Method) {
 				js.Point.N1, js.Point.N2 = 0, 0
@@ -354,7 +349,7 @@ func (s *Spec) Jobs() ([]Job, error) {
 	}
 	for _, m := range methods {
 		if !m.Valid() {
-			return nil, errors.New("sweep: unknown method " + string(m))
+			return nil, methodErr(m)
 		}
 	}
 	pts := s.Points

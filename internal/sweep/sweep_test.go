@@ -317,7 +317,7 @@ func TestSweepExportShapes(t *testing.T) {
 	if len(lines) != 1+len(res.Jobs) {
 		t.Fatalf("CSV rows: got %d, want %d", len(lines), 1+len(res.Jobs))
 	}
-	if !strings.HasPrefix(lines[0], "id,method,fd") || !strings.HasSuffix(lines[0], "wall_ns") {
+	if !strings.HasPrefix(lines[0], "id,method,fd") || !strings.HasSuffix(lines[0], "wall_ns,assembly_ns,factor_ns") {
 		t.Fatalf("unexpected CSV header: %s", lines[0])
 	}
 

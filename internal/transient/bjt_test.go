@@ -1,6 +1,7 @@
 package transient
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -25,7 +26,7 @@ func bjtAmp(sig device.Waveform) *circuit.Circuit {
 func TestBJTCommonEmitterBias(t *testing.T) {
 	// VB = 2.7 V, VE ≈ 2.0 V → IE ≈ 2 mA → VC ≈ 12 − 9.4 ≈ 2.6 V.
 	ckt := bjtAmp(device.DC(2.7))
-	x, _, err := DC(ckt, DCOptions{})
+	x, _, err := DC(context.Background(), ckt, DCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestBJTCommonEmitterGainTransient(t *testing.T) {
 		device.DC(2.7),
 		device.Sine{Amp: 0.05, F1: f, K1: 1},
 	})
-	res, err := Run(ckt, Options{Method: TRAP, TStop: 3 / f, Step: 1 / f / 200, FixedStep: true})
+	res, err := Run(context.Background(), ckt, Options{Method: TRAP, TStop: 3 / f, Step: 1 / f / 200, FixedStep: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestBJTClippingAtOverdrive(t *testing.T) {
 		device.DC(2.7),
 		device.Sine{Amp: 2, F1: f, K1: 1},
 	})
-	res, err := Run(ckt, Options{Method: GEAR2, TStop: 2 / f, Step: 1 / f / 400, FixedStep: true})
+	res, err := Run(context.Background(), ckt, Options{Method: GEAR2, TStop: 2 / f, Step: 1 / f / 400, FixedStep: true})
 	if err != nil {
 		t.Fatal(err)
 	}

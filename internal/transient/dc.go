@@ -6,6 +6,7 @@
 package transient
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -32,13 +33,18 @@ type DCOptions struct {
 
 // DC computes the operating point: f(x) + b(t) = 0 with dq/dt = 0.
 // It tries plain Newton, then source-stepping continuation, then gmin
-// stepping. The returned vector has circuit.Size() entries.
-func DC(ckt *circuit.Circuit, opt DCOptions) ([]float64, solver.Stats, error) {
+// stepping. The returned vector has circuit.Size() entries. Cancelling ctx
+// aborts the Newton iterations cooperatively; an already-canceled context
+// returns ctx.Err() before any assembly work.
+func DC(ctx context.Context, ckt *circuit.Circuit, opt DCOptions) ([]float64, solver.Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, solver.Stats{}, err
+	}
 	ckt.Finalize()
 	ev := ckt.NewEval()
 	n := ckt.Size()
-	// Merge Newton defaults non-destructively so set fields (Interrupt,
-	// Linear, …) survive a zero MaxIter.
+	// Merge Newton defaults non-destructively so set fields (Linear,
+	// PivotTol, …) survive a zero MaxIter.
 	if opt.Newton.MaxIter == 0 {
 		opt.Newton.Damping = true
 		// DC benefits from a modest voltage clamp per iteration; a
@@ -70,7 +76,7 @@ func DC(ckt *circuit.Circuit, opt DCOptions) ([]float64, solver.Stats, error) {
 
 	x := make([]float64, n)
 	ps := solver.FuncParamSystem{N: n, F: evalAt}
-	st, _, err := solver.SolveWithFallback(ps, x, opt.Newton)
+	st, _, err := solver.SolveWithFallback(ctx, ps, x, opt.Newton)
 	if err == nil {
 		return x, st, nil
 	}
@@ -113,7 +119,7 @@ func DC(ckt *circuit.Circuit, opt DCOptions) ([]float64, solver.Stats, error) {
 			}
 			return r, jm, nil
 		}}
-		st2, err2 := solver.Solve(sys, x, opt.Newton)
+		st2, err2 := solver.Solve(ctx, sys, x, opt.Newton)
 		if err2 != nil {
 			return nil, st2, fmt.Errorf("transient: DC gmin stepping failed at gmin=%.3e: %w", g, err2)
 		}

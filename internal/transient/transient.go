@@ -1,6 +1,7 @@
 package transient
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -111,8 +112,13 @@ func (r *Result) Probe(idx int) []float64 {
 // ErrStepUnderflow is returned when LTE control cannot find a workable step.
 var ErrStepUnderflow = errors.New("transient: time step underflow")
 
-// Run integrates the circuit over [TStart, TStop].
-func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
+// Run integrates the circuit over [TStart, TStop]. Cancelling ctx aborts
+// the march cooperatively between Newton iterations; an already-canceled
+// context returns ctx.Err() before any assembly work.
+func Run(ctx context.Context, ckt *circuit.Circuit, opt Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ckt.Finalize()
 	ev := ckt.NewEval()
 	n := ckt.Size()
@@ -147,7 +153,7 @@ func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
 		}
 		copy(x, opt.X0)
 	} else {
-		x0, _, err := DC(ckt, DCOptions{Time: opt.TStart})
+		x0, _, err := DC(ctx, ckt, DCOptions{Time: opt.TStart})
 		if err != nil {
 			return nil, fmt.Errorf("transient: initial DC failed: %w", err)
 		}
@@ -235,7 +241,7 @@ func Run(ckt *circuit.Circuit, opt Options) (*Result, error) {
 		}}
 
 		xNew := append([]float64(nil), x...)
-		st, err := solver.Solve(sys, xNew, opt.Newton)
+		st, err := solver.Solve(ctx, sys, xNew, opt.Newton)
 		res.NewtonIters += st.Iterations
 		if err != nil {
 			if solver.Interrupted(err) {

@@ -1,6 +1,7 @@
 package transient
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -22,7 +23,7 @@ func TestDCResistiveDivider(t *testing.T) {
 	ckt.V("V1", "in", "0", device.DC(9))
 	ckt.R("R1", "in", "mid", 2000)
 	ckt.R("R2", "mid", "0", 1000)
-	x, st, err := DC(ckt, DCOptions{})
+	x, st, err := DC(context.Background(), ckt, DCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestDCDiodeForwardDrop(t *testing.T) {
 	ckt.V("V1", "in", "0", device.DC(5))
 	ckt.R("R1", "in", "a", 1000)
 	ckt.D("D1", "a", "0", 1e-14)
-	x, _, err := DC(ckt, DCOptions{})
+	x, _, err := DC(context.Background(), ckt, DCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestDCMOSFETCommonSource(t *testing.T) {
 	ckt.V("VG", "g", "0", device.DC(1))
 	ckt.R("RD", "vdd", "d", 10000)
 	ckt.M("M1", "d", "g", "0", device.MOSFET{Vt0: 0.5, KP: 2e-4})
-	x, _, err := DC(ckt, DCOptions{})
+	x, _, err := DC(context.Background(), ckt, DCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestTransientRCCharging(t *testing.T) {
 	x0 := make([]float64, ckt.Size())
 	in, _ := ckt.NodeIndex("in")
 	x0[in] = 5 // source node pinned; out starts at 0
-	res, err := Run(ckt, Options{
+	res, err := Run(context.Background(), ckt, Options{
 		Method: TRAP, TStop: 5e-3, Step: 1e-5, X0: x0,
 	})
 	if err != nil {
@@ -115,7 +116,7 @@ func TestTransientMethodsAgree(t *testing.T) {
 	run := func(m Method) float64 {
 		ckt := rcCircuit(1000, 1e-6)
 		ckt.Finalize()
-		res, err := Run(ckt, Options{Method: m, TStop: 2e-3, Step: 2e-6, FixedStep: true, X0: x0})
+		res, err := Run(context.Background(), ckt, Options{Method: m, TStop: 2e-3, Step: 2e-6, FixedStep: true, X0: x0})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -143,7 +144,7 @@ func TestTransientSineSteadyStateAmplitude(t *testing.T) {
 	ckt.V("V1", "in", "0", device.Sine{Amp: 1, F1: fc, K1: 1})
 	ckt.R("R1", "in", "out", r)
 	ckt.C("C1", "out", "0", c)
-	res, err := Run(ckt, Options{Method: TRAP, TStop: 20 / fc, Step: 1 / fc / 200, FixedStep: true})
+	res, err := Run(context.Background(), ckt, Options{Method: TRAP, TStop: 20 / fc, Step: 1 / fc / 200, FixedStep: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestTransientInductorLR(t *testing.T) {
 	x0 := make([]float64, ckt.Size())
 	in, _ := ckt.NodeIndex("in")
 	x0[in] = 1
-	res, err := Run(ckt, Options{Method: TRAP, TStop: 5e-4, Step: 1e-6, FixedStep: true, X0: x0})
+	res, err := Run(context.Background(), ckt, Options{Method: TRAP, TStop: 5e-4, Step: 1e-6, FixedStep: true, X0: x0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestTransientHalfWaveRectifier(t *testing.T) {
 	ckt.D("D1", "in", "out", 1e-14)
 	ckt.R("RL", "out", "0", 10e3)
 	ckt.C("CL", "out", "0", 1e-6)
-	res, err := Run(ckt, Options{Method: GEAR2, TStop: 10e-3, Step: 1e-6})
+	res, err := Run(context.Background(), ckt, Options{Method: GEAR2, TStop: 10e-3, Step: 1e-6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestResultAtInterpolation(t *testing.T) {
 
 func TestRunRejectsEmptyInterval(t *testing.T) {
 	ckt := rcCircuit(1, 1)
-	if _, err := Run(ckt, Options{TStop: 0}); err == nil {
+	if _, err := Run(context.Background(), ckt, Options{TStop: 0}); err == nil {
 		t.Fatal("expected error for empty interval")
 	}
 }
@@ -248,13 +249,13 @@ func TestAdaptiveStepTakesFewerPointsOnSmoothTail(t *testing.T) {
 	x0 := make([]float64, ckt.Size())
 	in, _ := ckt.NodeIndex("in")
 	x0[in] = 5
-	adaptive, err := Run(ckt, Options{Method: GEAR2, TStop: 10e-3, Step: 1e-6, X0: x0, LTETol: 1e-3})
+	adaptive, err := Run(context.Background(), ckt, Options{Method: GEAR2, TStop: 10e-3, Step: 1e-6, X0: x0, LTETol: 1e-3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ckt2 := rcCircuit(1000, 1e-6)
 	ckt2.Finalize()
-	fixed, err := Run(ckt2, Options{Method: GEAR2, TStop: 10e-3, Step: 1e-6, FixedStep: true, X0: x0})
+	fixed, err := Run(context.Background(), ckt2, Options{Method: GEAR2, TStop: 10e-3, Step: 1e-6, FixedStep: true, X0: x0})
 	if err != nil {
 		t.Fatal(err)
 	}
