@@ -1,0 +1,168 @@
+// Golden fixture for the adaptive grid-control layer: the Fig. 3–5
+// balanced-mixer case solved with reltol=1e-3 *automatic* grid sizing must
+// land on a grid strictly smaller than the paper's fixed 40×30 seed grid
+// (1200 points) while reproducing the fixed-grid golden spectra at figure
+// accuracy (~1 dB on the dominant lines). The adaptive run's own spectra
+// are additionally pinned tightly so refinement behaviour cannot drift
+// silently. Regenerate after an INTENDED change with:
+//
+//	go test -run TestGoldenAdaptiveQPSS -update
+package repro_test
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+
+	"repro"
+)
+
+const adaptiveGoldenPath = "testdata/golden_adaptive_qpss.json"
+
+// Figure-level agreement bound against the fixed-grid golden: 15% ≈ 1.2 dB,
+// far inside the plotted dynamic range of the paper's spectra, applied to
+// lines above adaptiveGoldenFloor.
+const (
+	adaptiveFigTol      = 0.15
+	adaptiveGoldenFloor = 1e-2
+)
+
+type adaptiveGoldenFile struct {
+	Comment     string       `json:"comment"`
+	RelTol      float64      `json:"reltol"`
+	FinalN1     int          `json:"final_n1"`
+	FinalN2     int          `json:"final_n2"`
+	GridPoints  int          `json:"grid_points"`
+	Refinements int          `json:"refinements"`
+	Diff        []goldenLine `json:"diff_lines"`
+}
+
+func solveAdaptiveGolden(t *testing.T) (*adaptiveGoldenFile, repro.AnalysisResult) {
+	t.Helper()
+	mix := repro.NewBalancedMixer(repro.BalancedMixerConfig{Bits: repro.PRBS7(0x4D, 8)})
+	res, err := repro.Analyze(context.Background(), repro.AnalysisRequest{
+		Method:  "qpss",
+		Circuit: mix.Ckt,
+		Params: repro.QPSSParams{
+			Shear:    mix.Shear,
+			Accuracy: repro.AnalysisAccuracy{RelTol: 1e-3},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats()
+	gf := &adaptiveGoldenFile{
+		Comment:     "Adaptive (reltol=1e-3) QPSS of the Fig. 3-5 bitstream mixer; regenerate with: go test -run TestGoldenAdaptiveQPSS -update",
+		RelTol:      1e-3,
+		FinalN1:     st.FinalN1,
+		FinalN2:     st.FinalN2,
+		GridPoints:  st.GridPoints,
+		Refinements: st.Refinements,
+	}
+	lines, ok := res.Spectrum(repro.AnalysisProbe{P: mix.OutP, M: mix.OutM}, 12)
+	if !ok {
+		t.Fatal("adaptive qpss result has no spectrum")
+	}
+	for _, l := range lines {
+		gf.Diff = append(gf.Diff, goldenLine{K1: l.K1, K2: l.K2, Freq: l.Freq, Amp: l.Amp})
+	}
+	return gf, res
+}
+
+func TestGoldenAdaptiveQPSS(t *testing.T) {
+	got, res := solveAdaptiveGolden(t)
+
+	if *update {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(adaptiveGoldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", adaptiveGoldenPath)
+		return
+	}
+
+	// The whole point: tolerance-driven sizing must beat the paper's fixed
+	// seed grid on total points while the march actually refined to get
+	// there.
+	const fixedSeedPoints = 40 * 30
+	if got.GridPoints >= fixedSeedPoints {
+		t.Errorf("adaptive grid %dx%d = %d points, want < %d (the fixed seed grid)",
+			got.FinalN1, got.FinalN2, got.GridPoints, fixedSeedPoints)
+	}
+	if got.Refinements == 0 {
+		t.Error("adaptive solve reported no refinement rounds from the coarse start grid")
+	}
+	if st := res.Stats(); st.FinalN1*st.FinalN2 != got.GridPoints {
+		t.Errorf("Stats.FinalN1*FinalN2 = %d, GridPoints = %d", st.FinalN1*st.FinalN2, got.GridPoints)
+	}
+
+	// Figure-level agreement with the fixed-grid golden (Fig. 3–5 diff
+	// output): every strong golden line must be reproduced within ~1 dB.
+	fixedData, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing fixed golden fixture: %v", err)
+	}
+	var fixed goldenFile
+	if err := json.Unmarshal(fixedData, &fixed); err != nil {
+		t.Fatal(err)
+	}
+	fixedDiff := fixed.Cases["fig3to5-bitstream"].Nodes["diff"]
+	if len(fixedDiff) == 0 {
+		t.Fatal("fixed golden has no diff lines")
+	}
+	byMix := map[[2]int]goldenLine{}
+	for _, l := range got.Diff {
+		byMix[[2]int{l.K1, l.K2}] = l
+	}
+	checked := 0
+	for _, wl := range fixedDiff {
+		if wl.Amp < adaptiveGoldenFloor || (wl.K1 == 0 && wl.K2 == 0) {
+			continue
+		}
+		gl, ok := byMix[[2]int{wl.K1, wl.K2}]
+		if !ok {
+			t.Errorf("dominant fixed-grid mix (%d,%d) amp %.3e missing from the adaptive spectrum",
+				wl.K1, wl.K2, wl.Amp)
+			continue
+		}
+		if rel := math.Abs(gl.Amp-wl.Amp) / wl.Amp; rel > adaptiveFigTol {
+			t.Errorf("mix (%d,%d): adaptive amp %.6e vs fixed %.6e (rel %.3f > %.2f)",
+				wl.K1, wl.K2, gl.Amp, wl.Amp, rel, adaptiveFigTol)
+		}
+		checked++
+	}
+	if checked < 3 {
+		t.Errorf("only %d strong lines compared — floor too high?", checked)
+	}
+
+	// Tight self-regression against the stored adaptive fixture.
+	wantData, err := os.ReadFile(adaptiveGoldenPath)
+	if err != nil {
+		t.Fatalf("missing adaptive golden fixture (run `go test -run TestGoldenAdaptiveQPSS -update`): %v", err)
+	}
+	var want adaptiveGoldenFile
+	if err := json.Unmarshal(wantData, &want); err != nil {
+		t.Fatal(err)
+	}
+	if got.FinalN1 != want.FinalN1 || got.FinalN2 != want.FinalN2 || got.Refinements != want.Refinements {
+		t.Errorf("adaptive trajectory moved: grid %dx%d (%d refinements), golden %dx%d (%d)",
+			got.FinalN1, got.FinalN2, got.Refinements, want.FinalN1, want.FinalN2, want.Refinements)
+	}
+	gotByMix := byMix
+	for _, wl := range want.Diff {
+		gl, ok := gotByMix[[2]int{wl.K1, wl.K2}]
+		if !ok {
+			t.Errorf("golden adaptive mix (%d,%d) no longer among dominant lines", wl.K1, wl.K2)
+			continue
+		}
+		if math.Abs(gl.Amp-wl.Amp) > goldenAbsTol+goldenRelTol*math.Abs(wl.Amp) {
+			t.Errorf("mix (%d,%d) amp %.12e, golden %.12e", wl.K1, wl.K2, gl.Amp, wl.Amp)
+		}
+	}
+}

@@ -126,6 +126,12 @@ type AnalysisMeasurement = analysis.Measurement
 // AnalysisProgress is one coarse progress notification.
 type AnalysisProgress = analysis.Progress
 
+// AnalysisAccuracy is the uniform adaptive-control tolerance pair
+// (reltol/abstol) shared by the envelope LTE step controller, QPSS/HB
+// automatic grid sizing, and transient resolution refinement. The zero
+// value keeps the historical fixed grids and steps.
+type AnalysisAccuracy = analysis.Accuracy
+
 // Typed parameter structs for AnalysisRequest.Params, one per registered
 // analysis.
 type (
@@ -201,6 +207,20 @@ const (
 // cancellation. This wrapper runs under context.Background().
 func MPDEQuasiPeriodic(ckt *Circuit, opt MPDEOptions) (*MPDESolution, error) {
 	return core.QPSS(context.Background(), ckt, opt)
+}
+
+// MPDEAccuracyOptions configures tolerance-driven automatic grid sizing for
+// MPDEQuasiPeriodicAdaptive.
+type MPDEAccuracyOptions = core.AccuracyOptions
+
+// MPDEQuasiPeriodicAdaptive computes the quasi-periodic steady state with
+// automatic fast-grid sizing: solve coarse, measure the spectral tail of
+// the converged solution, refine the aliasing axes (warm-starting from the
+// interpolated coarse grid) until the tail passes acc.RelTol, stalls at the
+// stimulus's own spectral floor, or hits a cap. With acc.RelTol = 0 it is
+// exactly the fixed-grid solve.
+func MPDEQuasiPeriodicAdaptive(ctx context.Context, ckt *Circuit, opt MPDEOptions, acc MPDEAccuracyOptions) (*MPDESolution, error) {
+	return core.AdaptiveQPSS(ctx, ckt, opt, acc)
 }
 
 // MPDEEnvelopeOptions configures slow-time envelope following.

@@ -15,19 +15,20 @@ import (
 
 // Compile-time pins of the deprecated wrapper signatures.
 var (
-	_ func(*repro.Circuit, repro.MPDEOptions) (*repro.MPDESolution, error)               = repro.MPDEQuasiPeriodic
-	_ func(*repro.Circuit, repro.MPDEEnvelopeOptions) (*repro.MPDEEnvelopeResult, error) = repro.MPDEEnvelope
-	_ func(*repro.Circuit, repro.DCOptions) ([]float64, error)                           = repro.DCOperatingPoint
-	_ func(*repro.Circuit, repro.TransientOptions) (*repro.TransientResult, error)       = repro.Transient
-	_ func(*repro.Circuit, repro.ShootingOptions) (*repro.ShootingResult, error)         = repro.ShootingPSS
-	_ func(*repro.Circuit, repro.HBOptions) (*repro.HBSolution, error)                   = repro.HarmonicBalance
-	_ func(*repro.Circuit, repro.ACOptions) (*repro.ACResult, error)                     = repro.ACAnalyze
-	_ func(*repro.Circuit, repro.PACOptions) (*repro.PACResult, error)                   = repro.PACAnalyze
-	_ func(context.Context, repro.SweepSpec) (*repro.SweepResult, error)                 = repro.Sweep
-	_ func(context.Context, string, repro.ServerOptions) error                           = repro.Serve
-	_ func(float64, float64, int) repro.Shear                                            = repro.NewShear
-	_ func(context.Context, repro.AnalysisRequest) (repro.AnalysisResult, error)         = repro.Analyze
-	_ func() []string                                                                    = repro.AnalysisNames
+	_ func(*repro.Circuit, repro.MPDEOptions) (*repro.MPDESolution, error)                                             = repro.MPDEQuasiPeriodic
+	_ func(*repro.Circuit, repro.MPDEEnvelopeOptions) (*repro.MPDEEnvelopeResult, error)                               = repro.MPDEEnvelope
+	_ func(*repro.Circuit, repro.DCOptions) ([]float64, error)                                                         = repro.DCOperatingPoint
+	_ func(*repro.Circuit, repro.TransientOptions) (*repro.TransientResult, error)                                     = repro.Transient
+	_ func(*repro.Circuit, repro.ShootingOptions) (*repro.ShootingResult, error)                                       = repro.ShootingPSS
+	_ func(*repro.Circuit, repro.HBOptions) (*repro.HBSolution, error)                                                 = repro.HarmonicBalance
+	_ func(*repro.Circuit, repro.ACOptions) (*repro.ACResult, error)                                                   = repro.ACAnalyze
+	_ func(*repro.Circuit, repro.PACOptions) (*repro.PACResult, error)                                                 = repro.PACAnalyze
+	_ func(context.Context, repro.SweepSpec) (*repro.SweepResult, error)                                               = repro.Sweep
+	_ func(context.Context, string, repro.ServerOptions) error                                                         = repro.Serve
+	_ func(float64, float64, int) repro.Shear                                                                          = repro.NewShear
+	_ func(context.Context, repro.AnalysisRequest) (repro.AnalysisResult, error)                                       = repro.Analyze
+	_ func() []string                                                                                                  = repro.AnalysisNames
+	_ func(context.Context, *repro.Circuit, repro.MPDEOptions, repro.MPDEAccuracyOptions) (*repro.MPDESolution, error) = repro.MPDEQuasiPeriodicAdaptive
 )
 
 // Compile-time pins of the typed parameter structs backing the new surface.
@@ -40,6 +41,7 @@ var (
 	_ repro.ACParams
 	_ repro.PACParams
 	_ repro.DCParams
+	_ repro.AnalysisAccuracy
 )
 
 // TestAnalysisNamesCoverEveryDispatcherMethod asserts the registry carries

@@ -11,6 +11,7 @@
 package repro_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -209,5 +210,59 @@ func BenchmarkEnvelopeFollowing(b *testing.B) {
 			N1: 40, Shear: mix.Shear}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAdaptiveVsFixedQPSS compares the paper's fixed 40×30 seed grid
+// against reltol=1e-3 automatic grid sizing on the balanced-mixer deck —
+// the BENCH_adaptive.json artifact. The adaptive run solves coarse 16×12,
+// measures the spectral tail, and warm-starts one refined 32×24 solve: same
+// figure accuracy on 768 instead of 1200 grid points.
+func BenchmarkAdaptiveVsFixedQPSS(b *testing.B) {
+	bits := repro.PRBS7(0x4D, 8)
+	b.Run("fixed-40x30", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mix := repro.NewBalancedMixer(repro.BalancedMixerConfig{Bits: bits})
+			sol, err := repro.MPDEQuasiPeriodicAdaptive(context.Background(), mix.Ckt,
+				repro.MPDEOptions{N1: 40, N2: 30, Shear: mix.Shear}, repro.MPDEAccuracyOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(sol.N1*sol.N2), "grid-points")
+		}
+	})
+	b.Run("adaptive-reltol-1e-3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mix := repro.NewBalancedMixer(repro.BalancedMixerConfig{Bits: bits})
+			sol, err := repro.MPDEQuasiPeriodicAdaptive(context.Background(), mix.Ckt,
+				repro.MPDEOptions{Shear: mix.Shear}, repro.MPDEAccuracyOptions{RelTol: 1e-3})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(sol.N1*sol.N2), "grid-points")
+			b.ReportMetric(float64(sol.Stats.Refinements), "refinements")
+		}
+	})
+}
+
+// BenchmarkAdaptiveEnvelopeLTE measures LTE-controlled envelope following
+// against the fixed Td/30 march on the balanced mixer.
+func BenchmarkAdaptiveEnvelopeLTE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mix := repro.NewBalancedMixer(repro.BalancedMixerConfig{})
+		res, err := repro.Analyze(context.Background(), repro.AnalysisRequest{
+			Method:  "envelope",
+			Circuit: mix.Ckt,
+			Params: repro.EnvelopeParams{
+				Shear: mix.Shear, T2Stop: mix.Shear.Td(),
+				Accuracy: repro.AnalysisAccuracy{RelTol: 1e-3},
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := res.Stats()
+		b.ReportMetric(float64(st.AcceptedSteps), "accepted-steps")
+		b.ReportMetric(float64(st.RejectedSteps), "rejected-steps")
 	}
 }

@@ -61,6 +61,10 @@ var (
 	f0Flag = flag.String("f0", "", "sweep start frequency (ac/pac, SPICE value)")
 	f1Flag = flag.String("f1", "", "sweep stop frequency (ac/pac, SPICE value)")
 	npts   = flag.Int("npts", 0, "sweep points (ac/pac)")
+
+	relTol   = flag.String("reltol", "", "adaptive accuracy target: LTE tolerance (envelope) / spectral-tail ratio (qpss, hb, transient); empty = fixed grids")
+	absTol   = flag.String("abstol", "", "absolute error/amplitude floor of the adaptive control (SPICE value)")
+	accuracy = flag.Float64("accuracy", 0, "shorthand for -reltol 1e-<accuracy> (digits of accuracy)")
 )
 
 func main() {
@@ -129,6 +133,14 @@ func main() {
 	st := res.Stats()
 	fmt.Fprintf(os.Stderr, "%s: %d Newton iterations, %d unknowns, %d time steps, %d factorizations\n",
 		name, st.NewtonIters, st.Unknowns, st.TimeSteps, st.Factorizations)
+	if st.Refinements > 0 || st.RejectedSteps > 0 {
+		grid := fmt.Sprintf("%d", st.FinalN1)
+		if st.FinalN2 > 0 {
+			grid = fmt.Sprintf("%dx%d", st.FinalN1, st.FinalN2)
+		}
+		fmt.Fprintf(os.Stderr, "%s: adaptive: %d grid refinements, %d accepted / %d rejected steps, final grid %s\n",
+			name, st.Refinements, st.AcceptedSteps, st.RejectedSteps, grid)
+	}
 	render(out, res, names, probeList)
 }
 
@@ -137,6 +149,9 @@ func main() {
 // accepts so an irrelevant flag default never reaches a method that would
 // reject it.
 func directiveFromFlags(deck *netlist.Deck, d *analysis.Descriptor) analysis.DirectiveInput {
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	adaptive := *relTol != "" || *accuracy > 0
 	num := map[string]float64{}
 	str := map[string]string{}
 	setNum := func(key string, v float64) {
@@ -156,8 +171,15 @@ func directiveFromFlags(deck *netlist.Deck, d *analysis.Descriptor) analysis.Dir
 			}
 		}
 	}
-	setNum("n1", float64(*n1))
-	setNum("n2", float64(*n2))
+	// Under adaptive accuracy the grid flags' *defaults* must not pin the
+	// starting grid — the solver starts coarse and sizes it. An explicit
+	// -n1/-n2 still sets the start.
+	if !adaptive || explicit["n1"] {
+		setNum("n1", float64(*n1))
+	}
+	if !adaptive || explicit["n2"] {
+		setNum("n2", float64(*n2))
+	}
 	setNum("nsteps", float64(*steps))
 	if *order2 {
 		setNum("order", 2)
@@ -165,12 +187,16 @@ func directiveFromFlags(deck *netlist.Deck, d *analysis.Descriptor) analysis.Dir
 	if *npts > 0 {
 		setNum("npts", float64(*npts))
 	}
+	if *accuracy > 0 {
+		setNum("accuracy", *accuracy)
+	}
 	for _, fv := range []struct {
 		key string
 		val string
 	}{
 		{"tstop", *tstop}, {"step", *step}, {"period", *period},
 		{"t2stop", *t2stop}, {"f0", *f0Flag}, {"f1", *f1Flag},
+		{"reltol", *relTol}, {"abstol", *absTol},
 	} {
 		if fv.val == "" {
 			continue

@@ -48,6 +48,8 @@ func sweepMain(args []string) {
 		timing      = fs.Bool("timing", true, "include per-job wall-clock times in the output")
 		outPath     = fs.String("out", "", "output file (default stdout)")
 		top         = fs.Int("top", 5, "dominant spectrum mixes reported per qpss job")
+		relTol      = fs.String("reltol", "", "adaptive accuracy target for every job (empty = fixed grids)")
+		absTol      = fs.String("abstol", "", "absolute error/amplitude floor of the adaptive control (SPICE value)")
 	)
 	fs.Parse(args)
 
@@ -63,6 +65,20 @@ func sweepMain(args []string) {
 	}
 	if *order2 {
 		spec.DiffT1, spec.DiffT2 = repro.Order2, repro.Order2
+	}
+	for _, tv := range []struct {
+		val  string
+		dst  *float64
+		flag string
+	}{{*relTol, &spec.RelTol, "-reltol"}, {*absTol, &spec.AbsTol, "-abstol"}} {
+		if tv.val == "" {
+			continue
+		}
+		v, err := netlist.ParseValue(tv.val)
+		if err != nil {
+			log.Fatalf("%s: %v", tv.flag, err)
+		}
+		*tv.dst = v
 	}
 	for _, m := range strings.Split(*methods, ",") {
 		spec.Methods = append(spec.Methods, repro.SweepMethod(strings.TrimSpace(m)))

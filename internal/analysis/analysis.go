@@ -37,6 +37,28 @@ import (
 	"repro/internal/solver"
 )
 
+// Accuracy is the uniform tolerance contract of the adaptive analyses: the
+// same two knobs mean "how accurate" everywhere — the envelope follower's
+// LTE step controller, QPSS/HB automatic grid sizing, and transient
+// step-resolution refinement. The zero value selects the historical fixed
+// grids and steps.
+//
+// Dispatchers spell the knobs `reltol`/`abstol` (netlist `.analysis` keys,
+// sweep Spec fields, server JSON, CLI flags); the shorthand `accuracy=d`
+// means reltol=10⁻ᵈ.
+type Accuracy struct {
+	// RelTol > 0 turns the analysis's adaptive control on: target relative
+	// error (envelope LTE, transient) or spectral-tail ratio (QPSS/HB grid
+	// sizing).
+	RelTol float64 `json:"reltol,omitempty"`
+	// AbsTol is the absolute floor below which error or spectral content is
+	// ignored (each analysis defaults it sensibly when zero).
+	AbsTol float64 `json:"abstol,omitempty"`
+}
+
+// Enabled reports whether the tolerance pair requests adaptive control.
+func (a Accuracy) Enabled() bool { return a.RelTol > 0 }
+
 // Probe selects the measured unknown: single-ended P when M < 0,
 // differential P − M otherwise.
 type Probe struct {
@@ -116,6 +138,19 @@ type Stats struct {
 	PatternReuse     int
 	// LinearIters totals inner linear-solver (GMRES) iterations.
 	LinearIters int
+	// AcceptedSteps/RejectedSteps report the envelope LTE controller's
+	// outcomes (rejected also counts Newton-failure retries of the stepping
+	// analyses).
+	AcceptedSteps int
+	RejectedSteps int
+	// Refinements counts automatic grid/step refinement rounds beyond the
+	// initial solve (QPSS/HB grid sizing, transient resolution doubling).
+	Refinements int
+	// FinalN1/FinalN2 are the grid sizes the converged solve actually used —
+	// equal to the request for fixed grids, chosen by the solver under
+	// Accuracy-driven sizing.
+	FinalN1 int
+	FinalN2 int
 	// AssemblyTime totals residual/Jacobian assembly; FactorTime totals
 	// factorisation time. Both are wall-clock and excluded from the
 	// byte-stable exports.
@@ -240,6 +275,25 @@ func paramsAs[T any](req Request, method string) (T, error) {
 		return zero, fmt.Errorf("analysis: %s wants Params of type %T, got %T", method, zero, req.Params)
 	}
 	return p, nil
+}
+
+// accuracyKeys are the uniform directive keys every adaptive analysis
+// accepts; descriptors append them to their NumKeys.
+var accuracyKeys = []string{"reltol", "abstol", "accuracy"}
+
+// withAccuracyKeys appends the uniform tolerance keys to a method's own.
+func withAccuracyKeys(keys ...string) []string {
+	return append(keys, accuracyKeys...)
+}
+
+// accuracyFrom reads the uniform tolerance keys of a directive:
+// reltol/abstol verbatim, with accuracy=d as the 10⁻ᵈ shorthand for reltol.
+func accuracyFrom(in DirectiveInput) Accuracy {
+	acc := Accuracy{RelTol: in.Float("reltol", 0), AbsTol: in.Float("abstol", 0)}
+	if d := in.Float("accuracy", 0); d > 0 && acc.RelTol == 0 {
+		acc.RelTol = math.Pow(10, -d)
+	}
+	return acc
 }
 
 // orDefault substitutes def for non-positive v.

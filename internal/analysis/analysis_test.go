@@ -3,12 +3,14 @@ package analysis_test
 import (
 	"context"
 	"errors"
+	"math"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/ckts"
+	"repro/internal/core"
 	"repro/internal/netlist"
 )
 
@@ -267,5 +269,70 @@ func TestSeedRoundTrip(t *testing.T) {
 	if warm.Stats().NewtonIters > cold.Stats().NewtonIters {
 		t.Fatalf("warm start took more iterations (%d) than cold (%d)",
 			warm.Stats().NewtonIters, cold.Stats().NewtonIters)
+	}
+}
+
+// TestAccuracyDirectiveKeys pins the uniform tolerance vocabulary: every
+// adaptive analysis accepts reltol/abstol/accuracy in its directive, the
+// accuracy=d shorthand expands to reltol=10^-d, and an explicit reltol
+// wins over the shorthand.
+func TestAccuracyDirectiveKeys(t *testing.T) {
+	sh := core.Shear{F1: 1e6, F2: 0.9e6, K: 1}
+	adaptive := map[string]func(any) analysis.Accuracy{
+		"qpss":      func(p any) analysis.Accuracy { return p.(analysis.QPSSParams).Accuracy },
+		"envelope":  func(p any) analysis.Accuracy { return p.(analysis.EnvelopeParams).Accuracy },
+		"hb":        func(p any) analysis.Accuracy { return p.(analysis.HBParams).Accuracy },
+		"transient": func(p any) analysis.Accuracy { return p.(analysis.TransientParams).Accuracy },
+	}
+	for name, get := range adaptive {
+		num, _, ok := analysis.DirectiveKeys(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		for _, want := range []string{"reltol", "abstol", "accuracy"} {
+			found := false
+			for _, k := range num {
+				if k == want {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s: directive key %q missing from %v", name, want, num)
+			}
+		}
+		in := analysis.DirectiveInput{Shear: sh, Num: map[string]float64{"reltol": 1e-3, "abstol": 1e-8}}
+		p, err := analysis.ParamsFromDirective(name, in)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if acc := get(p); acc.RelTol != 1e-3 || acc.AbsTol != 1e-8 {
+			t.Errorf("%s: reltol/abstol did not reach the typed params: %+v", name, acc)
+		}
+		in = analysis.DirectiveInput{Shear: sh, Num: map[string]float64{"accuracy": 4}}
+		p, err = analysis.ParamsFromDirective(name, in)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if acc := get(p); math.Abs(acc.RelTol-1e-4) > 1e-18 {
+			t.Errorf("%s: accuracy=4 gave reltol %g, want 1e-4", name, acc.RelTol)
+		}
+		in = analysis.DirectiveInput{Shear: sh, Num: map[string]float64{"accuracy": 4, "reltol": 1e-2}}
+		p, err = analysis.ParamsFromDirective(name, in)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if acc := get(p); acc.RelTol != 1e-2 {
+			t.Errorf("%s: explicit reltol lost to the accuracy shorthand: %g", name, acc.RelTol)
+		}
+	}
+
+	// The absolute-horizon transient form has no measurement window for the
+	// refinement signal: a tolerance there must fail loudly, not silently
+	// run fixed-step.
+	_, err := analysis.ParamsFromDirective("transient", analysis.DirectiveInput{
+		Num: map[string]float64{"tstop": 5e-6, "reltol": 1e-3},
+	})
+	if err == nil || !strings.Contains(err.Error(), "reltol") {
+		t.Errorf("transient tstop+reltol should be rejected, got %v", err)
 	}
 }

@@ -59,6 +59,9 @@ type Tuning struct {
 	// AssemblyWorkers bounds QPSS intra-job assembly parallelism (0 = the
 	// assembler default).
 	AssemblyWorkers int
+	// Accuracy is the uniform adaptive-control tolerance pair; descriptors
+	// of adaptive analyses copy it into their typed parameters.
+	Accuracy Accuracy
 }
 
 // BuildInput is everything a descriptor needs to derive typed parameters

@@ -68,6 +68,11 @@ type TransientParams struct {
 	// Fd is the difference frequency gain measurement references (0
 	// disables gain).
 	Fd float64
+	// Accuracy, when enabled (and a measurement window is configured),
+	// re-integrates at doubled time resolution until the window's spectral
+	// tail passes RelTol or the refinement stalls — the integration
+	// analogue of QPSS grid sizing.
+	Accuracy Accuracy
 }
 
 // ShootingParams configures periodic steady-state shooting ("shooting").
@@ -91,6 +96,32 @@ type HBParams struct {
 	// K is the LO harmonic of the fd = K·F1 − F2 down-conversion product
 	// that Measure reports (default 1).
 	K int
+	// Accuracy, when enabled, replaces the fixed torus sampling with
+	// automatic sizing: solve coarse, measure the solution's spectral tail,
+	// and double the aliasing axes (warm-starting from the interpolated
+	// coarse solution) until the tail passes RelTol or stalls.
+	Accuracy Accuracy
+}
+
+// Defaults of the HB/transient refinement loops (QPSS's live in
+// core.AccuracyOptions): the absolute tail floor, the per-solve grid-point
+// cap, and the round caps — transient's is tighter because every round
+// re-integrates the whole horizon from scratch.
+const (
+	adaptiveAbsFloor      = 1e-9
+	adaptiveMaxGridPoints = 16384
+	adaptiveMaxRounds     = 6
+	adaptiveTransientCap  = 3
+	adaptiveHBStartN1     = 16
+	adaptiveHBStartN2     = 8
+)
+
+// fillAccuracy applies the shared AbsTol default.
+func fillAccuracy(a Accuracy) Accuracy {
+	if a.AbsTol <= 0 {
+		a.AbsTol = adaptiveAbsFloor
+	}
+	return a
 }
 
 // --- dc ---------------------------------------------------------------------
@@ -153,21 +184,59 @@ func runTransient(ctx context.Context, req Request) (Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	opt := transient.Options{
-		Method: p.Method, TStop: p.TStop, Step: p.Step,
-		FixedStep: p.FixedStep, Newton: req.Newton,
+	n := req.Circuit.Size()
+	adaptive := p.Accuracy.Enabled() && p.MeasureSpan > 0 && p.MeasureSamples > 0 && p.Step > 0
+	acc := fillAccuracy(p.Accuracy)
+	var (
+		tr                   *transientResult
+		ax                   core.TailAxis
+		iters, steps, rounds int
+	)
+	for round := 0; ; round++ {
+		opt := transient.Options{
+			Method: p.Method, TStop: p.TStop, Step: p.Step,
+			FixedStep: p.FixedStep, Newton: req.Newton,
+		}
+		res, err := transient.Run(ctx, req.Circuit, opt)
+		if err != nil {
+			return nil, err
+		}
+		iters += res.NewtonIters
+		steps += res.Steps
+		tr = &transientResult{res: res, p: p, n: n, iters: iters, steps: steps, refines: rounds}
+		if !adaptive {
+			return tr, nil
+		}
+		// The refinement signal is the trailing measurement window of every
+		// unknown, laid out as a 1-D "grid" so the spectral-tail estimator
+		// is shared with the grid methods verbatim.
+		samples := p.MeasureSamples
+		win := make([]float64, samples*n)
+		dst := make([]float64, n)
+		dt := p.MeasureSpan / float64(samples)
+		for s := 0; s < samples; s++ {
+			copy(win[s*n:(s+1)*n], res.At(p.TStop-p.MeasureSpan+float64(s)*dt, dst))
+		}
+		tail, _ := core.GridSpectralTail(win, n, samples, 1, acc.AbsTol)
+		if !ax.Grow(tail, acc.RelTol) || round >= adaptiveTransientCap {
+			return tr, nil
+		}
+		if 2*res.Steps > ShootingStepsCap {
+			return tr, nil
+		}
+		p.Step /= 2
+		p.MeasureSamples *= 2
+		rounds++
 	}
-	res, err := transient.Run(ctx, req.Circuit, opt)
-	if err != nil {
-		return nil, err
-	}
-	return &transientResult{res: res, p: p, n: req.Circuit.Size()}, nil
 }
 
 type transientResult struct {
 	res *transient.Result
 	p   TransientParams
 	n   int
+	// iters/steps accumulate Newton iterations and time steps over every
+	// refinement round; refines counts the rounds beyond the first.
+	iters, steps, refines int
 }
 
 func (r *transientResult) Method() string  { return "transient" }
@@ -176,9 +245,10 @@ func (r *transientResult) Seed() []float64 { return nil }
 
 func (r *transientResult) Stats() Stats {
 	return Stats{
-		NewtonIters: r.res.NewtonIters,
-		TimeSteps:   r.res.Steps,
+		NewtonIters: r.iters,
+		TimeSteps:   r.steps,
 		Unknowns:    r.n,
+		Refinements: r.refines,
 	}
 }
 
@@ -321,29 +391,86 @@ func runHB(ctx context.Context, req Request) (Result, error) {
 		Progress:  req.Newton.Progress,
 	}
 	req.Circuit.Finalize()
+	n := req.Circuit.Size()
+	k := p.K
+	if k == 0 {
+		k = 1
+	}
+	if p.Accuracy.Enabled() {
+		return runHBAdaptive(ctx, req, p, opt, n, k)
+	}
 	n1 := orDefault(p.N1, hb.DefaultN1)
 	n2 := orDefault(p.N2, hb.DefaultN2)
 	if p.F2 <= 0 {
 		n2 = 1
 	}
-	if len(req.Seed) == n1*n2*req.Circuit.Size() {
+	if len(req.Seed) == n1*n2*n {
 		opt.X0 = req.Seed
 	}
 	sol, err := hb.Solve(ctx, req.Circuit, opt)
 	if err != nil {
 		return nil, err
 	}
-	k := p.K
-	if k == 0 {
-		k = 1
+	return &hbResult{sol: sol, k: k, n: n}, nil
+}
+
+// runHBAdaptive sizes the HB torus sampling by the same spectral-tail loop
+// as core.AdaptiveQPSS: both solutions share the (j·N1+i)·n+k grid layout,
+// so the tail estimator and the bilinear warm-start interpolation apply
+// verbatim.
+func runHBAdaptive(ctx context.Context, req Request, p HBParams, opt hb.Options, n, k int) (Result, error) {
+	acc := fillAccuracy(p.Accuracy)
+	n1 := orDefault(p.N1, adaptiveHBStartN1)
+	n2 := orDefault(p.N2, adaptiveHBStartN2)
+	if p.F2 <= 0 {
+		n2 = 1
 	}
-	return &hbResult{sol: sol, k: k, n: req.Circuit.Size()}, nil
+	var (
+		sol          *hb.Solution
+		ax1, ax2     core.TailAxis
+		iters, gmres int
+		refines      int
+		seed         []float64
+	)
+	for round := 0; ; round++ {
+		opt.N1, opt.N2, opt.X0 = n1, n2, seed
+		s, err := hb.Solve(ctx, req.Circuit, opt)
+		if err != nil {
+			return nil, err
+		}
+		iters += s.Stats.NewtonIters
+		gmres += s.Stats.GMRESIters
+		sol = s
+		tail1, tail2 := core.GridSpectralTail(sol.X, n, n1, n2, acc.AbsTol)
+		grow1 := ax1.Grow(tail1, acc.RelTol)
+		grow2 := n2 > 1 && ax2.Grow(tail2, acc.RelTol)
+		if !grow1 && !grow2 || round >= adaptiveMaxRounds {
+			break
+		}
+		nn1, nn2 := n1, n2
+		if grow1 {
+			nn1 *= 2
+		}
+		if grow2 {
+			nn2 *= 2
+		}
+		if nn1*nn2 > adaptiveMaxGridPoints {
+			break
+		}
+		seed = core.InterpolateGrid(sol.X, n, n1, n2, nn1, nn2)
+		n1, n2 = nn1, nn2
+		refines++
+	}
+	return &hbResult{sol: sol, k: k, n: n, iters: iters, gmres: gmres, refines: refines}, nil
 }
 
 type hbResult struct {
 	sol *hb.Solution
 	k   int // downconversion LO harmonic for Measure
 	n   int
+	// iters/gmres/refines carry the adaptive loop's accumulated work; zero
+	// values fall back to the single solve's own stats.
+	iters, gmres, refines int
 }
 
 func (r *hbResult) Method() string  { return "hb" }
@@ -351,11 +478,21 @@ func (r *hbResult) Raw() any        { return r.sol }
 func (r *hbResult) Seed() []float64 { return r.sol.X }
 
 func (r *hbResult) Stats() Stats {
+	iters, gmres := r.iters, r.gmres
+	if iters == 0 {
+		iters = r.sol.Stats.NewtonIters
+	}
+	if gmres == 0 {
+		gmres = r.sol.Stats.GMRESIters
+	}
 	return Stats{
-		NewtonIters: r.sol.Stats.NewtonIters,
-		LinearIters: r.sol.Stats.GMRESIters,
+		NewtonIters: iters,
+		LinearIters: gmres,
 		GridPoints:  r.sol.N1 * r.sol.N2,
 		Unknowns:    r.sol.N1 * r.sol.N2 * r.n,
+		Refinements: r.refines,
+		FinalN1:     r.sol.N1,
+		FinalN2:     r.sol.N2,
 	}
 }
 
@@ -481,7 +618,7 @@ func init() {
 		SweepParams: func(bi BuildInput) (any, error) {
 			return transientSweepParams(bi)
 		},
-		NumKeys: []string{"periods", "steps", "tstop", "step"},
+		NumKeys: withAccuracyKeys("periods", "steps", "tstop", "step"),
 		StrKeys: []string{"method"},
 		DirectiveParams: func(in DirectiveInput) (any, error) {
 			method := transient.GEAR2
@@ -495,7 +632,13 @@ func init() {
 				return nil, fmt.Errorf("analysis: unknown transient method %q (want be, trap or gear2)", in.Str["method"])
 			}
 			if v := in.Float("tstop", 0); v > 0 {
-				// Absolute-horizon form: record the whole trajectory.
+				// Absolute-horizon form: record the whole trajectory. It has
+				// no trailing measurement window, so the tail-driven
+				// refinement has nothing to measure — reject the tolerance
+				// keys loudly instead of silently running fixed-step.
+				if accuracyFrom(in).Enabled() {
+					return nil, errors.New("analysis: transient tstop=... form does not support reltol/accuracy; use the periods= form (needs .tones)")
+				}
 				return TransientParams{Method: method, TStop: v, Step: in.Float("step", 0)}, nil
 			}
 			if err := in.Shear.Validate(); err != nil {
@@ -506,6 +649,7 @@ func init() {
 				Tune: Tuning{
 					TransientPeriods:   in.Float("periods", 0),
 					StepsPerFastPeriod: in.Int("steps", 0),
+					Accuracy:           accuracyFrom(in),
 				},
 			})
 			if err != nil {
@@ -557,17 +701,23 @@ func init() {
 		Run:          runHB,
 		UsesGridAxes: true,
 		Seedable:     true,
-		NumKeys:      []string{"n1", "n2"},
+		NumKeys:      withAccuracyKeys("n1", "n2"),
 		SweepParams: func(bi BuildInput) (any, error) {
 			sh := bi.Target.Shear
-			return HBParams{F1: sh.F1, F2: sh.F2, N1: bi.Point.N1, N2: bi.Point.N2, K: sh.K}, nil
+			return HBParams{
+				F1: sh.F1, F2: sh.F2, N1: bi.Point.N1, N2: bi.Point.N2, K: sh.K,
+				Accuracy: bi.Tune.Accuracy,
+			}, nil
 		},
 		DirectiveParams: func(in DirectiveInput) (any, error) {
 			if err := in.Shear.Validate(); err != nil {
 				return nil, err
 			}
 			sh := in.Shear
-			return HBParams{F1: sh.F1, F2: sh.F2, N1: in.Int("n1", 0), N2: in.Int("n2", 0), K: sh.K}, nil
+			return HBParams{
+				F1: sh.F1, F2: sh.F2, N1: in.Int("n1", 0), N2: in.Int("n2", 0), K: sh.K,
+				Accuracy: accuracyFrom(in),
+			}, nil
 		},
 	})
 }
@@ -594,6 +744,7 @@ func transientSweepParams(bi BuildInput) (any, error) {
 	return TransientParams{
 		Method: transient.GEAR2, TStop: periods * td, Step: step,
 		FixedStep: true, MeasureSpan: td, MeasureSamples: steps,
-		Fd: math.Abs(sh.Fd()),
+		Fd:       math.Abs(sh.Fd()),
+		Accuracy: bi.Tune.Accuracy,
 	}, nil
 }

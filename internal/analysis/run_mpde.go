@@ -23,6 +23,11 @@ type QPSSParams struct {
 	// AssemblyWorkers bounds intra-solve assembly parallelism (0 = the
 	// assembler default).
 	AssemblyWorkers int
+	// Accuracy, when enabled, replaces the fixed grid with automatic sizing:
+	// the solve starts coarse (N1/N2 when set, the adaptive defaults
+	// otherwise) and refines until the spectral tail passes RelTol (see
+	// core.AdaptiveQPSS).
+	Accuracy Accuracy
 }
 
 // EnvelopeParams configures slow-time envelope following ("envelope").
@@ -33,8 +38,13 @@ type EnvelopeParams struct {
 	Shear core.Shear
 	// T2Stop is the slow-time horizon (default one difference period).
 	T2Stop float64
-	// StepT2 is the slow step (default Td/30).
+	// StepT2 is the slow step (default Td/30); the initial step under LTE
+	// control.
 	StepT2 float64
+	// Accuracy, when enabled, turns on the LTE step controller: steps are
+	// rejected and retried smaller when the estimated local truncation
+	// error exceeds the tolerances, and grow when it allows.
+	Accuracy Accuracy
 }
 
 func runQPSS(ctx context.Context, req Request) (Result, error) {
@@ -49,6 +59,18 @@ func runQPSS(ctx context.Context, req Request) (Result, error) {
 		AssemblyWorkers: p.AssemblyWorkers,
 	}
 	req.Circuit.Finalize()
+	if p.Accuracy.Enabled() {
+		// Tolerance-driven sizing: the grid is the solver's choice, so a
+		// fixed-shape seed cannot be assumed compatible — the interpolated
+		// warm starts between rounds replace it.
+		sol, err := core.AdaptiveQPSS(ctx, req.Circuit, opt, core.AccuracyOptions{
+			RelTol: p.Accuracy.RelTol, AbsTol: p.Accuracy.AbsTol,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &qpssResult{sol: sol}, nil
+	}
 	n1, n2 := orDefault(p.N1, core.DefaultN1), orDefault(p.N2, core.DefaultN2)
 	if len(req.Seed) == n1*n2*req.Circuit.Size() {
 		// Advisory warm start: a stale guess must not strand the solve —
@@ -81,6 +103,9 @@ func (r *qpssResult) Stats() Stats {
 		Refactorizations: s.Refactorizations,
 		PatternBuilds:    s.PatternBuilds,
 		PatternReuse:     s.PatternReuse,
+		Refinements:      s.Refinements,
+		FinalN1:          r.sol.N1,
+		FinalN2:          r.sol.N2,
 		AssemblyTime:     s.AssemblyTime,
 		FactorTime:       s.FactorTime,
 	}
@@ -130,6 +155,7 @@ func runEnvelope(ctx context.Context, req Request) (Result, error) {
 	opt := core.EnvelopeOptions{
 		N1: p.N1, Shear: p.Shear,
 		T2Stop: p.T2Stop, StepT2: p.StepT2,
+		RelTol: p.Accuracy.RelTol, AbsTol: p.Accuracy.AbsTol,
 		Newton: req.Newton,
 	}
 	req.Circuit.Finalize()
@@ -161,6 +187,9 @@ func (r *envelopeResult) Stats() Stats {
 		Refactorizations: r.env.Refactorizations,
 		PatternBuilds:    r.env.PatternBuilds,
 		PatternReuse:     r.env.PatternReuse,
+		AcceptedSteps:    r.env.AcceptedSteps,
+		RejectedSteps:    r.env.RejectedSteps,
+		FinalN1:          r.env.N1,
 	}
 }
 
@@ -194,16 +223,20 @@ func init() {
 		Run:          runQPSS,
 		UsesGridAxes: true,
 		Seedable:     true,
-		NumKeys:      []string{"n1", "n2", "top", "order"},
+		NumKeys:      withAccuracyKeys("n1", "n2", "top", "order"),
 		SweepParams: func(bi BuildInput) (any, error) {
 			return QPSSParams{
 				N1: bi.Point.N1, N2: bi.Point.N2, Shear: bi.Target.Shear,
 				DiffT1: bi.Tune.DiffT1, DiffT2: bi.Tune.DiffT2,
 				AssemblyWorkers: bi.Tune.AssemblyWorkers,
+				Accuracy:        bi.Tune.Accuracy,
 			}, nil
 		},
 		DirectiveParams: func(in DirectiveInput) (any, error) {
-			p := QPSSParams{N1: in.Int("n1", 0), N2: in.Int("n2", 0), Shear: in.Shear}
+			p := QPSSParams{
+				N1: in.Int("n1", 0), N2: in.Int("n2", 0), Shear: in.Shear,
+				Accuracy: accuracyFrom(in),
+			}
 			if in.Int("order", 1) >= 2 {
 				p.DiffT1, p.DiffT2 = core.Order2, core.Order2
 			}
@@ -215,12 +248,13 @@ func init() {
 		Doc:          "slow-time MPDE envelope following (start-up transients of the baseband)",
 		Run:          runEnvelope,
 		UsesGridAxes: true,
-		NumKeys:      []string{"n1", "n2", "t2stop"},
+		NumKeys:      withAccuracyKeys("n1", "n2", "t2stop"),
 		SweepParams: func(bi BuildInput) (any, error) {
 			td := bi.Target.Shear.Td()
 			return EnvelopeParams{
 				N1: bi.Point.N1, Shear: bi.Target.Shear,
 				T2Stop: td, StepT2: td / float64(orDefault(bi.Point.N2, core.DefaultN2)),
+				Accuracy: bi.Tune.Accuracy,
 			}, nil
 		},
 		DirectiveParams: func(in DirectiveInput) (any, error) {
@@ -230,8 +264,9 @@ func init() {
 			td := in.Shear.Td()
 			return EnvelopeParams{
 				N1: in.Int("n1", 0), Shear: in.Shear,
-				T2Stop: in.Float("t2stop", td),
-				StepT2: td / float64(orDefault(in.Int("n2", 0), core.DefaultN2)),
+				T2Stop:   in.Float("t2stop", td),
+				StepT2:   td / float64(orDefault(in.Int("n2", 0), core.DefaultN2)),
+				Accuracy: accuracyFrom(in),
 			}, nil
 		},
 	})

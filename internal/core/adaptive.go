@@ -1,0 +1,216 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// Fast-grid sizing. The paper fixes the grid at 40×30 (DefaultN1×DefaultN2)
+// because that is what its mixer needed; any other deck is either
+// under-resolved (silently wrong spectra) or over-resolved (wasted cubic
+// solve time) by a fixed grid. AdaptiveQPSS turns the choice into a
+// tolerance: start coarse, measure the spectral tail of the converged
+// solution, and refine the aliasing axis — warm-starting each finer solve
+// from the interpolated coarse solution — until the tail falls below the
+// tolerance or a cap is hit.
+
+// The default starting grid of the adaptive solver: deliberately coarse —
+// one refinement round costs less than solving a too-fine grid once.
+const (
+	AdaptiveStartN1 = 16
+	AdaptiveStartN2 = 12
+)
+
+// AccuracyOptions configures tolerance-driven automatic grid refinement.
+// The zero value disables refinement (AdaptiveQPSS degenerates to QPSS).
+type AccuracyOptions struct {
+	// RelTol is the target spectral-tail ratio: refinement stops when no
+	// unknown's outer-band amplitude exceeds RelTol times its largest AC
+	// amplitude (see GridSpectralTail). 0 disables adaptive sizing.
+	RelTol float64
+	// AbsTol is the absolute amplitude floor below which tail content is
+	// ignored (default 1e-9) — the solver's own convergence noise must not
+	// trigger refinement.
+	AbsTol float64
+	// MaxGridPoints caps N1·N2 (default 16384). A refinement that would
+	// cross the cap is skipped and the current solution returned.
+	MaxGridPoints int
+	// MaxRounds caps refinement rounds beyond the initial solve (default 6).
+	MaxRounds int
+}
+
+// AdaptiveStallFactor separates the two regimes a spectral tail can be in.
+// Aliasing collapses by orders of magnitude when the offending axis is
+// doubled; genuine signal content (e.g. the ~1/k harmonics of a
+// bit-modulation envelope) shrinks by at most ~2×. An axis whose tail
+// improves by less than this factor on doubling is signal-limited — further
+// grid points would resolve more of the stimulus's own spectrum without
+// changing the resolved mixes — and is not refined again.
+const AdaptiveStallFactor = 4.0
+
+// TailAxis tracks one grid axis of a spectral-tail refinement loop: call
+// Grow with the axis's latest tail after every solve; it reports whether
+// the axis should be refined again, permanently retiring the axis once a
+// doubling fails to improve its tail by AdaptiveStallFactor. Shared by
+// AdaptiveQPSS and the HB/transient sizing loops in internal/analysis.
+type TailAxis struct {
+	prev       float64
+	grew, done bool
+}
+
+// Grow records the round and reports whether the axis still needs
+// refinement under relTol.
+func (a *TailAxis) Grow(tail, relTol float64) bool {
+	if a.grew && tail*AdaptiveStallFactor > a.prev {
+		a.done = true
+	}
+	grow := tail > relTol && !a.done
+	a.prev, a.grew = tail, grow
+	return grow
+}
+
+func (a AccuracyOptions) filled() AccuracyOptions {
+	if a.AbsTol <= 0 {
+		a.AbsTol = 1e-9
+	}
+	if a.MaxGridPoints <= 0 {
+		a.MaxGridPoints = 16384
+	}
+	if a.MaxRounds <= 0 {
+		a.MaxRounds = 6
+	}
+	return a
+}
+
+// InterpolateGrid resamples a bi-periodic grid solution (layout
+// (j·N1+i)·n+k) from an oldN1×oldN2 grid onto a newN1×newN2 grid by
+// bilinear interpolation with periodic wrap on both axes. Because both
+// grids sample t1 ∈ [0,T1) and t2 ∈ [0,Td) uniformly from zero, fractional
+// index scaling is exact in time — the result is the natural warm start for
+// a refined solve.
+func InterpolateGrid(x []float64, n, oldN1, oldN2, newN1, newN2 int) []float64 {
+	if oldN1 == newN1 && oldN2 == newN2 {
+		return append([]float64(nil), x...)
+	}
+	out := make([]float64, newN1*newN2*n)
+	for j := 0; j < newN2; j++ {
+		v := float64(j) * float64(oldN2) / float64(newN2)
+		j0 := int(v)
+		fj := v - float64(j0)
+		j0 %= oldN2
+		j1 := (j0 + 1) % oldN2
+		for i := 0; i < newN1; i++ {
+			u := float64(i) * float64(oldN1) / float64(newN1)
+			i0 := int(u)
+			fi := u - float64(i0)
+			i0 %= oldN1
+			i1 := (i0 + 1) % oldN1
+			p00 := (j0*oldN1 + i0) * n
+			p10 := (j0*oldN1 + i1) * n
+			p01 := (j1*oldN1 + i0) * n
+			p11 := (j1*oldN1 + i1) * n
+			dst := (j*newN1 + i) * n
+			for k := 0; k < n; k++ {
+				out[dst+k] = (1-fj)*((1-fi)*x[p00+k]+fi*x[p10+k]) +
+					fj*((1-fi)*x[p01+k]+fi*x[p11+k])
+			}
+		}
+	}
+	return out
+}
+
+// AdaptiveQPSS computes the quasi-periodic steady state with automatic
+// fast-grid sizing: it solves on a coarse grid (opt.N1/N2 when set,
+// AdaptiveStartN1×AdaptiveStartN2 otherwise), measures the converged
+// solution's spectral tail along each axis, and doubles every axis whose
+// tail exceeds acc.RelTol — warm-starting the finer solve from the
+// bilinearly interpolated coarse solution — until both tails pass or
+// acc.MaxGridPoints/MaxRounds stop it. Solver work (Newton iterations,
+// factorisations, assembly time, …) is accumulated across rounds into the
+// returned Solution's Stats, alongside Refinements and the final tails.
+//
+// With acc.RelTol = 0 this is exactly QPSS(ctx, ckt, opt).
+func AdaptiveQPSS(ctx context.Context, ckt *circuit.Circuit, opt Options, acc AccuracyOptions) (*Solution, error) {
+	if acc.RelTol <= 0 {
+		return QPSS(ctx, ckt, opt)
+	}
+	acc = acc.filled()
+	if opt.N1 <= 0 {
+		opt.N1 = AdaptiveStartN1
+	}
+	if opt.N2 <= 0 {
+		opt.N2 = AdaptiveStartN2
+	}
+	if opt.N1*opt.N2 > acc.MaxGridPoints {
+		return nil, fmt.Errorf("core: adaptive start grid %dx%d exceeds MaxGridPoints %d",
+			opt.N1, opt.N2, acc.MaxGridPoints)
+	}
+	ckt.Finalize()
+	n := ckt.Size()
+	// A caller's warm start is advisory: keep it only when it matches the
+	// starting grid — the refinement rounds replace it with interpolated
+	// seeds anyway, and a stale shape must not strand the solve.
+	if len(opt.X0) != opt.N1*opt.N2*n {
+		opt.X0 = nil
+	}
+
+	var total Stats
+	add := func(s Stats) {
+		total.NewtonIters += s.NewtonIters
+		total.ContinuationSolves += s.ContinuationSolves
+		total.UsedContinuation = total.UsedContinuation || s.UsedContinuation
+		total.Factorizations += s.Factorizations
+		total.Refactorizations += s.Refactorizations
+		total.PatternBuilds += s.PatternBuilds
+		total.PatternReuse += s.PatternReuse
+		total.AssemblyTime += s.AssemblyTime
+		total.FactorTime += s.FactorTime
+	}
+
+	var sol *Solution
+	var ax1, ax2 TailAxis
+	for round := 0; ; round++ {
+		s, err := QPSS(ctx, ckt, opt)
+		if err != nil {
+			return nil, err
+		}
+		add(s.Stats)
+		sol = s
+		tail1, tail2 := sol.SpectralTail(acc.AbsTol)
+		total.Tail1, total.Tail2 = tail1, tail2
+		// An axis that was doubled last round but whose tail barely moved is
+		// signal-limited: its outer-band content is the stimulus's own
+		// spectrum, not aliasing, and no grid can push it below RelTol.
+		grow1 := ax1.Grow(tail1, acc.RelTol)
+		grow2 := ax2.Grow(tail2, acc.RelTol)
+		if !grow1 && !grow2 || round >= acc.MaxRounds {
+			break
+		}
+		n1, n2 := opt.N1, opt.N2
+		if grow1 {
+			n1 *= 2
+		}
+		if grow2 {
+			n2 *= 2
+		}
+		if n1*n2 > acc.MaxGridPoints {
+			break
+		}
+		// Warm start the finer grid from the interpolated coarse solution;
+		// QPSS treats a bad seed gracefully (continuation fallback), so
+		// interpolation error cannot strand the refined solve.
+		opt.X0 = InterpolateGrid(sol.X, n, opt.N1, opt.N2, n1, n2)
+		opt.N1, opt.N2 = n1, n2
+		total.Refinements++
+	}
+	// Grid-shape numbers describe the final solve; work counters the sum of
+	// every round.
+	total.GridPoints = sol.Stats.GridPoints
+	total.Unknowns = sol.Stats.Unknowns
+	total.JacobianNNZ = sol.Stats.JacobianNNZ
+	total.FillFactor = sol.Stats.FillFactor
+	sol.Stats = total
+	return sol, nil
+}

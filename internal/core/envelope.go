@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"repro/internal/circuit"
 	"repro/internal/device"
@@ -24,8 +25,24 @@ type EnvelopeOptions struct {
 	Shear Shear
 	// T2Stop is the slow-time horizon; default one difference period Td.
 	T2Stop float64
-	// StepT2 is the slow step (default Td/30).
+	// StepT2 is the slow step (default Td/30). With the LTE controller on
+	// (RelTol > 0) it is only the initial step; the controller grows and
+	// shrinks it from there.
 	StepT2 float64
+	// RelTol, when > 0, turns on local-truncation-error step control: every
+	// backward-Euler step's LTE is estimated against the linear predictor
+	// from the previous two accepted lines, steps whose weighted error
+	// exceeds 1 are rejected and retried smaller, and accepted steps grow
+	// toward MaxStep. RelTol = 0 keeps the fixed march byte-identical to
+	// previous releases.
+	RelTol float64
+	// AbsTol is the absolute error floor of the LTE test (default 1e-9),
+	// guarding unknowns that idle near zero.
+	AbsTol float64
+	// MaxStep/MinStep bound the adaptive step (defaults T2Stop/10 and
+	// StepT2·1e-6). A controller that needs less than MinStep fails with a
+	// step-underflow error instead of stalling.
+	MaxStep, MinStep float64
 	// Newton configures the per-step solves. Set fields survive: defaults
 	// are filled non-destructively, so Linear/PivotTol/… set by the caller
 	// are honoured even when MaxIter is left zero.
@@ -47,12 +64,18 @@ type EnvelopeResult struct {
 	NewtonIters int
 	// Factorizations/Refactorizations aggregate the sparse-LU work of every
 	// per-step solve; PatternBuilds/PatternReuse report the line Jacobian's
-	// symbolic assembly (the pattern is shared by every slow step).
+	// symbolic assembly (the pattern is shared by every slow step — one
+	// symbolic build serves every step size the controller tries).
 	Factorizations   int
 	Refactorizations int
 	PatternBuilds    int
 	PatternReuse     int
-	n                int
+	// AcceptedSteps counts slow steps that advanced the march;
+	// RejectedSteps counts attempts thrown away — LTE-test failures under
+	// the controller plus Newton-failure halvings in either mode.
+	AcceptedSteps int
+	RejectedSteps int
+	n             int
 }
 
 // LineAt returns the state at fast index i of slow point j.
@@ -272,39 +295,162 @@ func EnvelopeFollow(ctx context.Context, ckt *circuit.Circuit, opt EnvelopeOptio
 	// March in t2.
 	_, _, q0, _ := asm.assemble(x, 0, nil, 0, false)
 	qPrev := append([]float64(nil), q0...)
-	t2 := 0.0
-	h2 := opt.StepT2
-	for t2 < opt.T2Stop-1e-15*opt.T2Stop {
-		if t2+h2 > opt.T2Stop {
-			h2 = opt.T2Stop - t2
-		}
+	finish := func(err error) (*EnvelopeResult, error) {
+		res.PatternBuilds, res.PatternReuse = asm.pattern.builds, asm.pattern.reuse
+		return res, err
+	}
+
+	// solveStep marches one trial step from t2 to t2+h2, Newton-solving the
+	// line BVP in place in x.
+	solveStep := func(t2, h2 float64) (solver.Stats, error) {
 		tNew := t2 + h2
 		qp := qPrev
-		hh := h2
 		sys := solver.FuncSystem{N: nLine, F: func(xx []float64, jac bool) ([]float64, *la.CSR, error) {
-			r, j, _, err := asm.assemble(xx, tNew, qp, hh, jac)
+			r, j, _, err := asm.assemble(xx, tNew, qp, h2, jac)
 			return r, j, err
 		}}
-		st, err := solver.Solve(ctx, sys, x, opt.Newton)
+		return solver.Solve(ctx, sys, x, opt.Newton)
+	}
+	accept := func(t2 float64) {
+		_, _, qNew, _ := asm.assemble(x, t2, nil, 0, false)
+		qPrev = append(qPrev[:0], qNew...)
+		res.AcceptedSteps++
+		record(t2, x)
+	}
+
+	if opt.RelTol <= 0 {
+		// Fixed march: the historical behaviour, bit for bit — StepT2-sized
+		// steps, halved only on Newton failure.
+		t2 := 0.0
+		h2 := opt.StepT2
+		for t2 < opt.T2Stop-1e-15*opt.T2Stop {
+			if t2+h2 > opt.T2Stop {
+				h2 = opt.T2Stop - t2
+			}
+			st, err := solveStep(t2, h2)
+			account(st)
+			if err != nil {
+				if solver.Interrupted(err) {
+					return finish(fmt.Errorf("core: envelope interrupted at t2=%.3e: %w", t2, err))
+				}
+				res.RejectedSteps++
+				h2 /= 2
+				if h2 < opt.StepT2*1e-6 {
+					return finish(fmt.Errorf("core: envelope step underflow at t2=%.3e: %w", t2, err))
+				}
+				continue
+			}
+			t2 += h2
+			h2 = opt.StepT2
+			accept(t2)
+		}
+		return finish(nil)
+	}
+
+	// LTE-controlled march. The estimate is the classic divided-difference
+	// one: the backward-Euler LTE h²/2·x″ is approximated from the mismatch
+	// between the solved line and the linear predictor through the previous
+	// two accepted lines, LTE ≈ (x − x_pred)·h/(h+hPrev). The weighted
+	// ∞-norm of that estimate against AbsTol + RelTol·|x| decides
+	// acceptance; the new step follows the standard order-1 controller
+	// h·(safety/√err) clamped to [MinStep, MaxStep].
+	if opt.AbsTol <= 0 {
+		opt.AbsTol = 1e-9
+	}
+	if opt.MaxStep <= 0 {
+		opt.MaxStep = opt.T2Stop / 10
+	}
+	if opt.MinStep <= 0 {
+		opt.MinStep = opt.StepT2 * 1e-6
+	}
+	var (
+		t2    = 0.0
+		h2    = math.Min(opt.StepT2, opt.MaxStep)
+		hPrev = 0.0                          // step between the last two accepted lines
+		xm1   []float64                      // accepted line before xAcc (nil on the first step)
+		xAcc  = append([]float64(nil), x...) // last accepted line (step start)
+		pred  = make([]float64, nLine)
+		scale = make([]float64, n) // per-unknown LTE scale, rebuilt each step
+	)
+	for t2 < opt.T2Stop-1e-15*opt.T2Stop {
+		if h2 < opt.MinStep {
+			h2 = opt.MinStep
+		}
+		last := t2+h2 >= opt.T2Stop
+		if last {
+			h2 = opt.T2Stop - t2
+		}
+		st, err := solveStep(t2, h2)
 		account(st)
 		if err != nil {
 			if solver.Interrupted(err) {
-				res.PatternBuilds, res.PatternReuse = asm.pattern.builds, asm.pattern.reuse
-				return res, fmt.Errorf("core: envelope interrupted at t2=%.3e: %w", t2, err)
+				return finish(fmt.Errorf("core: envelope interrupted at t2=%.3e: %w", t2, err))
+			}
+			res.RejectedSteps++
+			copy(x, xAcc) // discard the failed iterate as a warm start
+			// The attempted step (after any final-step truncation) is h2
+			// itself; once it has reached the floor a retry would replay the
+			// identical solve, so fail instead of spinning.
+			if h2 <= opt.MinStep {
+				return finish(fmt.Errorf("core: envelope step underflow at t2=%.3e: %w", t2, err))
 			}
 			h2 /= 2
-			if h2 < opt.StepT2*1e-6 {
-				res.PatternBuilds, res.PatternReuse = asm.pattern.builds, asm.pattern.reuse
-				return res, fmt.Errorf("core: envelope step underflow at t2=%.3e: %w", t2, err)
+			if h2 < opt.MinStep {
+				h2 = opt.MinStep
 			}
 			continue
 		}
-		_, _, qNew, _ := asm.assemble(x, tNew, nil, 0, false)
-		qPrev = append(qPrev[:0], qNew...)
-		t2 = tNew
-		h2 = opt.StepT2
-		record(t2, x)
+		// LTE estimate against the linear predictor; the first step has no
+		// history, so the (conservative) predictor is the line itself.
+		var coef float64
+		if xm1 == nil {
+			copy(pred, xAcc)
+			coef = 0.5
+		} else {
+			g := h2 / hPrev
+			for i := range pred {
+				pred[i] = xAcc[i] + g*(xAcc[i]-xm1[i])
+			}
+			coef = h2 / (h2 + hPrev)
+		}
+		// Each circuit unknown is scaled by its amplitude over the fast
+		// line, not entry by entry: a carrier crossing zero at one fast
+		// index is not a small signal, and a per-entry scale there would
+		// force absurdly small slow steps.
+		for k := 0; k < n; k++ {
+			amp := 0.0
+			for i := 0; i < N1; i++ {
+				amp = math.Max(amp, math.Max(math.Abs(x[i*n+k]), math.Abs(xAcc[i*n+k])))
+			}
+			scale[k] = opt.AbsTol + opt.RelTol*amp
+		}
+		errNorm := 0.0
+		for i := range x {
+			if e := math.Abs(x[i]-pred[i]) * coef / scale[i%n]; e > errNorm {
+				errNorm = e
+			}
+		}
+		if errNorm > 1 && h2 > opt.MinStep {
+			res.RejectedSteps++
+			copy(x, xAcc)
+			h2 *= math.Max(0.1, math.Min(0.5, 0.9/math.Sqrt(errNorm)))
+			if h2 < opt.MinStep {
+				h2 = opt.MinStep
+			}
+			continue
+		}
+		hPrev = h2
+		if xm1 == nil {
+			xm1 = make([]float64, nLine)
+		}
+		copy(xm1, xAcc)
+		copy(xAcc, x)
+		t2 += h2
+		accept(t2)
+		h2 *= math.Max(0.3, math.Min(2, 0.9/math.Sqrt(math.Max(errNorm, 1e-10))))
+		if h2 > opt.MaxStep {
+			h2 = opt.MaxStep
+		}
 	}
-	res.PatternBuilds, res.PatternReuse = asm.pattern.builds, asm.pattern.reuse
-	return res, nil
+	return finish(nil)
 }

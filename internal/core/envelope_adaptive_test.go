@@ -1,0 +1,145 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+)
+
+// stiffRampRC builds an RC low-pass driven by a carrier whose square-wave
+// envelope flips along the slow axis: between the edges the baseband is
+// nearly constant, at each edge it ramps with the RC time constant — the
+// classic stiff profile that a fixed slow step either over-resolves or
+// steps straight across.
+func stiffRampRC(sh Shear) *circuit.Circuit {
+	ckt := circuit.New("stiff-ramp-rc")
+	ckt.V("V1", "in", "0", device.ModulatedCarrier{
+		Amp: 1, F1: sh.F1, F2: sh.F2,
+		CarK1: 1, EnvK2: 1,
+		Env: device.SquareEnvelope(0.5, 0.05),
+	})
+	r := 1000.0
+	ckt.R("R1", "in", "out", r)
+	ckt.C("C1", "out", "0", sh.Td()/50/r) // Ï„ = Td/50: fast against the beat
+	ckt.Finalize()
+	return ckt
+}
+
+// envEndpoint runs the envelope follower and returns the result plus the
+// output baseband at the final slow point.
+func envEndpoint(t *testing.T, sh Shear, opt EnvelopeOptions) (*EnvelopeResult, float64) {
+	t.Helper()
+	ckt := stiffRampRC(sh)
+	opt.Shear = sh
+	env, err := EnvelopeFollow(context.Background(), ckt, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := ckt.NodeIndex("out")
+	bb := env.Baseband(out)
+	return env, bb[len(bb)-1]
+}
+
+// TestEnvelopeLTEForcesRejectionsOnStiffRamp drives the controller over the
+// square-envelope edges: growing steps must get rejected at each edge, the
+// march must still reach T2Stop exactly, and the accepted trajectory must
+// be genuinely non-uniform (large steps on the plateaus, small ones in the
+// ramps).
+func TestEnvelopeLTEForcesRejectionsOnStiffRamp(t *testing.T) {
+	sh := Shear{F1: 1e6, F2: 0.9e6, K: 1}
+	env, _ := envEndpoint(t, sh, EnvelopeOptions{
+		N1: 16, T2Stop: sh.Td(), StepT2: sh.Td() / 30, RelTol: 1e-3,
+	})
+	if env.RejectedSteps == 0 {
+		t.Errorf("stiff ramp at RelTol=1e-3 must reject steps, got 0 (accepted %d)", env.AcceptedSteps)
+	}
+	if env.AcceptedSteps != len(env.T2)-1 {
+		t.Errorf("accepted %d steps but recorded %d points", env.AcceptedSteps, len(env.T2))
+	}
+	last := env.T2[len(env.T2)-1]
+	if math.Abs(last-sh.Td()) > 1e-9*sh.Td() {
+		t.Errorf("march ended at %v, want T2Stop=%v", last, sh.Td())
+	}
+	// Non-uniform stepping: the largest accepted step should dwarf the
+	// smallest by well over the controller's single-step growth factor.
+	minH, maxH := math.Inf(1), 0.0
+	for j := 1; j < len(env.T2); j++ {
+		h := env.T2[j] - env.T2[j-1]
+		if h <= 0 {
+			t.Fatalf("non-monotone T2 at %d: %v -> %v", j, env.T2[j-1], env.T2[j])
+		}
+		minH = math.Min(minH, h)
+		maxH = math.Max(maxH, h)
+	}
+	if maxH < 3*minH {
+		t.Errorf("stepping looks uniform: min %v max %v", minH, maxH)
+	}
+}
+
+// TestEnvelopeLTEErrorDecreasesWithRelTol checks the controller's contract:
+// tightening RelTol must not increase the endpoint error against a fine
+// fixed-step reference, and across two decades it must decrease it.
+func TestEnvelopeLTEErrorDecreasesWithRelTol(t *testing.T) {
+	sh := Shear{F1: 1e6, F2: 0.9e6, K: 1}
+	// Richardson-extrapolated reference: BE is first order, so 2·x(h/2) −
+	// x(h) cancels the leading error term and leaves a reference far below
+	// the tightest tolerance under test.
+	_, refH := envEndpoint(t, sh, EnvelopeOptions{
+		N1: 16, T2Stop: sh.Td(), StepT2: sh.Td() / 1000,
+	})
+	_, refH2 := envEndpoint(t, sh, EnvelopeOptions{
+		N1: 16, T2Stop: sh.Td(), StepT2: sh.Td() / 2000,
+	})
+	ref := 2*refH2 - refH
+	tols := []float64{1e-2, 1e-3, 1e-4}
+	errs := make([]float64, len(tols))
+	steps := make([]int, len(tols))
+	for i, tol := range tols {
+		env, end := envEndpoint(t, sh, EnvelopeOptions{
+			N1: 16, T2Stop: sh.Td(), StepT2: sh.Td() / 30, RelTol: tol,
+		})
+		errs[i] = math.Abs(end - ref)
+		steps[i] = env.AcceptedSteps
+	}
+	t.Logf("reltol=%v errors=%v steps=%v", tols, errs, steps)
+	for i := 1; i < len(errs); i++ {
+		// Non-strict monotonicity with 20% slack: the LTE estimate is a
+		// bound, not an equality, but two decades of tolerance must not
+		// leave the error flat.
+		if errs[i] > errs[i-1]*1.2+1e-12 {
+			t.Errorf("error grew as RelTol tightened: reltol=%g err=%g vs reltol=%g err=%g",
+				tols[i], errs[i], tols[i-1], errs[i-1])
+		}
+		if steps[i] < steps[i-1] {
+			t.Errorf("tighter tolerance used fewer steps: %v -> %v", steps[i-1], steps[i])
+		}
+	}
+	if errs[len(errs)-1] >= errs[0] {
+		t.Errorf("error did not decrease across two tolerance decades: %v", errs)
+	}
+}
+
+// TestEnvelopeFixedModeUnchangedByControllerKnobs pins the RelTol=0 march
+// to the historical fixed-step behaviour: exactly ceil(T2Stop/StepT2)
+// accepted steps, uniformly spaced.
+func TestEnvelopeFixedModeUnchangedByControllerKnobs(t *testing.T) {
+	sh := Shear{F1: 1e6, F2: 0.9e6, K: 1}
+	env, _ := envEndpoint(t, sh, EnvelopeOptions{
+		N1: 16, T2Stop: sh.Td(), StepT2: sh.Td() / 30,
+	})
+	if env.RejectedSteps != 0 {
+		t.Errorf("fixed march rejected %d steps", env.RejectedSteps)
+	}
+	if env.AcceptedSteps != 30 {
+		t.Errorf("fixed march accepted %d steps, want 30", env.AcceptedSteps)
+	}
+	h := sh.Td() / 30
+	for j := 1; j < len(env.T2); j++ {
+		if math.Abs(env.T2[j]-env.T2[j-1]-h) > 1e-6*h {
+			t.Errorf("fixed march step %d is %v, want %v", j, env.T2[j]-env.T2[j-1], h)
+		}
+	}
+}

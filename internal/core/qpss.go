@@ -81,6 +81,12 @@ type Stats struct {
 	// restamped values into an existing pattern in place.
 	PatternBuilds int
 	PatternReuse  int
+	// Refinements counts the grid-refinement rounds AdaptiveQPSS ran beyond
+	// the initial coarse solve (0 for a plain fixed-grid QPSS call).
+	Refinements int
+	// Tail1, Tail2 are the final solution's spectral-tail ratios along the
+	// fast and slow axes (only set by AdaptiveQPSS; see GridSpectralTail).
+	Tail1, Tail2 float64
 	// AssemblyTime totals residual/Jacobian assembly inside the Newton
 	// loop; FactorTime totals LU factorisation time.
 	AssemblyTime time.Duration

@@ -38,6 +38,85 @@ func (s *Solution) Spectrum(k int) GridSpectrum {
 	return s.spectrumOf(func(i, j int) float64 { return s.X[s.index(i, j, k)] })
 }
 
+// SpectralTail reports how much unresolved high-frequency content the grid
+// carries along each axis — the refinement signal of the adaptive solver.
+// See GridSpectralTail for the definition; absFloor sets the amplitude
+// below which tail lines are ignored.
+func (s *Solution) SpectralTail(absFloor float64) (tail1, tail2 float64) {
+	return GridSpectralTail(s.X, s.n, s.N1, s.N2, absFloor)
+}
+
+// GridSpectralTail measures the spectral tail of a bi-periodic grid solution
+// in the (j·N1+i)·n+k layout shared by QPSS and HB: for every unknown it
+// takes the 2-D DFT of the unknown's multi-time surface and compares the
+// largest amplitude in the outer band of each axis (|k1| > N1/3, resp.
+// |k2| > N2/3 — the bins nearest Nyquist, which a converged-in-grid solution
+// leaves empty) against the unknown's largest AC amplitude. The returned
+// tails are the worst such ratios over all unknowns: a tail near or above 1
+// means the grid is aliasing, a tail below the solver tolerance means
+// further refinement cannot change the resolved mixes. absFloor is the
+// absolute amplitude below which outer-band content is considered numerical
+// noise and ignored.
+func GridSpectralTail(x []float64, n, N1, N2 int, absFloor float64) (tail1, tail2 float64) {
+	if n <= 0 || N1 <= 0 || N2 <= 0 || len(x) < N1*N2*n {
+		return 0, 0
+	}
+	plane := make([]complex128, N1*N2)
+	norm := 1 / float64(N1*N2)
+	for k := 0; k < n; k++ {
+		for p := 0; p < N1*N2; p++ {
+			plane[p] = complex(x[p*n+k], 0)
+		}
+		coef := fft.Forward2D(plane, N2, N1)
+		maxAC, out1, out2 := 0.0, 0.0, 0.0
+		for j := 0; j < N2; j++ {
+			k2 := j
+			if k2 > N2/2 {
+				k2 -= N2
+			}
+			for i := 0; i < N1; i++ {
+				k1 := i
+				if k1 > N1/2 {
+					k1 -= N1
+				}
+				if k1 == 0 && k2 == 0 {
+					continue
+				}
+				a := 2 * cmplx.Abs(coef[j*N1+i]) * norm
+				if a > maxAC {
+					maxAC = a
+				}
+				if a <= absFloor {
+					continue
+				}
+				if 3*absInt(k1) > N1 && a > out1 {
+					out1 = a
+				}
+				if 3*absInt(k2) > N2 && a > out2 {
+					out2 = a
+				}
+			}
+		}
+		if maxAC <= absFloor {
+			continue // an unknown with no meaningful AC content
+		}
+		if t := out1 / maxAC; t > tail1 {
+			tail1 = t
+		}
+		if t := out2 / maxAC; t > tail2 {
+			tail2 = t
+		}
+	}
+	return tail1, tail2
+}
+
+func absInt(i int) int {
+	if i < 0 {
+		return -i
+	}
+	return i
+}
+
 // SpectrumDiff computes the grid spectrum of the differential quantity
 // x_kPlus − x_kMinus (e.g. the balanced mixer's differential output).
 // Subtracting before transforming keeps the phase information that a

@@ -43,6 +43,17 @@ func FuzzParse(f *testing.F) {
 		"R1 a 0 1e999\n",
 		"R1 a 0 10kohm\n",
 		"R1 a 0 450MEG\n",
+		"R1 a 0 10mil\n",
+		"R1 a 0 2mils\n",
+		"C1 a 0 1MEGF\n",
+		"R1 a 0 2.2e\n",
+		"R1 a 0 1e-\n",
+		"R1 a 0 1e+\n",
+		"R1 a 0 1e-3k\n",
+		"V1 a 0 DC 3e\n",
+		".qpss reltol=1e-3 abstol=1n\n",
+		".envelope accuracy=3\n",
+		".transient periods=2 reltol=1m\n",
 		".end\nR1 a 0 1k\n",
 		"Z9 what ever\n",
 		"M1 d g\n",

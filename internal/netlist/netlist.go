@@ -17,7 +17,7 @@
 //     X<name> out a b gm             ; ideal multiplier (behavioural)
 //     .end
 //
-// Values accept SPICE suffixes (f p n u m k meg g t). SIN sources are mapped
+// Values accept SPICE suffixes (f p n u m mil meg k g t). SIN sources are mapped
 // onto the torus automatically: the frequency must match k1·F1 + k2·F2 for
 // small integers when .tones is declared, enabling MPDE/HB analyses straight
 // from a deck.
@@ -657,22 +657,31 @@ func splitKV(s string, ln lineRef, fi int) (string, string, error) {
 }
 
 // ParseValue parses a SPICE number with magnitude suffix (case-insensitive:
-// f p n u m k meg g t). Trailing unit letters after the suffix are ignored
-// ("10k", "2.2uF", "450MEG").
+// f p n u m mil meg k g t). Trailing unit letters after the suffix are
+// ignored ("10k", "2.2uF", "450MEG"). The multi-letter suffixes are matched
+// before the single-letter ones — "meg" (1e6) and "mil" (25.4e-6, the SPICE
+// thousandth of an inch) must not fall through to milli. A bare or
+// truncated exponent ("2.2e", "1e-") is not an exponent at all: the number
+// ends before the 'e' and the rest is treated as a unit.
 func ParseValue(s string) (float64, error) {
 	ls := strings.ToLower(strings.TrimSpace(s))
 	if ls == "" {
 		return 0, fmt.Errorf("empty value")
 	}
-	// Split numeric prefix.
+	isDigit := func(c byte) bool { return c >= '0' && c <= '9' }
+	// Split numeric prefix. An 'e' opens an exponent only when digits
+	// actually follow (optionally after a sign); otherwise it belongs to
+	// the suffix.
 	end := 0
 	for end < len(ls) {
 		c := ls[end]
-		if c >= '0' && c <= '9' || c == '.' || c == '+' || c == '-' ||
-			(c == 'e' && end+1 < len(ls) && (ls[end+1] == '+' || ls[end+1] == '-' || ls[end+1] >= '0' && ls[end+1] <= '9')) {
-			if c == 'e' {
+		expo := c == 'e' && end+1 < len(ls) &&
+			(isDigit(ls[end+1]) ||
+				(ls[end+1] == '+' || ls[end+1] == '-') && end+2 < len(ls) && isDigit(ls[end+2]))
+		if isDigit(c) || c == '.' || c == '+' || c == '-' || expo {
+			if expo {
 				end += 2
-				for end < len(ls) && ls[end] >= '0' && ls[end] <= '9' {
+				for end < len(ls) && isDigit(ls[end]) {
 					end++
 				}
 				break
@@ -695,6 +704,8 @@ func ParseValue(s string) (float64, error) {
 		return num, nil
 	case strings.HasPrefix(suffix, "meg"):
 		return num * 1e6, nil
+	case strings.HasPrefix(suffix, "mil"):
+		return num * 25.4e-6, nil
 	case strings.HasPrefix(suffix, "f"):
 		return num * 1e-15, nil
 	case strings.HasPrefix(suffix, "p"):

@@ -3,6 +3,7 @@ package netlist
 import (
 	"context"
 	"math"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -25,6 +26,30 @@ func TestParseValueSuffixes(t *testing.T) {
 		"2.5e6":  2.5e6,
 		"10m":    0.01,
 		"1t":     1e12,
+		// The three-way m/meg/mil split: "m" is milli only when neither
+		// multi-letter suffix matches. "mil" is the SPICE thousandth of an
+		// inch (25.4 µm), not 1e-3.
+		"10mil":   10 * 25.4e-6,
+		"10MIL":   10 * 25.4e-6,
+		"1mil":    25.4e-6,
+		"2mils":   2 * 25.4e-6, // trailing unit letters after the suffix
+		"1meg":    1e6,
+		"1megohm": 1e6,
+		"1m":      1e-3,
+		"1mA":     1e-3,
+		"1mv":     1e-3,
+		// Unit words that merely start with a magnitude letter.
+		"10kohm": 1e4,
+		"3nH":    3e-9,
+		"20pF":   20e-12,
+		// Bare/truncated exponents: the 'e' is not an exponent without
+		// digits, so it reads as a (tolerated) unit letter.
+		"2.2e": 2.2,
+		"1e-":  1,
+		"1e+":  1,
+		"3e":   3,
+		// A real exponent still wins, and a magnitude suffix may follow it.
+		"1e-3k": 1e-3 * 1e3,
 	}
 	for in, want := range cases {
 		got, err := ParseValue(in)
@@ -35,9 +60,36 @@ func TestParseValueSuffixes(t *testing.T) {
 			t.Fatalf("ParseValue(%q) = %v, want %v", in, got, want)
 		}
 	}
-	for _, bad := range []string{"", "abc", "k10"} {
+	for _, bad := range []string{"", "abc", "k10", "e3", ".", "+", "-", "--1", "mil"} {
 		if _, err := ParseValue(bad); err == nil {
 			t.Fatalf("ParseValue(%q) should fail", bad)
+		}
+	}
+}
+
+// TestParseValueSuffixRoundTrip is the property form of the suffix table:
+// every documented suffix (in several case spellings and with unit letters
+// appended) scales every mantissa by exactly its documented factor.
+func TestParseValueSuffixRoundTrip(t *testing.T) {
+	suffixes := map[string]float64{
+		"f": 1e-15, "p": 1e-12, "n": 1e-9, "u": 1e-6, "m": 1e-3,
+		"mil": 25.4e-6, "meg": 1e6, "k": 1e3, "g": 1e9, "t": 1e12,
+		"": 1,
+	}
+	mantissas := []float64{1, -1, 0.5, 2.2, 10, 450, 0.001, 1234.5678}
+	for suf, mult := range suffixes {
+		for _, m := range mantissas {
+			for _, spell := range []string{suf, strings.ToUpper(suf), suf + "x"} {
+				in := strconv.FormatFloat(m, 'g', -1, 64) + spell
+				got, err := ParseValue(in)
+				if err != nil {
+					t.Fatalf("ParseValue(%q): %v", in, err)
+				}
+				want := m * mult
+				if math.Abs(got-want) > 1e-12*math.Abs(want) {
+					t.Fatalf("ParseValue(%q) = %v, want %v", in, got, want)
+				}
+			}
 		}
 	}
 }

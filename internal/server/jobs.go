@@ -184,13 +184,15 @@ func (j *jobState) finalize(status JobStatus, res *sweep.Result, errMsg string) 
 	var ok, fail, canc, iters int
 	if res != nil {
 		ok, fail, canc = res.Counts()
-		var facts, refacts, pat int
+		var facts, refacts, pat, rejects, refines int
 		var asmNS, facNS int64
 		for i := range res.Jobs {
 			iters += res.Jobs[i].NewtonIters
 			facts += res.Jobs[i].Factorizations
 			refacts += res.Jobs[i].Refactorizations
 			pat += res.Jobs[i].PatternReuse
+			rejects += res.Jobs[i].RejectedSteps
+			refines += res.Jobs[i].Refinements
 			asmNS += res.Jobs[i].Assembly.Nanoseconds()
 			facNS += res.Jobs[i].Factor.Nanoseconds()
 		}
@@ -201,6 +203,8 @@ func (j *jobState) finalize(status JobStatus, res *sweep.Result, errMsg string) 
 		m.srv.metrics.factorize.Add(int64(facts))
 		m.srv.metrics.refactorize.Add(int64(refacts))
 		m.srv.metrics.patternHits.Add(int64(pat))
+		m.srv.metrics.stepRejects.Add(int64(rejects))
+		m.srv.metrics.gridRefines.Add(int64(refines))
 		m.srv.metrics.assemblyNS.Add(asmNS)
 		m.srv.metrics.factorNS.Add(facNS)
 	}

@@ -27,6 +27,8 @@ type metrics struct {
 	factorize   atomic.Int64 // full sparse-LU factorisations
 	refactorize atomic.Int64 // numeric-only refactorisations (symbolic reuse)
 	patternHits atomic.Int64 // in-place Jacobian restamps (pattern reuse)
+	stepRejects atomic.Int64 // envelope LTE step rejections
+	gridRefines atomic.Int64 // adaptive grid/step refinement rounds
 	assemblyNS  atomic.Int64 // residual/Jacobian assembly time (ns)
 	factorNS    atomic.Int64 // factorisation time (ns)
 	sweepOK     atomic.Int64 // per-analysis outcomes inside engine runs
@@ -63,6 +65,8 @@ func (m *metrics) snapshot(cache *resultCache, start time.Time) []metricPoint {
 		{"mpde_solver_factorizations_total", "Full sparse-LU factorisations summed over engine runs.", false, float64(m.factorize.Load())},
 		{"mpde_solver_refactorizations_total", "Numeric-only LU refactorisations that reused a symbolic analysis.", false, float64(m.refactorize.Load())},
 		{"mpde_solver_pattern_reuse_total", "Jacobian assemblies restamped into an existing sparsity pattern.", false, float64(m.patternHits.Load())},
+		{"mpde_solver_step_rejections_total", "Envelope LTE steps rejected and retried smaller.", false, float64(m.stepRejects.Load())},
+		{"mpde_solver_grid_refinements_total", "Adaptive grid/step refinement rounds beyond the initial solve.", false, float64(m.gridRefines.Load())},
 		{"mpde_solver_assembly_seconds_total", "Residual/Jacobian assembly time summed over engine runs.", false, float64(m.assemblyNS.Load()) / 1e9},
 		{"mpde_solver_factor_seconds_total", "Matrix factorisation time summed over engine runs.", false, float64(m.factorNS.Load()) / 1e9},
 		{"mpde_sweep_jobs_ok_total", "Per-analysis ok outcomes inside engine runs.", false, float64(m.sweepOK.Load())},

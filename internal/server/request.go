@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -53,6 +54,15 @@ type Request struct {
 	// baselines (0 → engine defaults).
 	TransientPeriods   float64 `json:"transient_periods,omitempty"`
 	StepsPerFastPeriod int     `json:"steps_per_fast_period,omitempty"`
+	// RelTol/AbsTol (RelTol > 0) turn on adaptive accuracy control for
+	// every analysis in the request: LTE-driven envelope stepping and
+	// automatic QPSS/HB grid sizing / transient refinement (the requested
+	// grids become starting grids). Deck directives carrying
+	// reltol/abstol/accuracy apply sweep-wide like the other tuning
+	// directives (the last directive to set one wins); an explicit request
+	// field beats them all.
+	RelTol float64 `json:"reltol,omitempty"`
+	AbsTol float64 `json:"abstol,omitempty"`
 	// JobTimeoutMS bounds each analysis job. Timeouts make outcomes
 	// wall-clock dependent, so a request with a timeout bypasses the
 	// result cache.
@@ -124,6 +134,8 @@ type canonKey struct {
 	SpectrumTop      int         `json:"spectrum_top"`
 	TransientPeriods float64     `json:"transient_periods"`
 	StepsPerFast     int         `json:"steps_per_fast"`
+	RelTol           float64     `json:"reltol,omitempty"`
+	AbsTol           float64     `json:"abstol,omitempty"`
 }
 
 // analysisToJobSpec maps one resolved analysis onto the engine's job form.
@@ -172,6 +184,8 @@ func resolveRequest(req *Request, sweepWorkers int) (*runSpec, error) {
 		SpectrumTop:        req.SpectrumTop,
 		TransientPeriods:   req.TransientPeriods,
 		StepsPerFastPeriod: req.StepsPerFastPeriod,
+		RelTol:             req.RelTol,
+		AbsTol:             req.AbsTol,
 	}
 
 	switch {
@@ -210,6 +224,19 @@ func resolveRequest(req *Request, sweepWorkers int) (*runSpec, error) {
 			}
 			if v := a.Int("top", 0); v > 0 && req.SpectrumTop == 0 {
 				spec.SpectrumTop = v
+			}
+			rt := a.Float("reltol", 0)
+			if rt <= 0 {
+				// accuracy=d is the 10⁻ᵈ shorthand for reltol.
+				if d := a.Float("accuracy", 0); d > 0 {
+					rt = math.Pow(10, -d)
+				}
+			}
+			if rt > 0 && req.RelTol == 0 {
+				spec.RelTol = rt
+			}
+			if v := a.Float("abstol", 0); v > 0 && req.AbsTol == 0 {
+				spec.AbsTol = v
 			}
 		}
 		if len(spec.JobList) == 0 {
@@ -263,6 +290,8 @@ func resolveRequest(req *Request, sweepWorkers int) (*runSpec, error) {
 		SpectrumTop:      spec.SpectrumTop,
 		TransientPeriods: spec.TransientPeriods,
 		StepsPerFast:     spec.StepsPerFastPeriod,
+		RelTol:           spec.RelTol,
+		AbsTol:           spec.AbsTol,
 	}
 	enc, err := json.Marshal(&ck)
 	if err != nil {

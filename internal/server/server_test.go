@@ -632,3 +632,42 @@ func TestResourceCaps(t *testing.T) {
 		t.Fatalf("oversized job list: %d %s, want 400", resp2.StatusCode, body2)
 	}
 }
+
+// TestAdaptiveAccuracyRequest covers the reltol/abstol request fields: the
+// tolerances are part of the content-addressed identity (an adaptive run
+// must not be served from a fixed-grid run's cache entry), the final grid
+// sizes surface in the result JSON, and the step-rejection/refinement
+// counters exist in /metrics.
+func TestAdaptiveAccuracyRequest(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	fixed := postJSON(t, ts.URL+"/v1/simulate", map[string]any{"deck": fastDeck})
+	fixedBody, _ := io.ReadAll(fixed.Body)
+	fixed.Body.Close()
+	if fixed.StatusCode != http.StatusOK {
+		t.Fatalf("fixed run: %d %s", fixed.StatusCode, fixedBody)
+	}
+
+	adaptive := postJSON(t, ts.URL+"/v1/simulate", map[string]any{"deck": fastDeck, "reltol": 1e-3})
+	adaptiveBody, _ := io.ReadAll(adaptive.Body)
+	adaptive.Body.Close()
+	if adaptive.StatusCode != http.StatusOK {
+		t.Fatalf("adaptive run: %d %s", adaptive.StatusCode, adaptiveBody)
+	}
+	if adaptive.Header.Get("X-Cache") == "hit" {
+		t.Fatal("adaptive request was served from the fixed-grid cache entry — reltol is missing from the canonical key")
+	}
+	if !strings.Contains(string(adaptiveBody), `"final_n1"`) {
+		t.Errorf("adaptive result JSON lacks final grid sizes:\n%s", adaptiveBody)
+	}
+
+	m := metricsSnapshot(t, ts.URL)
+	for _, name := range []string{"mpde_solver_step_rejections_total", "mpde_solver_grid_refinements_total"} {
+		if _, ok := m[name]; !ok {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+	if m["mpde_engine_runs_total"] != 2 {
+		t.Errorf("engine runs = %v, want 2 (fixed + adaptive must not coalesce)", m["mpde_engine_runs_total"])
+	}
+}

@@ -45,3 +45,29 @@ func BenchmarkSweepWorkers1(b *testing.B) { benchSweep(b, 1) }
 
 // BenchmarkSweepWorkersNumCPU is the parallel counterpart.
 func BenchmarkSweepWorkersNumCPU(b *testing.B) { benchSweep(b, runtime.NumCPU()) }
+
+// BenchmarkSingleJobSpecAssembly measures the assemblyWorkers bugfix: a
+// single-job spec with a multi-slot pool (the common "one deck, one
+// analysis" service request) now keeps the assembler's parallel default
+// instead of serializing QPSS assembly. Compare against GOMAXPROCS=1 to see
+// the headroom; on an 8-core host the 40×30 balanced-mixer job drops from
+// ~serial assembly time to the internal/core parallel-assembly numbers
+// (see BENCH_qpss.json).
+func BenchmarkSingleJobSpecAssembly(b *testing.B) {
+	spec := sweep.Spec{
+		Name:    "single-job",
+		Methods: []sweep.Method{sweep.QPSS},
+		Grid:    sweep.Grid{Fd: []float64{100e3}, N1: []int{40}, N2: []int{30}},
+		Build:   balancedTarget,
+		Workers: 8, // pool slots sit idle; the one job may still fan out
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.Run(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ok, _, _ := res.Counts(); ok != 1 {
+			b.Fatalf("job failed: %v", res.Errors())
+		}
+	}
+}

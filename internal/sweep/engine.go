@@ -116,7 +116,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 							Done: int(doneCount.Load()), Total: len(jobs),
 						})
 					}
-					jr, raw := spec.runJob(ctx, jobs[id], seedFor(jobs[id]))
+					jr, raw := spec.runJob(ctx, jobs[id], seedFor(jobs[id]), len(jobs))
 					res.Jobs[id] = jr
 					if storeSeeds && raw != nil && jr.Status == StatusOK {
 						seedMu.Lock()
@@ -175,15 +175,20 @@ func (s *Spec) spectrumTop() int {
 }
 
 // assemblyWorkers bounds a QPSS job's intra-job assembly parallelism: when
-// the engine pool itself runs jobs concurrently, job-level parallelism
+// the engine pool actually runs jobs concurrently, job-level parallelism
 // already saturates the cores, and letting every job additionally fan
-// GOMAXPROCS assembly goroutines would oversubscribe quadratically. A
-// single-worker pool keeps the assembler's default (all cores). Results are
+// GOMAXPROCS assembly goroutines would oversubscribe quadratically. The
+// pool's effective parallelism is min(Workers, jobs) — a single-job spec
+// keeps the assembler's default (all cores) no matter how many idle pool
+// slots the spec configured, as does a single-worker pool. Results are
 // byte-identical either way.
-func (s *Spec) assemblyWorkers() int {
+func (s *Spec) assemblyWorkers(nJobs int) int {
 	workers := s.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
+	}
+	if workers > nJobs && nJobs > 0 {
+		workers = nJobs
 	}
 	if workers > 1 {
 		return 1
@@ -192,20 +197,23 @@ func (s *Spec) assemblyWorkers() int {
 }
 
 // tuning collects the engine-level knobs the registry descriptors use to
-// derive per-method parameters.
-func (s *Spec) tuning() analysis.Tuning {
+// derive per-method parameters; nJobs is the spec's total job count, which
+// decides whether intra-job assembly may fan out.
+func (s *Spec) tuning(nJobs int) analysis.Tuning {
 	return analysis.Tuning{
 		DiffT1: s.DiffT1, DiffT2: s.DiffT2,
 		TransientPeriods:   s.TransientPeriods,
 		StepsPerFastPeriod: s.StepsPerFastPeriod,
-		AssemblyWorkers:    s.assemblyWorkers(),
+		AssemblyWorkers:    s.assemblyWorkers(nJobs),
+		Accuracy:           analysis.Accuracy{RelTol: s.RelTol, AbsTol: s.AbsTol},
 	}
 }
 
 // runJob executes one job under its per-job context through the analysis
 // registry and returns the result plus, for seedable methods, the converged
-// raw grid.
-func (s *Spec) runJob(ctx context.Context, job Job, seed []float64) (jr JobResult, raw []float64) {
+// raw grid. nJobs is the spec's total job count (it gates intra-job
+// assembly parallelism).
+func (s *Spec) runJob(ctx context.Context, job Job, seed []float64, nJobs int) (jr JobResult, raw []float64) {
 	jr = JobResult{Job: job}
 	if err := ctx.Err(); err != nil {
 		jr.Status, jr.Err = StatusCanceled, err.Error()
@@ -249,7 +257,7 @@ func (s *Spec) runJob(ctx context.Context, job Job, seed []float64) (jr JobResul
 	}
 	var params any
 	if err == nil {
-		params, err = d.SweepParams(analysis.BuildInput{Target: *tgt, Point: job.Point, Tune: s.tuning()})
+		params, err = d.SweepParams(analysis.BuildInput{Target: *tgt, Point: job.Point, Tune: s.tuning(nJobs)})
 	}
 	if err != nil {
 		jr.Status, jr.Err = StatusFailed, err.Error()
@@ -296,6 +304,11 @@ func (s *Spec) runJob(ctx context.Context, job Job, seed []float64) (jr JobResul
 	jr.Factorizations = st.Factorizations
 	jr.Refactorizations = st.Refactorizations
 	jr.PatternReuse = st.PatternReuse
+	jr.AcceptedSteps = st.AcceptedSteps
+	jr.RejectedSteps = st.RejectedSteps
+	jr.Refinements = st.Refinements
+	jr.FinalN1 = st.FinalN1
+	jr.FinalN2 = st.FinalN2
 	jr.Assembly = st.AssemblyTime
 	jr.Factor = st.FactorTime
 

@@ -1,0 +1,41 @@
+package sweep
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestAssemblyWorkersJobCountAware pins the oversubscription policy to the
+// pool's *effective* parallelism min(Workers, jobs): a spec with one job
+// must keep the assembler's default (all cores) no matter how many idle
+// pool slots it configured — the historical bug serialized QPSS assembly on
+// many-core hosts whenever Workers > 1, even for a single job.
+func TestAssemblyWorkersJobCountAware(t *testing.T) {
+	cases := []struct {
+		workers, nJobs, want int
+	}{
+		{8, 1, 0}, // single job: idle pool slots must not serialize assembly
+		{2, 1, 0},
+		{8, 2, 1}, // two concurrent jobs already fill the cores
+		{8, 8, 1},
+		{1, 4, 0}, // single-worker pool: jobs run one at a time
+		{0, 1, 0}, // NumCPU pool, one job
+	}
+	for _, c := range cases {
+		s := &Spec{Workers: c.workers}
+		if got := s.assemblyWorkers(c.nJobs); got != c.want {
+			t.Errorf("Workers=%d nJobs=%d: assemblyWorkers=%d, want %d",
+				c.workers, c.nJobs, got, c.want)
+		}
+	}
+	// Default pool with several jobs follows the core count.
+	s := &Spec{}
+	want := 1
+	if runtime.NumCPU() == 1 {
+		want = 0
+	}
+	if got := s.assemblyWorkers(4); got != want {
+		t.Errorf("Workers=0 nJobs=4 on %d cores: assemblyWorkers=%d, want %d",
+			runtime.NumCPU(), got, want)
+	}
+}

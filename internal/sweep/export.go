@@ -16,6 +16,7 @@ var csvHeader = []string{
 	"id", "method", "fd", "amp", "n1", "n2", "status",
 	"unknowns", "newton_iters", "time_steps", "continuation",
 	"factorizations", "refactorizations", "pattern_reuse",
+	"accepted_steps", "rejected_steps", "refinements", "final_n1", "final_n2",
 	"gain_valid", "gain_ratio", "gain_db", "hd2", "hd3", "swing",
 	"spectrum", "err",
 }
@@ -49,6 +50,11 @@ func (r *Result) WriteCSV(w io.Writer, timing bool) error {
 			strconv.Itoa(jr.Factorizations),
 			strconv.Itoa(jr.Refactorizations),
 			strconv.Itoa(jr.PatternReuse),
+			strconv.Itoa(jr.AcceptedSteps),
+			strconv.Itoa(jr.RejectedSteps),
+			strconv.Itoa(jr.Refinements),
+			strconv.Itoa(jr.FinalN1),
+			strconv.Itoa(jr.FinalN2),
 			strconv.FormatBool(jr.GainValid),
 			fmtE(jr.Gain.Ratio),
 			fmtE(jr.Gain.DB),

@@ -175,6 +175,13 @@ type Spec struct {
 	// Transient jobs, per period of the fastest retained harmonic K·F1
 	// (default 10).
 	StepsPerFastPeriod int
+	// RelTol/AbsTol, when RelTol > 0, turn on adaptive accuracy control for
+	// every job that supports it: LTE-driven envelope stepping, automatic
+	// QPSS/HB grid sizing (Point.N1/N2 become the starting grid), and
+	// transient resolution refinement. Fixed grids when zero. Outcomes are
+	// reported per job (AcceptedSteps/RejectedSteps/Refinements/FinalN1/N2).
+	RelTol float64
+	AbsTol float64
 }
 
 // Status classifies a job outcome.
@@ -254,6 +261,16 @@ type JobResult struct {
 	Factorizations   int `json:"factorizations,omitempty"`
 	Refactorizations int `json:"refactorizations,omitempty"`
 	PatternReuse     int `json:"pattern_reuse,omitempty"`
+	// AcceptedSteps/RejectedSteps report the envelope LTE controller's
+	// outcomes; Refinements counts automatic grid/step refinement rounds;
+	// FinalN1/FinalN2 are the grid sizes the solve actually used (equal to
+	// the request for fixed grids, solver-chosen under Spec.RelTol). All
+	// deterministic, safe for the byte-stable exports.
+	AcceptedSteps int `json:"accepted_steps,omitempty"`
+	RejectedSteps int `json:"rejected_steps,omitempty"`
+	Refinements   int `json:"refinements,omitempty"`
+	FinalN1       int `json:"final_n1,omitempty"`
+	FinalN2       int `json:"final_n2,omitempty"`
 	// UsedContinuation marks QPSS jobs rescued by source stepping.
 	UsedContinuation bool `json:"used_continuation,omitempty"`
 	// GainValid guards Gain: conversion gain referenced to Target.RFAmp.

@@ -336,3 +336,94 @@ func TestSweepExportShapes(t *testing.T) {
 		t.Fatal("timing JSON must include wall times")
 	}
 }
+
+// TestSingleJobSpecKeepsParallelAssembly is the regression for the
+// assemblyWorkers job-count bug: a spec holding exactly one job must produce
+// byte-identical output whether the pool has one slot or eight — the
+// single job is free to use the assembler's parallel default either way.
+func TestSingleJobSpecKeepsParallelAssembly(t *testing.T) {
+	run := func(workers int) []byte {
+		spec := sweep.Spec{
+			Name:    "single-job",
+			Methods: []sweep.Method{sweep.QPSS},
+			Grid:    sweep.Grid{Fd: []float64{100e3}, N1: []int{16}, N2: []int{12}},
+			Build:   balancedTarget,
+			Workers: workers,
+		}
+		res, err := sweep.Run(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ok, failed, canceled := res.Counts(); ok != 1 || failed != 0 || canceled != 0 {
+			t.Fatalf("workers=%d: ok=%d failed=%d canceled=%d errs=%v",
+				workers, ok, failed, canceled, res.Errors())
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf, false); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	one, eight := run(1), run(8)
+	if !bytes.Equal(one, eight) {
+		t.Fatalf("single-job sweep diverged between Workers=1 and Workers=8:\n--- 1 ---\n%s\n--- 8 ---\n%s", one, eight)
+	}
+}
+
+// TestSweepAdaptiveAccuracyCounters runs one adaptive QPSS and one adaptive
+// envelope job and checks the tolerance-driven outcomes — refinement
+// rounds, final grid sizes, accepted/rejected steps — surface in the job
+// results and both byte-stable exports.
+func TestSweepAdaptiveAccuracyCounters(t *testing.T) {
+	spec := sweep.Spec{
+		Name:    "adaptive",
+		Methods: []sweep.Method{sweep.QPSS, sweep.Envelope},
+		Grid:    sweep.Grid{Fd: []float64{100e3}},
+		Build:   balancedTarget,
+		Workers: 2,
+		RelTol:  1e-3,
+	}
+	res, err := sweep.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, failed, canceled := res.Counts(); ok != len(res.Jobs) {
+		t.Fatalf("ok=%d failed=%d canceled=%d errs=%v", ok, failed, canceled, res.Errors())
+	}
+	var qpss, env *sweep.JobResult
+	for i := range res.Jobs {
+		switch res.Jobs[i].Job.Method {
+		case sweep.QPSS:
+			qpss = &res.Jobs[i]
+		case sweep.Envelope:
+			env = &res.Jobs[i]
+		}
+	}
+	if qpss == nil || env == nil {
+		t.Fatalf("missing jobs in %+v", res.Jobs)
+	}
+	if qpss.FinalN1 <= 0 || qpss.FinalN2 <= 0 {
+		t.Errorf("adaptive qpss did not report its final grid: %+v", qpss)
+	}
+	if qpss.Refinements == 0 {
+		t.Errorf("adaptive qpss reported no refinement rounds (started at the adaptive coarse grid)")
+	}
+	if env.AcceptedSteps == 0 {
+		t.Errorf("adaptive envelope reported no accepted steps: %+v", env)
+	}
+	var csv, js bytes.Buffer
+	if err := res.WriteCSV(&csv, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteJSON(&js, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"accepted_steps", "rejected_steps", "refinements", "final_n1", "final_n2"} {
+		if !strings.Contains(csv.String(), col) {
+			t.Errorf("CSV header missing %q", col)
+		}
+	}
+	if !strings.Contains(js.String(), `"final_n1"`) || !strings.Contains(js.String(), `"refinements"`) {
+		t.Errorf("JSON export missing adaptive counters:\n%s", js.String())
+	}
+}
