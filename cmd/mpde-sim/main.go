@@ -62,6 +62,8 @@ var (
 	f1Flag = flag.String("f1", "", "sweep stop frequency (ac/pac, SPICE value)")
 	npts   = flag.Int("npts", 0, "sweep points (ac/pac)")
 
+	linear = flag.String("linear", "", "Newton linear solver: direct | gmres | matfree (default: the analysis's choice)")
+
 	relTol   = flag.String("reltol", "", "adaptive accuracy target: LTE tolerance (envelope) / spectral-tail ratio (qpss, hb, transient); empty = fixed grids")
 	absTol   = flag.String("abstol", "", "absolute error/amplitude floor of the adaptive control (SPICE value)")
 	accuracy = flag.Float64("accuracy", 0, "shorthand for -reltol 1e-<accuracy> (digits of accuracy)")
@@ -209,6 +211,7 @@ func directiveFromFlags(deck *netlist.Deck, d *analysis.Descriptor) analysis.Dir
 	}
 	setStr("method", strings.ToLower(*method))
 	setStr("source", strings.TrimSpace(*source))
+	setStr("linear", strings.ToLower(strings.TrimSpace(*linear)))
 	in := deck.DirectiveInput(netlist.Analysis{Params: num, Str: str})
 	return in
 }

@@ -48,6 +48,7 @@ func sweepMain(args []string) {
 		timing      = fs.Bool("timing", true, "include per-job wall-clock times in the output")
 		outPath     = fs.String("out", "", "output file (default stdout)")
 		top         = fs.Int("top", 5, "dominant spectrum mixes reported per qpss job")
+		linearSel   = fs.String("linear", "", "Newton linear solver for every job: direct | gmres | matfree")
 		relTol      = fs.String("reltol", "", "adaptive accuracy target for every job (empty = fixed grids)")
 		absTol      = fs.String("abstol", "", "absolute error/amplitude floor of the adaptive control (SPICE value)")
 	)
@@ -62,6 +63,7 @@ func sweepMain(args []string) {
 		JobTimeout:  *timeout,
 		WarmStart:   *warm,
 		SpectrumTop: *top,
+		Linear:      strings.ToLower(strings.TrimSpace(*linearSel)),
 	}
 	if *order2 {
 		spec.DiffT1, spec.DiffT2 = repro.Order2, repro.Order2

@@ -1,0 +1,78 @@
+// Matrix-free counterpart of the golden QPSS regression: the Fig. 3–5
+// balanced-mixer solve re-run with linear=matfree (Jacobian-free GMRES with
+// the batched block-line preconditioner) must land on the same golden
+// spectra as the direct-LU path, within the fixture tolerances. This pins
+// the claim that the matrix-free path is a drop-in linear-solver choice,
+// not a different numerical method.
+package repro_test
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+
+	"repro"
+)
+
+func TestGoldenQPSSSpectraMatrixFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("40×30 matrix-free mixer solve is slow")
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run `go test -run TestGoldenQPSSSpectra -update`): %v", err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	wc, ok := want.Cases["fig3to5-bitstream"]
+	if !ok {
+		t.Fatal("golden fixture lacks the fig3to5-bitstream case")
+	}
+
+	mix := repro.NewBalancedMixer(repro.BalancedMixerConfig{Bits: repro.PRBS7(0x4D, 8)})
+	res, err := repro.Analyze(context.Background(), repro.AnalysisRequest{
+		Method:  "qpss",
+		Circuit: mix.Ckt,
+		Params:  repro.QPSSParams{N1: 40, N2: 30, Shear: mix.Shear, Linear: "matfree"},
+	})
+	if err != nil {
+		t.Fatalf("matrix-free qpss: %v", err)
+	}
+	st := res.Stats()
+	if st.OperatorApplies == 0 || st.PrecondBuilds == 0 {
+		t.Fatalf("matrix-free path did not run: %+v", st)
+	}
+
+	sol, ok := res.Raw().(*repro.MPDESolution)
+	if !ok {
+		t.Fatalf("unexpected raw result %T", res.Raw())
+	}
+	spectra := map[string]repro.MPDEGridSpectrum{
+		"outp": sol.Spectrum(mix.OutP),
+		"outm": sol.Spectrum(mix.OutM),
+		"tail": sol.Spectrum(mix.Tail),
+		"diff": sol.SpectrumDiff(mix.OutP, mix.OutM),
+	}
+	close := func(got, want float64) bool {
+		return math.Abs(got-want) <= goldenAbsTol+goldenRelTol*math.Abs(want)
+	}
+	for node, wantLines := range wc.Nodes {
+		gs, ok := spectra[node]
+		if !ok {
+			t.Errorf("node %q missing from probe set", node)
+			continue
+		}
+		for _, wl := range wantLines {
+			amp := gs.MixAmp(wl.K1, wl.K2)
+			if !close(amp, wl.Amp) {
+				t.Errorf("%s: mix (%d,%d) amp %.12e, golden %.12e (rel %.3e)",
+					node, wl.K1, wl.K2, amp, wl.Amp,
+					math.Abs(amp-wl.Amp)/math.Abs(wl.Amp))
+			}
+		}
+	}
+}

@@ -138,6 +138,15 @@ type Stats struct {
 	PatternReuse     int
 	// LinearIters totals inner linear-solver (GMRES) iterations.
 	LinearIters int
+	// OperatorApplies counts matrix-free Jacobian-vector products;
+	// PrecondBuilds counts preconditioner constructions; GMRESFallbacks
+	// counts GMRES failures rescued by a direct solve; BatchReuse counts
+	// factorisations that reused a shared symbolic analysis (batched line
+	// preconditioner slots or a sweep group's published LU).
+	OperatorApplies int
+	PrecondBuilds   int
+	GMRESFallbacks  int
+	BatchReuse      int
 	// AcceptedSteps/RejectedSteps report the envelope LTE controller's
 	// outcomes (rejected also counts Newton-failure retries of the stepping
 	// analyses).

@@ -59,6 +59,9 @@ type Tuning struct {
 	// AssemblyWorkers bounds QPSS intra-job assembly parallelism (0 = the
 	// assembler default).
 	AssemblyWorkers int
+	// Linear selects the Newton linear solver for methods that support it
+	// ("direct", "gmres", "matfree"; empty = direct).
+	Linear string
 	// Accuracy is the uniform adaptive-control tolerance pair; descriptors
 	// of adaptive analyses copy it into their typed parameters.
 	Accuracy Accuracy
@@ -96,6 +99,14 @@ func (in DirectiveInput) Float(key string, def float64) float64 {
 func (in DirectiveInput) Int(key string, def int) int {
 	if v, ok := in.Num[key]; ok {
 		return int(v)
+	}
+	return def
+}
+
+// Text returns a string parameter or def when absent.
+func (in DirectiveInput) Text(key, def string) string {
+	if v, ok := in.Str[key]; ok {
+		return v
 	}
 	return def
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/solver"
 )
 
 // QPSSParams configures the paper's sheared-grid quasi-periodic steady
@@ -23,6 +24,10 @@ type QPSSParams struct {
 	// AssemblyWorkers bounds intra-solve assembly parallelism (0 = the
 	// assembler default).
 	AssemblyWorkers int
+	// Linear selects the Newton linear solver: "direct" (default), "gmres"
+	// (ILU0-preconditioned GMRES on the assembled Jacobian), or "matfree"
+	// (Jacobian-free GMRES with the batched block-line preconditioner).
+	Linear string
 	// Accuracy, when enabled, replaces the fixed grid with automatic sizing:
 	// the solve starts coarse (N1/N2 when set, the adaptive defaults
 	// otherwise) and refines until the spectral tail passes RelTol (see
@@ -57,6 +62,13 @@ func runQPSS(ctx context.Context, req Request) (Result, error) {
 		DiffT1: p.DiffT1, DiffT2: p.DiffT2,
 		Newton: req.Newton, Continuation: !p.NoContinuation,
 		AssemblyWorkers: p.AssemblyWorkers,
+	}
+	if p.Linear != "" {
+		kind, err := solver.ParseLinearSolver(p.Linear)
+		if err != nil {
+			return nil, err
+		}
+		opt.Newton.Linear = kind
 	}
 	req.Circuit.Finalize()
 	if p.Accuracy.Enabled() {
@@ -103,6 +115,11 @@ func (r *qpssResult) Stats() Stats {
 		Refactorizations: s.Refactorizations,
 		PatternBuilds:    s.PatternBuilds,
 		PatternReuse:     s.PatternReuse,
+		LinearIters:      s.LinearIters,
+		OperatorApplies:  s.OperatorApplies,
+		PrecondBuilds:    s.PrecondBuilds,
+		GMRESFallbacks:   s.GMRESFallbacks,
+		BatchReuse:       s.BatchReuse,
 		Refinements:      s.Refinements,
 		FinalN1:          r.sol.N1,
 		FinalN2:          r.sol.N2,
@@ -224,17 +241,20 @@ func init() {
 		UsesGridAxes: true,
 		Seedable:     true,
 		NumKeys:      withAccuracyKeys("n1", "n2", "top", "order"),
+		StrKeys:      []string{"linear"},
 		SweepParams: func(bi BuildInput) (any, error) {
 			return QPSSParams{
 				N1: bi.Point.N1, N2: bi.Point.N2, Shear: bi.Target.Shear,
 				DiffT1: bi.Tune.DiffT1, DiffT2: bi.Tune.DiffT2,
 				AssemblyWorkers: bi.Tune.AssemblyWorkers,
+				Linear:          bi.Tune.Linear,
 				Accuracy:        bi.Tune.Accuracy,
 			}, nil
 		},
 		DirectiveParams: func(in DirectiveInput) (any, error) {
 			p := QPSSParams{
 				N1: in.Int("n1", 0), N2: in.Int("n2", 0), Shear: in.Shear,
+				Linear:   in.Text("linear", ""),
 				Accuracy: accuracyFrom(in),
 			}
 			if in.Int("order", 1) >= 2 {

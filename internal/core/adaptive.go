@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/circuit"
+	"repro/internal/solver"
 )
 
 // Fast-grid sizing. The paper fixes the grid at 40×30 (DefaultN1×DefaultN2)
@@ -165,14 +166,29 @@ func AdaptiveQPSS(ctx context.Context, ckt *circuit.Circuit, opt Options, acc Ac
 		total.Refactorizations += s.Refactorizations
 		total.PatternBuilds += s.PatternBuilds
 		total.PatternReuse += s.PatternReuse
+		total.LinearIters += s.LinearIters
+		total.OperatorApplies += s.OperatorApplies
+		total.PrecondBuilds += s.PrecondBuilds
+		total.GMRESFallbacks += s.GMRESFallbacks
+		total.BatchReuse += s.BatchReuse
 		total.AssemblyTime += s.AssemblyTime
 		total.FactorTime += s.FactorTime
 	}
 
+	// The matrix-free mode pays off on the refined grids where LU fill
+	// dominates; the deliberately coarse starting grid is direct's win, and
+	// its exact solve anchors the refinement loop with a trustworthy tail
+	// measurement.
+	matFree := opt.Newton.Linear == solver.MatrixFree
+
 	var sol *Solution
 	var ax1, ax2 TailAxis
 	for round := 0; ; round++ {
-		s, err := QPSS(ctx, ckt, opt)
+		ropt := opt
+		if matFree && round == 0 {
+			ropt.Newton.Linear = solver.DirectSparse
+		}
+		s, err := QPSS(ctx, ckt, ropt)
 		if err != nil {
 			return nil, err
 		}

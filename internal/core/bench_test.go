@@ -2,8 +2,11 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"testing"
+
+	"repro/internal/solver"
 )
 
 // benchAssembler builds the regression mixer's grid assembler plus a solved
@@ -75,6 +78,31 @@ func BenchmarkQPSSSolve(b *testing.B) {
 		}
 		b.ReportMetric(float64(sol.Stats.NewtonIters), "newton-iters")
 		b.ReportMetric(float64(sol.Stats.Refactorizations), "refactorizations")
+	}
+}
+
+// BenchmarkQPSSLinearSolver compares the direct-LU and matrix-free Newton
+// linear paths on the regression mixer across grid sizes. Direct wins on
+// small grids (cheap fill, no Krylov overhead); matrix-free scales better as
+// the grid — and the LU fill with it — grows.
+func BenchmarkQPSSLinearSolver(b *testing.B) {
+	sh := Shear{F1: 1e6, F2: 0.875e6, K: 1}
+	for _, g := range []struct{ n1, n2 int }{{24, 16}, {40, 30}, {64, 48}} {
+		for _, lin := range []solver.LinearSolverKind{solver.DirectSparse, solver.MatrixFree} {
+			b.Run(fmt.Sprintf("%dx%d/%s", g.n1, g.n2, lin), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					var opt Options
+					opt.N1, opt.N2, opt.Shear = g.n1, g.n2, sh
+					opt.Newton.Linear = lin
+					sol, err := QPSS(context.Background(), nonlinearMixer(sh), opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(sol.Stats.NewtonIters), "newton-iters")
+					b.ReportMetric(float64(sol.Stats.LinearIters), "linear-iters")
+				}
+			})
+		}
 	}
 }
 

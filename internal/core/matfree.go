@@ -1,0 +1,241 @@
+package core
+
+import (
+	"repro/internal/device"
+	"repro/internal/la"
+	"repro/internal/solver"
+)
+
+// mfSystem presents the MPDE grid system to Newton in matrix-free form: the
+// Jacobian is never assembled globally or factorised. Its action J(x₀)·v is
+// computed exactly, element by element, from the per-point local Jacobians
+// (G = ∂f/∂x, C = ∂q/∂x) and the difference stencils — the same data one
+// grid evaluation leaves behind — fanned over the assembler's
+// byte-deterministic parallel chunking. The preconditioner is a block-Jacobi
+// factorisation over slow-axis lines, the blocks the MPDE's fast/slow
+// time-scale separation makes dominant. Eval still forwards to the full
+// assembler, so damping trials and the GMRES→direct rescue path work
+// unchanged.
+//
+// An earlier variant computed J·v by directional residual differencing
+// (classic JFNK). It was abandoned: the finite-difference noise floor
+// (~1e-7 relative on the mixer's stiff exponentials) sits above the GMRES
+// tolerance, and once Newton's residual shrinks toward convergence the
+// noise swamps the right-hand side entirely — every late solve stalled at
+// the iteration cap and fell back to direct LU, defeating the mode. The
+// local-block product is exact, deterministic, and cheaper per apply (no
+// device re-evaluation).
+type mfSystem struct {
+	asm  *assembler
+	nTot int
+
+	// Linearisation-point residual (private copy: the assembler reuses a.r).
+	r0 []float64
+
+	prec *linePrecond
+}
+
+var _ solver.MatrixFreeSystem = (*mfSystem)(nil)
+
+// batchStats reports the preconditioner's shared-analysis reuse: slots
+// refactored against the frozen pivot order vs fresh-factor fallbacks.
+func (s *mfSystem) batchStats() (reused, fallbacks int) {
+	if s.prec == nil || s.prec.batch == nil {
+		return 0, 0
+	}
+	return s.prec.batch.Refactored, s.prec.batch.Fallbacks
+}
+
+func newMFSystem(asm *assembler) *mfSystem {
+	nTot := asm.N1 * asm.N2 * asm.n
+	return &mfSystem{
+		asm: asm, nTot: nTot,
+		r0: make([]float64, nTot),
+	}
+}
+
+func (s *mfSystem) Size() int { return s.nTot }
+
+// Eval forwards to the assembled path (residual-only for damping trials;
+// jac=true only when the solver rescues a failed GMRES solve directly).
+func (s *mfSystem) Eval(x []float64, jac bool) ([]float64, *la.CSR, error) {
+	return s.asm.assemble(x, 1, jac)
+}
+
+// Linearize fixes the linearisation point: one grid evaluation computes the
+// residual and the per-point local G/C Jacobians (for Apply and the
+// preconditioner) without stamping a global pattern.
+func (s *mfSystem) Linearize(x []float64) ([]float64, la.Operator, error) {
+	s.asm.evalGrid(x, device.EvalCtx{Torus: true, Lambda: 1}, true)
+	copy(s.r0, s.asm.r)
+	return s.r0, s, nil
+}
+
+// Apply computes y = J(x₀)·v exactly from the per-point local Jacobians:
+// row block p gets G(p)·v_p plus the d1 (fast-axis) and d2 (slow-axis)
+// stencil sums of coef·C(pp)·v_pp over the neighbour points pp — precisely
+// the terms stampPoint would have written into the global matrix. Each grid
+// point owns its output rows and reads only the frozen linearisation data,
+// so the parallel fan-out is race-free and byte-deterministic.
+func (s *mfSystem) Apply(v, y []float64) {
+	a := s.asm
+	n, N1 := a.n, a.N1
+	blockMAC := func(dst []float64, m *la.CSR, src []float64, coef float64) {
+		for li := 0; li < n; li++ {
+			sum := 0.0
+			for k := m.RowPtr[li]; k < m.RowPtr[li+1]; k++ {
+				sum += m.Val[k] * src[m.ColIdx[k]]
+			}
+			dst[li] += coef * sum
+		}
+	}
+	a.parallel(a.N1*a.N2, func(_, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			i, j := p%N1, p/N1
+			yp := y[p*n : (p+1)*n]
+			la.Fill(yp, 0)
+			blockMAC(yp, a.gs[p], v[p*n:(p+1)*n], 1)
+			for sIdx, coef := range a.d1c {
+				pp := j*N1 + mod(i+a.d1off[sIdx], N1)
+				blockMAC(yp, a.cs[pp], v[pp*n:(pp+1)*n], coef)
+			}
+			for sIdx, coef := range a.d2c {
+				pp := mod(j+a.d2off[sIdx], a.N2)*N1 + i
+				blockMAC(yp, a.cs[pp], v[pp*n:(pp+1)*n], coef)
+			}
+		}
+	})
+}
+
+// BuildPreconditioner (re)factors the block-line preconditioner from the
+// local Jacobians the last Linearize left in the assembler.
+func (s *mfSystem) BuildPreconditioner() (la.Preconditioner, error) {
+	if s.prec == nil {
+		s.prec = newLinePrecond(s.asm)
+	}
+	if err := s.prec.build(); err != nil {
+		return nil, err
+	}
+	return s.prec, nil
+}
+
+// linePrecond is block-Jacobi over slow-axis lines: block j is the exact
+// (N1·n)×(N1·n) diagonal block of the MPDE Jacobian for line j — the G
+// stamps, the fast-axis d1 stencil C terms, and the in-line d2 diagonal
+// term — dropping only the slow-axis coupling to other lines, whose relative
+// strength scales like h1/h2 ≪ 1 on the sheared grid. All N2 blocks share
+// one sparsity pattern (the union over every grid point's local stamps), so
+// a BatchLU factors one representative line symbolically and refactors the
+// rest numerics-only.
+type linePrecond struct {
+	asm *assembler
+	ln  int // block dimension N1·n
+
+	jm      *la.CSR // shared line pattern, restamped per line
+	stamper *la.RowStamper
+	pattern symbolicPattern
+	batch   *la.BatchLU
+	line    int // line currently being stamped (restamp callback input)
+}
+
+func newLinePrecond(a *assembler) *linePrecond {
+	return &linePrecond{asm: a, ln: a.N1 * a.n}
+}
+
+// buildLinePattern unions every grid point's local stamps at their in-line
+// block positions, so one pattern covers all N2 lines.
+func (p *linePrecond) buildLinePattern() {
+	a := p.asm
+	n, N1, N2 := a.n, a.N1, a.N2
+	pb := la.NewPatternBuilder(p.ln, p.ln)
+	for j := 0; j < N2; j++ {
+		for i := 0; i < N1; i++ {
+			gp := j*N1 + i
+			pb.AddBlock(a.gs[gp], i*n, i*n)
+			pb.AddBlock(a.cs[gp], i*n, i*n) // d2 in-line diagonal term
+			for s := range a.d1c {
+				ii := mod(i+a.d1off[s], N1)
+				pb.AddBlock(a.cs[j*N1+ii], i*n, ii*n)
+			}
+		}
+	}
+	p.jm = pb.Build()
+	p.stamper = la.NewRowStamper(p.jm)
+	p.batch = nil // pattern changed: the old symbolic analysis is void
+}
+
+// stampLine restamps the shared line matrix with line j's values; false
+// reports a pattern miss.
+func (p *linePrecond) stampLine() bool {
+	a := p.asm
+	n, N1 := a.n, a.N1
+	j := p.line
+	st := p.stamper
+	st.ZeroRows(0, p.ln)
+	for i := 0; i < N1; i++ {
+		gp := j*N1 + i
+		g, c := a.gs[gp], a.cs[gp]
+		for li := 0; li < n; li++ {
+			st.SetRow(i*n + li)
+			for k := g.RowPtr[li]; k < g.RowPtr[li+1]; k++ {
+				if !st.Add(i*n+g.ColIdx[k], g.Val[k]) {
+					return false
+				}
+			}
+			// In-line d2 diagonal term (offset 0 of the slow stencil).
+			for k := c.RowPtr[li]; k < c.RowPtr[li+1]; k++ {
+				if !st.Add(i*n+c.ColIdx[k], a.d2c[0]*c.Val[k]) {
+					return false
+				}
+			}
+			for s, coef := range a.d1c {
+				ii := mod(i+a.d1off[s], N1)
+				cc := a.cs[j*N1+ii]
+				cb := ii * n
+				for k := cc.RowPtr[li]; k < cc.RowPtr[li+1]; k++ {
+					if !st.Add(cb+cc.ColIdx[k], coef*cc.Val[k]) {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// build restamps and refactors every line block against the shared symbolic
+// analysis: the first build factors line 0 as the representative, and every
+// line of every build (including later Newton refreshes, via Reset) is a
+// numeric-only batch slot reusing that analysis.
+func (p *linePrecond) build() error {
+	a := p.asm
+	if p.batch != nil {
+		p.batch.Reset()
+	}
+	for j := 0; j < a.N2; j++ {
+		p.line = j
+		if err := p.pattern.restamp(p.buildLinePattern, p.stampLine, "line"); err != nil {
+			return err
+		}
+		if p.batch == nil {
+			b, err := la.NewBatchLU(p.jm, a.opt.Newton.PivotTol, a.N2)
+			if err != nil {
+				return err
+			}
+			p.batch = b
+		}
+		if _, err := p.batch.Add(p.jm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Precondition applies z = M⁻¹·r line by line; each line's unknowns are
+// contiguous in the (j·N1+i)·n+k layout, so the block solves work on slices.
+func (p *linePrecond) Precondition(r, z []float64) {
+	for j := 0; j < p.asm.N2; j++ {
+		lo := j * p.ln
+		p.batch.Solve(j, r[lo:lo+p.ln], z[lo:lo+p.ln])
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/solver"
+)
+
+// TestQPSSMatrixFreeMatchesDirect solves the same two-tone problem with the
+// assembled direct path and the matrix-free GMRES path and requires the two
+// converged grids to agree far inside the Newton tolerance. It also pins the
+// observability contract: the matrix-free solve reports operator applies and
+// preconditioner builds, and never assembles a global LU unless GMRES falls
+// back.
+func TestQPSSMatrixFreeMatchesDirect(t *testing.T) {
+	sh := Shear{F1: 1e6, F2: 0.9e6, K: 1}
+	opt := Options{N1: 32, N2: 24, Shear: sh}
+
+	ckt1, _, _ := twoToneRC(sh, 1, 0.5)
+	direct, err := QPSS(context.Background(), ckt1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckt2, _, _ := twoToneRC(sh, 1, 0.5)
+	mfOpt := opt
+	mfOpt.Newton.Linear = solver.MatrixFree
+	mf, err := QPSS(context.Background(), ckt2, mfOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(mf.X) != len(direct.X) {
+		t.Fatalf("grid size mismatch: %d vs %d", len(mf.X), len(direct.X))
+	}
+	maxDiff := 0.0
+	for i := range mf.X {
+		if d := math.Abs(mf.X[i] - direct.X[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-6 {
+		t.Fatalf("matrix-free grid deviates from direct by %v", maxDiff)
+	}
+
+	st := mf.Stats
+	if st.OperatorApplies == 0 {
+		t.Fatal("matrix-free solve reported no operator applies")
+	}
+	if st.PrecondBuilds == 0 {
+		t.Fatal("matrix-free solve reported no preconditioner builds")
+	}
+	if st.LinearIters == 0 {
+		t.Fatal("matrix-free solve reported no GMRES iterations")
+	}
+	// Every line block beyond the representative refactors against the
+	// shared symbolic analysis.
+	if want := st.PrecondBuilds * opt.N2; st.BatchReuse < want/2 {
+		t.Fatalf("BatchReuse = %d, want at least %d (N2=%d lines per build)",
+			st.BatchReuse, want/2, opt.N2)
+	}
+	if st.GMRESFallbacks == 0 && st.Factorizations != 0 {
+		t.Fatalf("matrix-free solve paid %d full factorisations without a fallback", st.Factorizations)
+	}
+}
+
+// TestQPSSMatrixFreeMixerNoFallbacks pins the hard case: the stiff
+// exponential mixer must converge through GMRES alone — zero direct-LU
+// rescues, zero global factorisations. (The abandoned residual-differencing
+// operator failed exactly here: finite-difference noise stalled every late
+// Newton solve into the fallback path.)
+func TestQPSSMatrixFreeMixerNoFallbacks(t *testing.T) {
+	sh := Shear{F1: 1e6, F2: 0.875e6, K: 1}
+	var opt Options
+	opt.N1, opt.N2, opt.Shear = 24, 16, sh
+	opt.Newton.Linear = solver.MatrixFree
+	sol, err := QPSS(context.Background(), nonlinearMixer(sh), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sol.Stats
+	if st.GMRESFallbacks != 0 {
+		t.Fatalf("mixer matrix-free solve fell back to direct %d times", st.GMRESFallbacks)
+	}
+	if st.Factorizations != 0 {
+		t.Fatalf("mixer matrix-free solve paid %d global factorisations", st.Factorizations)
+	}
+	if st.OperatorApplies == 0 || st.LinearIters == 0 {
+		t.Fatalf("matrix-free path did not run: %+v", st)
+	}
+}
+
+// TestAdaptiveQPSSMatrixFree runs the adaptive loop in matrix-free mode: the
+// coarse round is solved direct (the refinement anchor), refined rounds go
+// matrix-free, and the result must match the all-direct adaptive solve.
+func TestAdaptiveQPSSMatrixFree(t *testing.T) {
+	sh := Shear{F1: 1e6, F2: 0.9e6, K: 1}
+	acc := AccuracyOptions{RelTol: 1e-3, MaxRounds: 3}
+	opt := Options{N1: 8, N2: 8, Shear: sh}
+
+	ckt1, _, _ := twoToneRC(sh, 1, 1)
+	direct, err := AdaptiveQPSS(context.Background(), ckt1, opt, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckt2, _, _ := twoToneRC(sh, 1, 1)
+	mfOpt := opt
+	mfOpt.Newton.Linear = solver.MatrixFree
+	mf, err := AdaptiveQPSS(context.Background(), ckt2, mfOpt, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if mf.N1 != direct.N1 || mf.N2 != direct.N2 {
+		t.Fatalf("adaptive grids diverged: %dx%d vs %dx%d", mf.N1, mf.N2, direct.N1, direct.N2)
+	}
+	maxDiff := 0.0
+	for i := range mf.X {
+		if d := math.Abs(mf.X[i] - direct.X[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-6 {
+		t.Fatalf("adaptive matrix-free grid deviates from direct by %v", maxDiff)
+	}
+	if direct.Stats.Refinements > 0 && mf.Stats.OperatorApplies == 0 {
+		t.Fatal("refined rounds never used the matrix-free operator")
+	}
+}

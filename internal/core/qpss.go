@@ -81,6 +81,17 @@ type Stats struct {
 	// restamped values into an existing pattern in place.
 	PatternBuilds int
 	PatternReuse  int
+	// LinearIters totals GMRES iterations; OperatorApplies counts matrix-free
+	// Jacobian-vector products; PrecondBuilds counts preconditioner
+	// constructions; GMRESFallbacks counts GMRES failures rescued by a direct
+	// solve; BatchReuse counts factorisations that reused a shared symbolic
+	// analysis (the line preconditioner's batch slots, or a sweep group's
+	// published LU). All zero on the pure direct path.
+	LinearIters     int
+	OperatorApplies int
+	PrecondBuilds   int
+	GMRESFallbacks  int
+	BatchReuse      int
 	// Refinements counts the grid-refinement rounds AdaptiveQPSS ran beyond
 	// the initial coarse solve (0 for a plain fixed-grid QPSS call).
 	Refinements int
@@ -185,16 +196,30 @@ func QPSS(ctx context.Context, ckt *circuit.Circuit, opt Options) (*Solution, er
 		}
 	}
 
-	sys := solver.FuncSystem{N: nTot, F: func(xx []float64, jac bool) ([]float64, *la.CSR, error) {
+	var sys solver.System = solver.FuncSystem{N: nTot, F: func(xx []float64, jac bool) ([]float64, *la.CSR, error) {
 		return asm.assemble(xx, 1, jac)
 	}}
+	var mfs *mfSystem
+	if opt.Newton.Linear == solver.MatrixFree {
+		mfs = newMFSystem(asm)
+		sys = mfs
+	}
 	st, err := solver.Solve(ctx, sys, x, opt.Newton)
 	sol.Stats.NewtonIters = st.Iterations
 	sol.Stats.Factorizations = st.Factorizations
 	sol.Stats.Refactorizations = st.Refactorizations
 	sol.Stats.FillFactor = st.FillFactor
+	sol.Stats.LinearIters = st.LinearIters
+	sol.Stats.OperatorApplies = st.OperatorApplies
+	sol.Stats.PrecondBuilds = st.PrecondBuilds
+	sol.Stats.GMRESFallbacks = st.GMRESFallbacks
+	sol.Stats.BatchReuse = st.BatchReuse
 	sol.Stats.AssemblyTime = st.AssemblyTime
 	sol.Stats.FactorTime = st.FactorTime
+	if mfs != nil {
+		reused, _ := mfs.batchStats()
+		sol.Stats.BatchReuse += reused
+	}
 	if err != nil {
 		if solver.Interrupted(err) {
 			return nil, err
@@ -203,11 +228,17 @@ func QPSS(ctx context.Context, ckt *circuit.Circuit, opt Options) (*Solution, er
 			return nil, err
 		}
 		// Source-stepping continuation on the signal sources: bias stays on,
-		// the AC drive ramps from 0 to full.
+		// the AC drive ramps from 0 to full. The path always solves with an
+		// assembled Jacobian — near-singular homotopy steps are exactly where
+		// an inexact matrix-free solve is least trustworthy.
+		cnOpt := opt.Newton
+		if cnOpt.Linear == solver.MatrixFree {
+			cnOpt.Linear = solver.DirectSparse
+		}
 		ps := solver.FuncParamSystem{N: nTot, F: func(lambda float64, xx []float64, jac bool) ([]float64, *la.CSR, error) {
 			return asm.assembleSignalLambda(xx, lambda, jac)
 		}}
-		cs, cerr := solver.Continue(ctx, ps, x, solver.ContinuationOptions{Newton: opt.Newton})
+		cs, cerr := solver.Continue(ctx, ps, x, solver.ContinuationOptions{Newton: cnOpt})
 		sol.Stats.UsedContinuation = true
 		sol.Stats.ContinuationSolves = cs.Solves
 		sol.Stats.NewtonIters += cs.NewtonIters
@@ -339,6 +370,24 @@ func (a *assembler) assembleSignalLambda(xx []float64, lambda float64, jac bool)
 }
 
 func (a *assembler) assembleCtx(xx []float64, baseCtx device.EvalCtx, jac bool) ([]float64, *la.CSR, error) {
+	a.evalGrid(xx, baseCtx, jac)
+	if !jac {
+		return a.r, nil, nil
+	}
+	if err := a.pattern.restamp(a.buildPattern, a.stampAll, "grid"); err != nil {
+		return nil, nil, err
+	}
+	a.lastNNZ = a.jm.NNZ()
+	return a.r, a.jm, nil
+}
+
+// evalGrid runs the two assembly passes — per-point device evaluation and
+// stencil residual rows — leaving the residual in a.r and, when jac is set,
+// the per-point local Jacobians in a.cs/a.gs without touching the global
+// pattern. The matrix-free path uses it directly: residual-only for damping
+// trials, jac=true for the exact Jacobian-vector product and the line
+// preconditioner's local blocks.
+func (a *assembler) evalGrid(xx []float64, baseCtx device.EvalCtx, jac bool) {
 	n, N1, N2 := a.n, a.N1, a.N2
 	sh := a.opt.Shear
 	// Pass 1: evaluate the circuit at every grid point — N1·N2 independent
@@ -383,14 +432,6 @@ func (a *assembler) assembleCtx(xx []float64, baseCtx device.EvalCtx, jac bool) 
 			}
 		}
 	})
-	if !jac {
-		return a.r, nil, nil
-	}
-	if err := a.pattern.restamp(a.buildPattern, a.stampAll, "grid"); err != nil {
-		return nil, nil, err
-	}
-	a.lastNNZ = a.jm.NNZ()
-	return a.r, a.jm, nil
 }
 
 // stampAll zeroes and restamps every Jacobian block row across the worker

@@ -1,0 +1,248 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// batchFamily builds count same-pattern matrices with different values,
+// shaped like the banded MPDE line Jacobians the batch path targets.
+func batchFamily(n, count int, seed int64) []*CSR {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*CSR, count)
+	for c := 0; c < count; c++ {
+		tr := NewTriplet(n, n)
+		for i := 0; i < n; i++ {
+			tr.Append(i, i, 5+rng.Float64())
+			for _, off := range []int{-2, -1, 1, 2} {
+				if j := i + off; j >= 0 && j < n {
+					tr.Append(i, j, rng.NormFloat64())
+				}
+			}
+		}
+		out[c] = tr.Compress()
+	}
+	return out
+}
+
+func TestBatchLUMatchesFreshFactorisation(t *testing.T) {
+	const n, count = 60, 8
+	fam := batchFamily(n, count, 7)
+	b, err := NewBatchLU(fam[0], 0.001, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N() != n {
+		t.Fatalf("N() = %d, want %d", b.N(), n)
+	}
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = math.Sin(float64(i + 1))
+	}
+	for c, a := range fam {
+		k, err := b.Add(a)
+		if err != nil {
+			t.Fatalf("Add(%d): %v", c, err)
+		}
+		if k != c {
+			t.Fatalf("Add(%d) slot = %d", c, k)
+		}
+	}
+	if b.Len() != count {
+		t.Fatalf("Len = %d, want %d", b.Len(), count)
+	}
+	if b.Refactored != count || b.Fallbacks != 0 {
+		t.Fatalf("Refactored/Fallbacks = %d/%d, want %d/0", b.Refactored, b.Fallbacks, count)
+	}
+	x := make([]float64, n)
+	want := make([]float64, n)
+	for c, a := range fam {
+		b.Solve(c, rhs, x)
+		ref, err := SparseLUFactor(a, 0.001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.Solve(rhs, want)
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("slot %d: x[%d] = %v, want %v", c, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchLUFallbackSlot drives one slot through the frozen-pivot growth
+// bailout: the representative keeps the diagonal pivots, and a same-pattern
+// matrix with a tiny (0,0) entry makes that order unstable. The slot must
+// silently re-pivot via a fresh factorisation and still solve correctly.
+func TestBatchLUFallbackSlot(t *testing.T) {
+	build := func(a00 float64) *CSR {
+		tr := NewTriplet(2, 2)
+		tr.Append(0, 0, a00)
+		tr.Append(0, 1, 1)
+		tr.Append(1, 0, 1)
+		tr.Append(1, 1, 2)
+		return tr.Compress()
+	}
+	rep := build(1)
+	bad := build(1e-12) // growth 1/1e-12 ≫ refactorGrowth under the frozen order
+	b, err := NewBatchLU(rep, 0.001, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Add(rep); err != nil {
+		t.Fatal(err)
+	}
+	k, err := b.Add(bad)
+	if err != nil {
+		t.Fatalf("fallback Add: %v", err)
+	}
+	if b.Fallbacks != 1 || b.Refactored != 1 {
+		t.Fatalf("Refactored/Fallbacks = %d/%d, want 1/1", b.Refactored, b.Fallbacks)
+	}
+	x := make([]float64, 2)
+	b.Solve(k, []float64{1, 0}, x)
+	// Exact inverse of [[1e-12,1],[1,2]]·x = [1,0].
+	r0 := 1e-12*x[0] + x[1] - 1
+	r1 := x[0] + 2*x[1]
+	if math.Abs(r0) > 1e-9 || math.Abs(r1) > 1e-9 {
+		t.Fatalf("fallback slot residual (%v, %v)", r0, r1)
+	}
+}
+
+func TestBatchLUResetReusesStorage(t *testing.T) {
+	fam := batchFamily(40, 4, 11)
+	b, err := NewBatchLU(fam[0], 0.001, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range fam {
+		if _, err := b.Add(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", b.Len())
+	}
+	if b.Refactored != 4 {
+		t.Fatalf("Reset cleared counters: Refactored = %d", b.Refactored)
+	}
+	// A second round must produce the same answers as fresh factorisation.
+	fam2 := batchFamily(40, 4, 13)
+	rhs := make([]float64, 40)
+	for i := range rhs {
+		rhs[i] = float64(i%5) - 2
+	}
+	x, want := make([]float64, 40), make([]float64, 40)
+	for c, a := range fam2 {
+		if _, err := b.Add(a); err != nil {
+			t.Fatal(err)
+		}
+		b.Solve(c, rhs, x)
+		ref, _ := SparseLUFactor(a, 0.001)
+		ref.Solve(rhs, want)
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("round 2 slot %d: x[%d] = %v, want %v", c, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBatchLUAddRejectsPatternMismatch(t *testing.T) {
+	fam := batchFamily(20, 1, 3)
+	b, err := NewBatchLU(fam[0], 0.001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := batchFamily(21, 1, 3)[0]
+	if _, err := b.Add(other); err == nil {
+		t.Fatal("Add accepted a different pattern")
+	}
+	if b.Len() != 0 {
+		t.Fatalf("failed Add consumed a slot: Len = %d", b.Len())
+	}
+}
+
+func TestCloneSymbolicIndependence(t *testing.T) {
+	fam := batchFamily(30, 2, 17)
+	f, err := SparseLUFactor(fam[0], 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.CloneSymbolic()
+	if err := c.Refactor(fam[1]); err != nil {
+		t.Fatal(err)
+	}
+	rhs := make([]float64, 30)
+	for i := range rhs {
+		rhs[i] = 1 / float64(i+1)
+	}
+	// The clone solves fam[1]; the original still solves fam[0].
+	x, want := make([]float64, 30), make([]float64, 30)
+	c.Solve(rhs, x)
+	ref1, _ := SparseLUFactor(fam[1], 0.001)
+	ref1.Solve(rhs, want)
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("clone: x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+	f.Solve(rhs, x)
+	ref0, _ := SparseLUFactor(fam[0], 0.001)
+	ref0.Solve(rhs, want)
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("original after clone refactor: x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestLUSharePublishAcquire(t *testing.T) {
+	fam := batchFamily(30, 3, 23)
+	var s *LUShare
+	s.Publish(nil) // nil receiver and nil factor are both no-ops
+	if s.Acquire(fam[0]) != nil {
+		t.Fatal("nil LUShare acquired a factorisation")
+	}
+	s = &LUShare{}
+	if s.Acquire(fam[0]) != nil {
+		t.Fatal("empty LUShare acquired a factorisation")
+	}
+	leader, err := SparseLUFactor(fam[0], 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Publish(leader)
+	// The published snapshot must be frozen at publish time: the leader
+	// keeps refactoring its own factorisation afterwards.
+	if err := leader.Refactor(fam[2]); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Acquire(fam[1])
+	if got == nil {
+		t.Fatal("Acquire returned nil for a same-pattern matrix")
+	}
+	if err := got.Refactor(fam[1]); err != nil {
+		t.Fatalf("acquired clone Refactor: %v", err)
+	}
+	rhs := make([]float64, 30)
+	for i := range rhs {
+		rhs[i] = math.Cos(float64(i))
+	}
+	x, want := make([]float64, 30), make([]float64, 30)
+	got.Solve(rhs, x)
+	ref, _ := SparseLUFactor(fam[1], 0.001)
+	ref.Solve(rhs, want)
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("acquired clone: x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+	// Pattern mismatch → nil, never a wrong-shape factorisation.
+	if s.Acquire(batchFamily(31, 1, 23)[0]) != nil {
+		t.Fatal("Acquire matched a different pattern")
+	}
+}

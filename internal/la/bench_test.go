@@ -52,6 +52,99 @@ func BenchmarkSparseLURefactor(b *testing.B) {
 	}
 }
 
+// batchBenchFamily is the 64-job same-pattern workload of the batched-LU
+// benchmarks: one sweep group's worth of line Jacobians.
+func batchBenchFamily() []*CSR { return batchFamily(1000, 64, 77) }
+
+// BenchmarkBatchLU64 factors 64 same-pattern matrices through one shared
+// symbolic analysis — one symbolic phase plus 64 numeric sweeps.
+func BenchmarkBatchLU64(b *testing.B) {
+	fam := batchBenchFamily()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bl, err := NewBatchLU(fam[0], 0.001, len(fam))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, a := range fam {
+			if _, err := bl.Add(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(bl.Fallbacks), "fallbacks")
+	}
+}
+
+// BenchmarkPerJobFactor64 is the per-job baseline BatchLU replaces: every
+// matrix pays its own symbolic analysis and pivot search.
+func BenchmarkPerJobFactor64(b *testing.B) {
+	fam := batchBenchFamily()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range fam {
+			if _, err := SparseLUFactor(a, 0.001); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSparseLUSolveSteadyState is the factorisation-owned-scratch solve
+// path; allocs/op must stay at zero.
+func BenchmarkSparseLUSolveSteadyState(b *testing.B) {
+	a := benchMatrix(2000)
+	f, err := SparseLUFactor(a, 0.001)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, 2000)
+	x := make([]float64, 2000)
+	for i := range rhs {
+		rhs[i] = float64(i%13) - 6
+	}
+	f.Solve(rhs, x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Solve(rhs, x)
+	}
+}
+
+// BenchmarkGMRESSolverSteadyState is a held GMRESSolver re-solving a fixed
+// system — the per-Newton-iteration configuration; allocs/op must stay at
+// zero once the workspace is warm.
+func BenchmarkGMRESSolverSteadyState(b *testing.B) {
+	const n = 2000
+	d := make([]float64, n)
+	rhs := make([]float64, n)
+	for i := range d {
+		d[i] = 2 + float64(i%9)
+		rhs[i] = float64(i%7) - 3
+	}
+	tr := NewTriplet(n, n)
+	for i, v := range d {
+		tr.Append(i, i, v)
+	}
+	m := tr.Compress()
+	op := AsOperator(m)
+	var s GMRESSolver
+	x := make([]float64, n)
+	opt := GMRESOptions{Tol: 1e-10}
+	if _, err := s.Solve(op, rhs, x, opt); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Fill(x, 0)
+		if _, err := s.Solve(op, rhs, x, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTripletCompress is the allocating per-iteration rebuild the
 // in-place stamping path replaces.
 func BenchmarkTripletCompress(b *testing.B) {

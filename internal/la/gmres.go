@@ -50,9 +50,58 @@ type GMRESResult struct {
 // ErrNoConvergence is returned when an iterative solver hits its iteration cap.
 var ErrNoConvergence = errors.New("la: iterative solver did not converge")
 
+// GMRESSolver is a restarted GMRES(m) solver that owns its Krylov workspace
+// — the m+1 basis vectors, the Hessenberg, the Givens rotation arrays — so
+// repeated Solve calls (one per Newton iteration on the iterative path)
+// reuse storage instead of reallocating it. The zero value is ready to use;
+// the workspace is sized lazily on first Solve and grows when a later call
+// needs a larger n or restart length. Not safe for concurrent use.
+type GMRESSolver struct {
+	n, m    int
+	v       [][]float64 // Krylov basis, m+1 vectors of length n
+	h       *Dense      // Hessenberg, (m+1)×m
+	cs, sn  []float64
+	g, y    []float64
+	r, w, z []float64
+}
+
+// ensure sizes the workspace for dimension n and restart length m.
+func (s *GMRESSolver) ensure(n, m int) {
+	if s.n >= n && s.m >= m {
+		return
+	}
+	if n < s.n {
+		n = s.n
+	}
+	if m < s.m {
+		m = s.m
+	}
+	s.n, s.m = n, m
+	s.v = make([][]float64, m+1)
+	for i := range s.v {
+		s.v[i] = make([]float64, n)
+	}
+	s.h = NewDense(m+1, m)
+	s.cs = make([]float64, m)
+	s.sn = make([]float64, m)
+	s.g = make([]float64, m+1)
+	s.y = make([]float64, m)
+	s.r = make([]float64, n)
+	s.w = make([]float64, n)
+	s.z = make([]float64, n)
+}
+
 // GMRES solves A·x = b by restarted, right-preconditioned GMRES(m). x holds
-// the initial guess on entry and the solution on exit.
+// the initial guess on entry and the solution on exit. It allocates a fresh
+// workspace per call; hot paths should hold a GMRESSolver instead.
 func GMRES(a Operator, b, x []float64, opt GMRESOptions) (GMRESResult, error) {
+	return new(GMRESSolver).Solve(a, b, x, opt)
+}
+
+// Solve runs restarted right-preconditioned GMRES(m) against the solver's
+// reusable workspace. x holds the initial guess on entry and the solution on
+// exit.
+func (s *GMRESSolver) Solve(a Operator, b, x []float64, opt GMRESOptions) (GMRESResult, error) {
 	n := a.Size()
 	if len(b) != n || len(x) != n {
 		return GMRESResult{}, ErrShape
@@ -79,18 +128,13 @@ func GMRES(a Operator, b, x []float64, opt GMRESOptions) (GMRESResult, error) {
 		return GMRESResult{Converged: true}, nil
 	}
 
-	// Workspace: Krylov basis V, Hessenberg H, Givens rotations.
-	v := make([][]float64, m+1)
+	s.ensure(n, m)
+	v, h, cs, sn := s.v, s.h, s.cs, s.sn
+	g := s.g
+	r, w, z := s.r[:n], s.w[:n], s.z[:n]
 	for i := range v {
-		v[i] = make([]float64, n)
+		v[i] = v[i][:n]
 	}
-	h := NewDense(m+1, m)
-	cs := make([]float64, m)
-	sn := make([]float64, m)
-	g := make([]float64, m+1)
-	r := make([]float64, n)
-	w := make([]float64, n)
-	z := make([]float64, n)
 
 	totalIters := 0
 	for totalIters < opt.MaxIter {
@@ -154,7 +198,7 @@ func GMRES(a Operator, b, x []float64, opt GMRESOptions) (GMRESResult, error) {
 			}
 		}
 		// Solve the small triangular system H·y = g.
-		y := make([]float64, k)
+		y := s.y[:k]
 		for i := k - 1; i >= 0; i-- {
 			s := g[i]
 			for j := i + 1; j < k; j++ {

@@ -1,0 +1,114 @@
+package la
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func diagCSR(d []float64) *CSR {
+	tr := NewTriplet(len(d), len(d))
+	for i, v := range d {
+		tr.Append(i, i, v)
+	}
+	return tr.Compress()
+}
+
+// TestGMRESEarlyTerminationLowDegree: an operator with two distinct
+// eigenvalues has minimal polynomial degree 2, so GMRES must hit the inner
+// small-residual break and leave the Arnoldi cycle after two iterations —
+// long before the restart length.
+func TestGMRESEarlyTerminationLowDegree(t *testing.T) {
+	const n = 12
+	d := make([]float64, n)
+	for i := range d {
+		if i%2 == 0 {
+			d[i] = 1
+		} else {
+			d[i] = 3
+		}
+	}
+	m := diagCSR(d)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i + 1)
+	}
+	x := make([]float64, n)
+	res, err := GMRES(AsOperator(m), b, x, GMRESOptions{Tol: 1e-12})
+	if err != nil || !res.Converged {
+		t.Fatalf("GMRES failed: %v (res %+v)", err, res)
+	}
+	if res.Iterations > 2 {
+		t.Fatalf("degree-2 operator took %d iterations, want ≤ 2", res.Iterations)
+	}
+	for i := range x {
+		if math.Abs(x[i]-b[i]/d[i]) > 1e-10 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], b[i]/d[i])
+		}
+	}
+}
+
+// TestGMRESMaxIterExhaustedMidRestart caps the iteration budget so it runs
+// out partway through a second Arnoldi cycle: the solver must still solve
+// the partial least-squares problem, report the true iteration count, and
+// return ErrNoConvergence rather than panic or spin.
+func TestGMRESMaxIterExhaustedMidRestart(t *testing.T) {
+	const n = 60
+	rng := rand.New(rand.NewSource(9))
+	tr := NewTriplet(n, n)
+	for i := 0; i < n; i++ {
+		tr.Append(i, i, 1+0.1*rng.Float64())
+		tr.Append(i, (i+7)%n, rng.NormFloat64())
+		tr.Append(i, (i+29)%n, rng.NormFloat64())
+	}
+	m := tr.Compress()
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	res, err := GMRES(AsOperator(m), b, x, GMRESOptions{MaxIter: 5, Restart: 4, Tol: 1e-15})
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("err = %v, want ErrNoConvergence", err)
+	}
+	if res.Converged || res.Iterations != 5 {
+		t.Fatalf("res = %+v, want 5 iterations, not converged", res)
+	}
+	// The partial second cycle's update must still be applied: the returned
+	// residual is the true relative residual of x.
+	r := make([]float64, n)
+	m.MulVec(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	if got := Norm2(r) / Norm2(b); math.Abs(got-res.Residual) > 1e-12 {
+		t.Fatalf("reported residual %v, recomputed %v", res.Residual, got)
+	}
+}
+
+// TestGMRESSolverWorkspaceReuse runs one solver across shrinking and growing
+// problem sizes: the lazily grown workspace must slice down correctly for
+// smaller systems and regrow for larger ones.
+func TestGMRESSolverWorkspaceReuse(t *testing.T) {
+	var s GMRESSolver
+	for _, n := range []int{40, 12, 64} {
+		d := make([]float64, n)
+		b := make([]float64, n)
+		for i := range d {
+			d[i] = 2 + float64(i%7)
+			b[i] = math.Sin(float64(i + 1))
+		}
+		m := diagCSR(d)
+		x := make([]float64, n)
+		res, err := s.Solve(AsOperator(m), b, x, GMRESOptions{Tol: 1e-12})
+		if err != nil || !res.Converged {
+			t.Fatalf("n=%d: GMRES failed: %v (res %+v)", n, err, res)
+		}
+		for i := range x {
+			if math.Abs(x[i]-b[i]/d[i]) > 1e-10 {
+				t.Fatalf("n=%d: x[%d] = %v, want %v", n, i, x[i], b[i]/d[i])
+			}
+		}
+	}
+}

@@ -32,6 +32,7 @@ type SparseLU struct {
 	aRowPtr, aColIdx []int
 	atp, ati, atMap  []int
 	work             []float64 // refactor scratch
+	swork            []float64 // solve scratch
 }
 
 // transposed column view of a with a gather map back into a.Val.
@@ -262,6 +263,15 @@ func sameInts(a, b []int) bool {
 // or element growth exceeds a stability bound; callers then fall back to
 // SparseLUFactor.
 func (f *SparseLU) Refactor(a *CSR) error {
+	return f.refactorInto(a, f.lx, f.ux)
+}
+
+// refactorInto runs the numeric-only refactorisation against the shared
+// symbolic analysis, writing the factors into lx/ux (which must have the
+// factorisation's own layout — either its private arrays or a batch slot
+// initialised from them). L's unit-diagonal positions are never rewritten,
+// so destination slots must already carry the 1s.
+func (f *SparseLU) refactorInto(a *CSR, lx, ux []float64) error {
 	if !f.SamePattern(a) {
 		return fmt.Errorf("la: refactor pattern mismatch (want the factored %d×%d pattern)", f.n, f.n)
 	}
@@ -287,12 +297,12 @@ func (f *SparseLU) Refactor(a *CSR) error {
 		for p := f.up[k]; p < f.up[k+1]-1; p++ {
 			j := f.ui[p]
 			xj := x[j]
-			f.ux[p] = xj
+			ux[p] = xj
 			if xj == 0 {
 				continue
 			}
 			for q := f.lp[j] + 1; q < f.lp[j+1]; q++ {
-				x[f.li[q]] -= f.lx[q] * xj
+				x[f.li[q]] -= lx[q] * xj
 			}
 		}
 		pivot := x[k]
@@ -305,21 +315,32 @@ func (f *SparseLU) Refactor(a *CSR) error {
 		if pivot == 0 || math.IsNaN(pivot) || maxBelow > refactorGrowth*math.Abs(pivot) {
 			return fmt.Errorf("%w (refactor: unstable pivot %.3e at column %d)", ErrSingular, pivot, k)
 		}
-		f.ux[f.up[k+1]-1] = pivot
+		ux[f.up[k+1]-1] = pivot
 		for q := f.lp[k] + 1; q < f.lp[k+1]; q++ {
-			f.lx[q] = x[f.li[q]] / pivot
+			lx[q] = x[f.li[q]] / pivot
 		}
 	}
 	return nil
 }
 
-// Solve solves A·x = b. x and b may alias.
+// Solve solves A·x = b. x and b may alias. The factorisation owns the solve
+// scratch, so repeated calls do not allocate — but two goroutines must not
+// Solve through the same factorisation concurrently.
 func (f *SparseLU) Solve(b, x []float64) {
+	f.solveWith(f.lx, f.ux, b, x)
+}
+
+// solveWith runs the triangular solves against the given value arrays
+// (the factorisation's own, or a batch slot sharing its layout).
+func (f *SparseLU) solveWith(lx, ux, b, x []float64) {
 	n := f.n
 	if len(b) != n || len(x) != n {
 		panic(ErrShape)
 	}
-	y := make([]float64, n)
+	if f.swork == nil {
+		f.swork = make([]float64, n)
+	}
+	y := f.swork
 	for i := 0; i < n; i++ {
 		y[f.pinv[i]] = b[i]
 	}
@@ -330,22 +351,36 @@ func (f *SparseLU) Solve(b, x []float64) {
 			continue
 		}
 		for p := f.lp[j] + 1; p < f.lp[j+1]; p++ {
-			y[f.li[p]] -= f.lx[p] * yj
+			y[f.li[p]] -= lx[p] * yj
 		}
 	}
 	// Backward: U·x = z (diagonal last in each column).
 	for j := n - 1; j >= 0; j-- {
-		d := f.ux[f.up[j+1]-1]
+		d := ux[f.up[j+1]-1]
 		y[j] /= d
 		yj := y[j]
 		if yj == 0 {
 			continue
 		}
 		for p := f.up[j]; p < f.up[j+1]-1; p++ {
-			y[f.ui[p]] -= f.ux[p] * yj
+			y[f.ui[p]] -= ux[p] * yj
 		}
 	}
 	copy(x, y)
+}
+
+// CloneSymbolic returns a factorisation sharing this one's symbolic analysis
+// (pattern, pivot order, CSC gather map — all read-only after factorisation)
+// with fresh private value arrays and scratch. The clone must be Refactored
+// against a same-pattern matrix before its factors are meaningful; until then
+// it carries this factorisation's values. Clones are independent: each owns
+// its scratch, so different goroutines may use different clones concurrently.
+func (f *SparseLU) CloneSymbolic() *SparseLU {
+	c := *f
+	c.lx = append([]float64(nil), f.lx...)
+	c.ux = append([]float64(nil), f.ux...)
+	c.work, c.swork = nil, nil
+	return &c
 }
 
 // NNZ returns the total stored entries in L and U.

@@ -184,13 +184,16 @@ func (j *jobState) finalize(status JobStatus, res *sweep.Result, errMsg string) 
 	var ok, fail, canc, iters int
 	if res != nil {
 		ok, fail, canc = res.Counts()
-		var facts, refacts, pat, rejects, refines int
+		var facts, refacts, pat, ops, precs, reuse, rejects, refines int
 		var asmNS, facNS int64
 		for i := range res.Jobs {
 			iters += res.Jobs[i].NewtonIters
 			facts += res.Jobs[i].Factorizations
 			refacts += res.Jobs[i].Refactorizations
 			pat += res.Jobs[i].PatternReuse
+			ops += res.Jobs[i].OperatorApplies
+			precs += res.Jobs[i].PrecondBuilds
+			reuse += res.Jobs[i].BatchReuse
 			rejects += res.Jobs[i].RejectedSteps
 			refines += res.Jobs[i].Refinements
 			asmNS += res.Jobs[i].Assembly.Nanoseconds()
@@ -203,6 +206,9 @@ func (j *jobState) finalize(status JobStatus, res *sweep.Result, errMsg string) 
 		m.srv.metrics.factorize.Add(int64(facts))
 		m.srv.metrics.refactorize.Add(int64(refacts))
 		m.srv.metrics.patternHits.Add(int64(pat))
+		m.srv.metrics.opApplies.Add(int64(ops))
+		m.srv.metrics.precBuilds.Add(int64(precs))
+		m.srv.metrics.batchReuse.Add(int64(reuse))
 		m.srv.metrics.stepRejects.Add(int64(rejects))
 		m.srv.metrics.gridRefines.Add(int64(refines))
 		m.srv.metrics.assemblyNS.Add(asmNS)

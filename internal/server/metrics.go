@@ -27,6 +27,9 @@ type metrics struct {
 	factorize   atomic.Int64 // full sparse-LU factorisations
 	refactorize atomic.Int64 // numeric-only refactorisations (symbolic reuse)
 	patternHits atomic.Int64 // in-place Jacobian restamps (pattern reuse)
+	opApplies   atomic.Int64 // matrix-free Jacobian-vector products
+	precBuilds  atomic.Int64 // iterative-mode preconditioner builds
+	batchReuse  atomic.Int64 // batch/shared-LU numeric refactorisations
 	stepRejects atomic.Int64 // envelope LTE step rejections
 	gridRefines atomic.Int64 // adaptive grid/step refinement rounds
 	assemblyNS  atomic.Int64 // residual/Jacobian assembly time (ns)
@@ -65,6 +68,9 @@ func (m *metrics) snapshot(cache *resultCache, start time.Time) []metricPoint {
 		{"mpde_solver_factorizations_total", "Full sparse-LU factorisations summed over engine runs.", false, float64(m.factorize.Load())},
 		{"mpde_solver_refactorizations_total", "Numeric-only LU refactorisations that reused a symbolic analysis.", false, float64(m.refactorize.Load())},
 		{"mpde_solver_pattern_reuse_total", "Jacobian assemblies restamped into an existing sparsity pattern.", false, float64(m.patternHits.Load())},
+		{"mpde_solver_operator_applies_total", "Matrix-free Jacobian-vector products summed over engine runs.", false, float64(m.opApplies.Load())},
+		{"mpde_solver_precond_builds_total", "Iterative-mode preconditioner builds summed over engine runs.", false, float64(m.precBuilds.Load())},
+		{"mpde_solver_batch_reuse_total", "Numeric refactorisations against a batched or shared symbolic analysis.", false, float64(m.batchReuse.Load())},
 		{"mpde_solver_step_rejections_total", "Envelope LTE steps rejected and retried smaller.", false, float64(m.stepRejects.Load())},
 		{"mpde_solver_grid_refinements_total", "Adaptive grid/step refinement rounds beyond the initial solve.", false, float64(m.gridRefines.Load())},
 		{"mpde_solver_assembly_seconds_total", "Residual/Jacobian assembly time summed over engine runs.", false, float64(m.assemblyNS.Load()) / 1e9},

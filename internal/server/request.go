@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/netlist"
+	"repro/internal/solver"
 	"repro/internal/sweep"
 )
 
@@ -63,6 +64,10 @@ type Request struct {
 	// field beats them all.
 	RelTol float64 `json:"reltol,omitempty"`
 	AbsTol float64 `json:"abstol,omitempty"`
+	// Linear selects the Newton linear solver for QPSS jobs: "direct"
+	// (default), "gmres", or "matfree". A deck directive carrying
+	// linear= applies sweep-wide; this explicit field beats it.
+	Linear string `json:"linear,omitempty"`
 	// JobTimeoutMS bounds each analysis job. Timeouts make outcomes
 	// wall-clock dependent, so a request with a timeout bypasses the
 	// result cache.
@@ -136,6 +141,7 @@ type canonKey struct {
 	StepsPerFast     int         `json:"steps_per_fast"`
 	RelTol           float64     `json:"reltol,omitempty"`
 	AbsTol           float64     `json:"abstol,omitempty"`
+	Linear           string      `json:"linear,omitempty"`
 }
 
 // analysisToJobSpec maps one resolved analysis onto the engine's job form.
@@ -177,6 +183,9 @@ func resolveRequest(req *Request, sweepWorkers int) (*runSpec, error) {
 		}
 	}
 
+	if _, err := solver.ParseLinearSolver(req.Linear); err != nil {
+		return nil, badRequestf("%v", err)
+	}
 	spec := sweep.Spec{
 		Workers:            sweepWorkers,
 		JobTimeout:         time.Duration(req.JobTimeoutMS) * time.Millisecond,
@@ -186,6 +195,7 @@ func resolveRequest(req *Request, sweepWorkers int) (*runSpec, error) {
 		StepsPerFastPeriod: req.StepsPerFastPeriod,
 		RelTol:             req.RelTol,
 		AbsTol:             req.AbsTol,
+		Linear:             req.Linear,
 	}
 
 	switch {
@@ -237,6 +247,12 @@ func resolveRequest(req *Request, sweepWorkers int) (*runSpec, error) {
 			}
 			if v := a.Float("abstol", 0); v > 0 && req.AbsTol == 0 {
 				spec.AbsTol = v
+			}
+			if v := a.Str["linear"]; v != "" && req.Linear == "" {
+				if _, err := solver.ParseLinearSolver(v); err != nil {
+					return nil, badRequestf("%v", err)
+				}
+				spec.Linear = v
 			}
 		}
 		if len(spec.JobList) == 0 {
@@ -292,6 +308,7 @@ func resolveRequest(req *Request, sweepWorkers int) (*runSpec, error) {
 		StepsPerFast:     spec.StepsPerFastPeriod,
 		RelTol:           spec.RelTol,
 		AbsTol:           spec.AbsTol,
+		Linear:           spec.Linear,
 	}
 	enc, err := json.Marshal(&ck)
 	if err != nil {

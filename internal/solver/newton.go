@@ -49,7 +49,51 @@ const (
 	// "iterative linear solution methods" configuration from the paper's
 	// speedup discussion.
 	IterativeGMRES
+	// MatrixFree uses GMRES with a Jacobian-vector product supplied by the
+	// system (directional residual differencing) instead of an assembled
+	// Jacobian; the system must implement MatrixFreeSystem. Large adaptive
+	// MPDE grids use it to stop paying LU fill entirely.
+	MatrixFree
 )
+
+// String returns the registry spelling of the kind.
+func (k LinearSolverKind) String() string {
+	switch k {
+	case IterativeGMRES:
+		return "gmres"
+	case MatrixFree:
+		return "matfree"
+	default:
+		return "direct"
+	}
+}
+
+// ParseLinearSolver maps the registry spelling ("direct", "gmres",
+// "matfree") to its kind. The empty string selects the default (direct).
+func ParseLinearSolver(s string) (LinearSolverKind, error) {
+	switch s {
+	case "", "direct":
+		return DirectSparse, nil
+	case "gmres":
+		return IterativeGMRES, nil
+	case "matfree":
+		return MatrixFree, nil
+	default:
+		return DirectSparse, fmt.Errorf("solver: unknown linear solver %q (want direct, gmres, or matfree)", s)
+	}
+}
+
+// MatrixFreeSystem is a System that can additionally present its Jacobian as
+// an abstract operator. Linearize fixes the linearisation point: it returns
+// the residual at x and an operator applying J(x)·v (typically by directional
+// residual differencing), valid until the next Linearize call.
+// BuildPreconditioner returns a preconditioner for the current linearisation
+// point (nil is allowed and means unpreconditioned).
+type MatrixFreeSystem interface {
+	System
+	Linearize(x []float64) (r []float64, op la.Operator, err error)
+	BuildPreconditioner() (la.Preconditioner, error)
+}
 
 // Options configures Newton.
 type Options struct {
@@ -78,6 +122,12 @@ type Options struct {
 	// thread the analysis.Request progress hook through here. It must be
 	// cheap and must not block.
 	Progress func(iter int, residual float64)
+	// ShareLU, when non-nil, lets same-pattern solves share one symbolic LU
+	// analysis: the first full factorisation is published to the group and
+	// later solves start from a numeric-only refactorisation of the shared
+	// analysis instead of their own symbolic phase. Sweep warm-start groups
+	// set this.
+	ShareLU *la.LUShare
 }
 
 // NewOptions returns the defaults used across the analyses.
@@ -143,6 +193,16 @@ type Stats struct {
 	// FillFactor is the L+U fill of the last direct factorisation relative
 	// to the Jacobian's nonzeros (0 in pure GMRES solves).
 	FillFactor float64
+	// OperatorApplies counts matrix-free Jacobian-vector products;
+	// PrecondBuilds counts preconditioner constructions (ILU0 or
+	// matrix-free); GMRESFallbacks counts GMRES failures that were rescued
+	// by a direct solve — a thrashing iterative path shows up here.
+	// BatchReuse counts factorisations that started from a shared symbolic
+	// analysis published by another solve (Options.ShareLU hits).
+	OperatorApplies int
+	PrecondBuilds   int
+	GMRESFallbacks  int
+	BatchReuse      int
 	// AssemblyTime totals the time spent inside System.Eval (residual and
 	// Jacobian assembly); FactorTime totals LU factorisation time.
 	AssemblyTime time.Duration
@@ -187,6 +247,19 @@ type directFactor struct {
 }
 
 func (d *directFactor) factor(j *la.CSR, st *Stats, opt Options) error {
+	// First factorisation of this solve: try the warm-start group's shared
+	// symbolic analysis before paying a symbolic phase of our own.
+	if d.f == nil && opt.ShareLU != nil {
+		if f := opt.ShareLU.Acquire(j); f != nil {
+			if err := f.Refactor(j); err == nil {
+				d.f = f
+				st.Refactorizations++
+				st.BatchReuse++
+				st.FillFactor = f.FillFactor
+				return nil
+			}
+		}
+	}
 	if d.f != nil && d.f.SamePattern(j) {
 		if err := d.f.Refactor(j); err == nil {
 			st.Refactorizations++
@@ -203,8 +276,18 @@ func (d *directFactor) factor(j *la.CSR, st *Stats, opt Options) error {
 	d.f = f
 	st.Factorizations++
 	st.FillFactor = f.FillFactor
+	opt.ShareLU.Publish(f)
 	return nil
 }
+
+// countingOp wraps an Operator, counting applications into a Stats field.
+type countingOp struct {
+	op la.Operator
+	n  *int
+}
+
+func (c countingOp) Apply(x, y []float64) { *c.n++; c.op.Apply(x, y) }
+func (c countingOp) Size() int            { return c.op.Size() }
 
 // Solve runs damped Newton from x (updated in place to the solution).
 // Cancelling ctx aborts the iteration cooperatively: the cancellation is
@@ -217,8 +300,16 @@ func Solve(ctx context.Context, sys System, x []float64, opt Options) (Stats, er
 	if len(x) != n {
 		return Stats{}, fmt.Errorf("solver: initial guess size %d, want %d", len(x), n)
 	}
+	var mfs MatrixFreeSystem
+	if opt.Linear == MatrixFree {
+		var ok bool
+		if mfs, ok = sys.(MatrixFreeSystem); !ok {
+			return Stats{}, errors.New("solver: Options.Linear=MatrixFree requires a system implementing MatrixFreeSystem")
+		}
+	}
 	interrupt := interruptShim(ctx)
 	var st Stats
+	var gmres la.GMRESSolver
 	dx := make([]float64, n)
 	xTrial := make([]float64, n)
 	neg := make([]float64, n)
@@ -249,7 +340,8 @@ func Solve(ctx context.Context, sys System, x []float64, opt Options) (Stats, er
 	rNorm, residCap := math.NaN(), 0.0
 
 	var direct directFactor
-	var j *la.CSR // current (possibly stale) Jacobian, GMRES operator
+	var j *la.CSR      // current (possibly stale) Jacobian, GMRES operator
+	var op la.Operator // matrix-free Jacobian operator at the refresh point
 	var prec la.Preconditioner
 	jacAge := -1 // -1: no Jacobian factored yet
 	for it := 0; it < opt.MaxIter; it++ {
@@ -261,11 +353,50 @@ func Solve(ctx context.Context, sys System, x []float64, opt Options) (Stats, er
 		}
 		st.Iterations = it + 1
 		if jacAge < 0 || jacAge >= opt.JacobianRefresh {
-			jj, err := evalInto(x, r, true)
-			if err != nil {
-				return st, err
+			if opt.Linear == MatrixFree {
+				t0 := time.Now()
+				rr, oo, err := mfs.Linearize(x)
+				st.AssemblyTime += time.Since(t0)
+				if err != nil {
+					return st, err
+				}
+				st.JacobianEvals++
+				copy(r, rr)
+				op = oo
+				t0 = time.Now()
+				if p, perr := mfs.BuildPreconditioner(); perr == nil {
+					prec = p
+					st.PrecondBuilds++
+				} else {
+					prec = nil
+				}
+				st.FactorTime += time.Since(t0)
+			} else {
+				jj, err := evalInto(x, r, true)
+				if err != nil {
+					return st, err
+				}
+				j = jj
+				t0 := time.Now()
+				switch opt.Linear {
+				case IterativeGMRES:
+					if p, perr := la.NewILU0(j); perr == nil {
+						prec = p
+						st.PrecondBuilds++
+						// The iterative path has no direct fill; clear any
+						// stale value a prior direct fallback left behind.
+						st.FillFactor = 0
+					} else {
+						prec = nil
+					}
+				default:
+					if err := direct.factor(j, &st, opt); err != nil {
+						st.FactorTime += time.Since(t0)
+						return st, fmt.Errorf("solver: Jacobian factorisation failed at iter %d: %w", it, err)
+					}
+				}
+				st.FactorTime += time.Since(t0)
 			}
-			j = jj
 			if it == 0 {
 				rNorm = la.NormInf(r)
 				// Residual acceptance is scaled by the starting residual so
@@ -273,34 +404,42 @@ func Solve(ctx context.Context, sys System, x []float64, opt Options) (Stats, er
 				// and unit-level normalised systems alike.
 				residCap = opt.ResidTol * math.Max(1, rNorm)
 			}
-			t0 := time.Now()
-			switch opt.Linear {
-			case IterativeGMRES:
-				if p, perr := la.NewILU0(j); perr == nil {
-					prec = p
-				} else {
-					prec = nil
-				}
-			default:
-				if err := direct.factor(j, &st, opt); err != nil {
-					st.FactorTime += time.Since(t0)
-					return st, fmt.Errorf("solver: Jacobian factorisation failed at iter %d: %w", it, err)
-				}
-			}
-			st.FactorTime += time.Since(t0)
 			jacAge = 0
 		}
 		// Solve J·dx = −r.
 		for i := range neg {
 			neg[i] = -r[i]
 		}
-		if opt.Linear == IterativeGMRES {
+		switch opt.Linear {
+		case MatrixFree:
 			la.Fill(dx, 0)
-			res, gerr := la.GMRES(la.AsOperator(j), neg, dx, la.GMRESOptions{
+			res, gerr := gmres.Solve(countingOp{op, &st.OperatorApplies}, neg, dx, la.GMRESOptions{
+				Tol: opt.GMRESTol, MaxIter: opt.GMRESIter, M: prec})
+			st.LinearIters += res.Iterations
+			if gerr != nil {
+				// Assemble the true Jacobian once and solve directly rather
+				// than failing Newton.
+				st.GMRESFallbacks++
+				jj, err := evalInto(x, r, true)
+				if err != nil {
+					return st, err
+				}
+				t0 := time.Now()
+				err = direct.factor(jj, &st, opt)
+				st.FactorTime += time.Since(t0)
+				if err != nil {
+					return st, fmt.Errorf("solver: linear solve failed: %w", err)
+				}
+				direct.f.Solve(neg, dx)
+			}
+		case IterativeGMRES:
+			la.Fill(dx, 0)
+			res, gerr := gmres.Solve(la.AsOperator(j), neg, dx, la.GMRESOptions{
 				Tol: opt.GMRESTol, MaxIter: opt.GMRESIter, M: prec})
 			st.LinearIters += res.Iterations
 			if gerr != nil {
 				// Fall back to a direct solve rather than failing Newton.
+				st.GMRESFallbacks++
 				t0 := time.Now()
 				err := direct.factor(j, &st, opt)
 				st.FactorTime += time.Since(t0)
@@ -309,7 +448,7 @@ func Solve(ctx context.Context, sys System, x []float64, opt Options) (Stats, er
 				}
 				direct.f.Solve(neg, dx)
 			}
-		} else {
+		default:
 			direct.f.Solve(neg, dx)
 		}
 		// Optional ∞-norm clamp (device-voltage limiting in the large).

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/circuit"
+	"repro/internal/la"
 )
 
 // finalizeMu serialises Circuit.Finalize across jobs: a Builder may hand the
@@ -97,6 +98,25 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		return seeds[groupKey{j.Method, j.Point.N1, j.Point.N2}]
 	}
 
+	// Symbolic-LU sharing rides the same warm-start staging: each seedable
+	// group gets one LUShare, the stage-one leader publishes its pivoted
+	// factorisation, and the group's stage-two jobs refactor numerics-only
+	// against it. Leader-only publishing (first-wins inside LUShare) keeps
+	// the shared analysis — and therefore every follower's factorisation
+	// path — independent of worker scheduling.
+	shares := map[groupKey]*la.LUShare{}
+	if spec.WarmStart {
+		for _, j := range jobs {
+			k := groupKey{j.Method, j.Point.N1, j.Point.N2}
+			if seedable(j.Method) && shares[k] == nil {
+				shares[k] = &la.LUShare{}
+			}
+		}
+	}
+	shareFor := func(j Job) *la.LUShare {
+		return shares[groupKey{j.Method, j.Point.N1, j.Point.N2}]
+	}
+
 	start := time.Now()
 	var doneCount atomic.Int64
 	runStage := func(ids []int, storeSeeds bool) {
@@ -116,7 +136,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 							Done: int(doneCount.Load()), Total: len(jobs),
 						})
 					}
-					jr, raw := spec.runJob(ctx, jobs[id], seedFor(jobs[id]), len(jobs))
+					jr, raw := spec.runJob(ctx, jobs[id], seedFor(jobs[id]), len(jobs), shareFor(jobs[id]))
 					res.Jobs[id] = jr
 					if storeSeeds && raw != nil && jr.Status == StatusOK {
 						seedMu.Lock()
@@ -205,6 +225,7 @@ func (s *Spec) tuning(nJobs int) analysis.Tuning {
 		TransientPeriods:   s.TransientPeriods,
 		StepsPerFastPeriod: s.StepsPerFastPeriod,
 		AssemblyWorkers:    s.assemblyWorkers(nJobs),
+		Linear:             s.Linear,
 		Accuracy:           analysis.Accuracy{RelTol: s.RelTol, AbsTol: s.AbsTol},
 	}
 }
@@ -212,8 +233,9 @@ func (s *Spec) tuning(nJobs int) analysis.Tuning {
 // runJob executes one job under its per-job context through the analysis
 // registry and returns the result plus, for seedable methods, the converged
 // raw grid. nJobs is the spec's total job count (it gates intra-job
-// assembly parallelism).
-func (s *Spec) runJob(ctx context.Context, job Job, seed []float64, nJobs int) (jr JobResult, raw []float64) {
+// assembly parallelism); share, when non-nil, is the job's warm-start
+// group's shared symbolic-LU handle.
+func (s *Spec) runJob(ctx context.Context, job Job, seed []float64, nJobs int, share *la.LUShare) (jr JobResult, raw []float64) {
 	jr = JobResult{Job: job}
 	if err := ctx.Err(); err != nil {
 		jr.Status, jr.Err = StatusCanceled, err.Error()
@@ -274,6 +296,7 @@ func (s *Spec) runJob(ctx context.Context, job Job, seed []float64, nJobs int) (
 		newton.MaxIter = 60
 		newton.Damping = true
 	}
+	newton.ShareLU = share
 	res, err := analysis.Run(jctx, analysis.Request{
 		Method:  string(job.Method),
 		Circuit: tgt.Ckt,
@@ -304,6 +327,9 @@ func (s *Spec) runJob(ctx context.Context, job Job, seed []float64, nJobs int) (
 	jr.Factorizations = st.Factorizations
 	jr.Refactorizations = st.Refactorizations
 	jr.PatternReuse = st.PatternReuse
+	jr.OperatorApplies = st.OperatorApplies
+	jr.PrecondBuilds = st.PrecondBuilds
+	jr.BatchReuse = st.BatchReuse
 	jr.AcceptedSteps = st.AcceptedSteps
 	jr.RejectedSteps = st.RejectedSteps
 	jr.Refinements = st.Refinements

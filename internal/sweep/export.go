@@ -16,6 +16,7 @@ var csvHeader = []string{
 	"id", "method", "fd", "amp", "n1", "n2", "status",
 	"unknowns", "newton_iters", "time_steps", "continuation",
 	"factorizations", "refactorizations", "pattern_reuse",
+	"operator_applies", "precond_builds", "batch_reuse",
 	"accepted_steps", "rejected_steps", "refinements", "final_n1", "final_n2",
 	"gain_valid", "gain_ratio", "gain_db", "hd2", "hd3", "swing",
 	"spectrum", "err",
@@ -50,6 +51,9 @@ func (r *Result) WriteCSV(w io.Writer, timing bool) error {
 			strconv.Itoa(jr.Factorizations),
 			strconv.Itoa(jr.Refactorizations),
 			strconv.Itoa(jr.PatternReuse),
+			strconv.Itoa(jr.OperatorApplies),
+			strconv.Itoa(jr.PrecondBuilds),
+			strconv.Itoa(jr.BatchReuse),
 			strconv.Itoa(jr.AcceptedSteps),
 			strconv.Itoa(jr.RejectedSteps),
 			strconv.Itoa(jr.Refinements),

@@ -165,6 +165,9 @@ type Spec struct {
 	// DiffT1, DiffT2 select the finite-difference order of QPSS jobs
 	// (zero values → first order, matching core.Options).
 	DiffT1, DiffT2 core.DiffOrder
+	// Linear selects the Newton linear solver for QPSS jobs: "direct"
+	// (default), "gmres", or "matfree".
+	Linear string
 	// SpectrumTop is the number of dominant mixes reported per job for
 	// methods with a spectrum (default 5; negative disables).
 	SpectrumTop int
@@ -261,6 +264,14 @@ type JobResult struct {
 	Factorizations   int `json:"factorizations,omitempty"`
 	Refactorizations int `json:"refactorizations,omitempty"`
 	PatternReuse     int `json:"pattern_reuse,omitempty"`
+	// OperatorApplies counts matrix-free Jacobian-vector products;
+	// PrecondBuilds counts preconditioner constructions; BatchReuse counts
+	// factorisations that reused a shared symbolic analysis (a warm-start
+	// group's published LU or the matrix-free line batch). Deterministic,
+	// safe for the byte-stable exports.
+	OperatorApplies int `json:"operator_applies,omitempty"`
+	PrecondBuilds   int `json:"precond_builds,omitempty"`
+	BatchReuse      int `json:"batch_reuse,omitempty"`
 	// AcceptedSteps/RejectedSteps report the envelope LTE controller's
 	// outcomes; Refinements counts automatic grid/step refinement rounds;
 	// FinalN1/FinalN2 are the grid sizes the solve actually used (equal to
