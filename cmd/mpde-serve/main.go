@@ -7,6 +7,7 @@
 //
 //	mpde-serve -addr :8080
 //	mpde-serve -addr :8080 -max-concurrent 4 -cache-bytes 268435456 -spool /var/spool/mpde
+//	mpde-serve -addr :8080 -debug-addr localhost:6060      # pprof on a private port
 //
 // A session:
 //
@@ -25,11 +26,13 @@ import (
 	"context"
 	"flag"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"repro"
+	"repro/internal/server"
 )
 
 func main() {
@@ -41,6 +44,7 @@ func main() {
 		cacheB  = flag.Int64("cache-bytes", 64<<20, "result cache bound in bytes (negative disables)")
 		drain   = flag.Duration("drain", 30e9, "graceful-shutdown window for running jobs")
 		spool   = flag.String("spool", "", "directory receiving every finished job's result JSON")
+		dbgAddr = flag.String("debug-addr", "", "optional second listener serving net/http/pprof under /debug/pprof/ (keep it off the public port)")
 	)
 	flag.Parse()
 
@@ -59,6 +63,15 @@ func main() {
 		<-sig
 		log.Fatal("mpde-serve: second signal, aborting drain")
 	}()
+
+	if *dbgAddr != "" {
+		go func() {
+			log.Printf("mpde-serve: pprof on %s/debug/pprof/", *dbgAddr)
+			if err := http.ListenAndServe(*dbgAddr, server.DebugHandler()); err != nil {
+				log.Printf("mpde-serve: -debug-addr: %v", err)
+			}
+		}()
+	}
 
 	err := repro.Serve(ctx, *addr, repro.ServerOptions{
 		MaxConcurrent: *maxConc,

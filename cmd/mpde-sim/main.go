@@ -14,6 +14,7 @@
 //	mpde-sim -deck mixer.cir -analysis qpss -n1 40 -n2 30 [-order2]
 //	mpde-sim -deck mixer.cir -analysis envelope -n1 40 -t2stop 2e-4
 //	mpde-sim -deck mixer.cir -analysis ac -source VRF -f0 1k -f1 1g -npts 40
+//	mpde-sim -deck mixer.cir -analysis qpss -n1 40 -n2 30 -trace out.json
 //	mpde-sim sweep -circuit balanced -fd 10k,15k,20k -methods qpss,shooting
 //
 // qpss/hb/envelope need a ".tones F1 F2 [K]" card in the deck. Probed node
@@ -37,6 +38,7 @@ import (
 	"repro"
 	"repro/internal/analysis"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 var (
@@ -67,6 +69,8 @@ var (
 	relTol   = flag.String("reltol", "", "adaptive accuracy target: LTE tolerance (envelope) / spectral-tail ratio (qpss, hb, transient); empty = fixed grids")
 	absTol   = flag.String("abstol", "", "absolute error/amplitude floor of the adaptive control (SPICE value)")
 	accuracy = flag.Float64("accuracy", 0, "shorthand for -reltol 1e-<accuracy> (digits of accuracy)")
+
+	traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file of the solve (chrome://tracing / Perfetto) and print the Newton convergence table")
 )
 
 func main() {
@@ -123,12 +127,24 @@ func main() {
 	// context-first analysis API.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	var rec *obs.Recorder
+	if *traceOut != "" {
+		rec = obs.NewRecorder()
+		ctx = obs.WithRecorder(ctx, rec)
+	}
 	res, err := repro.Analyze(ctx, repro.AnalysisRequest{
 		Method:  name,
 		Circuit: deck.Ckt,
 		Params:  params,
 		Probes:  probeList,
 	})
+	// Flush the trace even when the solve failed — a diverged Newton run is
+	// exactly when the convergence table matters.
+	if rec != nil {
+		if werr := writeTrace(*traceOut, rec); werr != nil {
+			log.Printf("-trace: %v", werr)
+		}
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/solver"
+)
+
+// writeTrace dumps the recorded span forest as Chrome trace_event JSON
+// (open in chrome://tracing or ui.perfetto.dev) and prints the Newton
+// convergence table for every traced solve to stderr.
+func writeTrace(path string, rec *obs.Recorder) error {
+	spans := rec.Snapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if n := rec.Dropped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "trace: %d spans dropped over the retention bound\n", n)
+	}
+	fmt.Fprintf(os.Stderr, "trace: %d spans written to %s\n", len(spans), path)
+	printConvergence(spans)
+	return nil
+}
+
+// printConvergence renders each solve's per-iteration records. Rejected
+// iterations (damping exhausted on a stale Jacobian) are flagged, as are
+// GMRES solves rescued by the direct fallback.
+func printConvergence(spans []obs.SpanRecord) {
+	for _, sp := range spans {
+		recs, ok := sp.Data.([]solver.IterTrace)
+		if !ok || len(recs) == 0 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "%s (span %d): %d iterations\n", sp.Name, sp.ID, len(recs))
+		fmt.Fprintf(os.Stderr, "  %4s  %12s  %12s  %6s  %5s  %4s  %s\n",
+			"iter", "residual", "step", "alpha", "halve", "lin", "notes")
+		for _, r := range recs {
+			notes := ""
+			if r.Factor {
+				notes += " factor"
+			}
+			if r.Refactor {
+				notes += " refactor"
+			}
+			if r.Fallback {
+				notes += " gmres-fallback"
+			}
+			if !r.Accepted {
+				notes += " rejected"
+			}
+			fmt.Fprintf(os.Stderr, "  %4d  %12.5e  %12.5e  %6.4f  %5d  %4d %s\n",
+				r.Iter, r.Residual, r.StepNorm, r.Alpha, r.Halvings, r.LinearIters, notes)
+		}
+	}
+}

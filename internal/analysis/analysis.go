@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/hb"
+	"repro/internal/obs"
 	"repro/internal/rf"
 	"repro/internal/solver"
 )
@@ -136,8 +137,10 @@ type Stats struct {
 	Refactorizations int
 	PatternBuilds    int
 	PatternReuse     int
-	// LinearIters totals inner linear-solver (GMRES) iterations.
+	// LinearIters totals inner linear-solver (GMRES) iterations; Halvings
+	// the Newton damping step halvings.
 	LinearIters int
+	Halvings    int
 	// OperatorApplies counts matrix-free Jacobian-vector products;
 	// PrecondBuilds counts preconditioner constructions; GMRESFallbacks
 	// counts GMRES failures rescued by a direct solve; BatchReuse counts
@@ -249,6 +252,21 @@ func Run(ctx context.Context, req Request) (Result, error) {
 			}
 			hook(Progress{Analysis: name, Phase: "newton", Iter: iter, Residual: residual})
 		}
+	}
+	// The Enabled guard keeps the disabled path allocation-free: the span
+	// name concatenation is only paid when a recorder is installed.
+	if obs.Enabled(ctx) {
+		sctx, span := obs.Start(ctx, "analysis."+d.Name)
+		res, err := d.Run(sctx, req)
+		if err != nil {
+			span.SetStr("error", err.Error())
+		} else if res != nil {
+			st := res.Stats()
+			span.SetInt("newton_iters", int64(st.NewtonIters))
+			span.SetInt("unknowns", int64(st.Unknowns))
+		}
+		span.End()
+		return res, err
 	}
 	return d.Run(ctx, req)
 }

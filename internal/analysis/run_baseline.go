@@ -156,6 +156,8 @@ func (r *dcResult) Stats() Stats {
 		Factorizations:   r.st.Factorizations,
 		Refactorizations: r.st.Refactorizations,
 		LinearIters:      r.st.LinearIters,
+		Halvings:         r.st.Halvings,
+		GMRESFallbacks:   r.st.GMRESFallbacks,
 		AssemblyTime:     r.st.AssemblyTime,
 		FactorTime:       r.st.FactorTime,
 	}

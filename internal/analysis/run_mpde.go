@@ -116,6 +116,7 @@ func (r *qpssResult) Stats() Stats {
 		PatternBuilds:    s.PatternBuilds,
 		PatternReuse:     s.PatternReuse,
 		LinearIters:      s.LinearIters,
+		Halvings:         s.Halvings,
 		OperatorApplies:  s.OperatorApplies,
 		PrecondBuilds:    s.PrecondBuilds,
 		GMRESFallbacks:   s.GMRESFallbacks,
@@ -202,6 +203,7 @@ func (r *envelopeResult) Stats() Stats {
 		Unknowns:         r.env.N1 * r.n,
 		Factorizations:   r.env.Factorizations,
 		Refactorizations: r.env.Refactorizations,
+		Halvings:         r.env.Halvings,
 		PatternBuilds:    r.env.PatternBuilds,
 		PatternReuse:     r.env.PatternReuse,
 		AcceptedSteps:    r.env.AcceptedSteps,

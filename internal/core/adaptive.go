@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/circuit"
+	"repro/internal/obs"
 	"repro/internal/solver"
 )
 
@@ -171,6 +172,7 @@ func AdaptiveQPSS(ctx context.Context, ckt *circuit.Circuit, opt Options, acc Ac
 		total.PrecondBuilds += s.PrecondBuilds
 		total.GMRESFallbacks += s.GMRESFallbacks
 		total.BatchReuse += s.BatchReuse
+		total.Halvings += s.Halvings
 		total.AssemblyTime += s.AssemblyTime
 		total.FactorTime += s.FactorTime
 	}
@@ -188,13 +190,21 @@ func AdaptiveQPSS(ctx context.Context, ckt *circuit.Circuit, opt Options, acc Ac
 		if matFree && round == 0 {
 			ropt.Newton.Linear = solver.DirectSparse
 		}
-		s, err := QPSS(ctx, ckt, ropt)
+		rctx, rspan := obs.Start(ctx, "qpss.adaptive.round")
+		rspan.SetInt("round", int64(round))
+		rspan.SetInt("n1", int64(ropt.N1))
+		rspan.SetInt("n2", int64(ropt.N2))
+		s, err := QPSS(rctx, ckt, ropt)
 		if err != nil {
+			rspan.End()
 			return nil, err
 		}
 		add(s.Stats)
 		sol = s
 		tail1, tail2 := sol.SpectralTail(acc.AbsTol)
+		rspan.SetFloat("tail1", tail1)
+		rspan.SetFloat("tail2", tail2)
+		rspan.End()
 		total.Tail1, total.Tail2 = tail1, tail2
 		// An axis that was doubled last round but whose tail barely moved is
 		// signal-limited: its outer-band content is the stimulus's own

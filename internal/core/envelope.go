@@ -8,6 +8,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/device"
 	"repro/internal/la"
+	"repro/internal/obs"
 	"repro/internal/solver"
 	"repro/internal/transient"
 )
@@ -63,11 +64,13 @@ type EnvelopeResult struct {
 
 	NewtonIters int
 	// Factorizations/Refactorizations aggregate the sparse-LU work of every
-	// per-step solve; PatternBuilds/PatternReuse report the line Jacobian's
-	// symbolic assembly (the pattern is shared by every slow step — one
-	// symbolic build serves every step size the controller tries).
+	// per-step solve; Halvings the damping halvings; PatternBuilds/
+	// PatternReuse report the line Jacobian's symbolic assembly (the pattern
+	// is shared by every slow step — one symbolic build serves every step
+	// size the controller tries).
 	Factorizations   int
 	Refactorizations int
+	Halvings         int
 	PatternBuilds    int
 	PatternReuse     int
 	// AcceptedSteps counts slow steps that advanced the march;
@@ -253,12 +256,20 @@ func EnvelopeFollow(ctx context.Context, ckt *circuit.Circuit, opt EnvelopeOptio
 	nLine := N1 * n
 	h1 := opt.Shear.T1() / float64(N1)
 
+	ctx, span := obs.Start(ctx, "envelope.march")
+	if span != nil {
+		span.SetInt("n1", int64(N1))
+		span.SetInt("line_unknowns", int64(nLine))
+		defer span.End()
+	}
+
 	asm := newLineAssembler(ckt, opt.Shear, n, N1, h1)
 	res := &EnvelopeResult{Ckt: ckt, Shear: opt.Shear, N1: N1, n: n}
 	account := func(st solver.Stats) {
 		res.NewtonIters += st.Iterations
 		res.Factorizations += st.Factorizations
 		res.Refactorizations += st.Refactorizations
+		res.Halvings += st.Halvings
 	}
 
 	// Initial line: fast-periodic steady state with the slow derivative off.
@@ -269,7 +280,9 @@ func EnvelopeFollow(ctx context.Context, ckt *circuit.Circuit, opt EnvelopeOptio
 		}
 		copy(x, opt.X0Line)
 	} else {
-		xdc, _, err := transient.DC(ctx, ckt, transient.DCOptions{})
+		// Auxiliary solve: its iterations are not in NewtonIters, so detach
+		// tracing to keep the exported convergence records summable.
+		xdc, _, err := transient.DC(obs.Detach(ctx), ckt, transient.DCOptions{})
 		if err != nil {
 			return nil, fmt.Errorf("core: envelope DC start failed: %w", err)
 		}

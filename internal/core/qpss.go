@@ -12,6 +12,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/device"
 	"repro/internal/la"
+	"repro/internal/obs"
 	"repro/internal/solver"
 	"repro/internal/transient"
 )
@@ -73,9 +74,10 @@ type Stats struct {
 	FillFactor         float64
 	// Factorizations counts full symbolic+numeric sparse LU runs;
 	// Refactorizations the numeric-only decompositions that reused a
-	// previous symbolic analysis.
+	// previous symbolic analysis; Halvings the Newton damping step halvings.
 	Factorizations   int
 	Refactorizations int
+	Halvings         int
 	// PatternBuilds counts symbolic Jacobian-pattern constructions (1 for a
 	// converging solve); PatternReuse counts Jacobian assemblies that
 	// restamped values into an existing pattern in place.
@@ -173,6 +175,14 @@ func QPSS(ctx context.Context, ckt *circuit.Circuit, opt Options) (*Solution, er
 	N1, N2 := opt.N1, opt.N2
 	nTot := N1 * N2 * n
 
+	ctx, span := obs.Start(ctx, "qpss.solve")
+	if span != nil {
+		span.SetInt("n1", int64(N1))
+		span.SetInt("n2", int64(N2))
+		span.SetInt("unknowns", int64(nTot))
+		defer span.End()
+	}
+
 	sol := &Solution{Ckt: ckt, Shear: opt.Shear, N1: N1, N2: N2, n: n}
 	sol.Stats.GridPoints = N1 * N2
 	sol.Stats.Unknowns = nTot
@@ -187,7 +197,11 @@ func QPSS(ctx context.Context, ckt *circuit.Circuit, opt Options) (*Solution, er
 		}
 		copy(x, opt.X0)
 	} else {
-		xdc, _, err := transient.DC(ctx, ckt, transient.DCOptions{})
+		// The DC starting point is an auxiliary solve whose iterations are
+		// not folded into this solve's Stats — detach tracing below it so the
+		// convergence records exported for a QPSS job sum exactly to the
+		// reported NewtonIters.
+		xdc, _, err := transient.DC(obs.Detach(ctx), ckt, transient.DCOptions{})
 		if err != nil {
 			return nil, fmt.Errorf("core: DC starting point failed: %w", err)
 		}
@@ -214,6 +228,7 @@ func QPSS(ctx context.Context, ckt *circuit.Circuit, opt Options) (*Solution, er
 	sol.Stats.PrecondBuilds = st.PrecondBuilds
 	sol.Stats.GMRESFallbacks = st.GMRESFallbacks
 	sol.Stats.BatchReuse = st.BatchReuse
+	sol.Stats.Halvings = st.Halvings
 	sol.Stats.AssemblyTime = st.AssemblyTime
 	sol.Stats.FactorTime = st.FactorTime
 	if mfs != nil {
@@ -244,6 +259,9 @@ func QPSS(ctx context.Context, ckt *circuit.Circuit, opt Options) (*Solution, er
 		sol.Stats.NewtonIters += cs.NewtonIters
 		sol.Stats.Factorizations += cs.Factorizations
 		sol.Stats.Refactorizations += cs.Refactorizations
+		sol.Stats.Halvings += cs.Halvings
+		sol.Stats.LinearIters += cs.LinearIters
+		sol.Stats.GMRESFallbacks += cs.GMRESFallbacks
 		sol.Stats.AssemblyTime += cs.AssemblyTime
 		sol.Stats.FactorTime += cs.FactorTime
 		if cs.FillFactor > 0 {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled gates the allocation-regression tests: the race detector's
+// instrumentation allocates, so AllocsPerRun bounds only hold on plain builds.
+const raceEnabled = false

@@ -3,6 +3,7 @@ package la
 import (
 	"errors"
 	"math"
+	"time"
 )
 
 // Operator is anything that can apply a square linear map y = A·x. It lets
@@ -45,6 +46,9 @@ type GMRESResult struct {
 	Iterations int
 	Residual   float64 // final relative residual
 	Converged  bool
+	// Wall is the solve's wall-clock time (observability only — excluded
+	// from every byte-stable export).
+	Wall time.Duration
 }
 
 // ErrNoConvergence is returned when an iterative solver hits its iteration cap.
@@ -101,7 +105,9 @@ func GMRES(a Operator, b, x []float64, opt GMRESOptions) (GMRESResult, error) {
 // Solve runs restarted right-preconditioned GMRES(m) against the solver's
 // reusable workspace. x holds the initial guess on entry and the solution on
 // exit.
-func (s *GMRESSolver) Solve(a Operator, b, x []float64, opt GMRESOptions) (GMRESResult, error) {
+func (s *GMRESSolver) Solve(a Operator, b, x []float64, opt GMRESOptions) (res GMRESResult, err error) {
+	t0 := time.Now()
+	defer func() { res.Wall = time.Since(t0) }()
 	n := a.Size()
 	if len(b) != n || len(x) != n {
 		return GMRESResult{}, ErrShape

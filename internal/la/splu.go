@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 )
 
 // SparseLU is a left-looking sparse LU factorisation with partial pivoting
@@ -23,6 +24,12 @@ type SparseLU struct {
 	ux         []float64
 	pinv       []int // original row i is pivotal for column pinv[i]
 	FillFactor float64
+	// FactorWall is the wall-clock time of the full (symbolic+numeric)
+	// factorisation; RefactorWall accumulates the numeric-only Refactor
+	// times against this analysis. Observability only — excluded from every
+	// byte-stable export.
+	FactorWall   time.Duration
+	RefactorWall time.Duration
 
 	// Symbolic-reuse state: a snapshot of the pattern the factorisation was
 	// computed from (copies, not references — the caller may rebuild its
@@ -69,6 +76,7 @@ func cscView(a *CSR) (atp, ati, atMap []int, atv []float64) {
 // |a_kk| ≥ tol·max|column|; tol=1 is classic partial pivoting, tol≈0.001 keeps
 // fill low on diagonally dominant MNA systems. A must be square.
 func SparseLUFactor(a *CSR, tol float64) (*SparseLU, error) {
+	t0 := time.Now()
 	if a.Rows != a.Cols {
 		return nil, ErrShape
 	}
@@ -212,6 +220,7 @@ func SparseLUFactor(a *CSR, tol float64) (*SparseLU, error) {
 	if nnz := a.NNZ(); nnz > 0 {
 		f.FillFactor = float64(len(f.lx)+len(f.ux)) / float64(nnz)
 	}
+	f.FactorWall = time.Since(t0)
 	return f, nil
 }
 
@@ -263,7 +272,10 @@ func sameInts(a, b []int) bool {
 // or element growth exceeds a stability bound; callers then fall back to
 // SparseLUFactor.
 func (f *SparseLU) Refactor(a *CSR) error {
-	return f.refactorInto(a, f.lx, f.ux)
+	t0 := time.Now()
+	err := f.refactorInto(a, f.lx, f.ux)
+	f.RefactorWall += time.Since(t0)
+	return err
 }
 
 // refactorInto runs the numeric-only refactorisation against the shared

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// The tracing-off contract: on a context without a recorder, Start and every
+// nil-span method must not touch the allocator at all. This is the
+// regression gate behind the pipeline-wide "tracing disabled ⇒ 0 allocs/op
+// attributable to obs" guarantee (CI runs it without -race).
+
+func TestDisabledStartNoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation bounds do not hold under the race detector")
+	}
+	ctx := context.Background()
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c, span := Start(ctx, "newton.solve")
+		span.SetInt("iterations", 42)
+		span.SetFloat("residual", 1e-9)
+		span.SetStr("linear", "direct")
+		span.End()
+		_ = c
+	}); allocs != 0 {
+		t.Fatalf("disabled Start+attrs+End allocates %v/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if Enabled(ctx) {
+			t.Fatal("enabled?")
+		}
+	}); allocs != 0 {
+		t.Fatalf("Enabled allocates %v/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// SpanNode is one span with its children attached — the tree form the
+// server's trace endpoint serves.
+type SpanNode struct {
+	SpanRecord
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// Tree arranges a flat snapshot into its span forest, children ordered by
+// start time. Spans whose parent was dropped over the recorder limit are
+// promoted to the top level rather than lost.
+func Tree(spans []SpanRecord) []*SpanNode {
+	byID := make(map[int64]*SpanNode, len(spans))
+	nodes := make([]*SpanNode, len(spans))
+	for i, sr := range spans {
+		n := &SpanNode{SpanRecord: sr}
+		nodes[i] = n
+		byID[sr.ID] = n
+	}
+	var roots []*SpanNode
+	for _, n := range nodes {
+		if p, ok := byID[n.Parent]; ok && n.Parent != 0 {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	var sortKids func(ns []*SpanNode)
+	sortKids = func(ns []*SpanNode) {
+		sort.Slice(ns, func(i, j int) bool {
+			if ns[i].Start != ns[j].Start {
+				return ns[i].Start < ns[j].Start
+			}
+			return ns[i].ID < ns[j].ID
+		})
+		for _, n := range ns {
+			sortKids(n.Children)
+		}
+	}
+	sortKids(roots)
+	return roots
+}
+
+// ChromeEvent is one trace_event entry ("X" complete events only).
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the object-format envelope chrome://tracing and Perfetto
+// accept; unknown extra top-level keys are ignored by both, which lets
+// callers graft a convergence table alongside TraceEvents.
+type chromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeEvents converts a snapshot to Chrome trace_event entries. Each span
+// becomes one "X" (complete) event; the lane (tid) is the span's top-level
+// ancestor, so every analysis/sweep-job subtree renders as its own track.
+func ChromeEvents(spans []SpanRecord) []ChromeEvent {
+	parent := make(map[int64]int64, len(spans))
+	for _, sr := range spans {
+		parent[sr.ID] = sr.Parent
+	}
+	lane := func(id int64) int64 {
+		for hop := 0; hop < len(spans); hop++ { // cycle guard
+			p, ok := parent[id]
+			if !ok || p == 0 {
+				return id
+			}
+			id = p
+		}
+		return id
+	}
+	evs := make([]ChromeEvent, 0, len(spans))
+	for _, sr := range spans {
+		ev := ChromeEvent{
+			Name: sr.Name,
+			Cat:  "mpde",
+			Ph:   "X",
+			TS:   float64(sr.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(sr.Duration.Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  lane(sr.ID),
+		}
+		if len(sr.Attrs) > 0 || sr.Data != nil {
+			args := make(map[string]any, len(sr.Attrs)+1)
+			for k, v := range sr.Attrs {
+				args[k] = v
+			}
+			if sr.Data != nil {
+				args["data"] = sr.Data
+			}
+			ev.Args = args
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// WriteChromeTrace writes the snapshot as Chrome trace_event JSON (object
+// format), loadable in chrome://tracing or Perfetto.
+func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(chromeTrace{TraceEvents: ChromeEvents(spans), DisplayTimeUnit: "ms"})
+}

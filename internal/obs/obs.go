@@ -1,0 +1,255 @@
+// Package obs is the reproduction's lightweight tracing subsystem: a span
+// recorder threaded context-first through the analysis pipeline (analysis
+// dispatch → sweep jobs → Newton solves), the same way cancellation flows.
+//
+// The design contract is that tracing must cost nothing when it is off. A
+// context without a recorder makes Start return a nil *Span after a single
+// ctx.Value lookup — no allocation, no clock read — and every *Span method
+// is nil-safe, so instrumented code never branches on "is tracing on":
+//
+//	ctx, span := obs.Start(ctx, "newton.solve")
+//	span.SetInt("n", int64(n)) // no-op when tracing is off
+//	defer span.End()
+//
+// Hot paths that want to skip even the preparation of attribute values guard
+// on span != nil (or obs.Enabled). Spans carry monotonic timestamps relative
+// to their recorder's epoch, an optional flat attribute set, and an optional
+// structured payload (the solver attaches its per-iteration convergence
+// records); the recorder retains a bounded number of finished spans and
+// counts the overflow instead of growing without bound.
+package obs
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLimit bounds a recorder's retained finished spans unless
+// NewRecorderLimit chooses otherwise.
+const DefaultLimit = 8192
+
+// Recorder collects finished spans. It is safe for concurrent use: worker
+// pools may start and end child spans from many goroutines.
+type Recorder struct {
+	epoch   time.Time
+	limit   int
+	ids     atomic.Int64
+	dropped atomic.Int64
+	root    *Span
+
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// NewRecorder returns a recorder retaining up to DefaultLimit spans.
+func NewRecorder() *Recorder { return NewRecorderLimit(DefaultLimit) }
+
+// NewRecorderLimit returns a recorder retaining up to limit finished spans;
+// spans ending beyond the limit are counted in Dropped instead of stored.
+func NewRecorderLimit(limit int) *Recorder {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	r := &Recorder{epoch: time.Now(), limit: limit}
+	r.root = &Span{rec: r}
+	return r
+}
+
+// Dropped reports how many finished spans were discarded over the limit.
+func (r *Recorder) Dropped() int64 { return r.dropped.Load() }
+
+// Snapshot returns the finished spans recorded so far, ordered by start
+// time (ties by ID). The returned slice is a copy and safe to retain.
+func (r *Recorder) Snapshot() []SpanRecord {
+	r.mu.Lock()
+	out := append([]SpanRecord(nil), r.spans...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+func (r *Recorder) record(sr SpanRecord) {
+	r.mu.Lock()
+	if len(r.spans) < r.limit {
+		r.spans = append(r.spans, sr)
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+	r.dropped.Add(1)
+}
+
+// SpanRecord is one finished span. Start and Duration are monotonic,
+// relative to the recorder's epoch. Parent is 0 for top-level spans.
+type SpanRecord struct {
+	ID       int64          `json:"id"`
+	Parent   int64          `json:"parent,omitempty"`
+	Name     string         `json:"name"`
+	Start    time.Duration  `json:"start_ns"`
+	Duration time.Duration  `json:"dur_ns"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	// Data is the span's structured payload (e.g. the solver's per-iteration
+	// convergence records). It must be JSON-marshalable.
+	Data any `json:"data,omitempty"`
+}
+
+// Span is one in-progress operation. The zero of the API is a nil *Span:
+// every method is a no-op on nil, so call sites never test whether tracing
+// is enabled. A span's attribute setters are owned by the goroutine that
+// started it; only Start (reading immutable fields) is called concurrently.
+type Span struct {
+	rec    *Recorder
+	id     int64
+	parent int64
+	name   string
+	start  time.Duration
+	attrs  []Attr
+	data   any
+}
+
+// Attr is one key/value attribute. Use the Str/Int/Float constructors —
+// they avoid boxing scalars through an interface.
+type Attr struct {
+	Key  string
+	S    string
+	I    int64
+	F    float64
+	kind byte // 's', 'i', 'f'
+}
+
+// Str builds a string attribute.
+func Str(key, v string) Attr { return Attr{Key: key, S: v, kind: 's'} }
+
+// Int builds an integer attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, I: v, kind: 'i'} }
+
+// Float builds a float attribute.
+func Float(key string, v float64) Attr { return Attr{Key: key, F: v, kind: 'f'} }
+
+func (a Attr) value() any {
+	switch a.kind {
+	case 'i':
+		return a.I
+	case 'f':
+		return a.F
+	default:
+		return a.S
+	}
+}
+
+// spanKey is the single context key: it holds the current *Span, whose
+// recorder pointer makes the whole chain reachable from one Value lookup.
+type spanKey struct{}
+
+// WithRecorder installs rec's root span into ctx; spans started below
+// descend from it. A nil rec returns ctx unchanged (tracing stays off).
+func WithRecorder(ctx context.Context, rec *Recorder) context.Context {
+	if rec == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, rec.root)
+}
+
+// Detach returns a context with tracing disabled below it even when ctx
+// carries a recorder. Analyses use it to exclude auxiliary solves (e.g. a DC
+// starting point) whose iterations their exported Stats do not count, so a
+// trace's convergence records always sum to the counters the job reports.
+func Detach(ctx context.Context) context.Context {
+	if s, _ := ctx.Value(spanKey{}).(*Span); s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, (*Span)(nil))
+}
+
+// Enabled reports whether a recorder is active in ctx. Use it to skip
+// preparing span names or attribute values that themselves cost allocation.
+func Enabled(ctx context.Context) bool {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s != nil
+}
+
+// Start begins a child of the current span. When ctx carries no recorder it
+// returns (ctx, nil) — one Value lookup, zero allocations — and the nil span
+// swallows every later method call. Optional attrs are attached up front;
+// hot paths should pass none and use the setters behind a nil check instead
+// (a non-empty variadic slice is materialised before the disabled path can
+// reject it).
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	rec := parent.rec
+	s := &Span{
+		rec:    rec,
+		id:     rec.ids.Add(1),
+		parent: parent.id,
+		name:   name,
+		start:  time.Since(rec.epoch),
+	}
+	if len(attrs) > 0 {
+		s.attrs = append(s.attrs, attrs...)
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// SetStr attaches a string attribute. No-op on a nil span.
+func (s *Span) SetStr(key, v string) {
+	if s != nil {
+		s.attrs = append(s.attrs, Str(key, v))
+	}
+}
+
+// SetInt attaches an integer attribute. No-op on a nil span.
+func (s *Span) SetInt(key string, v int64) {
+	if s != nil {
+		s.attrs = append(s.attrs, Int(key, v))
+	}
+}
+
+// SetFloat attaches a float attribute. No-op on a nil span.
+func (s *Span) SetFloat(key string, v float64) {
+	if s != nil {
+		s.attrs = append(s.attrs, Float(key, v))
+	}
+}
+
+// SetData attaches the span's structured payload (JSON-marshalable).
+// No-op on a nil span.
+func (s *Span) SetData(v any) {
+	if s != nil {
+		s.data = v
+	}
+}
+
+// End finishes the span and records it. No-op on a nil span. End must be
+// called at most once; a span is not reusable afterwards.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	sr := SpanRecord{
+		ID:       s.id,
+		Parent:   s.parent,
+		Name:     s.name,
+		Start:    s.start,
+		Duration: time.Since(s.rec.epoch) - s.start,
+		Data:     s.data,
+	}
+	if len(s.attrs) > 0 {
+		m := make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			m[a.Key] = a.value()
+		}
+		sr.Attrs = m
+	}
+	s.rec.record(sr)
+}

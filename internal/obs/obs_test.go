@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestDisabledPathIsInert(t *testing.T) {
+	ctx := context.Background()
+	if Enabled(ctx) {
+		t.Fatal("Enabled on a bare context")
+	}
+	ctx2, span := Start(ctx, "x")
+	if span != nil {
+		t.Fatal("Start without a recorder returned a span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("Start without a recorder wrapped the context")
+	}
+	// Every method must be a no-op on the nil span.
+	span.SetStr("k", "v")
+	span.SetInt("k", 1)
+	span.SetFloat("k", 1.5)
+	span.SetData([]int{1})
+	span.End()
+}
+
+func TestSpanTreeRecording(t *testing.T) {
+	rec := NewRecorder()
+	ctx := WithRecorder(context.Background(), rec)
+	if !Enabled(ctx) {
+		t.Fatal("recorder installed but Enabled is false")
+	}
+
+	ctx1, parent := Start(ctx, "parent", Str("kind", "test"))
+	if parent == nil {
+		t.Fatal("Start under a recorder returned nil")
+	}
+	_, child := Start(ctx1, "child")
+	child.SetInt("iters", 7)
+	child.SetData([]int{1, 2, 3})
+	child.End()
+	parent.SetFloat("score", 0.5)
+	parent.End()
+
+	// A sibling started from the root context.
+	_, top := Start(ctx, "top2")
+	top.End()
+
+	spans := rec.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	p, c := byName["parent"], byName["child"]
+	if c.Parent != p.ID {
+		t.Fatalf("child.Parent = %d, want %d", c.Parent, p.ID)
+	}
+	if p.Parent != 0 || byName["top2"].Parent != 0 {
+		t.Fatal("top-level spans must have Parent 0")
+	}
+	if p.Attrs["kind"] != "test" || p.Attrs["score"] != 0.5 {
+		t.Fatalf("parent attrs wrong: %v", p.Attrs)
+	}
+	if c.Attrs["iters"] != int64(7) {
+		t.Fatalf("child attrs wrong: %v", c.Attrs)
+	}
+	if c.Start < p.Start || c.Duration > p.Duration {
+		t.Fatalf("child timing outside parent: p=(%v,%v) c=(%v,%v)", p.Start, p.Duration, c.Start, c.Duration)
+	}
+
+	tree := Tree(spans)
+	if len(tree) != 2 {
+		t.Fatalf("tree has %d roots, want 2", len(tree))
+	}
+	if tree[0].Name != "parent" || len(tree[0].Children) != 1 || tree[0].Children[0].Name != "child" {
+		t.Fatalf("unexpected tree shape: %+v", tree[0])
+	}
+}
+
+func TestDetach(t *testing.T) {
+	rec := NewRecorder()
+	ctx := WithRecorder(context.Background(), rec)
+	dctx := Detach(ctx)
+	if Enabled(dctx) {
+		t.Fatal("Detach left tracing enabled")
+	}
+	if _, s := Start(dctx, "x"); s != nil {
+		t.Fatal("Start under Detach returned a span")
+	}
+	if got := Detach(context.Background()); got != context.Background() {
+		t.Fatal("Detach of a bare context should return it unchanged")
+	}
+}
+
+func TestRecorderBound(t *testing.T) {
+	rec := NewRecorderLimit(4)
+	ctx := WithRecorder(context.Background(), rec)
+	for i := 0; i < 10; i++ {
+		_, s := Start(ctx, "s")
+		s.End()
+	}
+	if got := len(rec.Snapshot()); got != 4 {
+		t.Fatalf("retained %d spans, want 4", got)
+	}
+	if rec.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", rec.Dropped())
+	}
+}
+
+func TestChromeTraceValidJSON(t *testing.T) {
+	rec := NewRecorder()
+	ctx := WithRecorder(context.Background(), rec)
+	ctx1, a := Start(ctx, "analysis.qpss")
+	_, n := Start(ctx1, "newton.solve")
+	n.SetInt("iterations", 3)
+	n.SetData([]map[string]any{{"iter": 1, "residual": 0.5}})
+	time.Sleep(time.Millisecond)
+	n.End()
+	a.End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, rec.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+			TID  int64   `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("Chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(out.TraceEvents))
+	}
+	for _, ev := range out.TraceEvents {
+		if ev.Ph != "X" || ev.PID != 1 || ev.Dur < 0 {
+			t.Fatalf("malformed event: %+v", ev)
+		}
+	}
+	// Both spans share the analysis span's lane (tid = top-level ancestor).
+	if out.TraceEvents[0].TID != out.TraceEvents[1].TID {
+		t.Fatalf("lanes differ: %d vs %d", out.TraceEvents[0].TID, out.TraceEvents[1].TID)
+	}
+}
+
+func TestTreePromotesOrphans(t *testing.T) {
+	// A child whose parent record was dropped must surface at the top level.
+	spans := []SpanRecord{{ID: 5, Parent: 3, Name: "orphan"}}
+	tree := Tree(spans)
+	if len(tree) != 1 || tree[0].Name != "orphan" {
+		t.Fatalf("orphan not promoted: %+v", tree)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	rec := NewRecorder()
+	ctx := WithRecorder(context.Background(), rec)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				c, s := Start(ctx, "worker")
+				_, in := Start(c, "inner")
+				in.End()
+				s.End()
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if got := len(rec.Snapshot()); got != 1600 {
+		t.Fatalf("recorded %d spans, want 1600", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -84,6 +85,10 @@ type jobState struct {
 	ok, fail int
 	canc     int
 	iters    int
+
+	// rec holds the job's span recorder when the request asked for tracing
+	// (Request.Trace); nil otherwise. Served by GET /v1/jobs/{id}/trace.
+	rec *obs.Recorder
 
 	cancel    context.CancelFunc
 	ctxForRun context.Context
@@ -185,6 +190,7 @@ func (j *jobState) finalize(status JobStatus, res *sweep.Result, errMsg string) 
 	if res != nil {
 		ok, fail, canc = res.Counts()
 		var facts, refacts, pat, ops, precs, reuse, rejects, refines int
+		var linIters, falls, halvs int
 		var asmNS, facNS int64
 		for i := range res.Jobs {
 			iters += res.Jobs[i].NewtonIters
@@ -194,10 +200,16 @@ func (j *jobState) finalize(status JobStatus, res *sweep.Result, errMsg string) 
 			ops += res.Jobs[i].OperatorApplies
 			precs += res.Jobs[i].PrecondBuilds
 			reuse += res.Jobs[i].BatchReuse
+			linIters += res.Jobs[i].LinearIters
+			falls += res.Jobs[i].GMRESFallbacks
+			halvs += res.Jobs[i].Halvings
 			rejects += res.Jobs[i].RejectedSteps
 			refines += res.Jobs[i].Refinements
 			asmNS += res.Jobs[i].Assembly.Nanoseconds()
 			facNS += res.Jobs[i].Factor.Nanoseconds()
+			m.srv.metrics.jobDuration.Observe(res.Jobs[i].Wall.Seconds())
+			m.srv.metrics.newtonPer.Observe(float64(res.Jobs[i].NewtonIters))
+			m.srv.metrics.gmresPer.Observe(float64(res.Jobs[i].LinearIters))
 		}
 		m.srv.metrics.sweepOK.Add(int64(ok))
 		m.srv.metrics.sweepFailed.Add(int64(fail))
@@ -209,6 +221,9 @@ func (j *jobState) finalize(status JobStatus, res *sweep.Result, errMsg string) 
 		m.srv.metrics.opApplies.Add(int64(ops))
 		m.srv.metrics.precBuilds.Add(int64(precs))
 		m.srv.metrics.batchReuse.Add(int64(reuse))
+		m.srv.metrics.linearIters.Add(int64(linIters))
+		m.srv.metrics.gmresFalls.Add(int64(falls))
+		m.srv.metrics.halvings.Add(int64(halvs))
 		m.srv.metrics.stepRejects.Add(int64(rejects))
 		m.srv.metrics.gridRefines.Add(int64(refines))
 		m.srv.metrics.assemblyNS.Add(asmNS)
@@ -372,7 +387,11 @@ func (m *manager) submit(rs *runSpec, pin bool) (j *jobState, release func(), ca
 	met.submitted.Add(1)
 
 	// Content-addressed cache: identical (deck, options) served instantly.
-	if rs.key != "" {
+	// A traced submit bypasses the lookup — the whole point is to watch the
+	// solve run — but its result bytes are still Put on completion (tracing
+	// never changes them), so it refreshes the cache rather than fragmenting
+	// it.
+	if rs.key != "" && !rs.trace {
 		if val, ok := m.srv.cache.Get(rs.key); ok {
 			met.cacheHits.Add(1)
 			j = m.newJobLocked(rs, StatusDone)
@@ -420,6 +439,13 @@ func (m *manager) run(j *jobState, rs *runSpec) {
 	defer m.wg.Done()
 	met := &m.srv.metrics
 	jctx := j.ctxForRun
+	if rs.trace {
+		rec := obs.NewRecorder()
+		j.mu.Lock()
+		j.rec = rec
+		j.mu.Unlock()
+		jctx = obs.WithRecorder(jctx, rec)
+	}
 
 	select {
 	case m.sem <- struct{}{}:

@@ -3,7 +3,9 @@ package server
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
 )
@@ -11,7 +13,8 @@ import (
 // metrics is the server's counter set, exposed at GET /metrics in
 // Prometheus text exposition format (append ?format=json for a flat JSON
 // object). Counters are monotone over the process lifetime; queued/running
-// and the cache sizes are gauges.
+// and the cache sizes are gauges. The three histograms aggregate per-analysis
+// latency and convergence effort across every engine run.
 type metrics struct {
 	submitted   atomic.Int64 // jobs accepted (cache hits included)
 	queued      atomic.Int64 // gauge: accepted, waiting for a slot
@@ -30,6 +33,9 @@ type metrics struct {
 	opApplies   atomic.Int64 // matrix-free Jacobian-vector products
 	precBuilds  atomic.Int64 // iterative-mode preconditioner builds
 	batchReuse  atomic.Int64 // batch/shared-LU numeric refactorisations
+	linearIters atomic.Int64 // inner GMRES iterations
+	gmresFalls  atomic.Int64 // GMRES failures rescued by a direct solve
+	halvings    atomic.Int64 // Newton damping step halvings
 	stepRejects atomic.Int64 // envelope LTE step rejections
 	gridRefines atomic.Int64 // adaptive grid/step refinement rounds
 	assemblyNS  atomic.Int64 // residual/Jacobian assembly time (ns)
@@ -37,72 +43,187 @@ type metrics struct {
 	sweepOK     atomic.Int64 // per-analysis outcomes inside engine runs
 	sweepFailed atomic.Int64
 	sweepCanc   atomic.Int64
+
+	// Fixed-bucket histograms, initialised by initHistograms (New calls it).
+	jobDuration *histogram
+	newtonPer   *histogram
+	gmresPer    *histogram
 }
 
-// metricPoint is one rendered sample.
+// initHistograms allocates the histogram set. Bucket bounds are fixed at
+// compile time so two servers' scrapes are always mergeable.
+func (m *metrics) initHistograms() {
+	m.jobDuration = newHistogram("mpde_job_duration_seconds",
+		"Per-analysis wall-clock duration inside engine runs.",
+		[]float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 10, 60})
+	m.newtonPer = newHistogram("mpde_solver_newton_iters",
+		"Newton iterations per analysis solve.",
+		[]float64{1, 2, 5, 10, 20, 50, 100, 200, 500})
+	m.gmresPer = newHistogram("mpde_solver_gmres_iters_per_solve",
+		"Inner GMRES iterations per analysis solve (0 on the direct path).",
+		[]float64{0, 5, 10, 25, 50, 100, 250, 1000})
+}
+
+// histogram is a fixed-bucket Prometheus histogram: lock-free observes
+// (atomic bucket counters plus a CAS-accumulated float sum) and a consistent-
+// enough snapshot for text exposition.
+type histogram struct {
+	name, help string
+	bounds     []float64 // upper bucket bounds, ascending; +Inf implicit
+	counts     []atomic.Int64
+	sumBits    atomic.Uint64
+}
+
+func newHistogram(name, help string, bounds []float64) *histogram {
+	return &histogram{name: name, help: help, bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one sample. Nil-safe so a zero-value metrics struct (unit
+// tests that never call New) cannot panic the finalize path.
+func (h *histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// writeProm renders the histogram in Prometheus exposition format:
+// cumulative _bucket{le=...} counts, then _sum and _count.
+func (h *histogram) writeProm(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", h.name, strconv.FormatFloat(math.Float64frombits(h.sumBits.Load()), 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count %d\n", h.name, cum)
+}
+
+// count returns the total number of observations.
+func (h *histogram) count() int64 {
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+	}
+	return cum
+}
+
+func (m *metrics) histograms() []*histogram {
+	if m.jobDuration == nil {
+		return nil
+	}
+	return []*histogram{m.jobDuration, m.newtonPer, m.gmresPer}
+}
+
+// metricPoint is one rendered sample. Integer-valued points carry Int with
+// IsInt set and render with full precision — a float64 %g round-trips
+// counters only up to 2^53 and then silently drops increments (and flips to
+// e-notation, which some scrapers reject).
 type metricPoint struct {
 	Name  string
 	Help  string
 	Gauge bool
 	Value float64
+	Int   int64
+	IsInt bool
+}
+
+func intPoint(name, help string, gauge bool, v int64) metricPoint {
+	return metricPoint{Name: name, Help: help, Gauge: gauge, Int: v, IsInt: true}
+}
+
+func floatPoint(name, help string, gauge bool, v float64) metricPoint {
+	return metricPoint{Name: name, Help: help, Gauge: gauge, Value: v}
+}
+
+// render returns the sample's exposition value.
+func (p metricPoint) render() string {
+	if p.IsInt {
+		return strconv.FormatInt(p.Int, 10)
+	}
+	return strconv.FormatFloat(p.Value, 'g', -1, 64)
 }
 
 // snapshot renders the full metric set in stable order.
 func (m *metrics) snapshot(cache *resultCache, start time.Time) []metricPoint {
 	entries, bytes := cache.Stats()
 	pts := []metricPoint{
-		{"mpde_uptime_seconds", "Seconds since the server started.", true, time.Since(start).Seconds()},
-		{"mpde_jobs_submitted_total", "Jobs accepted, including cache hits.", false, float64(m.submitted.Load())},
-		{"mpde_jobs_queued", "Jobs waiting for a simulation slot.", true, float64(m.queued.Load())},
-		{"mpde_jobs_running", "Jobs holding a simulation slot.", true, float64(m.running.Load())},
-		{"mpde_jobs_done_total", "Jobs finished with a complete sweep.", false, float64(m.done.Load())},
-		{"mpde_jobs_failed_total", "Jobs finished with a hard error.", false, float64(m.failed.Load())},
-		{"mpde_jobs_canceled_total", "Jobs canceled by client disconnect, DELETE, or drain.", false, float64(m.canceled.Load())},
-		{"mpde_engine_runs_total", "sweep.Run invocations; submits minus cache and singleflight hits.", false, float64(m.engineRuns.Load())},
-		{"mpde_singleflight_shared_total", "Submits coalesced onto an identical in-flight run.", false, float64(m.sharedHits.Load())},
-		{"mpde_cache_hits_total", "Submits served from the result cache.", false, float64(m.cacheHits.Load())},
-		{"mpde_cache_misses_total", "Cacheable submits that had to run.", false, float64(m.cacheMisses.Load())},
-		{"mpde_cache_entries", "Resident result-cache entries.", true, float64(entries)},
-		{"mpde_cache_bytes", "Resident result-cache bytes.", true, float64(bytes)},
-		{"mpde_solver_newton_iters_total", "Nonlinear solver iterations summed over engine runs.", false, float64(m.newtonIters.Load())},
-		{"mpde_solver_factorizations_total", "Full sparse-LU factorisations summed over engine runs.", false, float64(m.factorize.Load())},
-		{"mpde_solver_refactorizations_total", "Numeric-only LU refactorisations that reused a symbolic analysis.", false, float64(m.refactorize.Load())},
-		{"mpde_solver_pattern_reuse_total", "Jacobian assemblies restamped into an existing sparsity pattern.", false, float64(m.patternHits.Load())},
-		{"mpde_solver_operator_applies_total", "Matrix-free Jacobian-vector products summed over engine runs.", false, float64(m.opApplies.Load())},
-		{"mpde_solver_precond_builds_total", "Iterative-mode preconditioner builds summed over engine runs.", false, float64(m.precBuilds.Load())},
-		{"mpde_solver_batch_reuse_total", "Numeric refactorisations against a batched or shared symbolic analysis.", false, float64(m.batchReuse.Load())},
-		{"mpde_solver_step_rejections_total", "Envelope LTE steps rejected and retried smaller.", false, float64(m.stepRejects.Load())},
-		{"mpde_solver_grid_refinements_total", "Adaptive grid/step refinement rounds beyond the initial solve.", false, float64(m.gridRefines.Load())},
-		{"mpde_solver_assembly_seconds_total", "Residual/Jacobian assembly time summed over engine runs.", false, float64(m.assemblyNS.Load()) / 1e9},
-		{"mpde_solver_factor_seconds_total", "Matrix factorisation time summed over engine runs.", false, float64(m.factorNS.Load()) / 1e9},
-		{"mpde_sweep_jobs_ok_total", "Per-analysis ok outcomes inside engine runs.", false, float64(m.sweepOK.Load())},
-		{"mpde_sweep_jobs_failed_total", "Per-analysis failures inside engine runs.", false, float64(m.sweepFailed.Load())},
-		{"mpde_sweep_jobs_canceled_total", "Per-analysis cancellations inside engine runs.", false, float64(m.sweepCanc.Load())},
+		floatPoint("mpde_uptime_seconds", "Seconds since the server started.", true, time.Since(start).Seconds()),
+		intPoint("mpde_jobs_submitted_total", "Jobs accepted, including cache hits.", false, m.submitted.Load()),
+		intPoint("mpde_jobs_queued", "Jobs waiting for a simulation slot.", true, m.queued.Load()),
+		intPoint("mpde_jobs_running", "Jobs holding a simulation slot.", true, m.running.Load()),
+		intPoint("mpde_jobs_done_total", "Jobs finished with a complete sweep.", false, m.done.Load()),
+		intPoint("mpde_jobs_failed_total", "Jobs finished with a hard error.", false, m.failed.Load()),
+		intPoint("mpde_jobs_canceled_total", "Jobs canceled by client disconnect, DELETE, or drain.", false, m.canceled.Load()),
+		intPoint("mpde_engine_runs_total", "sweep.Run invocations; submits minus cache and singleflight hits.", false, m.engineRuns.Load()),
+		intPoint("mpde_singleflight_shared_total", "Submits coalesced onto an identical in-flight run.", false, m.sharedHits.Load()),
+		intPoint("mpde_cache_hits_total", "Submits served from the result cache.", false, m.cacheHits.Load()),
+		intPoint("mpde_cache_misses_total", "Cacheable submits that had to run.", false, m.cacheMisses.Load()),
+		intPoint("mpde_cache_entries", "Resident result-cache entries.", true, int64(entries)),
+		intPoint("mpde_cache_bytes", "Resident result-cache bytes.", true, bytes),
+		intPoint("mpde_solver_newton_iters_total", "Nonlinear solver iterations summed over engine runs.", false, m.newtonIters.Load()),
+		intPoint("mpde_solver_factorizations_total", "Full sparse-LU factorisations summed over engine runs.", false, m.factorize.Load()),
+		intPoint("mpde_solver_refactorizations_total", "Numeric-only LU refactorisations that reused a symbolic analysis.", false, m.refactorize.Load()),
+		intPoint("mpde_solver_pattern_reuse_total", "Jacobian assemblies restamped into an existing sparsity pattern.", false, m.patternHits.Load()),
+		intPoint("mpde_solver_operator_applies_total", "Matrix-free Jacobian-vector products summed over engine runs.", false, m.opApplies.Load()),
+		intPoint("mpde_solver_precond_builds_total", "Iterative-mode preconditioner builds summed over engine runs.", false, m.precBuilds.Load()),
+		intPoint("mpde_solver_batch_reuse_total", "Numeric refactorisations against a batched or shared symbolic analysis.", false, m.batchReuse.Load()),
+		intPoint("mpde_solver_linear_iters_total", "Inner GMRES iterations summed over engine runs.", false, m.linearIters.Load()),
+		intPoint("mpde_solver_gmres_fallbacks_total", "GMRES failures rescued by a direct solve.", false, m.gmresFalls.Load()),
+		intPoint("mpde_solver_damping_halvings_total", "Newton damping step halvings summed over engine runs.", false, m.halvings.Load()),
+		intPoint("mpde_solver_step_rejections_total", "Envelope LTE steps rejected and retried smaller.", false, m.stepRejects.Load()),
+		intPoint("mpde_solver_grid_refinements_total", "Adaptive grid/step refinement rounds beyond the initial solve.", false, m.gridRefines.Load()),
+		floatPoint("mpde_solver_assembly_seconds_total", "Residual/Jacobian assembly time summed over engine runs.", false, float64(m.assemblyNS.Load())/1e9),
+		floatPoint("mpde_solver_factor_seconds_total", "Matrix factorisation time summed over engine runs.", false, float64(m.factorNS.Load())/1e9),
+		intPoint("mpde_sweep_jobs_ok_total", "Per-analysis ok outcomes inside engine runs.", false, m.sweepOK.Load()),
+		intPoint("mpde_sweep_jobs_failed_total", "Per-analysis failures inside engine runs.", false, m.sweepFailed.Load()),
+		intPoint("mpde_sweep_jobs_canceled_total", "Per-analysis cancellations inside engine runs.", false, m.sweepCanc.Load()),
 	}
 	return pts
 }
 
 // writeProm renders Prometheus text exposition format.
-func writeProm(w io.Writer, pts []metricPoint) {
+func writeProm(w io.Writer, pts []metricPoint, hists []*histogram) {
 	for _, p := range pts {
 		kind := "counter"
 		if p.Gauge {
 			kind = "gauge"
 		}
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", p.Name, p.Help, p.Name, kind, p.Name, p.Value)
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", p.Name, p.Help, p.Name, kind, p.Name, p.render())
+	}
+	for _, h := range hists {
+		h.writeProm(w)
 	}
 }
 
 // writeMetricsJSON renders a flat {"name": value} object with sorted keys.
-func writeMetricsJSON(w io.Writer, pts []metricPoint) {
+// Histograms contribute their _sum and _count; per-bucket counts stay
+// Prometheus-only. Integer points render as exact decimal integers — %g
+// would collapse counters past 2^53 and switch to e-notation.
+func writeMetricsJSON(w io.Writer, pts []metricPoint, hists []*histogram) {
 	sorted := append([]metricPoint(nil), pts...)
+	for _, h := range hists {
+		sorted = append(sorted,
+			floatPoint(h.name+"_sum", "", false, math.Float64frombits(h.sumBits.Load())),
+			intPoint(h.name+"_count", "", false, h.count()))
+	}
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
 	io.WriteString(w, "{")
 	for i, p := range sorted {
 		if i > 0 {
 			io.WriteString(w, ",")
 		}
-		fmt.Fprintf(w, "\n  %q: %g", p.Name, p.Value)
+		fmt.Fprintf(w, "\n  %q: %s", p.Name, p.render())
 	}
 	io.WriteString(w, "\n}\n")
 }

@@ -75,6 +75,12 @@ type Request struct {
 	// NoCache skips the result cache for this request (it still
 	// singleflights against identical in-flight runs).
 	NoCache bool `json:"no_cache,omitempty"`
+	// Trace records a span tree and per-iteration Newton convergence
+	// records for this job, served by GET /v1/jobs/{id}/trace. Tracing
+	// never changes the result bytes, so the canonical cache key ignores
+	// it; a traced submit does bypass the cache lookup (the solve must
+	// actually run) and never coalesces onto an untraced in-flight run.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // AnalysisRequest selects one analysis at one grid shape.
@@ -112,6 +118,8 @@ type runSpec struct {
 	flightKey string
 	spec      sweep.Spec
 	njobs     int
+	// trace requests span/convergence recording (Request.Trace).
+	trace bool
 }
 
 // badRequestError marks client mistakes (HTTP 400) apart from server
@@ -317,11 +325,12 @@ func resolveRequest(req *Request, sweepWorkers int) (*runSpec, error) {
 	sum := sha256.Sum256(enc)
 	key := hex.EncodeToString(sum[:])
 
-	rs := &runSpec{name: name, spec: spec, njobs: len(jobs)}
+	rs := &runSpec{name: name, spec: spec, njobs: len(jobs), trace: req.Trace}
 	// NoCache is part of the flight identity: a cacheable submit must not
 	// coalesce onto an uncacheable run, or its result would silently never
-	// enter the cache.
-	rs.flightKey = fmt.Sprintf("%s/timeout=%d/nocache=%v", key, req.JobTimeoutMS, req.NoCache)
+	// enter the cache. Trace likewise: a traced submit joining an untraced
+	// run would get no trace back.
+	rs.flightKey = fmt.Sprintf("%s/timeout=%d/nocache=%v/trace=%v", key, req.JobTimeoutMS, req.NoCache, req.Trace)
 	if req.JobTimeoutMS == 0 && !req.NoCache {
 		rs.key = key
 	}

@@ -10,6 +10,8 @@
 //	GET    /v1/jobs/{id}        one job's summary
 //	GET    /v1/jobs/{id}/result the (possibly partial) sweep result JSON
 //	GET    /v1/jobs/{id}/events SSE / NDJSON progress stream
+//	GET    /v1/jobs/{id}/trace  span tree + Newton convergence records
+//	                            (jobs submitted with "trace": true)
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /metrics             Prometheus text (or ?format=json)
 //	GET    /healthz             liveness + drain state
@@ -100,6 +102,7 @@ type Server struct {
 // New builds a Server from opt.
 func New(opt Options) *Server {
 	s := &Server{opt: opt.withDefaults(), start: time.Now()}
+	s.metrics.initHistograms()
 	s.cache = newResultCache(s.opt.CacheBytes)
 	s.mgr = newManager(s, s.opt.MaxConcurrent)
 	mux := http.NewServeMux()
@@ -109,6 +112,7 @@ func New(opt Options) *Server {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -348,13 +352,14 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pts := s.metrics.snapshot(s.cache, s.start)
+	hists := s.metrics.histograms()
 	if r.URL.Query().Get("format") == "json" {
 		w.Header().Set("Content-Type", "application/json")
-		writeMetricsJSON(w, pts)
+		writeMetricsJSON(w, pts, hists)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	writeProm(w, pts)
+	writeProm(w, pts, hists)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

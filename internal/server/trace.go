@@ -1,0 +1,82 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/obs"
+	"repro/internal/solver"
+)
+
+// TraceResponse is the body of GET /v1/jobs/{id}/trace: the job's span
+// forest plus every Newton solve's per-iteration convergence records. The
+// records of one job sum to the job's reported NewtonIters (auxiliary
+// solves — DC starting points — are excluded from both sides; HB's private
+// Newton loop reports iterations but records no per-iteration trace).
+type TraceResponse struct {
+	ID string `json:"id"`
+	// DroppedSpans counts spans lost to the recorder's retention bound.
+	DroppedSpans int64 `json:"dropped_spans,omitempty"`
+	// Spans is the span forest, children sorted by start time.
+	Spans []*obs.SpanNode `json:"spans"`
+	// Convergence lists every solve span carrying iteration records.
+	Convergence []ConvergenceEntry `json:"convergence"`
+}
+
+// ConvergenceEntry is one Newton solve's iteration-by-iteration trace.
+type ConvergenceEntry struct {
+	// Span is the recording span's ID in Spans; Name its span name.
+	Span    int64              `json:"span"`
+	Name    string             `json:"name"`
+	Records []solver.IterTrace `json:"records"`
+}
+
+// handleTrace serves a finished traced job's span tree and convergence
+// records. 409 while the job still runs; 404 when the job was submitted
+// without trace:true.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.mu.Lock()
+	status := j.status
+	rec := j.rec
+	j.mu.Unlock()
+	if rec == nil {
+		writeErr(w, http.StatusNotFound, "job %s was not traced; submit it with trace:true", j.id)
+		return
+	}
+	if !status.finished() {
+		writeErr(w, http.StatusConflict, "job %s is %s; trace is served once it finishes", j.id, status)
+		return
+	}
+	spans := rec.Snapshot()
+	resp := TraceResponse{
+		ID:           j.id,
+		DroppedSpans: rec.Dropped(),
+		Spans:        obs.Tree(spans),
+		Convergence:  []ConvergenceEntry{},
+	}
+	for _, sp := range spans {
+		if recs, ok := sp.Data.([]solver.IterTrace); ok {
+			resp.Convergence = append(resp.Convergence, ConvergenceEntry{Span: sp.ID, Name: sp.Name, Records: recs})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// DebugHandler returns the opt-in debug mux: net/http/pprof profiling
+// endpoints under /debug/pprof/. It is deliberately not mounted on the API
+// handler — cmd/mpde-serve binds it to a separate -debug-addr listener so
+// profiling never rides the public port.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

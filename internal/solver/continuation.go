@@ -46,11 +46,14 @@ type ContinuationStats struct {
 	Failures    int
 	FinalLambda float64
 	NewtonIters int
-	// Factorizations/Refactorizations/AssemblyTime/FactorTime aggregate the
-	// work of every inner Newton solve (see Stats); FillFactor is the last
-	// solve's LU fill.
+	// Factorizations/Refactorizations/Halvings/LinearIters/GMRESFallbacks/
+	// AssemblyTime/FactorTime aggregate the work of every inner Newton solve
+	// (see Stats); FillFactor is the last solve's LU fill.
 	Factorizations   int
 	Refactorizations int
+	Halvings         int
+	LinearIters      int
+	GMRESFallbacks   int
 	AssemblyTime     time.Duration
 	FactorTime       time.Duration
 	FillFactor       float64
@@ -87,6 +90,9 @@ func Continue(ctx context.Context, sys ParamSystem, x []float64, opt Continuatio
 		cs.NewtonIters += st.Iterations
 		cs.Factorizations += st.Factorizations
 		cs.Refactorizations += st.Refactorizations
+		cs.Halvings += st.Halvings
+		cs.LinearIters += st.LinearIters
+		cs.GMRESFallbacks += st.GMRESFallbacks
 		cs.AssemblyTime += st.AssemblyTime
 		cs.FactorTime += st.FactorTime
 		if st.FillFactor > 0 {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/la"
+	"repro/internal/obs"
 )
 
 // System is a nonlinear algebraic system F(x) = 0 with a sparse Jacobian.
@@ -207,6 +208,47 @@ type Stats struct {
 	// Jacobian assembly); FactorTime totals LU factorisation time.
 	AssemblyTime time.Duration
 	FactorTime   time.Duration
+	// Trace holds one convergence record per iteration — recorded only when
+	// the context carries an obs recorder (see internal/obs), nil otherwise.
+	// Its length equals Iterations for a solve that ran to a verdict.
+	Trace []IterTrace
+}
+
+// IterTrace is one Newton iteration's convergence record: the per-iteration
+// view the summed Stats counters cannot give. A stalled damping loop, a
+// thrashing preconditioner, or a chord iteration bouncing off a stale
+// Jacobian is visible here and invisible in the totals. Non-finite residuals
+// are sanitised to -1 so records always serialise as JSON.
+type IterTrace struct {
+	// Iter is 1-based. Residual is the trial residual ∞-norm after the
+	// damping loop; StepNorm the weighted step norm (0 on rejected
+	// iterations, where no step was taken); Alpha the accepted damping
+	// factor.
+	Iter     int     `json:"iter"`
+	Residual float64 `json:"residual"`
+	StepNorm float64 `json:"step_norm,omitempty"`
+	Alpha    float64 `json:"alpha"`
+	// Halvings and LinearIters are this iteration's deltas of the matching
+	// Stats counters.
+	Halvings    int `json:"halvings,omitempty"`
+	LinearIters int `json:"linear_iters,omitempty"`
+	// Factor/Refactor report fresh vs numeric-only factorisation work this
+	// iteration; Fallback marks a GMRES failure rescued by a direct solve.
+	Factor   bool `json:"factor,omitempty"`
+	Refactor bool `json:"refactor,omitempty"`
+	Fallback bool `json:"fallback,omitempty"`
+	// Accepted is false when damping exhausted on a stale Jacobian and the
+	// trial was rejected in favour of an immediate refresh.
+	Accepted bool `json:"accepted"`
+}
+
+// finiteOr replaces non-finite v (NaN/±Inf) with alt so trace records stay
+// JSON-serialisable.
+func finiteOr(v, alt float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return alt
+	}
+	return v
 }
 
 // ErrNewton is wrapped by non-convergence errors.
@@ -280,6 +322,22 @@ func (d *directFactor) factor(j *la.CSR, st *Stats, opt Options) error {
 	return nil
 }
 
+// iterRecord builds one convergence record from the counter deltas between
+// the top of iteration it (base) and now (st).
+func iterRecord(st, base *Stats, it int, nrm, alpha float64, accepted bool) IterTrace {
+	return IterTrace{
+		Iter:        it + 1,
+		Residual:    finiteOr(nrm, -1),
+		Alpha:       alpha,
+		Halvings:    st.Halvings - base.Halvings,
+		LinearIters: st.LinearIters - base.LinearIters,
+		Factor:      st.Factorizations > base.Factorizations,
+		Refactor:    st.Refactorizations > base.Refactorizations,
+		Fallback:    st.GMRESFallbacks > base.GMRESFallbacks,
+		Accepted:    accepted,
+	}
+}
+
 // countingOp wraps an Operator, counting applications into a Stats field.
 type countingOp struct {
 	op la.Operator
@@ -294,7 +352,38 @@ func (c countingOp) Size() int            { return c.op.Size() }
 // polled before every iteration (including the first, so an already-canceled
 // context returns before any assembly or factorisation work) and the
 // returned error wraps both ErrInterrupted and ctx.Err().
+//
+// When ctx carries an obs recorder the solve runs under a "newton.solve"
+// span and records a per-iteration convergence trace into Stats.Trace (also
+// attached to the span as its data payload); without one the instrumentation
+// is a single context lookup — no allocation, no timestamps.
 func Solve(ctx context.Context, sys System, x []float64, opt Options) (Stats, error) {
+	ctx, span := obs.Start(ctx, "newton.solve")
+	if span == nil {
+		return solve(ctx, sys, x, opt, false)
+	}
+	st, err := solve(ctx, sys, x, opt, true)
+	span.SetInt("unknowns", int64(sys.Size()))
+	span.SetStr("linear", opt.Linear.String())
+	span.SetInt("iterations", int64(st.Iterations))
+	span.SetInt("halvings", int64(st.Halvings))
+	span.SetInt("linear_iters", int64(st.LinearIters))
+	span.SetFloat("residual", finiteOr(st.Residual, -1))
+	var conv int64
+	if st.Converged {
+		conv = 1
+	}
+	span.SetInt("converged", conv)
+	if len(st.Trace) > 0 {
+		span.SetData(st.Trace)
+	}
+	span.End()
+	return st, err
+}
+
+// solve is the Newton loop proper; trace turns the per-iteration convergence
+// records on (the caller owns the enclosing span).
+func solve(ctx context.Context, sys System, x []float64, opt Options, trace bool) (Stats, error) {
 	opt.Fill()
 	n := sys.Size()
 	if len(x) != n {
@@ -343,10 +432,17 @@ func Solve(ctx context.Context, sys System, x []float64, opt Options) (Stats, er
 	var j *la.CSR      // current (possibly stale) Jacobian, GMRES operator
 	var op la.Operator // matrix-free Jacobian operator at the refresh point
 	var prec la.Preconditioner
+	// itBase snapshots the cumulative counters at the top of each iteration
+	// so trace records carry per-iteration deltas.
+	var itBase Stats
 	jacAge := -1 // -1: no Jacobian factored yet
 	for it := 0; it < opt.MaxIter; it++ {
 		if interrupt != nil && interrupt() {
 			return st, fmt.Errorf("%w after %d iterations: %w", ErrInterrupted, st.Iterations, ctx.Err())
+		}
+		if trace {
+			itBase = st
+			itBase.Trace = nil
 		}
 		if opt.Progress != nil {
 			opt.Progress(it+1, rNorm)
@@ -488,6 +584,9 @@ func Solve(ctx context.Context, sys System, x []float64, opt Options) (Stats, er
 			st.Halvings++
 		}
 		if !accepted {
+			if trace {
+				st.Trace = append(st.Trace, iterRecord(&st, &itBase, it, nrm, alpha, false))
+			}
 			jacAge = opt.JacobianRefresh // force refresh next iteration
 			continue
 		}
@@ -502,6 +601,11 @@ func Solve(ctx context.Context, sys System, x []float64, opt Options) (Stats, er
 		}
 		st.StepNorm = la.WeightedMaxNorm(xTrial, x, opt.AbsTol, opt.RelTol)
 		st.Residual = rNorm
+		if trace {
+			rec := iterRecord(&st, &itBase, it, nrm, alpha, true)
+			rec.StepNorm = finiteOr(st.StepNorm, -1)
+			st.Trace = append(st.Trace, rec)
+		}
 		// Primary acceptance: small step and small residual. Secondary:
 		// a full (undamped) Newton step that is essentially zero means the
 		// iteration is at numerical stationarity — the residual has hit its

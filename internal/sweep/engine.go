@@ -12,6 +12,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/circuit"
 	"repro/internal/la"
+	"repro/internal/obs"
 )
 
 // finalizeMu serialises Circuit.Finalize across jobs: a Builder may hand the
@@ -50,6 +51,14 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	}
 	if workers > len(jobs) {
 		workers = len(jobs)
+	}
+
+	ctx, span := obs.Start(ctx, "sweep.run")
+	if span != nil {
+		span.SetStr("name", spec.Name)
+		span.SetInt("jobs", int64(len(jobs)))
+		span.SetInt("workers", int64(workers))
+		defer span.End()
 	}
 
 	res := &Result{Name: spec.Name, Workers: workers, Jobs: make([]JobResult, len(jobs))}
@@ -247,6 +256,17 @@ func (s *Spec) runJob(ctx context.Context, job Job, seed []float64, nJobs int, s
 		jctx, cancel = context.WithTimeout(ctx, s.JobTimeout)
 		defer cancel()
 	}
+	var span *obs.Span
+	jctx, span = obs.Start(jctx, "sweep.job")
+	if span != nil {
+		span.SetInt("id", int64(job.ID))
+		span.SetStr("method", string(job.Method))
+		defer func() {
+			span.SetStr("status", string(jr.Status))
+			span.SetInt("newton_iters", int64(jr.NewtonIters))
+			span.End()
+		}()
+	}
 
 	t0 := time.Now()
 	defer func() { jr.Wall = time.Since(t0) }()
@@ -330,6 +350,9 @@ func (s *Spec) runJob(ctx context.Context, job Job, seed []float64, nJobs int, s
 	jr.OperatorApplies = st.OperatorApplies
 	jr.PrecondBuilds = st.PrecondBuilds
 	jr.BatchReuse = st.BatchReuse
+	jr.LinearIters = st.LinearIters
+	jr.GMRESFallbacks = st.GMRESFallbacks
+	jr.Halvings = st.Halvings
 	jr.AcceptedSteps = st.AcceptedSteps
 	jr.RejectedSteps = st.RejectedSteps
 	jr.Refinements = st.Refinements

@@ -17,6 +17,7 @@ var csvHeader = []string{
 	"unknowns", "newton_iters", "time_steps", "continuation",
 	"factorizations", "refactorizations", "pattern_reuse",
 	"operator_applies", "precond_builds", "batch_reuse",
+	"linear_iters", "gmres_fallbacks", "halvings",
 	"accepted_steps", "rejected_steps", "refinements", "final_n1", "final_n2",
 	"gain_valid", "gain_ratio", "gain_db", "hd2", "hd3", "swing",
 	"spectrum", "err",
@@ -54,6 +55,9 @@ func (r *Result) WriteCSV(w io.Writer, timing bool) error {
 			strconv.Itoa(jr.OperatorApplies),
 			strconv.Itoa(jr.PrecondBuilds),
 			strconv.Itoa(jr.BatchReuse),
+			strconv.Itoa(jr.LinearIters),
+			strconv.Itoa(jr.GMRESFallbacks),
+			strconv.Itoa(jr.Halvings),
 			strconv.Itoa(jr.AcceptedSteps),
 			strconv.Itoa(jr.RejectedSteps),
 			strconv.Itoa(jr.Refinements),

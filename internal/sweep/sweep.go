@@ -272,6 +272,12 @@ type JobResult struct {
 	OperatorApplies int `json:"operator_applies,omitempty"`
 	PrecondBuilds   int `json:"precond_builds,omitempty"`
 	BatchReuse      int `json:"batch_reuse,omitempty"`
+	// LinearIters totals inner GMRES iterations; GMRESFallbacks counts
+	// GMRES failures rescued by a direct solve; Halvings the Newton damping
+	// step halvings. Deterministic, safe for the byte-stable exports.
+	LinearIters    int `json:"linear_iters,omitempty"`
+	GMRESFallbacks int `json:"gmres_fallbacks,omitempty"`
+	Halvings       int `json:"halvings,omitempty"`
 	// AcceptedSteps/RejectedSteps report the envelope LTE controller's
 	// outcomes; Refinements counts automatic grid/step refinement rounds;
 	// FinalN1/FinalN2 are the grid sizes the solve actually used (equal to
