@@ -20,6 +20,14 @@
 // -drain to finish, stragglers are interrupted cooperatively and their
 // partial sweep results are flushed (and spooled with -spool) before the
 // process exits. A second signal aborts the drain immediately.
+//
+// With -worker the same binary joins an existing coordinator as a shard
+// worker instead of serving: it long-polls the coordinator for leased
+// sweep shards, streams progress heartbeats back, and returns per-shard
+// results. SIGINT/SIGTERM stops leasing; the shard in flight finishes
+// first:
+//
+//	mpde-serve -worker http://coordinator:8080 -sweep-workers 4
 package main
 
 import (
@@ -30,21 +38,26 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro"
+	"repro/internal/dispatch"
 	"repro/internal/server"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		maxConc = flag.Int("max-concurrent", 2, "simulations running at once")
-		maxQ    = flag.Int("max-queue", 64, "bound on in-flight (queued+running) jobs")
-		workers = flag.Int("sweep-workers", 0, "worker pool per simulation (0 = NumCPU)")
-		cacheB  = flag.Int64("cache-bytes", 64<<20, "result cache bound in bytes (negative disables)")
-		drain   = flag.Duration("drain", 30e9, "graceful-shutdown window for running jobs")
-		spool   = flag.String("spool", "", "directory receiving every finished job's result JSON")
-		dbgAddr = flag.String("debug-addr", "", "optional second listener serving net/http/pprof under /debug/pprof/ (keep it off the public port)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		maxConc  = flag.Int("max-concurrent", 2, "simulations running at once")
+		maxQ     = flag.Int("max-queue", 64, "bound on in-flight (queued+running) jobs")
+		workers  = flag.Int("sweep-workers", 0, "worker pool per simulation (0 = NumCPU)")
+		cacheB   = flag.Int64("cache-bytes", 64<<20, "result cache bound in bytes (negative disables)")
+		drain    = flag.Duration("drain", 30e9, "graceful-shutdown window for running jobs")
+		spool    = flag.String("spool", "", "directory receiving every finished job's result JSON")
+		dbgAddr  = flag.String("debug-addr", "", "optional second listener serving net/http/pprof under /debug/pprof/ (keep it off the public port)")
+		leaseTTL = flag.Duration("lease-ttl", 15*time.Second, "dispatch shard lease lifetime; a worker silent this long loses its shard")
+		workerOf = flag.String("worker", "", "run as a shard worker for the coordinator at this URL instead of serving")
+		workerID = flag.String("worker-id", "", "worker name reported to the coordinator (default host-pid)")
 	)
 	flag.Parse()
 
@@ -64,6 +77,21 @@ func main() {
 		log.Fatal("mpde-serve: second signal, aborting drain")
 	}()
 
+	if *workerOf != "" {
+		log.Printf("mpde-serve: worker mode, coordinator %s", *workerOf)
+		err := dispatch.RunWorker(ctx, dispatch.WorkerOptions{
+			Coordinator:  *workerOf,
+			ID:           *workerID,
+			SweepWorkers: *workers,
+			Logf:         log.Printf,
+		})
+		if err != nil && err != context.Canceled {
+			log.Fatalf("mpde-serve: worker: %v", err)
+		}
+		log.Printf("mpde-serve: worker stopped")
+		return
+	}
+
 	if *dbgAddr != "" {
 		go func() {
 			log.Printf("mpde-serve: pprof on %s/debug/pprof/", *dbgAddr)
@@ -80,6 +108,7 @@ func main() {
 		CacheBytes:    *cacheB,
 		DrainTimeout:  *drain,
 		SpoolDir:      *spool,
+		LeaseTTL:      *leaseTTL,
 	})
 	if err != nil {
 		log.Fatalf("mpde-serve: %v", err)

@@ -1,0 +1,280 @@
+// Multi-process integration test for the dispatch plane: a coordinator and
+// three worker processes over loopback, one worker SIGKILLed mid-sweep, and
+// the merged result compared byte-for-byte against a fresh single-process
+// run. This is the end-to-end proof that lease expiry, shard retry, and
+// deterministic merge survive real process death.
+package repro_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// buildServeBinary compiles cmd/mpde-serve once per test run.
+func buildServeBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mpde-serve")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/mpde-serve")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building mpde-serve: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freeAddr grabs an ephemeral loopback address. The listener is closed
+// before the server starts, so a parallel process could in principle steal
+// the port — acceptable for a test that runs alone.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().String()
+}
+
+// startProc launches one mpde-serve process with its output spooled to a
+// log file that is dumped if the test fails.
+func startProc(t *testing.T, bin, logName string, args ...string) *exec.Cmd {
+	t.Helper()
+	logPath := filepath.Join(t.TempDir(), logName+".log")
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = logFile
+	cmd.Stderr = logFile
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting %s: %v", logName, err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+		logFile.Close()
+		if t.Failed() {
+			if raw, err := os.ReadFile(logPath); err == nil && len(raw) > 0 {
+				t.Logf("--- %s log ---\n%s", logName, raw)
+			}
+		}
+	})
+	return cmd
+}
+
+func getJSON(base, path string, v any) error {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return fmt.Errorf("GET %s: %d %s", path, resp.StatusCode, raw)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// waitMetric polls /metrics?format=json until name reaches min.
+func waitMetric(t *testing.T, base, name string, min float64, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		var m map[string]float64
+		if err := getJSON(base, "/metrics?format=json", &m); err == nil && m[name] >= min {
+			return
+		}
+		if time.Now().After(deadline) {
+			var m map[string]float64
+			getJSON(base, "/metrics?format=json", &m)
+			t.Fatalf("%s never reached %v (last %v)", name, min, m[name])
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func waitHealthy(t *testing.T, base string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		var h map[string]any
+		if err := getJSON(base, "/healthz", &h); err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server at %s never became healthy", base)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// mixerSweepBody is the balanced-mixer sweep: six QPSS grids, each its own
+// warm-start group, so the coordinator can cut six single-job shards. The
+// grids are sized so one job runs long enough (hundreds of milliseconds)
+// that a SIGKILL reliably lands while its worker holds a lease.
+func mixerSweepBody(t *testing.T) []byte {
+	t.Helper()
+	deck, err := os.ReadFile(filepath.Join("examples", "service", "balancedmixer.cir"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grids := [][2]int{{48, 32}, {48, 36}, {56, 32}, {56, 36}, {64, 32}, {64, 36}}
+	analyses := make([]map[string]any, len(grids))
+	for i, g := range grids {
+		analyses[i] = map[string]any{"method": "qpss", "n1": g[0], "n2": g[1]}
+	}
+	raw, err := json.Marshal(map[string]any{"deck": string(deck), "analyses": analyses})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func submitJob(t *testing.T, base string, body []byte) string {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info struct {
+		ID    string `json:"id"`
+		Total int    `json:"total_jobs"`
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: %d %s", resp.StatusCode, raw)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Total != 6 {
+		t.Fatalf("submit expanded to %d jobs, want 6", info.Total)
+	}
+	return info.ID
+}
+
+// fetchResult waits for the job to finish and returns the result bytes.
+func fetchResult(t *testing.T, base, id string, timeout time.Duration) []byte {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		var info struct {
+			Status string `json:"status"`
+			Err    string `json:"err"`
+		}
+		if err := getJSON(base, "/v1/jobs/"+id, &info); err != nil {
+			t.Fatal(err)
+		}
+		switch info.Status {
+		case "done":
+			resp, err := http.Get(base + "/v1/jobs/" + id + "/result")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			raw, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("result: %d %s", resp.StatusCode, raw)
+			}
+			return raw
+		case "failed", "canceled":
+			t.Fatalf("job %s ended %s: %s", id, info.Status, info.Err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q", id, info.Status)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestDistributedCoordinatorSurvivesWorkerDeath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test")
+	}
+	bin := buildServeBinary(t)
+	body := mixerSweepBody(t)
+
+	// Coordinator with a short lease TTL so a killed worker's shard
+	// requeues within the test budget.
+	coordAddr := freeAddr(t)
+	coordBase := "http://" + coordAddr
+	startProc(t, bin, "coordinator", "-addr", coordAddr, "-lease-ttl", "500ms", "-max-concurrent", "2")
+	waitHealthy(t, coordBase, 10*time.Second)
+
+	workers := make([]*exec.Cmd, 3)
+	for i := range workers {
+		workers[i] = startProc(t, bin, fmt.Sprintf("worker%d", i),
+			"-worker", coordBase, "-worker-id", fmt.Sprintf("w%d", i), "-sweep-workers", "2")
+	}
+	waitMetric(t, coordBase, "mpde_dispatch_workers", 3, 10*time.Second)
+
+	id := submitJob(t, coordBase, body)
+
+	// Kill a worker once all three hold leases: the victim is then
+	// guaranteed to die mid-shard, and the sweep can only finish if its
+	// lease expires and the shard retries on a survivor.
+	waitMetric(t, coordBase, "mpde_leases_active", 3, 15*time.Second)
+	if err := workers[0].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("SIGKILLed worker w0 mid-sweep")
+
+	distributed := fetchResult(t, coordBase, id, 120*time.Second)
+
+	var m map[string]float64
+	if err := getJSON(coordBase, "/metrics?format=json", &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["mpde_lease_expirations_total"] < 1 || m["mpde_shard_retries_total"] < 1 {
+		t.Fatalf("expirations=%v retries=%v: the killed worker's shard never expired/retried",
+			m["mpde_lease_expirations_total"], m["mpde_shard_retries_total"])
+	}
+	if m["mpde_dispatch_shards_total"] < 2 {
+		t.Fatalf("shards=%v: sweep was not distributed", m["mpde_dispatch_shards_total"])
+	}
+
+	// Every job must have converged despite the death.
+	var result struct {
+		Jobs []struct {
+			Status string `json:"status"`
+		} `json:"jobs"`
+	}
+	if err := json.Unmarshal(distributed, &result); err != nil {
+		t.Fatalf("result JSON: %v", err)
+	}
+	if len(result.Jobs) != 6 {
+		t.Fatalf("result has %d jobs, want 6", len(result.Jobs))
+	}
+	for i, j := range result.Jobs {
+		if j.Status != "ok" {
+			t.Fatalf("job %d status %q", i, j.Status)
+		}
+	}
+
+	// A second, fresh coordinator with no workers (and no shared state)
+	// runs the identical sweep entirely in-process: the bytes must match.
+	soloAddr := freeAddr(t)
+	soloBase := "http://" + soloAddr
+	startProc(t, bin, "solo", "-addr", soloAddr)
+	waitHealthy(t, soloBase, 10*time.Second)
+	soloID := submitJob(t, soloBase, body)
+	inproc := fetchResult(t, soloBase, soloID, 120*time.Second)
+
+	if !bytes.Equal(distributed, inproc) {
+		t.Fatalf("distributed result differs from single-process result (%d vs %d bytes)",
+			len(distributed), len(inproc))
+	}
+}

@@ -133,6 +133,11 @@ type Descriptor struct {
 	// Seedable marks methods whose Result.Seed warm-starts same-shaped
 	// requests (full-grid X0 in the (j·N1+i)·n+k layout).
 	Seedable bool
+	// WireParams returns a pointer to a fresh zero value of the method's
+	// typed parameter struct — the decode target of the wire codec
+	// (EncodeParams/DecodeParams). nil marks the method's parameters as
+	// not wire-codable.
+	WireParams func() any
 	// NumKeys and StrKeys are the accepted `.analysis` directive parameter
 	// keys (normalised spellings; the netlist layer adds its aliases).
 	NumKeys []string

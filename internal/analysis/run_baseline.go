@@ -605,18 +605,20 @@ func (r *hbResult) Measure(p Probe, rfAmp float64) Measurement {
 
 func init() {
 	Register(Descriptor{
-		Name:    "dc",
-		Doc:     "operating point with source-stepping and gmin-stepping fallbacks",
-		Run:     runDC,
-		NumKeys: []string{"time"},
+		Name:       "dc",
+		Doc:        "operating point with source-stepping and gmin-stepping fallbacks",
+		Run:        runDC,
+		WireParams: func() any { return new(DCParams) },
+		NumKeys:    []string{"time"},
 		DirectiveParams: func(in DirectiveInput) (any, error) {
 			return DCParams{Time: in.Float("time", 0)}, nil
 		},
 	})
 	Register(Descriptor{
-		Name: "transient",
-		Doc:  "brute-force time-stepping integration (the paper's cost baseline)",
-		Run:  runTransient,
+		Name:       "transient",
+		Doc:        "brute-force time-stepping integration (the paper's cost baseline)",
+		Run:        runTransient,
+		WireParams: func() any { return new(TransientParams) },
 		SweepParams: func(bi BuildInput) (any, error) {
 			return transientSweepParams(bi)
 		},
@@ -663,9 +665,10 @@ func init() {
 		},
 	})
 	Register(Descriptor{
-		Name: "shooting",
-		Doc:  "Aprille–Trick periodic steady state over one difference period",
-		Run:  runShooting,
+		Name:       "shooting",
+		Doc:        "Aprille–Trick periodic steady state over one difference period",
+		Run:        runShooting,
+		WireParams: func() any { return new(ShootingParams) },
 		SweepParams: func(bi BuildInput) (any, error) {
 			sh := bi.Target.Shear
 			steps, err := fastSteps(sh, perFastOr10(bi.Tune))
@@ -701,6 +704,7 @@ func init() {
 		Name:         "hb",
 		Doc:          "box-truncated two-tone harmonic balance (the frequency-domain comparator)",
 		Run:          runHB,
+		WireParams:   func() any { return new(HBParams) },
 		UsesGridAxes: true,
 		Seedable:     true,
 		NumKeys:      withAccuracyKeys("n1", "n2"),

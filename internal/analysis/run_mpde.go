@@ -240,6 +240,7 @@ func init() {
 		Name:         "qpss",
 		Doc:          "quasi-periodic steady state on the sheared difference-frequency grid (the paper's method)",
 		Run:          runQPSS,
+		WireParams:   func() any { return new(QPSSParams) },
 		UsesGridAxes: true,
 		Seedable:     true,
 		NumKeys:      withAccuracyKeys("n1", "n2", "top", "order"),
@@ -269,6 +270,7 @@ func init() {
 		Name:         "envelope",
 		Doc:          "slow-time MPDE envelope following (start-up transients of the baseband)",
 		Run:          runEnvelope,
+		WireParams:   func() any { return new(EnvelopeParams) },
 		UsesGridAxes: true,
 		NumKeys:      withAccuracyKeys("n1", "n2", "t2stop"),
 		SweepParams: func(bi BuildInput) (any, error) {

@@ -173,11 +173,12 @@ func (r *pacResult) Measure(p Probe, rfAmp float64) Measurement {
 
 func init() {
 	Register(Descriptor{
-		Name:    "ac",
-		Doc:     "small-signal AC sweep of the circuit linearised at its bias point",
-		Run:     runAC,
-		NumKeys: []string{"f0", "f1", "npts"},
-		StrKeys: []string{"source"},
+		Name:       "ac",
+		Doc:        "small-signal AC sweep of the circuit linearised at its bias point",
+		Run:        runAC,
+		WireParams: func() any { return new(ACParams) },
+		NumKeys:    []string{"f0", "f1", "npts"},
+		StrKeys:    []string{"source"},
 		DirectiveParams: func(in DirectiveInput) (any, error) {
 			src := in.Str["source"]
 			if src == "" {
@@ -191,11 +192,12 @@ func init() {
 		},
 	})
 	Register(Descriptor{
-		Name:    "pac",
-		Doc:     "periodic AC: conversion gains around a single-tone periodic steady state",
-		Run:     runPAC,
-		NumKeys: []string{"f0", "f1", "npts", "k", "steps", "period"},
-		StrKeys: []string{"source"},
+		Name:       "pac",
+		Doc:        "periodic AC: conversion gains around a single-tone periodic steady state",
+		Run:        runPAC,
+		WireParams: func() any { return new(PACParams) },
+		NumKeys:    []string{"f0", "f1", "npts", "k", "steps", "period"},
+		StrKeys:    []string{"source"},
 		DirectiveParams: func(in DirectiveInput) (any, error) {
 			src := in.Str["source"]
 			if src == "" {

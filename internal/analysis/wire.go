@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+)
+
+// Wire codec for typed analysis parameters: the canonical JSON form a
+// dispatch plane ships between nodes. Canonical means deterministic — for
+// a given params value encoding/json emits one byte sequence (struct field
+// order is declaration order, floats render minimally), and a
+// decode→re-encode round-trip reproduces it exactly. Content-addressed
+// identities (result-cache keys, cross-process singleflight, version-skew
+// digests) may therefore hash the encoded form directly.
+//
+// Every registered analysis whose parameter struct is plain data registers
+// a WireParams prototype; the codec refuses methods without one rather
+// than guessing with reflection.
+
+// EncodeParams serialises a method's typed parameters into their canonical
+// wire form. The value's dynamic type must be exactly the method's
+// registered parameter struct (the same value shape paramsAs asserts at
+// run time), so an encode that succeeds here is guaranteed to run on the
+// receiving node.
+func EncodeParams(name string, params any) (json.RawMessage, error) {
+	d, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if d.WireParams == nil {
+		return nil, fmt.Errorf("analysis: %s parameters have no wire form", name)
+	}
+	want := reflect.TypeOf(d.WireParams()).Elem()
+	if params == nil || reflect.TypeOf(params) != want {
+		return nil, fmt.Errorf("analysis: %s params are %T, want %s", name, params, want)
+	}
+	return json.Marshal(params)
+}
+
+// DecodeParams parses a canonical wire encoding back into the method's
+// typed parameter value (the value, not a pointer — directly usable as
+// Request.Params). Unknown fields are rejected: a coordinator running a
+// newer parameter struct than this node fails loudly instead of silently
+// dropping a knob and producing subtly different numbers.
+func DecodeParams(name string, raw json.RawMessage) (any, error) {
+	d, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if d.WireParams == nil {
+		return nil, fmt.Errorf("analysis: %s parameters have no wire form", name)
+	}
+	p := d.WireParams()
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(p); err != nil {
+		return nil, fmt.Errorf("analysis: decoding %s params: %w", name, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("analysis: decoding %s params: trailing data", name)
+	}
+	return reflect.ValueOf(p).Elem().Interface(), nil
+}

@@ -1,0 +1,649 @@
+package dispatch
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sweep"
+)
+
+// Cache is the shared result tier the coordinator consults and workers
+// reach over HTTP: request-level result bytes and shard-level payloads,
+// content-addressed. The server's LRU result cache satisfies it.
+type Cache interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, val []byte)
+}
+
+// CoordinatorOptions configures the dispatch plane. The zero value is
+// usable: in-process execution only until workers register.
+type CoordinatorOptions struct {
+	// LeaseTTL / MaxAttempts configure the shard queue (defaults 15s / 3).
+	LeaseTTL    time.Duration
+	MaxAttempts int
+	// ShardsPerWorker bounds the split: a sweep is cut into at most
+	// workers×ShardsPerWorker shards (default 2 — enough slack that a fast
+	// worker keeps pulling while a slow shard drags).
+	ShardsPerWorker int
+	// WorkerTTL is how recently a worker must have polled to count as
+	// present (default 3×LeaseTTL).
+	WorkerTTL time.Duration
+	// JournalDir persists queued shards (see QueueOptions.JournalDir).
+	JournalDir string
+	// Cache is the shared tier; nil disables shard caching and the cache
+	// endpoints.
+	Cache Cache
+	// Logf sinks dispatch diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Stats is the dispatch plane's observable state.
+type Stats struct {
+	Queue QueueStats
+	// Workers is the number of distinct workers seen within WorkerTTL.
+	Workers int64
+	// ShardsDispatched counts shards enqueued to workers; ShardCacheHits
+	// the shards served from the shared cache without queueing.
+	ShardsDispatched int64
+	ShardCacheHits   int64
+}
+
+// Coordinator owns the shard queue, the worker registry, and the
+// Execute entry point the server's job manager calls. With no live
+// workers every Execute degenerates to the in-process sweep engine —
+// the default, zero-behavior-change path.
+type Coordinator struct {
+	opt   CoordinatorOptions
+	queue *Queue
+
+	mu      sync.Mutex
+	workers map[string]time.Time // worker id → last poll
+	polling map[string]int       // worker id → lease long-polls parked right now
+	sinks   map[string]func(ProgressLine)
+
+	shardsDispatched atomic.Int64
+	shardCacheHits   atomic.Int64
+}
+
+// NewCoordinator builds the dispatch plane.
+func NewCoordinator(opt CoordinatorOptions) *Coordinator {
+	if opt.LeaseTTL <= 0 {
+		opt.LeaseTTL = 15 * time.Second
+	}
+	if opt.MaxAttempts <= 0 {
+		opt.MaxAttempts = 3
+	}
+	if opt.ShardsPerWorker <= 0 {
+		opt.ShardsPerWorker = 2
+	}
+	if opt.WorkerTTL <= 0 {
+		opt.WorkerTTL = 3 * opt.LeaseTTL
+	}
+	if opt.Logf == nil {
+		opt.Logf = func(string, ...any) {}
+	}
+	return &Coordinator{
+		opt: opt,
+		queue: NewQueue(QueueOptions{
+			LeaseTTL:    opt.LeaseTTL,
+			MaxAttempts: opt.MaxAttempts,
+			JournalDir:  opt.JournalDir,
+			Logf:        opt.Logf,
+		}),
+		workers: map[string]time.Time{},
+		polling: map[string]int{},
+		sinks:   map[string]func(ProgressLine){},
+	}
+}
+
+// Close shuts the shard queue down.
+func (c *Coordinator) Close() {
+	if c != nil {
+		c.queue.Close()
+	}
+}
+
+// Stats snapshots queue and worker-registry state.
+func (c *Coordinator) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Queue:            c.queue.Stats(),
+		Workers:          int64(c.workerCount()),
+		ShardsDispatched: c.shardsDispatched.Load(),
+		ShardCacheHits:   c.shardCacheHits.Load(),
+	}
+}
+
+func (c *Coordinator) sawWorker(id string) {
+	if id == "" {
+		return
+	}
+	c.mu.Lock()
+	c.workers[id] = time.Now()
+	c.mu.Unlock()
+}
+
+// beginPoll marks a worker as parked in a lease long-poll. A parked poller
+// is definitionally alive, however long the poll outlasts WorkerTTL, so
+// workerCount must not prune it while the poll is open.
+func (c *Coordinator) beginPoll(id string) {
+	if id == "" {
+		return
+	}
+	c.mu.Lock()
+	c.polling[id]++
+	c.workers[id] = time.Now()
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) endPoll(id string) {
+	if id == "" {
+		return
+	}
+	c.mu.Lock()
+	if c.polling[id]--; c.polling[id] <= 0 {
+		delete(c.polling, id)
+	}
+	c.workers[id] = time.Now()
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) workerCount() int {
+	cutoff := time.Now().Add(-c.opt.WorkerTTL)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for id, seen := range c.workers {
+		if seen.Before(cutoff) && c.polling[id] == 0 {
+			delete(c.workers, id)
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+func (c *Coordinator) setSink(taskID string, sink func(ProgressLine)) {
+	c.mu.Lock()
+	if sink == nil {
+		delete(c.sinks, taskID)
+	} else {
+		c.sinks[taskID] = sink
+	}
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) sink(taskID string) func(ProgressLine) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sinks[taskID]
+}
+
+// ExecRequest is one resolved sweep the server wants executed.
+type ExecRequest struct {
+	// JobID is the server job (dispatch group) identity — cancellation and
+	// log correlation.
+	JobID string
+	// Wire is the request's canonical wire form; nil forces the
+	// in-process path (the request is not wire-codable).
+	Wire *RequestWire
+	// Spec is the locally resolved, run-ready sweep spec.
+	Spec sweep.Spec
+	// Trace asks workers to record and return span snapshots.
+	Trace bool
+	// Progress receives job lifecycle events exactly as sweep.Run would
+	// deliver them (global Done/Total, any shard interleaving).
+	Progress func(sweep.ProgressEvent)
+}
+
+// Execute runs one sweep: in-process when the dispatch plane has no live
+// workers (or the request cannot shard), sharded over the worker fleet
+// otherwise. Both paths satisfy the engine contract — on cancellation a
+// partial aggregate comes back together with ctx.Err() — and both produce
+// byte-identical timing-free serialisations.
+func (c *Coordinator) Execute(ctx context.Context, req *ExecRequest) (*sweep.Result, error) {
+	spec := req.Spec
+	spec.Progress = req.Progress
+	if c == nil || req.Wire == nil || len(req.Wire.Jobs) <= 1 {
+		return sweep.Run(ctx, spec)
+	}
+	workers := c.workerCount()
+	if workers == 0 {
+		return sweep.Run(ctx, spec)
+	}
+	res, err, ok := c.executeSharded(ctx, req, workers)
+	if !ok {
+		// Setup failed before anything was enqueued; the in-process engine
+		// is always a correct fallback.
+		return sweep.Run(ctx, spec)
+	}
+	return res, err
+}
+
+// shardState tracks one shard through the distributed run.
+type shardState struct {
+	env    *ShardEnvelope
+	key    string // shard cache key ("" when uncacheable)
+	jobs   []sweep.Job
+	handle *Handle
+	span   *obs.Span
+	result []sweep.JobResult
+}
+
+// executeSharded is the distributed path. ok=false means setup failed
+// before any work was enqueued and the caller should fall back in-process.
+func (c *Coordinator) executeSharded(ctx context.Context, req *ExecRequest, workers int) (*sweep.Result, error, bool) {
+	spec := req.Spec
+	jobs := req.Wire.Jobs
+	splits, err := spec.Shards(workers * c.opt.ShardsPerWorker)
+	if err != nil || len(splits) <= 1 {
+		return nil, nil, false
+	}
+	cacheable := c.opt.Cache != nil && req.Wire.JobTimeoutMS == 0
+
+	ctx, span := obs.Start(ctx, "dispatch.execute")
+	if span != nil {
+		span.SetInt("shards", int64(len(splits)))
+		span.SetInt("workers", int64(workers))
+		defer span.End()
+	}
+
+	shards := make([]*shardState, len(splits))
+	for i, ids := range splits {
+		st := &shardState{
+			env: &ShardEnvelope{
+				V: WireVersion, JobID: req.JobID,
+				Shard: i, Shards: len(splits),
+				JobIDs: ids, Trace: req.Trace, Req: req.Wire,
+			},
+		}
+		for _, id := range ids {
+			st.jobs = append(st.jobs, jobs[id])
+		}
+		if st.env.ParamsDigest, err = ParamsDigest(&spec, st.jobs); err != nil {
+			c.opt.Logf("dispatch: params digest: %v; running %s in-process", err, req.JobID)
+			return nil, nil, false
+		}
+		if cacheable {
+			if st.key, err = st.env.Key(); err != nil {
+				return nil, nil, false
+			}
+		}
+		shards[i] = st
+	}
+
+	total := len(jobs)
+	var done atomic.Int64
+	emit := func(kind sweep.ProgressKind, job sweep.Job, jr *sweep.JobResult) {
+		if req.Progress == nil {
+			if kind == sweep.ProgressJobDone {
+				done.Add(1)
+			}
+			return
+		}
+		ev := sweep.ProgressEvent{Kind: kind, Job: job, Result: jr, Total: total}
+		if kind == sweep.ProgressJobDone {
+			ev.Done = int(done.Add(1))
+		} else {
+			ev.Done = int(done.Load())
+		}
+		req.Progress(ev)
+	}
+	deliverCached := func(st *shardState, sr *ShardResult) {
+		st.result = sr.Jobs
+		for i := range sr.Jobs {
+			jr := sr.Jobs[i]
+			emit(sweep.ProgressJobStart, jr.Job, nil)
+			emit(sweep.ProgressJobDone, jr.Job, &jr)
+		}
+	}
+
+	// Enqueue every shard not already in the shared cache.
+	var live []*shardState
+	for _, st := range shards {
+		if cacheable {
+			if raw, ok := c.opt.Cache.Get(st.key); ok {
+				if sr, err := DecodeShardResult(raw); err == nil && shardCovers(sr.Jobs, st.env.JobIDs) {
+					c.shardCacheHits.Add(1)
+					deliverCached(st, sr)
+					continue
+				}
+			}
+		}
+		h, err := c.queue.Enqueue(req.JobID, st.env)
+		if err != nil {
+			// Queue closed (shutdown). Cancel what we already queued and
+			// fall back would double-run; mark remaining shards failed
+			// instead.
+			c.queue.CancelGroup(req.JobID)
+			return nil, nil, false
+		}
+		c.shardsDispatched.Add(1)
+		st.handle = h
+		_, st.span = obs.Start(ctx, "dispatch.shard")
+		if st.span != nil {
+			st.span.SetInt("shard", int64(st.env.Shard))
+			st.span.SetInt("jobs", int64(len(st.env.JobIDs)))
+		}
+		c.setSink(h.ID, func(line ProgressLine) {
+			switch line.Type {
+			case "job_start":
+				if line.Job != nil {
+					emit(sweep.ProgressJobStart, *line.Job, nil)
+				}
+			case "job_done":
+				if line.Job != nil {
+					emit(sweep.ProgressJobDone, *line.Job, line.Result)
+				}
+			}
+		})
+		live = append(live, st)
+	}
+
+	start := time.Now()
+	canceled := false
+	for _, st := range live {
+		var out Outcome
+		if !canceled {
+			select {
+			case out = <-st.handle.Done:
+			case <-ctx.Done():
+				canceled = true
+				c.queue.CancelGroup(req.JobID)
+				out = <-st.handle.Done // cancel guarantees delivery
+			}
+		} else {
+			out = <-st.handle.Done
+		}
+		c.setSink(st.handle.ID, nil)
+		c.finishShard(st, out, cacheable, emit)
+	}
+
+	parts := make([][]sweep.JobResult, len(shards))
+	for i, st := range shards {
+		parts[i] = st.result
+	}
+	res, err := sweep.Merge(spec.Name, total, parts)
+	if err != nil {
+		// Should be impossible — finishShard fills every shard — but a
+		// broken merge must not be served as a complete result.
+		return nil, fmt.Errorf("dispatch: %w", err), true
+	}
+	res.Workers = workers
+	res.Wall = time.Since(start)
+	if canceled {
+		return res, ctx.Err(), true
+	}
+	return res, ctx.Err(), true
+}
+
+// finishShard settles one shard from its terminal outcome: decoded worker
+// results on success (cached into the shared tier, spans grafted into the
+// local trace), synthesized per-job failures or cancellations otherwise.
+func (c *Coordinator) finishShard(st *shardState, out Outcome, cacheable bool, emit func(sweep.ProgressKind, sweep.Job, *sweep.JobResult)) {
+	defer func() {
+		if st.span != nil {
+			st.span.SetInt("attempts", int64(out.Attempts))
+			st.span.End()
+		}
+	}()
+	if len(out.Payload) > 0 && out.Err == "" {
+		sr, err := DecodeShardResult(out.Payload)
+		if err == nil && shardCovers(sr.Jobs, st.env.JobIDs) {
+			st.result = sr.Jobs
+			if cacheable && !sr.Cached {
+				c.opt.Cache.Put(st.key, out.Payload)
+			}
+			if st.span != nil && len(sr.Spans) > 0 {
+				st.span.ImportChildren(sr.Spans)
+			}
+			return
+		}
+		if err == nil {
+			err = fmt.Errorf("shard result covers wrong job set")
+		}
+		out.Err = err.Error()
+	}
+	// Terminal failure or group cancellation: synthesize the per-job
+	// outcomes. Cancellation mirrors the engine's own prefill so a
+	// mid-sweep cancel reads the same either way.
+	st.result = st.result[:0]
+	for _, job := range st.jobs {
+		jr := sweep.JobResult{Job: job}
+		if out.Canceled {
+			jr.Status = sweep.StatusCanceled
+			jr.Err = "sweep canceled before job started"
+		} else {
+			jr.Status = sweep.StatusFailed
+			jr.Err = fmt.Sprintf("dispatch: shard %d: %s", st.env.Shard, out.Err)
+		}
+		st.result = append(st.result, jr)
+		emit(sweep.ProgressJobStart, job, nil)
+		cp := jr
+		emit(sweep.ProgressJobDone, job, &cp)
+	}
+}
+
+// shardCovers reports whether results cover exactly the given job IDs, in
+// order.
+func shardCovers(results []sweep.JobResult, ids []int) bool {
+	if len(results) != len(ids) {
+		return false
+	}
+	for i := range ids {
+		if results[i].Job.ID != ids[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- HTTP surface -----------------------------------------------------------
+
+// leaseRequest is the body of POST /v1/dispatch/lease.
+type leaseRequest struct {
+	Worker string `json:"worker"`
+	WaitMS int64  `json:"wait_ms,omitempty"`
+}
+
+// failRequest is the body of POST /v1/dispatch/tasks/{id}/fail.
+type failRequest struct {
+	Err string `json:"err"`
+}
+
+// maxLeaseWait bounds a lease long-poll.
+const maxLeaseWait = 30 * time.Second
+
+// maxShardBody bounds shard result and cache payloads.
+const maxShardBody = 64 << 20
+
+var cacheKeyRe = regexp.MustCompile(`^[A-Za-z0-9:_-]{8,200}$`)
+
+// RegisterHandlers mounts the dispatch plane's worker-facing endpoints on
+// mux. The server mounts them next to the public API; like the rest of
+// the API they are unauthenticated — deploy workers and coordinator
+// inside one trust boundary.
+func (c *Coordinator) RegisterHandlers(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/dispatch/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/dispatch/tasks/{id}/events", c.handleTaskEvents)
+	mux.HandleFunc("POST /v1/dispatch/tasks/{id}/result", c.handleTaskResult)
+	mux.HandleFunc("POST /v1/dispatch/tasks/{id}/fail", c.handleTaskFail)
+	mux.HandleFunc("GET /v1/dispatch/cache/{key}", c.handleCacheGet)
+	mux.HandleFunc("PUT /v1/dispatch/cache/{key}", c.handleCachePut)
+}
+
+func dispatchErr(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// leaseStatus maps queue errors onto HTTP statuses: 409 means "your lease
+// is gone, abandon the shard".
+func leaseStatus(err error) int {
+	switch err {
+	case nil:
+		return http.StatusOK
+	case ErrLeaseLost, ErrCanceled:
+		return http.StatusConflict
+	case ErrQueueClosed:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// handleLease is the worker pull: long-poll for a task, 204 when none
+// arrived within the window.
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<16))
+	if err == nil && len(body) > 0 {
+		err = json.Unmarshal(body, &req)
+	}
+	if err != nil {
+		dispatchErr(w, http.StatusBadRequest, "lease request: %v", err)
+		return
+	}
+	if req.Worker == "" {
+		dispatchErr(w, http.StatusBadRequest, "lease request needs worker")
+		return
+	}
+	c.beginPoll(req.Worker)
+	defer c.endPoll(req.Worker)
+	wait := time.Duration(req.WaitMS) * time.Millisecond
+	if wait <= 0 || wait > maxLeaseWait {
+		wait = maxLeaseWait
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	defer cancel()
+	lease, err := c.queue.Lease(ctx, req.Worker)
+	if err != nil {
+		if ctx.Err() != nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		dispatchErr(w, leaseStatus(err), "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(lease)
+}
+
+// handleTaskEvents receives a shard's NDJSON progress stream. Every line —
+// heartbeat or job event — renews the lease; job events are forwarded to
+// the executing coordinator's sink and surface on the server job's
+// existing SSE/NDJSON stream. A lost lease aborts the stream with 409.
+func (c *Coordinator) handleTaskEvents(w http.ResponseWriter, r *http.Request) {
+	taskID := r.PathValue("id")
+	leaseID := r.URL.Query().Get("lease")
+	c.sawWorker(r.URL.Query().Get("worker"))
+	dec := json.NewDecoder(r.Body)
+	for {
+		var line ProgressLine
+		if err := dec.Decode(&line); err != nil {
+			if err == io.EOF {
+				w.WriteHeader(http.StatusOK)
+			} else {
+				dispatchErr(w, http.StatusBadRequest, "event stream: %v", err)
+			}
+			return
+		}
+		if err := c.queue.Renew(taskID, leaseID); err != nil {
+			dispatchErr(w, leaseStatus(err), "%v", err)
+			return
+		}
+		if line.Type != "heartbeat" {
+			if sink := c.sink(taskID); sink != nil {
+				sink(line)
+			}
+		}
+	}
+}
+
+// handleTaskResult accepts a completed shard's payload.
+func (c *Coordinator) handleTaskResult(w http.ResponseWriter, r *http.Request) {
+	taskID := r.PathValue("id")
+	leaseID := r.URL.Query().Get("lease")
+	c.sawWorker(r.URL.Query().Get("worker"))
+	payload, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxShardBody))
+	if err != nil {
+		dispatchErr(w, http.StatusBadRequest, "result body: %v", err)
+		return
+	}
+	if err := c.queue.Complete(taskID, leaseID, payload); err != nil {
+		dispatchErr(w, leaseStatus(err), "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// handleTaskFail accepts a worker-side failure report; the queue retries
+// until attempts exhaust.
+func (c *Coordinator) handleTaskFail(w http.ResponseWriter, r *http.Request) {
+	taskID := r.PathValue("id")
+	leaseID := r.URL.Query().Get("lease")
+	c.sawWorker(r.URL.Query().Get("worker"))
+	var req failRequest
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err == nil && len(body) > 0 {
+		err = json.Unmarshal(body, &req)
+	}
+	if err != nil {
+		dispatchErr(w, http.StatusBadRequest, "fail body: %v", err)
+		return
+	}
+	if err := c.queue.Fail(taskID, leaseID, req.Err); err != nil {
+		dispatchErr(w, leaseStatus(err), "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// handleCacheGet serves the shared cache tier to workers.
+func (c *Coordinator) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !cacheKeyRe.MatchString(key) {
+		dispatchErr(w, http.StatusBadRequest, "malformed cache key")
+		return
+	}
+	if c.opt.Cache == nil {
+		dispatchErr(w, http.StatusNotFound, "cache disabled")
+		return
+	}
+	val, ok := c.opt.Cache.Get(key)
+	if !ok {
+		dispatchErr(w, http.StatusNotFound, "no such entry")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(val)
+}
+
+// handleCachePut stores a worker-computed entry in the shared tier.
+func (c *Coordinator) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !cacheKeyRe.MatchString(key) {
+		dispatchErr(w, http.StatusBadRequest, "malformed cache key")
+		return
+	}
+	val, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxShardBody))
+	if err != nil {
+		dispatchErr(w, http.StatusBadRequest, "cache body: %v", err)
+		return
+	}
+	if c.opt.Cache != nil {
+		c.opt.Cache.Put(key, val)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

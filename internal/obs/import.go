@@ -1,0 +1,35 @@
+package obs
+
+// ImportChildren grafts spans recorded by another recorder — typically a
+// remote worker's snapshot shipped back with a shard result — into s's
+// recorder as descendants of s. IDs are renumbered from the local
+// recorder's sequence so they cannot collide with local spans, parent
+// links are remapped accordingly, and the foreign top-level spans (parent
+// 0, or a parent missing from the batch) are re-rooted under s. Start
+// offsets are rebased onto s's own start, so the imported subtree nests
+// inside s on the local timeline; the foreign spans' relative ordering and
+// durations are preserved as recorded.
+//
+// No-op on a nil span. The local retention limit applies: imported spans
+// beyond it count toward Dropped like any other.
+func (s *Span) ImportChildren(spans []SpanRecord) {
+	if s == nil || len(spans) == 0 {
+		return
+	}
+	rec := s.rec
+	ids := make(map[int64]int64, len(spans))
+	for i := range spans {
+		ids[spans[i].ID] = rec.ids.Add(1)
+	}
+	for i := range spans {
+		sr := spans[i]
+		sr.ID = ids[sr.ID]
+		if mapped, ok := ids[sr.Parent]; ok && sr.Parent != 0 {
+			sr.Parent = mapped
+		} else {
+			sr.Parent = s.id
+		}
+		sr.Start += s.start
+		rec.record(sr)
+	}
+}

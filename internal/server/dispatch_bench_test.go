@@ -1,0 +1,72 @@
+package server
+
+import (
+	"io"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// benchSweepBody is a six-job QPSS sweep, one warm-start group per grid, so
+// the coordinator can cut up to six shards.
+func benchSweepBody() map[string]any {
+	grids := [][2]int{{48, 16}, {48, 20}, {56, 16}, {56, 20}, {64, 16}, {64, 20}}
+	analyses := make([]map[string]any, len(grids))
+	for i, g := range grids {
+		analyses[i] = map[string]any{"method": "qpss", "n1": g[0], "n2": g[1]}
+	}
+	return map[string]any{"deck": fastDeck, "analyses": analyses}
+}
+
+// newBenchServer runs with both cache tiers disabled (every iteration
+// solves) and one sweep goroutine per execution unit, so the single-process
+// and three-worker numbers compare serial against 3-way-distributed solve
+// capacity rather than measuring the local machine's core count.
+func newBenchServer(b *testing.B) string {
+	b.Helper()
+	s := New(Options{
+		SweepWorkers: 1,
+		CacheBytes:   -1,
+		LeaseTTL:     5 * time.Second,
+		Logf:         func(string, ...any) {},
+	})
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func runSweepOnce(b *testing.B, base string) {
+	b.Helper()
+	resp := postJSON(b, base+"/v1/simulate", benchSweepBody())
+	defer resp.Body.Close()
+	if _, err := io.ReadAll(resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		b.Fatalf("simulate: %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkDispatchSingleProcess is the baseline: the whole sweep solved
+// in-process by the coordinator's fallback path.
+func BenchmarkDispatchSingleProcess(b *testing.B) {
+	base := newBenchServer(b)
+	runSweepOnce(b, base) // warm the parser/solver paths
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runSweepOnce(b, base)
+	}
+}
+
+// BenchmarkDispatchThreeWorkers runs the identical sweep sharded across
+// three attached workers: the wall-clock ratio against the single-process
+// baseline is the dispatch plane's speedup net of its wire overhead.
+func BenchmarkDispatchThreeWorkers(b *testing.B) {
+	base := newBenchServer(b)
+	startWorkers(b, base, 3)
+	runSweepOnce(b, base)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runSweepOnce(b, base)
+	}
+}

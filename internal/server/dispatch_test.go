@@ -1,0 +1,216 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/obs"
+)
+
+// dispatchSweepBody expands to four jobs in four warm-start groups, so the
+// coordinator can cut it into multiple shards without splitting a group.
+func dispatchSweepBody(extra map[string]any) map[string]any {
+	body := map[string]any{
+		"deck":       fastDeck,
+		"warm_start": true,
+		"analyses": []map[string]any{
+			{"method": "qpss", "n1": 8, "n2": 8},
+			{"method": "qpss", "n1": 10, "n2": 8},
+			{"method": "hb", "n1": 8, "n2": 8},
+			{"method": "hb", "n1": 10, "n2": 8},
+		},
+	}
+	for k, v := range extra {
+		body[k] = v
+	}
+	return body
+}
+
+// startWorkers attaches n in-process dispatch workers to the server at
+// base and tears them down (waiting for their goroutines) on cleanup.
+func startWorkers(t testing.TB, base string, n int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		id := string(rune('a' + i))
+		go func() {
+			defer wg.Done()
+			err := dispatch.RunWorker(ctx, dispatch.WorkerOptions{
+				Coordinator:  base,
+				ID:           "test-worker-" + id,
+				SweepWorkers: 2,
+			})
+			if err != nil && err != context.Canceled {
+				t.Errorf("worker %s: %v", id, err)
+			}
+		}()
+	}
+	t.Cleanup(func() {
+		cancel()
+		wg.Wait()
+	})
+
+	// The coordinator counts a worker once it polls for a lease.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := metricsSnapshot(t, base); m["mpde_dispatch_workers"] >= float64(n) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never saw %d workers", n)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func simulateBytes(t *testing.T, base string, body map[string]any) ([]byte, string) {
+	t.Helper()
+	resp := postJSON(t, base+"/v1/simulate", body)
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate: %d %s", resp.StatusCode, raw)
+	}
+	return raw, resp.Header.Get("X-Job-ID")
+}
+
+// TestDistributedSweepMatchesInProcess runs the same multi-job sweep three
+// ways — sharded across two workers (traced, cold shard cache), sharded
+// again with a warm shard cache, and entirely in-process on a second
+// server with no workers — and requires byte-identical result JSON from
+// all three. It also checks that the remote trace comes back merged: the
+// coordinator's dispatch spans must carry the workers' solve spans as
+// children.
+func TestDistributedSweepMatchesInProcess(t *testing.T) {
+	_, ts := newTestServer(t, Options{LeaseTTL: 2 * time.Second})
+	startWorkers(t, ts.URL, 2)
+
+	// Traced first: the shard cache is cold, so every shard really solves
+	// on a worker and ships its spans home.
+	distributed, id := simulateBytes(t, ts.URL, dispatchSweepBody(map[string]any{"trace": true}))
+
+	m := metricsSnapshot(t, ts.URL)
+	if m["mpde_dispatch_shards_total"] < 2 {
+		t.Fatalf("dispatch shards = %v, want ≥ 2 (sweep was not sharded)", m["mpde_dispatch_shards_total"])
+	}
+
+	tr, err := http.Get(ts.URL + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tresp := decodeJSON[TraceResponse](t, tr.Body)
+	tr.Body.Close()
+	spanCount := map[string]int{}
+	var walk func(nodes []*obs.SpanNode, parent string)
+	walk = func(nodes []*obs.SpanNode, parent string) {
+		for _, n := range nodes {
+			spanCount[n.Name]++
+			// Worker spans must be re-rooted under the coordinator's shard
+			// spans, not floating as foreign roots.
+			if n.Name == "worker.shard" && parent != "dispatch.shard" {
+				t.Errorf("worker.shard span %d has parent %q, want dispatch.shard", n.ID, parent)
+			}
+			walk(n.Children, n.Name)
+		}
+	}
+	walk(tresp.Spans, "")
+	if spanCount["dispatch.execute"] != 1 || spanCount["dispatch.shard"] < 2 || spanCount["worker.shard"] < 2 {
+		t.Fatalf("trace spans %v: want one dispatch.execute, ≥2 dispatch.shard, ≥2 worker.shard", spanCount)
+	}
+
+	// Same request, no_cache: bypasses the request-level result cache, so
+	// the coordinator re-executes — and must now hit the shard cache the
+	// workers populated.
+	warm, _ := simulateBytes(t, ts.URL, dispatchSweepBody(map[string]any{"no_cache": true}))
+	if !bytes.Equal(distributed, warm) {
+		t.Fatalf("shard-cache-served result differs from worker-solved result:\n--- cold ---\n%s\n--- warm ---\n%s", distributed, warm)
+	}
+	if m := metricsSnapshot(t, ts.URL); m["mpde_dispatch_shard_cache_hits_total"] < 1 {
+		t.Fatalf("shard cache hits = %v, want ≥ 1", m["mpde_dispatch_shard_cache_hits_total"])
+	}
+
+	// A server with zero workers runs the identical spec in-process.
+	_, solo := newTestServer(t, Options{})
+	inproc, _ := simulateBytes(t, solo.URL, dispatchSweepBody(nil))
+	if !bytes.Equal(distributed, inproc) {
+		t.Fatalf("distributed result differs from in-process result:\n--- distributed ---\n%s\n--- in-process ---\n%s", distributed, inproc)
+	}
+}
+
+// TestDistributedProgressEvents: per-job progress from remote shards must
+// reach the job's SSE stream exactly as it does in-process.
+func TestDistributedProgressEvents(t *testing.T) {
+	_, ts := newTestServer(t, Options{LeaseTTL: 2 * time.Second})
+	startWorkers(t, ts.URL, 2)
+
+	resp := postJSON(t, ts.URL+"/v1/jobs", dispatchSweepBody(nil))
+	info := decodeJSON[JobInfo](t, resp.Body)
+	resp.Body.Close()
+	if info.Total != 4 {
+		t.Fatalf("submit info %+v, want 4 jobs", info)
+	}
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + info.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	kinds := map[string]int{}
+	for _, ev := range readSSE(t, sresp.Body) {
+		kinds[ev.Type]++
+	}
+	if kinds["job_start"] != 4 || kinds["job_done"] != 4 || kinds["done"] != 1 {
+		t.Fatalf("event kinds %v: want 4 job_start, 4 job_done, 1 done", kinds)
+	}
+	info = waitStatus(t, ts.URL, info.ID, 5*time.Second, StatusDone)
+	if info.OK != 4 {
+		t.Fatalf("job info %+v, want 4 ok jobs", info)
+	}
+}
+
+// TestDispatchMetricsExposed is the scrape regression test for the
+// dispatch-plane satellites: the queue/lease gauges and counters and the
+// spool failure counter must appear in both the Prometheus text and the
+// JSON rendering, from birth (zero-valued), not only once incremented.
+func TestDispatchMetricsExposed(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	names := []string{
+		"mpde_spool_errors_total",
+		"mpde_queue_depth",
+		"mpde_leases_active",
+		"mpde_lease_expirations_total",
+		"mpde_shard_retries_total",
+		"mpde_dispatch_workers",
+		"mpde_dispatch_shards_total",
+		"mpde_dispatch_shard_cache_hits_total",
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, n := range names {
+		if !bytes.Contains(prom, []byte("\n"+n+" ")) && !bytes.Contains(prom, []byte("\n"+n+"{")) {
+			t.Errorf("/metrics missing %s", n)
+		}
+	}
+
+	m := metricsSnapshot(t, ts.URL)
+	for _, n := range names {
+		if _, ok := m[n]; !ok {
+			t.Errorf("/metrics?format=json missing %s", n)
+		}
+	}
+}

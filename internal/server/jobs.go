@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/dispatch"
 	"repro/internal/obs"
 	"repro/internal/sweep"
 )
@@ -274,6 +275,9 @@ type manager struct {
 	order    []string             // submission order, for listing/trim
 	seq      int
 	draining bool
+	// lastSpoolErr is the most recent spool write failure, surfaced by
+	// /healthz; "" when the spool is healthy (the latest write succeeded).
+	lastSpoolErr string
 
 	sem       chan struct{}
 	wg        sync.WaitGroup
@@ -465,8 +469,7 @@ func (m *manager) run(j *jobState, rs *runSpec) {
 	j.appendEventLocked(Event{Type: "start", Total: j.total})
 	j.mu.Unlock()
 
-	spec := rs.spec
-	spec.Progress = func(ev sweep.ProgressEvent) {
+	progress := func(ev sweep.ProgressEvent) {
 		e := Event{Done: ev.Done, Total: ev.Total}
 		job := ev.Job
 		e.Job = &job
@@ -486,7 +489,16 @@ func (m *manager) run(j *jobState, rs *runSpec) {
 		j.appendEvent(e)
 	}
 
-	res, err := sweep.Run(jctx, spec)
+	// The coordinator picks the execution path: the in-process sweep engine
+	// when no workers are registered (the default — byte-identical to
+	// calling sweep.Run here), sharded over HTTP workers otherwise.
+	res, err := m.srv.coord.Execute(jctx, &dispatch.ExecRequest{
+		JobID:    j.id,
+		Wire:     rs.wire,
+		Spec:     rs.spec,
+		Trace:    rs.trace,
+		Progress: progress,
+	})
 	switch {
 	case res == nil:
 		j.finalize(StatusFailed, nil, err.Error())
@@ -500,15 +512,34 @@ func (m *manager) run(j *jobState, rs *runSpec) {
 }
 
 // spool writes a finished job's (possibly partial) result to SpoolDir.
+// Failures are persistent state, not just log lines: they bump
+// mpde_spool_errors_total and surface in /healthz until a later spool
+// write succeeds.
 func (m *manager) spool(id string, result []byte) {
 	dir := m.srv.opt.SpoolDir
 	if dir == "" || result == nil {
 		return
 	}
 	path := filepath.Join(dir, id+".json")
-	if err := os.WriteFile(path, result, 0o644); err != nil {
+	err := os.WriteFile(path, result, 0o644)
+	if err != nil {
 		m.srv.logf("server: spool %s: %v", path, err)
+		m.srv.metrics.spoolErrors.Add(1)
 	}
+	m.mu.Lock()
+	if err != nil {
+		m.lastSpoolErr = fmt.Sprintf("spool %s: %v", path, err)
+	} else {
+		m.lastSpoolErr = ""
+	}
+	m.mu.Unlock()
+}
+
+// lastSpoolError reports the most recent spool failure ("" when healthy).
+func (m *manager) lastSpoolError() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastSpoolErr
 }
 
 // beginDrain rejects further submits.

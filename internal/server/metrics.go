@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/dispatch"
 )
 
 // metrics is the server's counter set, exposed at GET /metrics in
@@ -43,6 +45,7 @@ type metrics struct {
 	sweepOK     atomic.Int64 // per-analysis outcomes inside engine runs
 	sweepFailed atomic.Int64
 	sweepCanc   atomic.Int64
+	spoolErrors atomic.Int64 // spool write failures (results not landing on disk)
 
 	// Fixed-bucket histograms, initialised by initHistograms (New calls it).
 	jobDuration *histogram
@@ -154,8 +157,11 @@ func (p metricPoint) render() string {
 	return strconv.FormatFloat(p.Value, 'g', -1, 64)
 }
 
-// snapshot renders the full metric set in stable order.
-func (m *metrics) snapshot(cache *resultCache, start time.Time) []metricPoint {
+// snapshot renders the full metric set in stable order. ds is the
+// dispatch plane's state (queue depth, leases, worker registry); both the
+// Prometheus and JSON renderings are built from the same points, so the
+// two formats cannot drift apart.
+func (m *metrics) snapshot(cache *resultCache, start time.Time, ds dispatch.Stats) []metricPoint {
 	entries, bytes := cache.Stats()
 	pts := []metricPoint{
 		floatPoint("mpde_uptime_seconds", "Seconds since the server started.", true, time.Since(start).Seconds()),
@@ -188,6 +194,14 @@ func (m *metrics) snapshot(cache *resultCache, start time.Time) []metricPoint {
 		intPoint("mpde_sweep_jobs_ok_total", "Per-analysis ok outcomes inside engine runs.", false, m.sweepOK.Load()),
 		intPoint("mpde_sweep_jobs_failed_total", "Per-analysis failures inside engine runs.", false, m.sweepFailed.Load()),
 		intPoint("mpde_sweep_jobs_canceled_total", "Per-analysis cancellations inside engine runs.", false, m.sweepCanc.Load()),
+		intPoint("mpde_spool_errors_total", "Finished-result spool writes that failed (results not landing on disk).", false, m.spoolErrors.Load()),
+		intPoint("mpde_queue_depth", "Dispatch shards waiting for a worker lease.", true, ds.Queue.Depth),
+		intPoint("mpde_leases_active", "Dispatch shards currently leased to workers.", true, ds.Queue.LeasesActive),
+		intPoint("mpde_lease_expirations_total", "Shard leases that expired without renewal (worker presumed dead).", false, ds.Queue.Expirations),
+		intPoint("mpde_shard_retries_total", "Shards re-enqueued after a failed or expired attempt.", false, ds.Queue.Retries),
+		intPoint("mpde_dispatch_workers", "Workers seen by the coordinator within the liveness window.", true, ds.Workers),
+		intPoint("mpde_dispatch_shards_total", "Shards enqueued to the worker fleet.", false, ds.ShardsDispatched),
+		intPoint("mpde_dispatch_shard_cache_hits_total", "Shards served from the shared shard cache without dispatching.", false, ds.ShardCacheHits),
 	}
 	return pts
 }

@@ -1,15 +1,13 @@
 package server
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/dispatch"
 	"repro/internal/netlist"
 	"repro/internal/solver"
 	"repro/internal/sweep"
@@ -110,14 +108,19 @@ const (
 // run plus the content-addressed identity the cache and singleflight share.
 type runSpec struct {
 	name string
-	// key is the hex SHA-256 of the canonical (deck, options) encoding;
-	// empty when the request is uncacheable (job timeout, no_cache).
+	// key is the hex SHA-256 of the canonical wire encoding; empty when the
+	// request is uncacheable (job timeout, no_cache).
 	key string
 	// flightKey identifies the request for singleflight even when
 	// uncacheable; equals key plus the uncacheable knobs.
 	flightKey string
-	spec      sweep.Spec
-	njobs     int
+	// wire is the request's canonical wire form, the unit the dispatch
+	// plane ships to workers. Its encoding is what key hashes, so cache and
+	// singleflight identity is the same on every node that re-derives it.
+	wire *dispatch.RequestWire
+	spec sweep.Spec
+	// njobs is the job-expansion size.
+	njobs int
 	// trace requests span/convergence recording (Request.Trace).
 	trace bool
 }
@@ -130,26 +133,6 @@ func (e *badRequestError) Error() string { return e.msg }
 
 func badRequestf(format string, args ...any) error {
 	return &badRequestError{msg: fmt.Sprintf(format, args...)}
-}
-
-// canonKey is the canonical identity of a simulation request. Everything
-// that can change the (timing-free) result bytes is in here; worker count
-// and queueing knobs deliberately are not — the engine guarantees results
-// independent of scheduling.
-type canonKey struct {
-	Deck             string      `json:"deck"`
-	Name             string      `json:"name"`
-	Jobs             []sweep.Job `json:"jobs"`
-	OutP             int         `json:"outp"`
-	OutM             int         `json:"outm"`
-	RFAmp            float64     `json:"rf_amp"`
-	WarmStart        bool        `json:"warm_start"`
-	SpectrumTop      int         `json:"spectrum_top"`
-	TransientPeriods float64     `json:"transient_periods"`
-	StepsPerFast     int         `json:"steps_per_fast"`
-	RelTol           float64     `json:"reltol,omitempty"`
-	AbsTol           float64     `json:"abstol,omitempty"`
-	Linear           string      `json:"linear,omitempty"`
 }
 
 // analysisToJobSpec maps one resolved analysis onto the engine's job form.
@@ -303,7 +286,13 @@ func resolveRequest(req *Request, sweepWorkers int) (*runSpec, error) {
 	tgt := &sweep.Target{Ckt: deck.Ckt, Shear: sh, OutP: outP, OutM: outM, RFAmp: req.RFAmp}
 	spec.Build = func(sweep.Point) (*sweep.Target, error) { return tgt, nil }
 
-	ck := canonKey{
+	// The canonical wire form is the request's identity everywhere: its
+	// SHA-256 is the cache/singleflight key here, and the same bytes are
+	// what shards carry to workers — so a worker resolving the wire form
+	// derives the identical key, which is what makes the cache and
+	// singleflight identity span processes.
+	wire := &dispatch.RequestWire{
+		V:                dispatch.WireVersion,
 		Deck:             netlist.Canonical(req.Deck),
 		Name:             name,
 		Jobs:             jobs,
@@ -317,15 +306,15 @@ func resolveRequest(req *Request, sweepWorkers int) (*runSpec, error) {
 		RelTol:           spec.RelTol,
 		AbsTol:           spec.AbsTol,
 		Linear:           spec.Linear,
+		Newton:           dispatch.NewtonFromOptions(spec.Newton),
+		JobTimeoutMS:     req.JobTimeoutMS,
 	}
-	enc, err := json.Marshal(&ck)
+	key, err := wire.Key()
 	if err != nil {
 		return nil, err
 	}
-	sum := sha256.Sum256(enc)
-	key := hex.EncodeToString(sum[:])
 
-	rs := &runSpec{name: name, spec: spec, njobs: len(jobs), trace: req.Trace}
+	rs := &runSpec{name: name, wire: wire, spec: spec, njobs: len(jobs), trace: req.Trace}
 	// NoCache is part of the flight identity: a cacheable submit must not
 	// coalesce onto an uncacheable run, or its result would silently never
 	// enter the cache. Trace likewise: a traced submit joining an untraced

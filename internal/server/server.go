@@ -34,9 +34,13 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
+
+	"repro/internal/dispatch"
 )
 
 // Options configures the simulation service. The zero value is usable:
@@ -59,8 +63,12 @@ type Options struct {
 	DrainTimeout time.Duration
 	// SpoolDir, when set, receives every finished job's result JSON as
 	// <id>.json — including the partial aggregates of jobs interrupted by
-	// shutdown.
+	// shutdown. A dispatch/ subdirectory journals queued shards.
 	SpoolDir string
+	// LeaseTTL is the dispatch plane's shard lease lifetime (default 15s):
+	// a worker that stops heartbeating for this long loses its shard, which
+	// is requeued for another worker.
+	LeaseTTL time.Duration
 	// Logf sinks server logs (default log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -95,6 +103,7 @@ type Server struct {
 	mux     *http.ServeMux
 	mgr     *manager
 	cache   *resultCache
+	coord   *dispatch.Coordinator
 	metrics metrics
 	start   time.Time
 }
@@ -105,6 +114,20 @@ func New(opt Options) *Server {
 	s.metrics.initHistograms()
 	s.cache = newResultCache(s.opt.CacheBytes)
 	s.mgr = newManager(s, s.opt.MaxConcurrent)
+	journal := ""
+	if s.opt.SpoolDir != "" {
+		journal = filepath.Join(s.opt.SpoolDir, "dispatch")
+		if err := os.MkdirAll(journal, 0o755); err != nil {
+			s.logf("server: dispatch journal %s: %v", journal, err)
+			journal = ""
+		}
+	}
+	s.coord = dispatch.NewCoordinator(dispatch.CoordinatorOptions{
+		LeaseTTL:   s.opt.LeaseTTL,
+		JournalDir: journal,
+		Cache:      s.cache,
+		Logf:       s.opt.Logf,
+	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
@@ -116,6 +139,7 @@ func New(opt Options) *Server {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.coord.RegisterHandlers(mux)
 	s.mux = mux
 	return s
 }
@@ -138,6 +162,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.coord.Close()
 		return nil
 	case <-ctx.Done():
 	}
@@ -145,6 +170,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// Cancellation is cooperative down to the Newton iterations, so the
 	// remaining jobs unwind promptly and flush partial aggregates.
 	<-done
+	s.coord.Close()
 	return ctx.Err()
 }
 
@@ -351,7 +377,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	pts := s.metrics.snapshot(s.cache, s.start)
+	pts := s.metrics.snapshot(s.cache, s.start, s.coord.Stats())
 	hists := s.metrics.histograms()
 	if r.URL.Query().Get("format") == "json" {
 		w.Header().Set("Content-Type", "application/json")
@@ -369,5 +395,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]string{"status": status})
+	detail := map[string]any{"status": status}
+	// A failing spool is data loss in slow motion: results are served but
+	// their on-disk copies are not landing. Surface the last failure here
+	// (and count them in mpde_spool_errors_total) instead of only logging.
+	if msg := s.mgr.lastSpoolError(); msg != "" {
+		detail["spool_error"] = msg
+	}
+	ds := s.coord.Stats()
+	if ds.Workers > 0 || ds.Queue.Enqueued > 0 {
+		detail["dispatch"] = map[string]any{
+			"workers":       ds.Workers,
+			"queue_depth":   ds.Queue.Depth,
+			"leases_active": ds.Queue.LeasesActive,
+		}
+	}
+	writeJSON(w, code, detail)
 }

@@ -58,7 +58,7 @@ func newTestServer(t *testing.T, opt Options) (*Server, *httptest.Server) {
 	return s, ts
 }
 
-func postJSON(t *testing.T, url string, body any) *http.Response {
+func postJSON(t testing.TB, url string, body any) *http.Response {
 	t.Helper()
 	b, err := json.Marshal(body)
 	if err != nil {
@@ -71,7 +71,7 @@ func postJSON(t *testing.T, url string, body any) *http.Response {
 	return resp
 }
 
-func decodeJSON[T any](t *testing.T, r io.Reader) T {
+func decodeJSON[T any](t testing.TB, r io.Reader) T {
 	t.Helper()
 	var v T
 	if err := json.NewDecoder(r).Decode(&v); err != nil {
@@ -80,7 +80,7 @@ func decodeJSON[T any](t *testing.T, r io.Reader) T {
 	return v
 }
 
-func metricsSnapshot(t *testing.T, base string) map[string]float64 {
+func metricsSnapshot(t testing.TB, base string) map[string]float64 {
 	t.Helper()
 	resp, err := http.Get(base + "/metrics?format=json")
 	if err != nil {

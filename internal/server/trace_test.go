@@ -200,7 +200,7 @@ func TestSolverStatsMetricsParity(t *testing.T) {
 
 	s := New(Options{Logf: t.Logf})
 	names := map[string]bool{}
-	for _, p := range s.metrics.snapshot(s.cache, s.start) {
+	for _, p := range s.metrics.snapshot(s.cache, s.start, s.coord.Stats()) {
 		names[p.Name] = true
 	}
 

@@ -45,26 +45,38 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// run is the set of jobs this invocation actually executes — the whole
+	// expansion, or the Subset shard of it. Job IDs, seeds, and tuning all
+	// keep full-expansion semantics so shard results match the
+	// single-process run byte for byte.
+	run := jobs
+	if spec.Subset != nil {
+		run, err = subsetJobs(jobs, spec.Subset)
+		if err != nil {
+			return nil, err
+		}
+	}
 	workers := spec.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > len(run) {
+		workers = len(run)
 	}
 
 	ctx, span := obs.Start(ctx, "sweep.run")
 	if span != nil {
 		span.SetStr("name", spec.Name)
-		span.SetInt("jobs", int64(len(jobs)))
+		span.SetInt("jobs", int64(len(run)))
 		span.SetInt("workers", int64(workers))
 		defer span.End()
 	}
 
-	res := &Result{Name: spec.Name, Workers: workers, Jobs: make([]JobResult, len(jobs))}
-	for i := range res.Jobs {
-		res.Jobs[i] = JobResult{Job: jobs[i], Status: StatusCanceled, Err: "sweep canceled before job started"}
+	all := make([]JobResult, len(jobs))
+	for i := range all {
+		all[i] = JobResult{Job: jobs[i], Status: StatusCanceled, Err: "sweep canceled before job started"}
 	}
+	res := &Result{Name: spec.Name, Workers: workers}
 
 	// Warm-start staging: the first job of every seedable (method, N1, N2)
 	// group runs in stage one; the group's remaining jobs run in stage two
@@ -77,7 +89,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	var stage1, stage2 []int
 	if spec.WarmStart {
 		leaders := map[groupKey]bool{}
-		for _, j := range jobs {
+		for _, j := range run {
 			k := groupKey{j.Method, j.Point.N1, j.Point.N2}
 			switch {
 			case !seedable(j.Method):
@@ -90,9 +102,9 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 			}
 		}
 	} else {
-		stage1 = make([]int, len(jobs))
-		for i := range jobs {
-			stage1[i] = i
+		stage1 = make([]int, len(run))
+		for i, j := range run {
+			stage1[i] = j.ID
 		}
 	}
 
@@ -115,7 +127,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	// path — independent of worker scheduling.
 	shares := map[groupKey]*la.LUShare{}
 	if spec.WarmStart {
-		for _, j := range jobs {
+		for _, j := range run {
 			k := groupKey{j.Method, j.Point.N1, j.Point.N2}
 			if seedable(j.Method) && shares[k] == nil {
 				shares[k] = &la.LUShare{}
@@ -142,11 +154,11 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 					if spec.Progress != nil {
 						spec.Progress(ProgressEvent{
 							Kind: ProgressJobStart, Job: jobs[id],
-							Done: int(doneCount.Load()), Total: len(jobs),
+							Done: int(doneCount.Load()), Total: len(run),
 						})
 					}
 					jr, raw := spec.runJob(ctx, jobs[id], seedFor(jobs[id]), len(jobs), shareFor(jobs[id]))
-					res.Jobs[id] = jr
+					all[id] = jr
 					if storeSeeds && raw != nil && jr.Status == StatusOK {
 						seedMu.Lock()
 						k := groupKey{jobs[id].Method, jobs[id].Point.N1, jobs[id].Point.N2}
@@ -159,7 +171,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 						cp := jr
 						spec.Progress(ProgressEvent{
 							Kind: ProgressJobDone, Job: jobs[id], Result: &cp,
-							Done: int(doneCount.Add(1)), Total: len(jobs),
+							Done: int(doneCount.Add(1)), Total: len(run),
 						})
 					} else {
 						doneCount.Add(1)
@@ -181,6 +193,14 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	runStage(stage1, spec.WarmStart)
 	runStage(stage2, false)
 	res.Wall = time.Since(start)
+	if spec.Subset == nil {
+		res.Jobs = all
+	} else {
+		res.Jobs = make([]JobResult, len(run))
+		for i, j := range run {
+			res.Jobs[i] = all[j.ID]
+		}
+	}
 	return res, ctx.Err()
 }
 

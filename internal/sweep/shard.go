@@ -1,0 +1,155 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// Shards partitions the spec's deterministic job expansion (Spec.Jobs)
+// into at most max shards of job IDs, each suitable for an independent
+// Run with Spec.Subset set to it.
+//
+// The split never separates the jobs of one warm-start group: with
+// Spec.WarmStart, a seedable (method, N1, N2) group's followers take their
+// initial guess — and their shared symbolic LU — from the group's first
+// job, so a shard holding the whole group reproduces exactly the Newton
+// trajectories of a single-process run. Jobs outside warm-start groups
+// (non-seedable methods, or WarmStart off) split freely.
+//
+// Groups are assigned to shards greedily by size (first-appearance order,
+// ties to the lowest shard index), so the partition is deterministic for a
+// given spec and max. Every returned shard is non-empty and sorted by job
+// ID; the union over shards is exactly the full expansion.
+func (s *Spec) Shards(max int) ([][]int, error) {
+	jobs, err := s.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	if max < 1 {
+		max = 1
+	}
+	// Indivisible units: warm-start groups stay whole, everything else is
+	// per-job.
+	var groups [][]int
+	idx := map[groupKey]int{}
+	for _, j := range jobs {
+		if s.WarmStart && seedable(j.Method) {
+			k := groupKey{j.Method, j.Point.N1, j.Point.N2}
+			if gi, ok := idx[k]; ok {
+				groups[gi] = append(groups[gi], j.ID)
+				continue
+			}
+			idx[k] = len(groups)
+		}
+		groups = append(groups, []int{j.ID})
+	}
+	if max > len(groups) {
+		max = len(groups)
+	}
+	shards := make([][]int, max)
+	loads := make([]int, max)
+	for _, grp := range groups {
+		best := 0
+		for i := 1; i < max; i++ {
+			if loads[i] < loads[best] {
+				best = i
+			}
+		}
+		shards[best] = append(shards[best], grp...)
+		loads[best] += len(grp)
+	}
+	for i := range shards {
+		sort.Ints(shards[i])
+	}
+	return shards, nil
+}
+
+// Merge reassembles shard results into one aggregate equivalent to a
+// single Run over the full expansion: Jobs ordered by ID, with exactly one
+// result per job in [0, total). Name and total come from the coordinating
+// spec; Wall and Workers are left for the caller (both are zeroed in the
+// timing-free serialisations anyway, so a merged aggregate is
+// byte-identical to the single-process one).
+func Merge(name string, total int, parts [][]JobResult) (*Result, error) {
+	if total <= 0 {
+		return nil, errors.New("sweep: merge: no jobs")
+	}
+	out := &Result{Name: name, Jobs: make([]JobResult, total)}
+	seen := make([]bool, total)
+	for _, part := range parts {
+		for i := range part {
+			id := part[i].Job.ID
+			if id < 0 || id >= total {
+				return nil, fmt.Errorf("sweep: merge: job id %d outside [0,%d)", id, total)
+			}
+			if seen[id] {
+				return nil, fmt.Errorf("sweep: merge: duplicate result for job %d", id)
+			}
+			seen[id] = true
+			out.Jobs[id] = part[i]
+		}
+	}
+	for id, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("sweep: merge: missing result for job %d", id)
+		}
+	}
+	return out, nil
+}
+
+// subsetJobs resolves Spec.Subset against the full expansion: every ID must
+// exist, duplicates are rejected, and the returned slice is ordered by ID.
+func subsetJobs(jobs []Job, subset []int) ([]Job, error) {
+	if len(subset) == 0 {
+		return nil, errors.New("sweep: empty Subset")
+	}
+	ids := append([]int(nil), subset...)
+	sort.Ints(ids)
+	out := make([]Job, 0, len(ids))
+	for i, id := range ids {
+		if id < 0 || id >= len(jobs) {
+			return nil, fmt.Errorf("sweep: Subset id %d outside [0,%d)", id, len(jobs))
+		}
+		if i > 0 && ids[i-1] == id {
+			return nil, fmt.Errorf("sweep: Subset repeats id %d", id)
+		}
+		out = append(out, jobs[id])
+	}
+	return out, nil
+}
+
+// CanonicalJobParams derives one job's typed analysis parameters exactly as
+// Run would hand them to analysis.Run, except that the
+// scheduling-dependent assembly-parallelism knob is normalised to zero.
+// Two nodes resolving the same spec therefore produce byte-identical
+// canonical encodings of the result (see analysis.EncodeParams), which the
+// dispatch plane digests to detect coordinator/worker version skew before
+// a shard runs.
+func (s *Spec) CanonicalJobParams(job Job) (any, error) {
+	if s.Build == nil {
+		return nil, errors.New("sweep: Spec.Build is required")
+	}
+	tgt, err := s.Build(job.Point)
+	if err == nil && (tgt == nil || tgt.Ckt == nil) {
+		err = errors.New("sweep: builder returned no circuit")
+	}
+	if err == nil {
+		err = tgt.Shear.Validate()
+	}
+	if err != nil {
+		return nil, err
+	}
+	d, err := analysis.Get(string(job.Method))
+	if err != nil {
+		return nil, err
+	}
+	if d.SweepParams == nil {
+		return nil, errors.New("sweep: analysis " + string(job.Method) + " is not sweepable")
+	}
+	tune := s.tuning(1)
+	tune.AssemblyWorkers = 0
+	return d.SweepParams(analysis.BuildInput{Target: *tgt, Point: job.Point, Tune: tune})
+}

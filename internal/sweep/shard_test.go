@@ -1,0 +1,170 @@
+package sweep_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// shardSpec is a cheap multi-method sweep with warm-start groups: two QPSS
+// grid shapes (two seedable groups) plus HB jobs sharing one of the shapes.
+func shardSpec() sweep.Spec {
+	return sweep.Spec{
+		Name:      "shard-rc",
+		WarmStart: true,
+		JobList: []sweep.JobSpec{
+			{Method: sweep.QPSS, Point: sweep.Point{Fd: 1e5, N1: 8, N2: 8}},
+			{Method: sweep.QPSS, Point: sweep.Point{Fd: 1.2e5, N1: 8, N2: 8}},
+			{Method: sweep.QPSS, Point: sweep.Point{Fd: 1e5, N1: 16, N2: 8}},
+			{Method: sweep.QPSS, Point: sweep.Point{Fd: 1.2e5, N1: 16, N2: 8}},
+			{Method: sweep.HB, Point: sweep.Point{Fd: 1e5, N1: 8, N2: 8}},
+			{Method: sweep.HB, Point: sweep.Point{Fd: 1.2e5, N1: 8, N2: 8}},
+		},
+		Build: rcFdTarget,
+	}
+}
+
+// TestShardsPartitionInvariants: every split is an exact cover of the job
+// expansion, each shard is sorted and non-empty, and warm-start groups
+// (method, N1, N2) never straddle a shard boundary — splitting one would
+// change which job seeds the others and thus the Newton trajectories.
+func TestShardsPartitionInvariants(t *testing.T) {
+	spec := shardSpec()
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for max := 1; max <= len(jobs)+2; max++ {
+		shards, err := spec.Shards(max)
+		if err != nil {
+			t.Fatalf("Shards(%d): %v", max, err)
+		}
+		if len(shards) > max {
+			t.Fatalf("Shards(%d) returned %d shards", max, len(shards))
+		}
+		seen := map[int]int{}
+		group := map[[3]int64]int{} // groupKey → shard index
+		for si, shard := range shards {
+			if len(shard) == 0 {
+				t.Fatalf("Shards(%d): shard %d empty", max, si)
+			}
+			for i, id := range shard {
+				if i > 0 && shard[i-1] >= id {
+					t.Fatalf("Shards(%d): shard %d not sorted: %v", max, si, shard)
+				}
+				if id < 0 || id >= len(jobs) {
+					t.Fatalf("Shards(%d): id %d out of range", max, id)
+				}
+				seen[id]++
+				j := jobs[id]
+				if j.Method == sweep.QPSS || j.Method == sweep.HB {
+					k := [3]int64{int64(len(j.Method)), int64(j.Point.N1), int64(j.Point.N2)}
+					// Method length is a cheap stand-in only if unambiguous;
+					// qpss(4) vs hb(2) differ, so it is here.
+					if prev, ok := group[k]; ok && prev != si {
+						t.Fatalf("Shards(%d): warm-start group %v split across shards %d and %d", max, k, prev, si)
+					}
+					group[k] = si
+				}
+			}
+		}
+		if len(seen) != len(jobs) {
+			t.Fatalf("Shards(%d): covered %d of %d jobs", max, len(seen), len(jobs))
+		}
+		for id, n := range seen {
+			if n != 1 {
+				t.Fatalf("Shards(%d): job %d appears %d times", max, id, n)
+			}
+		}
+	}
+}
+
+// TestShardedRunMergesByteIdentical is the shard layer's determinism
+// contract: running each shard as a Subset run in its own engine
+// invocation and merging must reproduce the single-run aggregate
+// byte-for-byte in the timing-free serialisation.
+func TestShardedRunMergesByteIdentical(t *testing.T) {
+	spec := shardSpec()
+	spec.Workers = 2
+	full, err := sweep.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shards, err := spec.Shards(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) < 2 {
+		t.Fatalf("want ≥2 shards for a meaningful merge, got %d", len(shards))
+	}
+	parts := make([][]sweep.JobResult, len(shards))
+	for i, ids := range shards {
+		sub := spec
+		sub.Subset = ids
+		res, err := sweep.Run(context.Background(), sub)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if len(res.Jobs) != len(ids) {
+			t.Fatalf("shard %d: got %d results for %d ids", i, len(res.Jobs), len(ids))
+		}
+		parts[i] = res.Jobs
+	}
+	merged, err := sweep.Merge(spec.Name, len(jobs), parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var a, b bytes.Buffer
+	if err := full.WriteJSON(&a, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.WriteJSON(&b, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("sharded+merged JSON differs from single-run JSON:\n--- full ---\n%s\n--- merged ---\n%s", a.String(), b.String())
+	}
+}
+
+// TestMergeRejectsBadCover: Merge must refuse overlapping, missing, or
+// out-of-range job sets rather than serve a silently wrong aggregate.
+func TestMergeRejectsBadCover(t *testing.T) {
+	mk := func(ids ...int) []sweep.JobResult {
+		out := make([]sweep.JobResult, len(ids))
+		for i, id := range ids {
+			out[i] = sweep.JobResult{Job: sweep.Job{ID: id, Method: sweep.QPSS}}
+		}
+		return out
+	}
+	cases := []struct {
+		name  string
+		total int
+		parts [][]sweep.JobResult
+	}{
+		{"missing", 3, [][]sweep.JobResult{mk(0, 1)}},
+		{"duplicate", 3, [][]sweep.JobResult{mk(0, 1), mk(1, 2)}},
+		{"out of range", 2, [][]sweep.JobResult{mk(0, 2)}},
+	}
+	for _, tc := range cases {
+		if _, err := sweep.Merge("x", tc.total, tc.parts); err == nil {
+			t.Errorf("%s: Merge accepted a bad cover", tc.name)
+		}
+	}
+	if res, err := sweep.Merge("x", 3, [][]sweep.JobResult{mk(2), mk(0, 1)}); err != nil {
+		t.Errorf("valid cover rejected: %v", err)
+	} else {
+		for i, jr := range res.Jobs {
+			if jr.Job.ID != i {
+				t.Errorf("merged jobs not ordered by ID: %v", res.Jobs)
+			}
+		}
+	}
+}

@@ -143,6 +143,14 @@ type Spec struct {
 	JobList []JobSpec
 	// Build constructs the target at each point (required).
 	Build Builder
+	// Subset, when non-nil, restricts Run to the listed job IDs of the full
+	// expansion (the shape a dispatch worker executes: one shard of
+	// Spec.Shards). IDs keep their full-expansion values, Result.Jobs holds
+	// only the subset ordered by ID, and per-job tuning still sees the full
+	// job count — so a shard's results are byte-identical to the same jobs'
+	// slice of a whole-spec run, provided the subset keeps warm-start
+	// groups intact (Shards guarantees it).
+	Subset []int
 	// Progress, when non-nil, receives job lifecycle events from the
 	// worker pool while the sweep runs. It is called concurrently from
 	// worker goroutines and must be safe for parallel use; it should
