@@ -1,0 +1,52 @@
+// Command mpde-vet runs the repository's invariant-enforcing analyzer
+// suite (internal/lint). It speaks two dialects:
+//
+// As a vet tool, driven by cmd/go — this is the CI-blocking mode and also
+// covers test files:
+//
+//	go build -o /tmp/mpde-vet ./cmd/mpde-vet
+//	go vet -vettool=/tmp/mpde-vet ./...
+//
+// Standalone, loading packages itself via `go list` (non-test files only):
+//
+//	mpde-vet ./...
+//	mpde-vet ./internal/dispatch ./internal/server
+//
+// Exit status is 0 when every package is clean and 1 otherwise, in both
+// modes.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+func main() {
+	analyzers := lint.All()
+
+	// cmd/go invokes the tool with -V=full, -flags, or a path to a .cfg
+	// compilation-unit file; any of those hands control to the vettool
+	// protocol driver. Bare package patterns run the standalone loader.
+	for _, arg := range os.Args[1:] {
+		if strings.HasPrefix(arg, "-V") || arg == "-flags" || strings.HasSuffix(arg, ".cfg") {
+			analysis.Main(analyzers...)
+		}
+	}
+
+	patterns := os.Args[1:]
+	findings, err := analysis.RunDir(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpde-vet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

@@ -24,6 +24,8 @@ import (
 // registered parameter struct (the same value shape paramsAs asserts at
 // run time), so an encode that succeeds here is guaranteed to run on the
 // receiving node.
+//
+//mpde:canonical
 func EncodeParams(name string, params any) (json.RawMessage, error) {
 	d, err := Get(name)
 	if err != nil {

@@ -77,9 +77,12 @@ func (s *mfSystem) Linearize(x []float64) ([]float64, la.Operator, error) {
 // the terms stampPoint would have written into the global matrix. Each grid
 // point owns its output rows and reads only the frozen linearisation data,
 // so the parallel fan-out is race-free and byte-deterministic.
+//
+//mpde:hotpath
 func (s *mfSystem) Apply(v, y []float64) {
 	a := s.asm
 	n, N1 := a.n, a.N1
+	//mpde:alloc-ok one closure per apply, amortised over the whole grid
 	blockMAC := func(dst []float64, m *la.CSR, src []float64, coef float64) {
 		for li := 0; li < n; li++ {
 			sum := 0.0
@@ -89,6 +92,7 @@ func (s *mfSystem) Apply(v, y []float64) {
 			dst[li] += coef * sum
 		}
 	}
+	//mpde:alloc-ok one worker closure per apply, amortised over the whole grid
 	a.parallel(a.N1*a.N2, func(_, lo, hi int) {
 		for p := lo; p < hi; p++ {
 			i, j := p%N1, p/N1

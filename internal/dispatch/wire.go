@@ -113,6 +113,8 @@ type RequestWire struct {
 }
 
 // Encode returns the canonical encoding.
+//
+//mpde:canonical
 func (r *RequestWire) Encode() ([]byte, error) {
 	if r.V == 0 {
 		r.V = WireVersion
@@ -124,6 +126,8 @@ func (r *RequestWire) Encode() ([]byte, error) {
 // the canonical encoding. Every node derives the same key for the same
 // request, which is what lets the result cache and singleflight identity
 // span processes.
+//
+//mpde:canonical
 func (r *RequestWire) Key() (string, error) {
 	enc, err := r.Encode()
 	if err != nil {
@@ -230,6 +234,8 @@ type ShardEnvelope struct {
 }
 
 // Encode returns the canonical envelope encoding.
+//
+//mpde:canonical
 func (e *ShardEnvelope) Encode() ([]byte, error) {
 	if e.V == 0 {
 		e.V = WireVersion
@@ -278,6 +284,8 @@ func (e *ShardEnvelope) Jobs() ([]sweep.Job, error) {
 // cache: the request key plus the shard's job-ID set. The "s:" prefix
 // keeps shard entries disjoint from request-level result entries in a
 // shared cache tier.
+//
+//mpde:canonical
 func (e *ShardEnvelope) Key() (string, error) {
 	rk, err := e.Req.Key()
 	if err != nil {
@@ -293,6 +301,8 @@ func (e *ShardEnvelope) Key() (string, error) {
 // normalised away (sweep.CanonicalJobParams). Coordinator and worker both
 // compute it from their own registries; equality means both nodes would
 // hand every analysis the same parameters.
+//
+//mpde:canonical
 func ParamsDigest(spec *sweep.Spec, jobs []sweep.Job) (string, error) {
 	h := sha256.New()
 	for _, j := range jobs {
@@ -325,6 +335,8 @@ type ShardResult struct {
 }
 
 // Encode returns the payload encoding.
+//
+//mpde:canonical
 func (r *ShardResult) Encode() ([]byte, error) {
 	if r.V == 0 {
 		r.V = WireVersion

@@ -92,11 +92,15 @@ func NewRowStamper(m *CSR) *RowStamper {
 }
 
 // ZeroRows clears the stored values of rows [lo, hi).
+//
+//mpde:hotpath
 func (s *RowStamper) ZeroRows(lo, hi int) {
 	Fill(s.m.Val[s.m.RowPtr[lo]:s.m.RowPtr[hi]], 0)
 }
 
 // SetRow loads row i's scatter map; subsequent Add calls target row i.
+//
+//mpde:hotpath
 func (s *RowStamper) SetRow(i int) {
 	s.gen++
 	if s.gen < 0 { // generation wrap: rebuild marks from scratch
@@ -114,6 +118,8 @@ func (s *RowStamper) SetRow(i int) {
 // Add accumulates v at (current row, j). It reports false — leaving the
 // matrix unchanged — when (row, j) is not part of the pattern, which signals
 // the caller to rebuild its symbolic pattern.
+//
+//mpde:hotpath
 func (s *RowStamper) Add(j int, v float64) bool {
 	if s.mark[j] != s.gen {
 		return false

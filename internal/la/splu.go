@@ -271,6 +271,8 @@ func sameInts(a, b []int) bool {
 // leaves the factors unusable) when the pattern differs, a pivot vanishes,
 // or element growth exceeds a stability bound; callers then fall back to
 // SparseLUFactor.
+//
+//mpde:hotpath
 func (f *SparseLU) Refactor(a *CSR) error {
 	t0 := time.Now()
 	err := f.refactorInto(a, f.lx, f.ux)
@@ -283,12 +285,14 @@ func (f *SparseLU) Refactor(a *CSR) error {
 // factorisation's own layout — either its private arrays or a batch slot
 // initialised from them). L's unit-diagonal positions are never rewritten,
 // so destination slots must already carry the 1s.
+//
+//mpde:hotpath
 func (f *SparseLU) refactorInto(a *CSR, lx, ux []float64) error {
-	if !f.SamePattern(a) {
+	if !f.SamePattern(a) { //mpde:coldpath pattern mismatch aborts the refactor
 		return fmt.Errorf("la: refactor pattern mismatch (want the factored %d×%d pattern)", f.n, f.n)
 	}
 	n := f.n
-	if f.work == nil {
+	if f.work == nil { //mpde:alloc-ok lazy scratch init, amortised over refactors
 		f.work = make([]float64, n)
 	}
 	x := f.work
@@ -324,7 +328,7 @@ func (f *SparseLU) refactorInto(a *CSR, lx, ux []float64) error {
 				maxBelow = av
 			}
 		}
-		if pivot == 0 || math.IsNaN(pivot) || maxBelow > refactorGrowth*math.Abs(pivot) {
+		if pivot == 0 || math.IsNaN(pivot) || maxBelow > refactorGrowth*math.Abs(pivot) { //mpde:coldpath singular pivot aborts the refactor
 			return fmt.Errorf("%w (refactor: unstable pivot %.3e at column %d)", ErrSingular, pivot, k)
 		}
 		ux[f.up[k+1]-1] = pivot
@@ -338,18 +342,22 @@ func (f *SparseLU) refactorInto(a *CSR, lx, ux []float64) error {
 // Solve solves A·x = b. x and b may alias. The factorisation owns the solve
 // scratch, so repeated calls do not allocate — but two goroutines must not
 // Solve through the same factorisation concurrently.
+//
+//mpde:hotpath
 func (f *SparseLU) Solve(b, x []float64) {
 	f.solveWith(f.lx, f.ux, b, x)
 }
 
 // solveWith runs the triangular solves against the given value arrays
 // (the factorisation's own, or a batch slot sharing its layout).
+//
+//mpde:hotpath
 func (f *SparseLU) solveWith(lx, ux, b, x []float64) {
 	n := f.n
 	if len(b) != n || len(x) != n {
 		panic(ErrShape)
 	}
-	if f.swork == nil {
+	if f.swork == nil { //mpde:alloc-ok lazy scratch init, amortised over solves
 		f.swork = make([]float64, n)
 	}
 	y := f.swork

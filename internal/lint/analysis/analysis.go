@@ -1,0 +1,100 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// typechecked package (a Pass) and reports Diagnostics. The repository
+// cannot vendor x/tools (builds must work from a bare toolchain with no
+// module downloads), but the API shape is kept deliberately identical so
+// the lint suite can migrate to the real framework by swapping one import.
+//
+// Two drivers run analyzers:
+//
+//   - unitchecker.go implements the `go vet -vettool=` protocol: cmd/go
+//     typechecks and hands the tool one compilation unit per invocation
+//     via a JSON .cfg file.
+//   - driver.go is the standalone loader used by `mpde-vet ./...` and the
+//     in-process meta-test: it shells out to `go list -deps -export` and
+//     typechecks target packages against the compiler's export data.
+//
+// Facts (cross-unit analyzer state) are deliberately unsupported: every
+// analyzer in internal/lint is package-local by construction.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one analysis and how to run it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -NAME enable flags.
+	// It must be a valid Go identifier.
+	Name string
+	// Doc is the analyzer's documentation: one summary line, a blank
+	// line, then detail.
+	Doc string
+	// Run applies the analyzer to one package. It reports findings via
+	// pass.Report and returns an optional result (unused by this suite).
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass is one application of an analyzer to one package: the syntax,
+// type information, and a sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. Drivers set it; analyzers call it
+	// (usually through Reportf).
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Validate rejects malformed analyzer sets (duplicate or empty names, nil
+// Run) before a driver trusts them.
+func Validate(analyzers []*Analyzer) error {
+	seen := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		if a == nil {
+			return fmt.Errorf("analysis: nil analyzer")
+		}
+		if a.Name == "" {
+			return fmt.Errorf("analysis: analyzer with empty name")
+		}
+		if a.Run == nil {
+			return fmt.Errorf("analysis: analyzer %s has nil Run", a.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("analysis: duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consume
+// populated, so both drivers typecheck identically.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

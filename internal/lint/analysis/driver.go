@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string // export data file, present under -export
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	CgoFiles   []string
+	ImportMap  map[string]string
+	Module     *struct{ GoVersion string }
+	Error      *struct{ Err string }
+}
+
+// A LoadedPackage is one typechecked target package plus the shared
+// FileSet, ready for RunAnalyzers.
+type LoadedPackage struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// Load resolves patterns with `go list -deps -export -json` run in dir and
+// typechecks every matched (non-dependency) package from source, resolving
+// imports through the compiler's export data. This is the standalone
+// driver behind `mpde-vet ./...`: it needs nothing but the go toolchain,
+// works offline, and sees exactly the types the build does.
+//
+// Test files are not part of `go list -export` compilation units; the
+// `go vet -vettool` path covers those.
+func Load(dir string, patterns ...string) ([]*LoadedPackage, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string, len(pkgs))
+	goVersion := ""
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Module != nil && p.Module.GoVersion != "" && !p.DepOnly {
+			goVersion = p.Module.GoVersion
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var loaded []*LoadedPackage
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard || p.Name == "" {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported by the standalone driver", p.ImportPath)
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			if !filepath.IsAbs(name) {
+				name = filepath.Join(p.Dir, name)
+			}
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		importMap := p.ImportMap
+		tc := &types.Config{
+			Importer: importerFunc(func(importPath string) (*types.Package, error) {
+				if resolved, ok := importMap[importPath]; ok {
+					importPath = resolved
+				}
+				return imp.Import(importPath)
+			}),
+			Sizes:     types.SizesFor("gc", runtime.GOARCH),
+			GoVersion: langVersion("go" + goVersion),
+		}
+		info := NewInfo()
+		pkg, err := tc.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typechecking %s: %v", p.ImportPath, err)
+		}
+		loaded = append(loaded, &LoadedPackage{
+			PkgPath: p.ImportPath, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info,
+		})
+	}
+	sort.Slice(loaded, func(i, j int) bool { return loaded[i].PkgPath < loaded[j].PkgPath })
+	return loaded, nil
+}
+
+// goList runs `go list -deps -export -json` and decodes the JSON stream.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportData resolves patterns with `go list -deps -export -json` in dir
+// and returns the ImportPath→export-data-file map for the whole dependency
+// closure, without typechecking anything. The analysistest harness uses it
+// to feed the gc importer for testdata packages.
+func ExportData(dir string, patterns []string) (map[string]string, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// RunDir loads patterns in dir and applies the analyzers to every target
+// package, returning formatted "file:line:col: message" findings. It is
+// the engine of both `mpde-vet ./...` and the repository meta-test.
+func RunDir(dir string, patterns []string, analyzers []*Analyzer) ([]string, error) {
+	if err := Validate(analyzers); err != nil {
+		return nil, err
+	}
+	loaded, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, lp := range loaded {
+		for _, d := range RunAnalyzers(lp.Fset, lp.Files, lp.Pkg, lp.TypesInfo, analyzers) {
+			out = append(out, fmt.Sprintf("%s: %s", lp.Fset.Position(d.Pos), d.Message))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"go/version"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Config mirrors the JSON compilation-unit description `go vet` writes to
+// <objdir>/vet.cfg and passes as the tool's sole positional argument. Only
+// the fields this driver consumes are declared; the decoder ignores the
+// rest (PackageVetx and friends carry facts, which this suite never uses).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string // import path → package path
+	PackageFile               map[string]string // package path → export data file
+	Standard                  map[string]bool
+	VetxOnly                  bool   // facts-only run on a dependency: nothing for us to do
+	VetxOutput                string // where cmd/go expects the (empty) facts file
+	SucceedOnTypecheckFailure bool
+}
+
+// Main implements the `go vet -vettool=` command-line protocol:
+//
+//	tool -V=full      print an executable fingerprint for the build cache
+//	tool -flags       print the supported flags as JSON
+//	tool [flags] x.cfg  analyze one compilation unit
+//
+// It never returns; the process exits 0 when the unit is clean, 1 when
+// diagnostics were reported or the unit failed to load.
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+	if err := Validate(analyzers); err != nil {
+		log.Fatal(err)
+	}
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON")
+	fs.Var(versionFlag{}, "V", "print version and exit")
+	_ = fs.Bool("json", false, "accepted for protocol compatibility (output is always plain text)")
+	_ = fs.Int("c", -1, "accepted for protocol compatibility (context lines are never printed)")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable "+a.Name+" analysis")
+	}
+	fs.Parse(os.Args[1:])
+
+	if *printFlags {
+		describeFlags(fs)
+		os.Exit(0)
+	}
+	args := fs.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		log.Fatalf(`invoking %s directly is unsupported; use "go vet -vettool=$(which %s)" or "%s ./..."`, progname, progname, progname)
+	}
+
+	var keep []*Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			keep = append(keep, a)
+		}
+	}
+	os.Exit(runUnit(args[0], keep))
+}
+
+// describeFlags prints the flag set in the JSON shape cmd/go's vetflag
+// parser expects: an array of {Name, Bool, Usage}.
+func describeFlags(fs *flag.FlagSet) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// versionFlag implements -V=full: cmd/go fingerprints the tool by running
+// it with this flag and parsing "<name> version devel ... buildID=<hex>",
+// where the hex is a content hash of the executable.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, h.Sum(nil))
+	os.Exit(0)
+	return nil
+}
+
+// runUnit loads one vet.cfg compilation unit, applies the analyzers, and
+// prints diagnostics to stderr in file:line:col form. The exit code is 0
+// for a clean unit, 1 otherwise.
+func runUnit(cfgFile string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Printf("cannot decode JSON config file %s: %v", cfgFile, err)
+		return 1
+	}
+
+	// cmd/go expects dependencies' vet runs to leave a facts file behind.
+	// This suite has no facts, but writing the (empty) file keeps the
+	// result cacheable so dependency units are not re-vetted every build.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			log.Print(err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// Facts-only run on a dependency: nothing to analyze, nothing to say.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			log.Print(err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, compilerOrDefault(cfg.Compiler), func(path string) (io.ReadCloser, error) {
+		// path here is a resolved package path, not a source-level import.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			return imp.Import(path)
+		}),
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: langVersion(cfg.GoVersion),
+	}
+	info := NewInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Printf("typechecking %s: %v", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags := RunAnalyzers(fset, files, pkg, info, analyzers)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// RunAnalyzers applies each analyzer to the typechecked package and
+// returns the merged diagnostics in position order. An analyzer error is
+// reported as a diagnostic at the package's first file so it cannot pass
+// silently.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			pos := token.NoPos
+			if len(files) > 0 {
+				pos = files[0].Package
+			}
+			diags = append(diags, Diagnostic{Pos: pos, Message: fmt.Sprintf("analyzer %s failed: %v", a.Name, err)})
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
+}
+
+func compilerOrDefault(c string) string {
+	if c == "" {
+		return "gc"
+	}
+	return c
+}
+
+// langVersion reduces a toolchain version ("go1.22.3") to the language
+// version go/types accepts ("go1.22"); anything unparseable becomes the
+// empty string, meaning "no version gating".
+func langVersion(v string) string {
+	if lang := version.Lang(v); lang != "" {
+		return lang
+	}
+	return ""
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

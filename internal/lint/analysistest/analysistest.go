@@ -1,0 +1,228 @@
+// Package analysistest runs a lint analyzer over a self-contained testdata
+// package and checks its diagnostics against // want "regexp" comments —
+// the same contract as golang.org/x/tools/go/analysis/analysistest, built
+// on the repository's dependency-free analysis shim.
+//
+// A testdata package lives in testdata/src/<name>/ and is ordinary Go
+// source (ignored by the go tool because of the testdata path element).
+// Every line that should be flagged carries a trailing comment:
+//
+//	for k := range m { // want `unordered map iteration`
+//
+// Multiple backquoted or quoted patterns on one comment expect multiple
+// diagnostics on that line. Diagnostics without a matching want, and wants
+// without a matching diagnostic, both fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// Run applies a to the testdata package rooted at dir (absolute or
+// relative to the test's working directory) and reports mismatches
+// between diagnostics and want comments on t.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	var files []*ast.File
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("analysistest: no .go files under %s", dir)
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(dir, fset, files)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	wants := collectWants(t, fset, files)
+	diags := analysis.RunAnalyzers(fset, files, pkg, info, []*analysis.Analyzer{a})
+
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		key := wantKey{filepath.Base(posn.Filename), posn.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, w.re.String())
+			}
+		}
+	}
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+// collectWants extracts `// want "re" "re2"` expectations, keyed by the
+// comment's file and line.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[wantKey][]*want {
+	t.Helper()
+	wants := make(map[wantKey][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				key := wantKey{filepath.Base(posn.Filename), posn.Line}
+				for _, pat := range splitPatterns(text[idx+len("want "):]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", posn, pat, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns parses a run of space-separated quoted or backquoted
+// strings.
+func splitPatterns(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte
+		switch s[0] {
+		case '"', '`':
+			quote = s[0]
+		default:
+			return out // trailing prose after the patterns; stop
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[1:1+end])
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out
+}
+
+// typecheck checks the testdata package, resolving its imports (stdlib or
+// in-module) through `go list -export` compiler export data.
+func typecheck(dir string, fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, error) {
+	importSet := make(map[string]bool)
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			p := strings.Trim(spec.Path.Value, `"`)
+			if p != "unsafe" {
+				importSet[p] = true
+			}
+		}
+	}
+	var imports []string
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+
+	exports, err := exportData(dir, imports)
+	if err != nil {
+		return nil, nil, err
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	info := analysis.NewInfo()
+	pkg, err := tc.Check("testdata", fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("typechecking %s: %v", dir, err)
+	}
+	return pkg, info, nil
+}
+
+var (
+	exportMu    sync.Mutex
+	exportCache = map[string]map[string]string{}
+)
+
+// exportData maps every package in imports' dependency closure to its
+// compiler export file, caching per distinct import set (the underlying
+// `go list -export` run is also cached by the build cache, but skipping
+// the exec entirely keeps repeated analyzer tests fast).
+func exportData(dir string, imports []string) (map[string]string, error) {
+	key := strings.Join(imports, ",")
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	if m, ok := exportCache[key]; ok {
+		return m, nil
+	}
+	m := make(map[string]string)
+	if len(imports) > 0 {
+		// Testdata lives inside the module, so `go list` run from its
+		// directory resolves stdlib and in-module imports alike.
+		exports, err := analysis.ExportData(dir, imports)
+		if err != nil {
+			return nil, err
+		}
+		m = exports
+	}
+	exportCache[key] = m
+	return m, nil
+}

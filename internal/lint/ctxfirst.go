@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// CtxFirstAnalyzer enforces the repository's cancellation contract, which
+// replaced the old Interrupt-callback plumbing with context.Context:
+//
+//   - a context.Context parameter must be the first parameter
+//   - no struct may reintroduce an `Interrupt func() bool` field
+//   - in a cancellation path (an if on ctx.Err(), or a case on
+//     <-ctx.Done()), errors must wrap the context error: errors.New and
+//     fmt.Errorf without %w there discard ctx.Err(), breaking
+//     errors.Is(err, context.Canceled) for every caller
+//
+// The runtime counterparts are the solver and dispatch cancellation tests,
+// which assert errors.Is against context.Canceled.
+var CtxFirstAnalyzer = &analysis.Analyzer{
+	Name: "mpdectxfirst",
+	Doc: "check context plumbing conventions\n\n" +
+		"Context parameters must come first, Interrupt callback fields must\n" +
+		"not reappear, and cancellation-path errors must wrap ctx.Err().",
+	Run: runCtxFirst,
+}
+
+func runCtxFirst(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkCtxPosition(pass, n.Name.Name, n.Type)
+			case *ast.FuncLit:
+				checkCtxPosition(pass, "function literal", n.Type)
+			case *ast.StructType:
+				checkInterruptField(pass, n)
+			case *ast.IfStmt:
+				// ctx.Err() may sit in the condition (`if ctx.Err() != nil`)
+				// or the init statement (`if err := ctx.Err(); err != nil`).
+				if condCallsCtxErr(pass, n.Cond) || (n.Init != nil && nodeCallsCtxErr(pass, n.Init)) {
+					checkCancelErrors(pass, n.Body)
+				}
+			case *ast.CommClause:
+				if commIsCtxDone(pass, n.Comm) {
+					for _, s := range n.Body {
+						checkCancelErrors(pass, s)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkCtxPosition(pass *analysis.Pass, name string, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range ft.Params.List {
+		isCtx := isContextType(pass.TypesInfo.TypeOf(field.Type))
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			if isCtx && pos > 0 {
+				pass.Reportf(field.Pos(), "%s: context.Context must be the first parameter", name)
+				return
+			}
+			pos++
+		}
+	}
+}
+
+func checkInterruptField(pass *analysis.Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if name.Name != "Interrupt" {
+				continue
+			}
+			if sig, ok := pass.TypesInfo.TypeOf(field.Type).(*types.Signature); ok {
+				if sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+					types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool]) {
+					pass.Reportf(name.Pos(), "Interrupt func() bool field reintroduces the pre-context cancellation API; take a context.Context instead")
+				}
+			}
+		}
+	}
+}
+
+// condCallsCtxErr reports whether the expression contains a ctx.Err() call.
+func condCallsCtxErr(pass *analysis.Pass, cond ast.Expr) bool {
+	return nodeCallsCtxErr(pass, cond)
+}
+
+func nodeCallsCtxErr(pass *analysis.Pass, root ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+				sel.Sel.Name == "Err" && isContextType(pass.TypesInfo.TypeOf(sel.X)) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// commIsCtxDone matches `case <-ctx.Done():` (with or without assignment).
+func commIsCtxDone(pass *analysis.Pass, comm ast.Stmt) bool {
+	var recv ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		recv = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			recv = s.Rhs[0]
+		}
+	}
+	un, ok := ast.Unparen(recv).(*ast.UnaryExpr)
+	if !ok || un.Op != token.ARROW {
+		return false
+	}
+	call, ok := ast.Unparen(un.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Done" && isContextType(pass.TypesInfo.TypeOf(sel.X))
+}
+
+// checkCancelErrors flags error constructors inside a cancellation path
+// that cannot wrap ctx.Err().
+func checkCancelErrors(pass *analysis.Pass, root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pass.TypesInfo, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		switch {
+		case callee.Pkg().Path() == "errors" && callee.Name() == "New":
+			pass.Reportf(call.Pos(), "errors.New in a cancellation path discards ctx.Err(); use fmt.Errorf with %%w wrapping it")
+		case callee.Pkg().Path() == "fmt" && callee.Name() == "Errorf":
+			if format, ok := constFormatArg(pass, call); ok && !strings.Contains(format, "%w") {
+				pass.Reportf(call.Pos(), "fmt.Errorf without %%w in a cancellation path discards ctx.Err(); wrap it so errors.Is(err, context.Canceled) holds")
+			}
+		}
+		return true
+	})
+}
+
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

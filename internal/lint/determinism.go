@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// DeterminismAnalyzer enforces byte-stable output in canonical-encoding
+// call trees. The wire codec, sweep exporters, and cache-key builders are
+// marked //mpde:canonical; within those functions and every package-local
+// function they (transitively) call, the analyzer flags:
+//
+//   - range over a map, whose iteration order varies run to run, unless the
+//     loop only collects keys for later sorting (a single append of the key)
+//   - calls into time (Now, Since) and math/rand, which smuggle wall-clock
+//     or RNG state into supposedly content-determined bytes
+//   - %p in fmt format strings, which prints an address
+//
+// The runtime counterparts are the codec round-trip and golden-byte tests;
+// this analyzer catches the same class of bug without needing a collision.
+var DeterminismAnalyzer = &analysis.Analyzer{
+	Name: "mpdedeterminism",
+	Doc: "check //mpde:canonical call trees for nondeterministic constructs\n\n" +
+		"Flags unordered map iteration, time.Now/math-rand calls, and %p\n" +
+		"formatting reachable from functions marked //mpde:canonical.",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *analysis.Pass) (any, error) {
+	sup := collectSuppressions(pass.Fset, pass.Files)
+
+	// Collect this package's function declarations keyed by their object,
+	// and note which are canonical roots.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	var roots []types.Object
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fn.Name]
+			if obj == nil {
+				continue
+			}
+			decls[obj] = fn
+			if funcDirective(fn, "canonical") {
+				roots = append(roots, obj)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil, nil
+	}
+
+	// Expand the static package-local call closure of the roots.
+	closure := make(map[types.Object]bool)
+	work := append([]types.Object(nil), roots...)
+	for len(work) > 0 {
+		obj := work[len(work)-1]
+		work = work[:len(work)-1]
+		if closure[obj] {
+			continue
+		}
+		closure[obj] = true
+		fn := decls[obj]
+		if fn == nil {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := calleeFunc(pass.TypesInfo, call); callee != nil {
+				if _, local := decls[callee]; local {
+					work = append(work, callee)
+				}
+			}
+			return true
+		})
+	}
+
+	for obj := range closure {
+		fn := decls[obj]
+		if fn == nil {
+			continue
+		}
+		checkDeterminism(pass, sup, fn)
+	}
+	return nil, nil
+}
+
+func checkDeterminism(pass *analysis.Pass, sup *suppressions, fn *ast.FuncDecl) {
+	walkSkipping(fn.Body, sup, []string{"nondet-ok"}, true, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			t := pass.TypesInfo.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap && !isKeyCollectionLoop(pass, n) {
+				pass.Reportf(n.Pos(), "%s: unordered map iteration in canonical-encoding path; collect and sort keys first (or annotate //mpde:nondet-ok with a reason)", fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			callee := calleeFunc(pass.TypesInfo, n)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			switch path := callee.Pkg().Path(); {
+			case path == "time" && (callee.Name() == "Now" || callee.Name() == "Since"):
+				pass.Reportf(n.Pos(), "%s: time.%s in canonical-encoding path makes output depend on the wall clock", fn.Name.Name, callee.Name())
+			case path == "math/rand" || path == "math/rand/v2":
+				pass.Reportf(n.Pos(), "%s: %s.%s in canonical-encoding path makes output nondeterministic", fn.Name.Name, path, callee.Name())
+			case path == "fmt":
+				if format, ok := constFormatArg(pass, n); ok && strings.Contains(format, "%p") {
+					pass.Reportf(n.Pos(), "%s: %%p in canonical-encoding path prints an address, which differs every run", fn.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isKeyCollectionLoop recognizes the one sanctioned map-range shape: a body
+// that is exactly one append of the loop key, feeding a later sort.
+func isKeyCollectionLoop(pass *analysis.Pass, n *ast.RangeStmt) bool {
+	if n.Value != nil || len(n.Body.List) != 1 {
+		return false
+	}
+	assign, ok := n.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	return true
+}
+
+// calleeFunc resolves a call's static callee, looking through selector
+// expressions; nil for builtins, calls of function values, and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// constFormatArg returns the constant string value of the call's first
+// constant string argument — a practical stand-in for "the format string"
+// across the fmt printing functions.
+func constFormatArg(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	for _, arg := range call.Args {
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			continue
+		}
+		return constant.StringVal(tv.Value), true
+	}
+	return "", false
+}

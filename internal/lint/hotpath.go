@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// HotpathAnalyzer keeps functions marked //mpde:hotpath allocation-free.
+// The Newton iteration loop, CSR stamping, sparse solves, GMRES applies,
+// and the observability fast path are all gated by testing.AllocsPerRun at
+// runtime; this analyzer reports the allocation before a benchmark run has
+// to notice it. Within a marked function it flags:
+//
+//   - make, new, and append calls (growth reallocates)
+//   - slice and map composite literals, and &T{...}
+//   - map writes and delete (map internals allocate on insert)
+//   - function literals (closures capture to the heap)
+//   - go statements (a goroutine per iteration is never the hot path)
+//   - boxing a numeric, string, struct, or array value into an interface,
+//     including through ...any variadics
+//
+// Setup, error, and tracing statements opt out with //mpde:alloc-ok or
+// //mpde:coldpath plus a reason. Calls to unmarked functions are not
+// followed: the contract is per-function, and the runtime gates catch
+// cross-function regressions.
+var HotpathAnalyzer = &analysis.Analyzer{
+	Name: "mpdehotpath",
+	Doc: "check //mpde:hotpath functions for allocation\n\n" +
+		"Flags heap-allocating constructs (make, append, closures, map\n" +
+		"writes, interface boxing) inside functions marked //mpde:hotpath.",
+	Run: runHotpath,
+}
+
+var hotpathSuppressions = []string{"alloc-ok", "coldpath"}
+
+func runHotpath(pass *analysis.Pass) (any, error) {
+	sup := collectSuppressions(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !funcDirective(fn, "hotpath") {
+				continue
+			}
+			checkHotpath(pass, sup, fn)
+		}
+	}
+	return nil, nil
+}
+
+func checkHotpath(pass *analysis.Pass, sup *suppressions, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	walkSkipping(fn.Body, sup, hotpathSuppressions, true, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotpathCall(pass, n, name)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "%s: &composite literal allocates in hot path", name)
+					return false // don't re-flag the literal itself
+				}
+			}
+		case *ast.CompositeLit:
+			if t := pass.TypesInfo.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "%s: %s literal allocates in hot path", name, typeKindName(t))
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if t := pass.TypesInfo.TypeOf(idx.X); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							pass.Reportf(lhs.Pos(), "%s: map write in hot path", name)
+						}
+					}
+				}
+				if i < len(n.Rhs) {
+					checkBoxing(pass, pass.TypesInfo.TypeOf(lhs), n.Rhs[i], name)
+				}
+			}
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "%s: go statement in hot path spawns a goroutine per call", name)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "%s: function literal in hot path captures to the heap", name)
+		}
+		return true
+	})
+}
+
+func checkHotpathCall(pass *analysis.Pass, call *ast.CallExpr, name string) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s: %s in hot path allocates", name, b.Name())
+			case "append":
+				pass.Reportf(call.Pos(), "%s: append in hot path may grow and reallocate", name)
+			case "delete":
+				pass.Reportf(call.Pos(), "%s: map delete in hot path", name)
+			}
+			return
+		}
+	}
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return // conversion or builtin
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			param = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			param = params.At(i).Type()
+		default:
+			continue
+		}
+		checkBoxing(pass, param, arg, name)
+	}
+}
+
+// checkBoxing flags converting a by-value source (numeric, string, struct,
+// array) into an interface-typed destination, which heap-allocates the
+// boxed copy. Pointer-shaped values (pointers, channels, funcs, maps) fit
+// the interface word and are not flagged.
+func checkBoxing(pass *analysis.Pass, dst types.Type, src ast.Expr, name string) {
+	if dst == nil {
+		return
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[src]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch u := tv.Type.Underlying().(type) {
+	case *types.Basic:
+		if tv.IsNil() {
+			return
+		}
+	case *types.Struct:
+		// A zero-size struct (the context-key idiom) boxes to a static
+		// address; only structs with fields allocate.
+		if u.NumFields() == 0 {
+			return
+		}
+	case *types.Array:
+		if u.Len() == 0 {
+			return
+		}
+	default:
+		return
+	}
+	pass.Reportf(src.Pos(), "%s: boxing %s into interface allocates in hot path", name, tv.Type)
+}
+
+func typeKindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}

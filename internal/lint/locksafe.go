@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// LockSafeScope lists the packages LockSafeAnalyzer inspects. The rule is
+// aimed at the coordination planes — dispatch and the HTTP server — where
+// a mutex held across a blocking operation stalls every other worker or
+// request; numeric kernels hold no locks and are exempt. "testdata" keeps
+// the analyzer's own test package in scope.
+var LockSafeScope = []string{
+	"repro/internal/dispatch",
+	"repro/internal/server",
+	"testdata",
+}
+
+// LockSafeAnalyzer flags blocking operations performed while a sync.Mutex
+// or sync.RWMutex is held: channel sends and receives (unless in a select
+// with a default), selects without a default, HTTP client round trips,
+// time.Sleep, and WaitGroup.Wait. Each of these turns a short critical
+// section into an unbounded one — the dispatch queue and server job table
+// serve every goroutine through these locks, so one slow peer would stall
+// the plane. The race-detector tests exercise the same code but cannot see
+// a stall; this analyzer can.
+//
+// The tracking is lexical and per-function: a lock is "held" from a
+// Lock/RLock call statement until the matching Unlock/RUnlock statement,
+// with a deferred unlock holding until function end. Branch bodies are
+// scanned with a copy of the held set, so the idiomatic
+// `if bad { mu.Unlock(); return }` mid-section does not leak a release
+// into the fallthrough path. Annotate deliberate blocking with
+// //mpde:locksafe-ignore and a reason.
+var LockSafeAnalyzer = &analysis.Analyzer{
+	Name: "mpdelocksafe",
+	Doc: "check for blocking operations under a held mutex\n\n" +
+		"In dispatch and server packages, flags channel operations, HTTP\n" +
+		"round trips, sleeps, and WaitGroup waits between Lock and Unlock.",
+	Run: runLockSafe,
+}
+
+// blockingCalls maps types.Func.FullName of known blocking callees to a
+// short description for diagnostics.
+var blockingCalls = map[string]string{
+	"(*net/http.Client).Do":       "HTTP round trip",
+	"(*net/http.Client).Get":      "HTTP round trip",
+	"(*net/http.Client).Post":     "HTTP round trip",
+	"(*net/http.Client).PostForm": "HTTP round trip",
+	"(*net/http.Client).Head":     "HTTP round trip",
+	"net/http.Get":                "HTTP round trip",
+	"net/http.Post":               "HTTP round trip",
+	"net/http.PostForm":           "HTTP round trip",
+	"net/http.Head":               "HTTP round trip",
+	"time.Sleep":                  "time.Sleep",
+	"(*sync.WaitGroup).Wait":      "WaitGroup.Wait",
+}
+
+func runLockSafe(pass *analysis.Pass) (any, error) {
+	inScope := false
+	for _, p := range LockSafeScope {
+		if pass.Pkg.Path() == p {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil, nil
+	}
+	sup := collectSuppressions(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					ls := &lockScan{pass: pass, sup: sup}
+					ls.stmts(n.Body.List, map[string]token.Pos{})
+				}
+			case *ast.FuncLit:
+				// Each literal gets its own scan with an empty held set —
+				// it runs on some later goroutine or call, not under the
+				// locks lexically in force at its definition site.
+				ls := &lockScan{pass: pass, sup: sup}
+				ls.stmts(n.Body.List, map[string]token.Pos{})
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type lockScan struct {
+	pass *analysis.Pass
+	sup  *suppressions
+}
+
+// stmts walks one statement list, threading the held-lock set through it.
+func (ls *lockScan) stmts(list []ast.Stmt, held map[string]token.Pos) {
+	for _, s := range list {
+		ls.stmt(s, held)
+	}
+}
+
+func (ls *lockScan) stmt(s ast.Stmt, held map[string]token.Pos) {
+	if ls.sup.at(s.Pos(), "locksafe-ignore") {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if key, op, ok := ls.mutexOp(s.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				held[key] = s.Pos()
+			case "Unlock", "RUnlock":
+				delete(held, key)
+			}
+			return
+		}
+		ls.exprs(held, s.X)
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held to function end, which the
+		// default (no delete) already models. Other deferred calls run
+		// after the body; nothing to check here.
+	case *ast.SendStmt:
+		if key, pos := anyHeld(held); key != "" {
+			ls.pass.Reportf(s.Pos(), "channel send while holding %s (locked at %s)", key, ls.pass.Fset.Position(pos))
+		}
+		ls.exprs(held, s.Value)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if key, pos := anyHeld(held); key != "" && !hasDefault {
+			ls.pass.Reportf(s.Pos(), "blocking select while holding %s (locked at %s)", key, ls.pass.Fset.Position(pos))
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				ls.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.AssignStmt:
+		ls.exprs(held, s.Rhs...)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					ls.exprs(held, vs.Values...)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		ls.exprs(held, s.Results...)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init, held)
+		}
+		ls.exprs(held, s.Cond)
+		ls.stmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			ls.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.BlockStmt:
+		ls.stmts(s.List, held)
+	case *ast.ForStmt:
+		ls.stmts(s.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		ls.exprs(held, s.X)
+		ls.stmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			ls.exprs(held, s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ls.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ls.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		ls.stmt(s.Stmt, held)
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the caller's locks; its
+		// body is scanned separately via the FuncLit walk in runLockSafe.
+	}
+}
+
+// exprs checks expressions evaluated while held locks are in effect for
+// blocking constructs: channel receives and known blocking calls. Function
+// literals are not descended — they execute later, not here.
+func (ls *lockScan) exprs(held map[string]token.Pos, exprs ...ast.Expr) {
+	key, lockPos := anyHeld(held)
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW && key != "" {
+					ls.pass.Reportf(n.Pos(), "channel receive while holding %s (locked at %s)", key, ls.pass.Fset.Position(lockPos))
+				}
+			case *ast.CallExpr:
+				if key == "" {
+					return true
+				}
+				if callee := calleeFunc(ls.pass.TypesInfo, n); callee != nil {
+					if what, ok := blockingCalls[callee.FullName()]; ok {
+						ls.pass.Reportf(n.Pos(), "%s while holding %s (locked at %s)", what, key, ls.pass.Fset.Position(lockPos))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// mutexOp recognizes x.Lock() / x.Unlock() / x.RLock() / x.RUnlock() calls
+// on sync.Mutex or sync.RWMutex (directly or embedded) and returns the
+// receiver's source text as the lock identity.
+func (ls *lockScan) mutexOp(e ast.Expr) (key, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := ls.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", "", false
+	}
+	switch fn.FullName() {
+	case "(*sync.Mutex).Lock", "(*sync.Mutex).Unlock",
+		"(*sync.RWMutex).Lock", "(*sync.RWMutex).Unlock",
+		"(*sync.RWMutex).RLock", "(*sync.RWMutex).RUnlock":
+		return types.ExprString(sel.X), fn.Name(), true
+	}
+	return "", "", false
+}
+
+func anyHeld(held map[string]token.Pos) (string, token.Pos) {
+	best := ""
+	var bestPos token.Pos
+	for k, p := range held {
+		// Deterministic pick when several locks are held: earliest Lock.
+		if best == "" || p < bestPos {
+			best, bestPos = k, p
+		}
+	}
+	return best, bestPos
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	c := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}

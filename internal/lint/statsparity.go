@@ -1,0 +1,234 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+	"unicode"
+
+	"repro/internal/lint/analysis"
+)
+
+// StatsParityScope lists the packages in which StatsParityAnalyzer checks
+// stats/metrics parity — the server package, which owns every mpde_*
+// series name. "testdata" keeps the analyzer's own test package in scope.
+var StatsParityScope = []string{"repro/internal/server", "testdata"}
+
+// StatsParityTypes names the stats structs whose numeric fields must each
+// be exported as a metric. A bare type name refers to the scanned package
+// itself (used by the analyzer's testdata).
+var StatsParityTypes = []string{
+	"repro/internal/solver.Stats",
+	"repro/internal/analysis.Stats",
+}
+
+// StatsParityAliases maps fields to the metric name stem they export
+// under, when the mechanical snake_case of the field name is not part of
+// the series name.
+var StatsParityAliases = map[string]string{
+	"Iterations":    "newton_iters",    // solver.Stats.Iterations → mpde_solver_newton_iters_total
+	"RejectedSteps": "step_rejections", // analysis.Stats.RejectedSteps → mpde_solver_step_rejections_total
+}
+
+// StatsParityAllowlist names fields deliberately not exported as metrics,
+// with the reason. Everything else numeric must have a series.
+var StatsParityAllowlist = map[string]string{
+	"Residual":      "per-solve convergence detail, visible in traces",
+	"StepNorm":      "per-solve convergence detail, visible in traces",
+	"FillFactor":    "per-factorization diagnostic, not a meaningful sum",
+	"JacobianEvals": "duplicate of Factorizations+Refactorizations",
+	"AcceptedSteps": "derivable from TimeSteps minus RejectedSteps",
+	"PatternBuilds": "complement of PatternReuse; reuse is the signal",
+	"TimeSteps":     "grid/solve-shape descriptor, not load",
+	"Unknowns":      "grid/solve-shape descriptor, not load",
+	"GridPoints":    "grid/solve-shape descriptor, not load",
+	"FinalN1":       "grid/solve-shape descriptor, not load",
+	"FinalN2":       "grid/solve-shape descriptor, not load",
+}
+
+// StatsParityAnalyzer is the static mirror of the server's
+// TestSolverStatsMetricsParity: every numeric field of the solver and
+// analysis Stats structs must either feed an mpde_* metrics series or be
+// allowlisted with a reason. The check is mechanical — the field name's
+// snake_case (acronym-aware, with Duration fields also trying a
+// "_time"→"_seconds" spelling) must appear inside some mpde_* string
+// literal of the scanned package. Adding a counter to solver.Stats without
+// surfacing it in /metrics is exactly the silent telemetry gap this
+// catches at compile time.
+var StatsParityAnalyzer = &analysis.Analyzer{
+	Name: "mpdestatsparity",
+	Doc: "check solver/analysis stats fields are exported as metrics\n\n" +
+		"Every numeric Stats field must map to an mpde_* series name in the\n" +
+		"server package or be allowlisted in the analyzer configuration.",
+	Run: runStatsParity,
+}
+
+func runStatsParity(pass *analysis.Pass) (any, error) {
+	inScope := false
+	for _, p := range StatsParityScope {
+		if pass.Pkg.Path() == p {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil, nil
+	}
+
+	literals := collectMetricLiterals(pass)
+	reportPos := pass.Files[0].Package
+
+	for _, typeName := range StatsParityTypes {
+		st, where, ok := resolveStatsType(pass, typeName)
+		if !ok {
+			continue // the scanned unit does not reach this package
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			field := st.Field(i)
+			if !isNumericField(field.Type()) {
+				continue
+			}
+			name := field.Name()
+			if _, allowed := StatsParityAllowlist[name]; allowed {
+				continue
+			}
+			if metricNameFor(name, field.Type(), literals) == "" {
+				pass.Reportf(reportPos, "stats field %s.%s has no mpde_* metrics series (and is not allowlisted); export it in the metrics snapshot or add it to StatsParityAllowlist with a reason", where, name)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// collectMetricLiterals gathers every string literal (and string constant)
+// in the package that contains an mpde_ series name.
+func collectMetricLiterals(pass *analysis.Pass) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			e, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true
+			}
+			s := constant.StringVal(tv.Value)
+			if strings.Contains(s, "mpde_") && !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// resolveStatsType finds the named struct type: "pkg/path.Name" through
+// the scanned package's import graph, or a bare "Name" in the scanned
+// package itself.
+func resolveStatsType(pass *analysis.Pass, typeName string) (*types.Struct, string, bool) {
+	pkgPath, name := "", typeName
+	if i := strings.LastIndex(typeName, "."); i >= 0 {
+		pkgPath, name = typeName[:i], typeName[i+1:]
+	}
+
+	var scope *types.Scope
+	switch {
+	case pkgPath == "" || pkgPath == pass.Pkg.Path():
+		scope = pass.Pkg.Scope()
+	default:
+		if p := findImport(pass.Pkg, pkgPath); p != nil {
+			scope = p.Scope()
+		}
+	}
+	if scope == nil {
+		return nil, "", false
+	}
+	obj := scope.Lookup(name)
+	if obj == nil {
+		return nil, "", false
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, "", false
+	}
+	return st, typeName, true
+}
+
+// findImport walks the import graph breadth-first for the package path.
+func findImport(root *types.Package, path string) *types.Package {
+	seen := map[*types.Package]bool{root: true}
+	queue := append([]*types.Package(nil), root.Imports()...)
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		if p.Path() == path {
+			return p
+		}
+		queue = append(queue, p.Imports()...)
+	}
+	return nil
+}
+
+func isNumericField(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+// metricNameFor returns the literal that satisfies the field, or "".
+func metricNameFor(field string, t types.Type, literals []string) string {
+	candidates := []string{snakeCase(field)}
+	if ok := StatsParityAliases[field]; ok != "" {
+		candidates = append(candidates, ok)
+	}
+	if isDurationType(t) {
+		if s := strings.TrimSuffix(snakeCase(field), "_time"); s != snakeCase(field) {
+			candidates = append(candidates, s+"_seconds")
+		}
+	}
+	for _, lit := range literals {
+		for _, c := range candidates {
+			if strings.Contains(lit, c) {
+				return lit
+			}
+		}
+	}
+	return ""
+}
+
+func isDurationType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Duration"
+}
+
+// snakeCase converts a Go field name to its metrics spelling, keeping
+// acronym runs together: GMRESFallbacks → gmres_fallbacks, FinalN1 →
+// final_n1, AssemblyTime → assembly_time.
+func snakeCase(name string) string {
+	rs := []rune(name)
+	var out []rune
+	for i, r := range rs {
+		if unicode.IsUpper(r) {
+			prevLower := i > 0 && (unicode.IsLower(rs[i-1]) || unicode.IsDigit(rs[i-1]))
+			acronymEnd := i > 0 && unicode.IsUpper(rs[i-1]) && i+1 < len(rs) && unicode.IsLower(rs[i+1])
+			if prevLower || acronymEnd {
+				out = append(out, '_')
+			}
+			r = unicode.ToLower(r)
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}

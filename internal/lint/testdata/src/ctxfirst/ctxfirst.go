@@ -1,0 +1,81 @@
+// Package ctxfirst exercises CtxFirstAnalyzer: context parameter
+// position, the banned Interrupt callback field, and error wrapping in
+// cancellation paths.
+package ctxfirst
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+func Bad(name string, ctx context.Context) error { // want `context.Context must be the first parameter`
+	_, _ = name, ctx
+	return nil
+}
+
+func Good(ctx context.Context, name string) error {
+	_, _ = ctx, name
+	return nil
+}
+
+var _ = func(n int, ctx context.Context) { _, _ = n, ctx } // want `context.Context must be the first parameter`
+
+type badOpts struct {
+	Interrupt func() bool // want `Interrupt func\(\) bool field`
+}
+
+type goodOpts struct {
+	// A differently-shaped callback is not the banned legacy API.
+	Notify func()
+}
+
+func CancelBadNew(ctx context.Context) error {
+	if ctx.Err() != nil {
+		return errors.New("canceled") // want `errors.New in a cancellation path`
+	}
+	return nil
+}
+
+func CancelBadErrorf(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("canceled at step %d", 3) // want `fmt.Errorf without %w in a cancellation path`
+	}
+	return nil
+}
+
+func CancelGood(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("canceled at step %d: %w", 3, err)
+	}
+	return nil
+}
+
+func SelectBad(ctx context.Context, ch chan int) error {
+	select {
+	case <-ctx.Done():
+		return errors.New("gave up") // want `errors.New in a cancellation path`
+	case v := <-ch:
+		_ = v
+	}
+	return nil
+}
+
+func SelectGood(ctx context.Context, ch chan int) error {
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("waiting for shard: %w", ctx.Err())
+	case v := <-ch:
+		_ = v
+	}
+	return nil
+}
+
+// ErrorsNewOutsideCancelPath is fine: the rule only bites where ctx.Err()
+// is being discarded.
+func ErrorsNewOutsideCancelPath(bad bool) error {
+	if bad {
+		return errors.New("bad input")
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+// Package determinism exercises DeterminismAnalyzer: canonical roots, the
+// package-local call closure, the sanctioned key-collection loop, and the
+// //mpde:nondet-ok suppression.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+//mpde:canonical
+func EncodeBad(m map[string]int) string {
+	out := ""
+	for k, v := range m { // want `unordered map iteration`
+		out += fmt.Sprintf("%s=%d;", k, v)
+	}
+	return out
+}
+
+//mpde:canonical
+func EncodeGood(m map[string]int) string {
+	var keys []string
+	for k := range m { // key-collection loop feeding a sort: allowed
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%d;", k, m[k])
+	}
+	return out
+}
+
+//mpde:canonical
+func Stamped() string {
+	return time.Now().String() // want `time\.Now`
+}
+
+//mpde:canonical
+func Aged(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since`
+}
+
+//mpde:canonical
+func Salted() int {
+	return rand.Int() // want `math/rand`
+}
+
+//mpde:canonical
+func PtrFmt(p *int) string {
+	return fmt.Sprintf("%p", p) // want `%p`
+}
+
+//mpde:canonical
+func CallsHelper(m map[string]int) string { return helper(m) }
+
+// helper has no directive of its own but is reached from a canonical root
+// through the static call closure.
+func helper(m map[string]int) string {
+	for k := range m { // want `unordered map iteration`
+		return k
+	}
+	return ""
+}
+
+// notCanonical is outside every canonical call tree: nothing is flagged.
+func notCanonical(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return time.Now().String()
+}
+
+//mpde:canonical
+func SuppressedTimestamp() string {
+	//mpde:nondet-ok the header timestamp is excluded from the digest
+	return time.Now().String()
+}

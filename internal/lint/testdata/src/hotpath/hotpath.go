@@ -1,0 +1,93 @@
+// Package hotpath exercises HotpathAnalyzer: each allocating construct,
+// the boxing check, and the //mpde:alloc-ok / //mpde:coldpath statement
+// suppressions.
+package hotpath
+
+//mpde:hotpath
+func BadMake(n int) []float64 {
+	buf := make([]float64, n) // want `make in hot path`
+	return buf
+}
+
+//mpde:hotpath
+func BadAppend(xs []float64, x float64) []float64 {
+	return append(xs, x) // want `append in hot path`
+}
+
+//mpde:hotpath
+func BadMapWrite(m map[string]int) {
+	m["k"] = 1 // want `map write in hot path`
+}
+
+//mpde:hotpath
+func BadDelete(m map[string]int) {
+	delete(m, "k") // want `map delete in hot path`
+}
+
+//mpde:hotpath
+func BadClosure(xs []float64) func() float64 {
+	return func() float64 { return xs[0] } // want `function literal in hot path`
+}
+
+//mpde:hotpath
+func BadGo(ch chan int) {
+	go drain(ch) // want `go statement`
+}
+
+func drain(ch chan int) { <-ch }
+
+//mpde:hotpath
+func BadBoxing(x float64) {
+	sink(x) // want `boxing float64 into interface`
+}
+
+func sink(v any) { _ = v }
+
+//mpde:hotpath
+func BadVariadicBoxing(n int) {
+	record("iter", n) // want `boxing int into interface`
+}
+
+func record(what string, args ...any) { _, _ = what, args }
+
+//mpde:hotpath
+func BadSliceLit() []int {
+	return []int{1, 2, 3} // want `slice literal allocates`
+}
+
+type point struct{ x, y int }
+
+//mpde:hotpath
+func BadAddrLit() *point {
+	return &point{1, 2} // want `&composite literal allocates`
+}
+
+// GoodKernel is the shape the directive is for: index arithmetic over
+// preallocated buffers, nothing else.
+//
+//mpde:hotpath
+func GoodKernel(dst, src []float64, scale float64) {
+	for i := range src {
+		dst[i] = src[i] * scale
+	}
+}
+
+//mpde:hotpath
+func SetupSuppressed(n int) []float64 {
+	buf := make([]float64, n) //mpde:alloc-ok one-time setup before the loop
+	for i := range buf {
+		buf[i] = 1
+	}
+	return buf
+}
+
+//mpde:hotpath
+func TraceSuppressed(trace bool, log []string) []string {
+	if trace { //mpde:coldpath tracing is off in production hot loops
+		log = append(log, "iter")
+	}
+	return log
+}
+
+// unmarked functions allocate freely: the contract is opt-in.
+func unmarked(n int) []float64 { return make([]float64, n) }

@@ -1,0 +1,126 @@
+// Package locksafe exercises LockSafeAnalyzer: blocking operations under
+// held mutexes, the branch-copy release model, non-blocking selects, and
+// the //mpde:locksafe-ignore suppression.
+package locksafe
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type queue struct {
+	mu     sync.Mutex
+	items  []int
+	notify chan struct{}
+}
+
+func (q *queue) BadSend() {
+	q.mu.Lock()
+	q.notify <- struct{}{} // want `channel send while holding q.mu`
+	q.mu.Unlock()
+}
+
+func (q *queue) GoodSendAfterUnlock() {
+	q.mu.Lock()
+	q.items = append(q.items, 1)
+	q.mu.Unlock()
+	q.notify <- struct{}{}
+}
+
+func (q *queue) BadRecv() {
+	q.mu.Lock()
+	<-q.notify // want `channel receive while holding q.mu`
+	q.mu.Unlock()
+}
+
+func (q *queue) BadSleep() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding q.mu`
+}
+
+func (q *queue) BadHTTP(c *http.Client, req *http.Request) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	_, err := c.Do(req) // want `HTTP round trip while holding q.mu`
+	return err
+}
+
+func (q *queue) BadWait(wg *sync.WaitGroup) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	wg.Wait() // want `WaitGroup.Wait while holding q.mu`
+}
+
+func (q *queue) BadSelect() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select { // want `blocking select while holding q.mu`
+	case <-q.notify:
+	case <-time.After(time.Second):
+	}
+}
+
+// GoodNonBlockingSelect is the sanctioned notify shape: a select with a
+// default never parks the goroutine.
+func (q *queue) GoodNonBlockingSelect() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// GoodUnlockInBranch: the early-exit branch releases and returns; the
+// fallthrough path is still correctly treated as locked until its own
+// Unlock, and the send after that is fine.
+func (q *queue) GoodUnlockInBranch(bad bool) {
+	q.mu.Lock()
+	if bad {
+		q.mu.Unlock()
+		return
+	}
+	q.items = append(q.items, 1)
+	q.mu.Unlock()
+	q.notify <- struct{}{}
+}
+
+func (q *queue) StillLockedAfterBranch(flush bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if flush {
+		q.items = q.items[:0]
+	}
+	q.notify <- struct{}{} // want `channel send while holding q.mu`
+}
+
+func (q *queue) SuppressedWait(wg *sync.WaitGroup) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	//mpde:locksafe-ignore the group is always drained before Lock is taken
+	wg.Wait()
+}
+
+// GoroutineBodyIsIndependent: the literal runs later on its own stack; it
+// does not inherit the caller's lock, and its own lock use is scanned
+// separately.
+func (q *queue) GoroutineBodyIsIndependent() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	go func() {
+		q.notify <- struct{}{}
+	}()
+}
+
+type registry struct {
+	mu sync.RWMutex
+	ch chan int
+}
+
+func (r *registry) BadRLocked() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return <-r.ch // want `channel receive while holding r.mu`
+}

@@ -1,0 +1,29 @@
+// Package statsparity exercises StatsParityAnalyzer with a local Stats
+// type (the test overrides StatsParityTypes to point here): aliased,
+// substring-matched, Duration-rewritten, allowlisted, and orphaned fields.
+package statsparity // want `stats field Stats.Orphan has no mpde_\* metrics series`
+
+import "time"
+
+type Stats struct {
+	// Iterations is satisfied through the newton_iters alias.
+	Iterations int
+	// Halvings is satisfied because "halvings" is a substring of the
+	// damping_halvings series name.
+	Halvings int
+	// Orphan has no series and no allowlist entry: the one diagnostic.
+	Orphan int
+	// Residual is covered by the default allowlist.
+	Residual float64
+	// AssemblyTime is satisfied via the _time→_seconds rewrite.
+	AssemblyTime time.Duration
+	// Converged is not numeric and is ignored entirely.
+	Converged bool
+}
+
+// seriesNames stands in for the server's metrics snapshot table.
+var seriesNames = []string{
+	"mpde_solver_newton_iters_total",
+	"mpde_solver_damping_halvings_total",
+	"mpde_solver_assembly_seconds_total",
+}

@@ -267,6 +267,8 @@ func stripLine(line string) (raw, body string) {
 // lexing, two decks with equal canonical forms are guaranteed to parse
 // identically, which is what lets a server key result caches on the
 // canonical bytes.
+//
+//mpde:canonical
 func Canonical(deck string) string {
 	var b strings.Builder
 	sc := bufio.NewScanner(strings.NewReader(deck))

@@ -171,6 +171,8 @@ func Detach(ctx context.Context) context.Context {
 
 // Enabled reports whether a recorder is active in ctx. Use it to skip
 // preparing span names or attribute values that themselves cost allocation.
+//
+//mpde:hotpath
 func Enabled(ctx context.Context) bool {
 	s, _ := ctx.Value(spanKey{}).(*Span)
 	return s != nil
@@ -182,12 +184,15 @@ func Enabled(ctx context.Context) bool {
 // hot paths should pass none and use the setters behind a nil check instead
 // (a non-empty variadic slice is materialised before the disabled path can
 // reject it).
+//
+//mpde:hotpath
 func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
 	parent, _ := ctx.Value(spanKey{}).(*Span)
 	if parent == nil {
 		return ctx, nil
 	}
 	rec := parent.rec
+	//mpde:coldpath span construction only runs when tracing is enabled
 	s := &Span{
 		rec:    rec,
 		id:     rec.ids.Add(1),
@@ -195,29 +200,35 @@ func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *S
 		name:   name,
 		start:  time.Since(rec.epoch),
 	}
-	if len(attrs) > 0 {
+	if len(attrs) > 0 { //mpde:coldpath attrs only accumulate when tracing is enabled
 		s.attrs = append(s.attrs, attrs...)
 	}
 	return context.WithValue(ctx, spanKey{}, s), s
 }
 
 // SetStr attaches a string attribute. No-op on a nil span.
+//
+//mpde:hotpath
 func (s *Span) SetStr(key, v string) {
-	if s != nil {
+	if s != nil { //mpde:coldpath attrs only accumulate when tracing is enabled
 		s.attrs = append(s.attrs, Str(key, v))
 	}
 }
 
 // SetInt attaches an integer attribute. No-op on a nil span.
+//
+//mpde:hotpath
 func (s *Span) SetInt(key string, v int64) {
-	if s != nil {
+	if s != nil { //mpde:coldpath attrs only accumulate when tracing is enabled
 		s.attrs = append(s.attrs, Int(key, v))
 	}
 }
 
 // SetFloat attaches a float attribute. No-op on a nil span.
+//
+//mpde:hotpath
 func (s *Span) SetFloat(key string, v float64) {
-	if s != nil {
+	if s != nil { //mpde:coldpath attrs only accumulate when tracing is enabled
 		s.attrs = append(s.attrs, Float(key, v))
 	}
 }
@@ -232,6 +243,8 @@ func (s *Span) SetData(v any) {
 
 // End finishes the span and records it. No-op on a nil span. End must be
 // called at most once; a span is not reusable afterwards.
+//
+//mpde:hotpath
 func (s *Span) End() {
 	if s == nil {
 		return
@@ -244,7 +257,7 @@ func (s *Span) End() {
 		Duration: time.Since(s.rec.epoch) - s.start,
 		Data:     s.data,
 	}
-	if len(s.attrs) > 0 {
+	if len(s.attrs) > 0 { //mpde:coldpath attr map is built only when tracing attached attrs
 		m := make(map[string]any, len(s.attrs))
 		for _, a := range s.attrs {
 			m[a.Key] = a.value()

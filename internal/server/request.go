@@ -144,7 +144,12 @@ func analysisToJobSpec(method string, n1, n2 int) sweep.JobSpec {
 }
 
 // resolveRequest validates a request against its deck and produces the
-// run-ready spec plus its content-addressed identity.
+// run-ready spec plus its content-addressed identity. Everything on the
+// path from request fields to the wire key must be deterministic — a
+// scheduling- or iteration-order dependence here would split the cache
+// identity of identical requests across nodes.
+//
+//mpde:canonical
 func resolveRequest(req *Request, sweepWorkers int) (*runSpec, error) {
 	if strings.TrimSpace(req.Deck) == "" {
 		return nil, badRequestf("deck is required")

@@ -383,10 +383,12 @@ func Solve(ctx context.Context, sys System, x []float64, opt Options) (Stats, er
 
 // solve is the Newton loop proper; trace turns the per-iteration convergence
 // records on (the caller owns the enclosing span).
+//
+//mpde:hotpath
 func solve(ctx context.Context, sys System, x []float64, opt Options, trace bool) (Stats, error) {
 	opt.Fill()
 	n := sys.Size()
-	if len(x) != n {
+	if len(x) != n { //mpde:coldpath size mismatch rejects the solve up front
 		return Stats{}, fmt.Errorf("solver: initial guess size %d, want %d", len(x), n)
 	}
 	var mfs MatrixFreeSystem
@@ -399,12 +401,13 @@ func solve(ctx context.Context, sys System, x []float64, opt Options, trace bool
 	interrupt := interruptShim(ctx)
 	var st Stats
 	var gmres la.GMRESSolver
-	dx := make([]float64, n)
-	xTrial := make([]float64, n)
-	neg := make([]float64, n)
-	r := make([]float64, n)
-	rNew := make([]float64, n)
+	dx := make([]float64, n)     //mpde:alloc-ok per-solve setup, before the loop
+	xTrial := make([]float64, n) //mpde:alloc-ok per-solve setup, before the loop
+	neg := make([]float64, n)    //mpde:alloc-ok per-solve setup, before the loop
+	r := make([]float64, n)      //mpde:alloc-ok per-solve setup, before the loop
+	rNew := make([]float64, n)   //mpde:alloc-ok per-solve setup, before the loop
 
+	//mpde:alloc-ok one closure per solve, shared by every iteration
 	evalInto := func(xx, dst []float64, jac bool) (*la.CSR, error) {
 		t0 := time.Now()
 		rr, j, err := sys.Eval(xx, jac)
@@ -429,15 +432,17 @@ func solve(ctx context.Context, sys System, x []float64, opt Options, trace bool
 	rNorm, residCap := math.NaN(), 0.0
 
 	var direct directFactor
-	var j *la.CSR      // current (possibly stale) Jacobian, GMRES operator
-	var op la.Operator // matrix-free Jacobian operator at the refresh point
+	var j *la.CSR       // current (possibly stale) Jacobian, GMRES operator
+	var op la.Operator  // matrix-free Jacobian operator at the refresh point
+	var cop la.Operator // op wrapped with the OperatorApplies counter; boxed
+	// once per Jacobian refresh rather than re-boxed every iteration
 	var prec la.Preconditioner
 	// itBase snapshots the cumulative counters at the top of each iteration
 	// so trace records carry per-iteration deltas.
 	var itBase Stats
 	jacAge := -1 // -1: no Jacobian factored yet
 	for it := 0; it < opt.MaxIter; it++ {
-		if interrupt != nil && interrupt() {
+		if interrupt != nil && interrupt() { //mpde:coldpath cancellation exits the solve
 			return st, fmt.Errorf("%w after %d iterations: %w", ErrInterrupted, st.Iterations, ctx.Err())
 		}
 		if trace {
@@ -459,6 +464,7 @@ func solve(ctx context.Context, sys System, x []float64, opt Options, trace bool
 				st.JacobianEvals++
 				copy(r, rr)
 				op = oo
+				cop = countingOp{op, &st.OperatorApplies} //mpde:alloc-ok boxed once per refresh
 				t0 = time.Now()
 				if p, perr := mfs.BuildPreconditioner(); perr == nil {
 					prec = p
@@ -488,6 +494,7 @@ func solve(ctx context.Context, sys System, x []float64, opt Options, trace bool
 				default:
 					if err := direct.factor(j, &st, opt); err != nil {
 						st.FactorTime += time.Since(t0)
+						//mpde:coldpath a failed factorisation aborts the solve
 						return st, fmt.Errorf("solver: Jacobian factorisation failed at iter %d: %w", it, err)
 					}
 				}
@@ -509,7 +516,7 @@ func solve(ctx context.Context, sys System, x []float64, opt Options, trace bool
 		switch opt.Linear {
 		case MatrixFree:
 			la.Fill(dx, 0)
-			res, gerr := gmres.Solve(countingOp{op, &st.OperatorApplies}, neg, dx, la.GMRESOptions{
+			res, gerr := gmres.Solve(cop, neg, dx, la.GMRESOptions{
 				Tol: opt.GMRESTol, MaxIter: opt.GMRESIter, M: prec})
 			st.LinearIters += res.Iterations
 			if gerr != nil {
@@ -584,7 +591,7 @@ func solve(ctx context.Context, sys System, x []float64, opt Options, trace bool
 			st.Halvings++
 		}
 		if !accepted {
-			if trace {
+			if trace { //mpde:coldpath trace records accumulate only under tracing
 				st.Trace = append(st.Trace, iterRecord(&st, &itBase, it, nrm, alpha, false))
 			}
 			jacAge = opt.JacobianRefresh // force refresh next iteration
@@ -601,7 +608,7 @@ func solve(ctx context.Context, sys System, x []float64, opt Options, trace bool
 		}
 		st.StepNorm = la.WeightedMaxNorm(xTrial, x, opt.AbsTol, opt.RelTol)
 		st.Residual = rNorm
-		if trace {
+		if trace { //mpde:coldpath trace records accumulate only under tracing
 			rec := iterRecord(&st, &itBase, it, nrm, alpha, true)
 			rec.StepNorm = finiteOr(st.StepNorm, -1)
 			st.Trace = append(st.Trace, rec)
@@ -628,6 +635,7 @@ func solve(ctx context.Context, sys System, x []float64, opt Options, trace bool
 		}
 	}
 	st.Residual = rNorm
+	//mpde:coldpath non-convergence is the failure exit
 	return st, fmt.Errorf("%w after %d iterations (residual %.3e, step %.3e)",
 		ErrNewton, st.Iterations, st.Residual, st.StepNorm)
 }

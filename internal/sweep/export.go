@@ -26,6 +26,8 @@ var csvHeader = []string{
 // WriteCSV writes one row per job. With timing=false the output depends
 // only on the Spec and the solved numbers — never on scheduling — so two
 // runs of the same sweep at different worker counts are byte-identical.
+//
+//mpde:canonical
 func (r *Result) WriteCSV(w io.Writer, timing bool) error {
 	cw := csv.NewWriter(w)
 	header := csvHeader
@@ -113,6 +115,8 @@ func fmtE(v float64) string { return strconv.FormatFloat(v, 'e', 9, 64) }
 // out job by job instead of buffering the whole payload. The bytes are
 // exactly what a json.Encoder with two-space indentation produces for the
 // equivalent Result value.
+//
+//mpde:canonical
 func (r *Result) WriteJSON(w io.Writer, timing bool) error {
 	bw := bufio.NewWriter(w)
 	name, err := json.Marshal(r.Name)

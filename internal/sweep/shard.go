@@ -128,6 +128,8 @@ func subsetJobs(jobs []Job, subset []int) ([]Job, error) {
 // canonical encodings of the result (see analysis.EncodeParams), which the
 // dispatch plane digests to detect coordinator/worker version skew before
 // a shard runs.
+//
+//mpde:canonical
 func (s *Spec) CanonicalJobParams(job Job) (any, error) {
 	if s.Build == nil {
 		return nil, errors.New("sweep: Spec.Build is required")
