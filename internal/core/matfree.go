@@ -79,6 +79,7 @@ func (s *mfSystem) Linearize(x []float64) ([]float64, la.Operator, error) {
 // so the parallel fan-out is race-free and byte-deterministic.
 //
 //mpde:hotpath
+//mpde:deterministic-parallel
 func (s *mfSystem) Apply(v, y []float64) {
 	a := s.asm
 	n, N1 := a.n, a.N1

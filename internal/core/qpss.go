@@ -405,6 +405,8 @@ func (a *assembler) assembleCtx(xx []float64, baseCtx device.EvalCtx, jac bool) 
 // pattern. The matrix-free path uses it directly: residual-only for damping
 // trials, jac=true for the exact Jacobian-vector product and the line
 // preconditioner's local blocks.
+//
+//mpde:deterministic-parallel
 func (a *assembler) evalGrid(xx []float64, baseCtx device.EvalCtx, jac bool) {
 	n, N1, N2 := a.n, a.N1, a.N2
 	sh := a.opt.Shear
@@ -454,6 +456,8 @@ func (a *assembler) evalGrid(xx []float64, baseCtx device.EvalCtx, jac bool) {
 
 // stampAll zeroes and restamps every Jacobian block row across the worker
 // pool; false reports a pattern miss.
+//
+//mpde:deterministic-parallel
 func (a *assembler) stampAll() bool {
 	n := a.n
 	var missed atomic.Bool

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"regexp"
 	"sync"
 	"sync/atomic"
@@ -54,6 +56,8 @@ type Stats struct {
 	// the shards served from the shared cache without queueing.
 	ShardsDispatched int64
 	ShardCacheHits   int64
+	// Recovered counts journalled shards re-enqueued at boot (Recover).
+	Recovered int64
 }
 
 // Coordinator owns the shard queue, the worker registry, and the
@@ -71,6 +75,11 @@ type Coordinator struct {
 
 	shardsDispatched atomic.Int64
 	shardCacheHits   atomic.Int64
+	recovered        atomic.Int64
+
+	// recoveryWG tracks the drain goroutines Recover spawns, one per
+	// re-enqueued shard; Close waits for them after closing the queue.
+	recoveryWG sync.WaitGroup
 }
 
 // NewCoordinator builds the dispatch plane.
@@ -104,11 +113,84 @@ func NewCoordinator(opt CoordinatorOptions) *Coordinator {
 	}
 }
 
-// Close shuts the shard queue down.
+// Close shuts the shard queue down and waits for any recovery drains;
+// Queue.Close delivers a terminal outcome on every outstanding handle, so
+// the wait is bounded.
 func (c *Coordinator) Close() {
 	if c != nil {
 		c.queue.Close()
+		c.recoveryWG.Wait()
 	}
+}
+
+// Recover re-enqueues the journalled shards a previous coordinator process
+// left behind in JournalDir and returns how many it queued. The original
+// enqueuers died with the old process, so nobody is waiting on these
+// handles; Recover parks one drain goroutine per shard that waits for the
+// terminal outcome and writes successful payloads into the shared cache —
+// the re-submitted request that follows a crash then hits the shard cache
+// instead of recomputing. Each old journal file is removed once its shard
+// is re-enqueued — unless the fresh enqueue was assigned the same task ID
+// (a fresh queue numbers from t000001, just like the dead one), in which
+// case journalWrite already replaced the file in place and removing it
+// would destroy the new task's crash record.
+func (c *Coordinator) Recover() (int, error) {
+	if c == nil || c.opt.JournalDir == "" {
+		return 0, nil
+	}
+	tasks, err := RecoverPending(c.opt.JournalDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	n := 0
+	for _, t := range tasks {
+		if t.Env == nil || t.Env.Req == nil {
+			c.opt.Logf("dispatch: recover: journal %s has no envelope; leaving it for inspection", t.ID)
+			continue
+		}
+		h, err := c.queue.Enqueue(t.Group, t.Env)
+		if err != nil {
+			return n, fmt.Errorf("dispatch: recover %s: %w", t.ID, err)
+		}
+		if h.ID != t.ID {
+			if err := os.Remove(filepath.Join(c.opt.JournalDir, t.ID+".json")); err != nil && !os.IsNotExist(err) {
+				c.opt.Logf("dispatch: recover: remove old journal %s: %v", t.ID, err)
+			}
+		}
+		n++
+		c.recovered.Add(1)
+		c.shardsDispatched.Add(1)
+		env := t.Env
+		c.recoveryWG.Add(1)
+		go func() {
+			defer c.recoveryWG.Done()
+			out := <-h.Done
+			if len(out.Payload) == 0 || out.Err != "" {
+				return
+			}
+			cacheable := c.opt.Cache != nil && env.Req.JobTimeoutMS == 0
+			if !cacheable {
+				return
+			}
+			sr, err := DecodeShardResult(out.Payload)
+			if err != nil || !shardCovers(sr.Jobs, env.JobIDs) {
+				return
+			}
+			key, err := env.Key()
+			if err != nil {
+				return
+			}
+			c.opt.Cache.Put(key, out.Payload)
+			c.opt.Logf("dispatch: recovered shard %d/%d of %s cached", env.Shard, env.Shards, env.JobID)
+		}()
+	}
+	if n > 0 {
+		c.opt.Logf("dispatch: recovered %d journalled shard(s) from %s", n, c.opt.JournalDir)
+	}
+	return n, nil
 }
 
 // Stats snapshots queue and worker-registry state.
@@ -121,6 +203,7 @@ func (c *Coordinator) Stats() Stats {
 		Workers:          int64(c.workerCount()),
 		ShardsDispatched: c.shardsDispatched.Load(),
 		ShardCacheHits:   c.shardCacheHits.Load(),
+		Recovered:        c.recovered.Load(),
 	}
 }
 

@@ -471,10 +471,9 @@ func (q *Queue) journalRemove(t Task) {
 }
 
 // RecoverPending reads the journalled tasks a previous process left
-// behind. The coordinator does not auto-requeue them — their enqueuers
-// died with the process, and a re-submitted request rebuilds identical
-// shards through the shard cache anyway — but operators (and tests) can
-// inspect or re-enqueue them explicitly.
+// behind. Coordinator.Recover calls it at boot to re-enqueue them (the
+// server does so automatically when started with a spool directory);
+// operators and tests can also inspect or re-enqueue them explicitly.
 func RecoverPending(dir string) ([]Task, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {

@@ -39,7 +39,11 @@ import (
 
 // WireVersion is the dispatch wire-format version. A node bumps it when
 // the encodings below change incompatibly; mixed-version pairs fail fast
-// at decode time.
+// at decode time. Bumping it also licenses `go generate` to rewrite
+// wire.lock from scratch — without a bump the lock is append-only and
+// mpdewirelock reports any mutation of a locked field.
+//
+//go:generate go run ./gen
 const WireVersion = 1
 
 // NewtonWire is the serialisable subset of solver.Options: the scalar

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/obs"
 	"repro/internal/solver"
 	"repro/internal/sweep"
 )
@@ -223,6 +224,50 @@ func TestShardEnvelopeKeyProperties(t *testing.T) {
 	if k1[:2] != "s:" {
 		t.Fatalf("shard keys must be namespaced apart from request keys: %s", k1)
 	}
+}
+
+// FuzzDecodeShardResult hardens the coordinator-facing decoder — the one
+// fed by worker-controlled result payloads: arbitrary bytes must never
+// panic, and an accepted result must re-encode and re-decode cleanly, span
+// retyping included.
+func FuzzDecodeShardResult(f *testing.F) {
+	sr := &ShardResult{
+		V: WireVersion,
+		Jobs: []sweep.JobResult{
+			{Job: sweep.Job{ID: 0, Method: "qpss"}, Status: sweep.StatusOK, NewtonIters: 7},
+			{Job: sweep.Job{ID: 1, Method: "qpss"}, Status: sweep.StatusFailed, Err: "diverged"},
+		},
+		Spans: []obs.SpanRecord{
+			{Name: "sweep.job", Data: []solver.IterTrace{{Iter: 1, Residual: 1e-3}}},
+		},
+		DroppedSpans: 2,
+	}
+	seed, err := sr.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"v":1,"jobs":[]}`))
+	f.Add([]byte(`{"v":2,"jobs":[]}`))
+	f.Add([]byte(`{"v":1,"jobs":[{"job":{"id":0,"method":"qpss"},"status":"ok"}],"cached":true}`))
+	f.Add([]byte(`{"v":1,"spans":[{"name":"x","data":{"not":"a trace"}}]}`))
+	f.Add([]byte(`{"v":1,"spans":[{"name":"x","data":[{"iter":1,"residual":"NaN"}]}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add(seed[:len(seed)/2])
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		r, err := DecodeShardResult(raw)
+		if err != nil {
+			return
+		}
+		enc, err := r.Encode()
+		if err != nil {
+			t.Fatalf("accepted shard result failed to re-encode: %v", err)
+		}
+		if _, err := DecodeShardResult(enc); err != nil {
+			t.Fatalf("re-encoded shard result failed to re-decode: %v\n%s", err, enc)
+		}
+	})
 }
 
 // FuzzDecodeShardEnvelope hardens the worker-facing decoder: arbitrary

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// FloatDetAnalyzer (mpdefloatdet) makes the GOMAXPROCS-byte-identity tests
+// static: a function tagged //mpde:deterministic-parallel promises that its
+// result bytes do not depend on worker count or scheduling. Inside such a
+// function, every worker closure — a function literal spawned with `go` or
+// handed to a pool primitive as a call argument — may write only to
+// index-disjoint slice slots of captured state:
+//
+//	out[i] = solve(i)        // fine: slot i is this worker's own
+//	sum += solve(i)          // error: float addition order is schedule-dependent
+//	seen[key] = true         // error: captured map write races the schedule
+//	s.total = x              // error: shared field store
+//
+// Atomic counters and mutex-guarded bookkeeping that feed *reporting* are
+// method calls, not assignments, and pass untouched. A genuinely
+// deterministic exception (leader-only writes, dedup-guarded seeding) opts
+// out with //mpde:floatdet-ok <why>.
+var FloatDetAnalyzer = &analysis.Analyzer{
+	Name: "mpdefloatdet",
+	Doc: "restrict //mpde:deterministic-parallel worker closures to index-disjoint slice writes\n\n" +
+		"Shared accumulators (+=), captured scalar/field stores and captured map writes\n" +
+		"inside pool worker closures make results depend on scheduling; only per-index\n" +
+		"slice slot stores are order-independent.",
+	Run: runFloatDet,
+}
+
+func runFloatDet(pass *analysis.Pass) (any, error) {
+	sup := collectSuppressions(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !funcDirective(fn, "deterministic-parallel") {
+				continue
+			}
+			checkDeterministicParallel(pass, sup, fn)
+		}
+	}
+	return nil, nil
+}
+
+func checkDeterministicParallel(pass *analysis.Pass, sup *suppressions, fn *ast.FuncDecl) {
+	for _, lit := range workerClosures(fn.Body) {
+		checkWorkerClosure(pass, sup, lit)
+	}
+}
+
+// workerClosures finds every function literal that runs concurrently with
+// the tagged function's own flow: the callee of a `go` statement, or an
+// argument to a call (the pool-primitive shape: parallel(n, fn)).
+func workerClosures(body *ast.BlockStmt) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	seen := map[*ast.FuncLit]bool{}
+	add := func(e ast.Expr) {
+		if lit, ok := ast.Unparen(e).(*ast.FuncLit); ok && !seen[lit] {
+			seen[lit] = true
+			out = append(out, lit)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			add(n.Call.Fun)
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				add(arg)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkWorkerClosure(pass *analysis.Pass, sup *suppressions, lit *ast.FuncLit) {
+	captured := func(id *ast.Ident) bool {
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		if obj == nil || obj.Pos() == token.NoPos {
+			return false
+		}
+		return obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()
+	}
+	walkSkipping(lit.Body, sup, []string{"floatdet-ok"}, true, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				checkWorkerStore(pass, l, n.Tok, captured)
+			}
+		case *ast.IncDecStmt:
+			checkWorkerStore(pass, n.X, n.Tok, captured)
+		}
+		return true
+	})
+}
+
+// checkWorkerStore classifies one lvalue written inside a worker closure.
+func checkWorkerStore(pass *analysis.Pass, lhs ast.Expr, tok token.Token, captured func(*ast.Ident) bool) {
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	root := lvalueRoot(lhs)
+	if root == nil || !captured(root) {
+		return // writes to worker-local state are free
+	}
+	switch l := lhs.(type) {
+	case *ast.IndexExpr:
+		baseT, ok := pass.TypesInfo.Types[l.X]
+		if !ok {
+			return
+		}
+		switch baseT.Type.Underlying().(type) {
+		case *types.Map:
+			pass.Reportf(lhs.Pos(), "deterministic-parallel: worker closure writes captured map %q; map stores from pool workers are scheduling-dependent (stage per-worker results in index-disjoint slots and merge sequentially, or justify with //mpde:floatdet-ok)", root.Name)
+			return
+		}
+		if tok != token.ASSIGN {
+			pass.Reportf(lhs.Pos(), "deterministic-parallel: worker closure accumulates into %q with %s; read-modify-write of shared slots is order-dependent — store into this worker's own slot and reduce sequentially after the join", root.Name, tok)
+		}
+		// Plain `=` into an index-disjoint slice slot: the tagged function's
+		// contract — allowed.
+	default:
+		pass.Reportf(lhs.Pos(), "deterministic-parallel: worker closure writes captured %q (%s); only index-disjoint slice slots may be written from pool workers — accumulate per-worker and merge after the join, or justify with //mpde:floatdet-ok", root.Name, tok)
+	}
+}
+
+// lvalueRoot unwraps an lvalue to its root identifier: a.q[i] → a,
+// (*p).x → p, out[i][j] → out.
+func lvalueRoot(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// GoroLeakScope lists the package paths (prefix match) where fire-and-forget
+// goroutines are banned: the serving path, where a leaked goroutine out-
+// lives its request and accumulates. "testdata" admits the fixture package.
+var GoroLeakScope = []string{
+	"repro/internal/dispatch",
+	"repro/internal/server",
+	"repro/internal/sweep",
+	"testdata",
+}
+
+// GoroLeakAnalyzer (mpdegoroleak) requires every `go` statement in the
+// serving path to carry a termination witness — syntactic evidence the
+// goroutine stops:
+//
+//   - it receives from a context's Done() channel (<-ctx.Done(), typically
+//     a select arm);
+//   - it calls (*sync.WaitGroup).Done, almost always deferred;
+//   - it closes a channel (close-on-return completion signalling);
+//   - it ranges over a channel (terminates when the sender closes it).
+//
+// A `go` of a named function or method is resolved one hop: if the callee
+// is declared in the same package its body is searched for the witness.
+// Witnesses inside nested `go` statements do not count — they stop the
+// nested goroutine, not this one. Statements opt out with
+// //mpde:goroleak-ok <why>.
+var GoroLeakAnalyzer = &analysis.Analyzer{
+	Name: "mpdegoroleak",
+	Doc: "require a termination witness on every goroutine in the serving path\n\n" +
+		"Every `go` statement in internal/{dispatch,server,sweep} must provably stop:\n" +
+		"a <-ctx.Done() receive, a WaitGroup.Done, a close()d channel, or a range\n" +
+		"over a channel. Fire-and-forget goroutines leak under load.",
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path(), GoroLeakScope) {
+		return nil, nil
+	}
+	sup := collectSuppressions(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if sup.at(gs.Pos(), "goroleak-ok") {
+				return true
+			}
+			if !goStmtHasWitness(pass, gs) {
+				pass.Reportf(gs.Pos(), "goroutine has no termination witness (<-ctx.Done() arm, WaitGroup.Done, close-on-return channel, or range over a channel); a serving-path goroutine must provably stop, or carry //mpde:goroleak-ok <why>")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func inScope(pkgPath string, scope []string) bool {
+	for _, s := range scope {
+		if pkgPath == s || strings.HasPrefix(pkgPath, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// goStmtHasWitness looks for a termination witness in the spawned body: the
+// function literal's body, or — for a named callee declared in this
+// package — that declaration's body (one hop).
+func goStmtHasWitness(pass *analysis.Pass, gs *ast.GoStmt) bool {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return bodyHasWitness(pass, lit.Body)
+	}
+	if fn := calleeFunc(pass.TypesInfo, gs.Call); fn != nil {
+		if decl := declOf(pass, fn); decl != nil && decl.Body != nil {
+			return bodyHasWitness(pass, decl.Body)
+		}
+	}
+	// Callee not resolvable in this package (function value, cross-package
+	// call): no witness visible.
+	return false
+}
+
+// declOf finds the FuncDecl of a same-package function.
+func declOf(pass *analysis.Pass, fn *types.Func) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if pass.TypesInfo.Defs[fd.Name] == fn {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// bodyHasWitness scans a goroutine body for any of the four witnesses,
+// skipping nested `go` statements (their witnesses stop them, not us).
+func bodyHasWitness(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false // a nested goroutine's exits are its own
+		case *ast.CallExpr:
+			// close(ch)
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+					found = true
+					return false
+				}
+			}
+			// wg.Done()
+			if fn := calleeFunc(pass.TypesInfo, n); fn != nil && fn.FullName() == "(*sync.WaitGroup).Done" {
+				found = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			// <-ctx.Done() (any method named Done returning a channel)
+			if n.Op == token.ARROW {
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+						if _, isChan := pass.TypesInfo.Types[n.X].Type.Underlying().(*types.Chan); isChan {
+							found = true
+							return false
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			// for range ch — terminates when the channel is closed.
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

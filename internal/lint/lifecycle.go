@@ -1,0 +1,510 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// LifecycleAnalyzer (mpdelifecycle) is the dataflow tier's resource checker:
+// obligations created on one statement must be discharged on every path to a
+// normal function exit. It tracks four obligation kinds, all of which have
+// bitten (or would bite) this repo's serving path:
+//
+//   - obs.Start spans must reach End (a span leak silently truncates traces);
+//   - dispatch Queue.Lease results must reach Complete/Fail or be handed off
+//     (a dropped lease parks a shard until TTL expiry);
+//   - HTTP response bodies must be closed (connection-pool exhaustion);
+//   - time.Tickers must be stopped (goroutine + timer leak).
+//
+// A defer mentioning the obligation discharges it for every path after the
+// defer statement; handing the value off (returning it, passing it to a
+// call, capturing it in a closure, storing it in a structure) transfers the
+// obligation to the new owner and ends local tracking. Error-return paths
+// are understood: on an edge where the creation's companion error is known
+// non-nil, or the obligation variable is known nil, nothing is owed.
+//
+// Test files are exempt (t.Cleanup and test brevity make the patterns too
+// noisy); a statement can opt out with //mpde:lifecycle-ok <why>.
+var LifecycleAnalyzer = &analysis.Analyzer{
+	Name: "mpdelifecycle",
+	Doc: "check that spans, leases, response bodies and tickers are released on all paths\n\n" +
+		"Obligations created by obs.Start, (*dispatch.Queue).Lease, http Do/Get/Post\n" +
+		"and time.NewTicker must reach their release (End, Complete/Fail, Body.Close,\n" +
+		"Stop) or escape to a new owner on every path to a normal return.",
+	Run: runLifecycle,
+}
+
+type obKind int
+
+const (
+	obSpan obKind = iota
+	obLease
+	obBody
+	obTicker
+)
+
+func (k obKind) String() string {
+	switch k {
+	case obSpan:
+		return "span"
+	case obLease:
+		return "lease"
+	case obBody:
+		return "response body"
+	default:
+		return "ticker"
+	}
+}
+
+// release names the call that discharges each obligation kind, for the
+// diagnostic text.
+func (k obKind) release() string {
+	switch k {
+	case obSpan:
+		return "End()"
+	case obLease:
+		return "Complete/Fail (or an explicit handoff)"
+	case obBody:
+		return "Body.Close()"
+	default:
+		return "Stop()"
+	}
+}
+
+// creators maps the static callee (types.Func.FullName) of an obligation-
+// creating call to its kind and which assignment slot holds the obligation.
+var creators = map[string]struct {
+	kind obKind
+	lhs  int
+}{
+	"repro/internal/obs.Start":               {obSpan, 1},
+	"(*repro/internal/dispatch.Queue).Lease": {obLease, 0},
+	"time.NewTicker":                         {obTicker, 0},
+	"(*net/http.Client).Do":                  {obBody, 0},
+	"(*net/http.Client).Get":                 {obBody, 0},
+	"(*net/http.Client).Post":                {obBody, 0},
+	"(*net/http.Client).PostForm":            {obBody, 0},
+	"(*net/http.Client).Head":                {obBody, 0},
+	"net/http.Get":                           {obBody, 0},
+	"net/http.Post":                          {obBody, 0},
+	"net/http.PostForm":                      {obBody, 0},
+	"net/http.Head":                          {obBody, 0},
+}
+
+// obVal is one tracked obligation's per-path state. Facts are
+// map[types.Object]obVal; live=false means discharged/exempt on this path.
+type obVal struct {
+	kind obKind
+	pos  token.Pos
+	err  types.Object // companion error assigned by the creating statement
+	live bool
+}
+
+type obFact = map[types.Object]obVal
+
+func runLifecycle(pass *analysis.Pass) (any, error) {
+	sup := collectSuppressions(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkLifecycleBody(pass, sup, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkLifecycleBody(pass, sup, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkLifecycleBody solves the obligation dataflow over one function body.
+// Nested function literals are opaque here (a mention inside one is a
+// handoff); each literal's own body is checked separately by the caller's
+// traversal.
+func checkLifecycleBody(pass *analysis.Pass, sup *suppressions, body *ast.BlockStmt) {
+	lc := &lifecycleChecker{pass: pass, sup: sup}
+	if !lc.hasCreation(body) {
+		return
+	}
+	cfg := analysis.NewCFG(body)
+	in := cfg.ForwardSolve(analysis.Flow{
+		Bottom: func() any { return obFact{} },
+		Join:   lc.join,
+		Equal:  lc.equal,
+		Transfer: func(s ast.Stmt, fact any) any {
+			return lc.transfer(s, fact.(obFact))
+		},
+		TransferCond: func(cond ast.Expr, neg bool, fact any) any {
+			return lc.refine(cond, neg, fact.(obFact))
+		},
+	})
+	exit, _ := in[cfg.Exit.Index].(obFact)
+	reported := map[token.Pos]bool{}
+	for obj, v := range exit {
+		if !v.live || reported[v.pos] {
+			continue
+		}
+		reported[v.pos] = true
+		pass.Reportf(v.pos, "%s %q is not released on every path to return: missing %s (defer it, or release before each return)",
+			v.kind, obj.Name(), v.kind.release())
+	}
+}
+
+type lifecycleChecker struct {
+	pass *analysis.Pass
+	sup  *suppressions
+}
+
+func (lc *lifecycleChecker) clone(f obFact) obFact {
+	out := make(obFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// hasCreation cheaply pre-screens the body: only the statements of this
+// body proper count (creations inside nested literals are theirs).
+func (lc *lifecycleChecker) hasCreation(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(lc.pass.TypesInfo, call); fn != nil {
+				if _, ok := creators[fn.FullName()]; ok {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (lc *lifecycleChecker) join(a, b any) any {
+	am, bm := a.(obFact), b.(obFact)
+	out := make(obFact, len(am)+len(bm))
+	for k, v := range am {
+		out[k] = v
+	}
+	for k, v := range bm {
+		if prev, ok := out[k]; ok {
+			// Live on any path dominates: a leak on one branch is a leak.
+			prev.live = prev.live || v.live
+			out[k] = prev
+		} else {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func (lc *lifecycleChecker) equal(a, b any) bool {
+	am, bm := a.(obFact), b.(obFact)
+	if len(am) != len(bm) {
+		return false
+	}
+	for k, v := range am {
+		w, ok := bm[k]
+		if !ok || v.live != w.live {
+			return false
+		}
+	}
+	return true
+}
+
+func (lc *lifecycleChecker) transfer(s ast.Stmt, fact obFact) obFact {
+	// Creation: v, err := creator(...) — start tracking the obligation.
+	if as, ok := s.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			if fn := calleeFunc(lc.pass.TypesInfo, call); fn != nil {
+				if spec, ok := creators[fn.FullName()]; ok {
+					out := lc.clone(fact)
+					// Arguments of the creating call may hand off other
+					// obligations (rare but possible).
+					lc.applyUses(as, out)
+					if spec.lhs < len(as.Lhs) {
+						if id, ok := as.Lhs[spec.lhs].(*ast.Ident); ok && id.Name != "_" {
+							if obj := lc.lhsObject(id); obj != nil && !lc.sup.at(as.Pos(), "lifecycle-ok") {
+								if prev, live := out[obj]; live && prev.live {
+									lc.pass.Reportf(as.Pos(), "%s %q reassigned while the previous one from line %d may still need %s",
+										prev.kind, id.Name, lc.pass.Fset.Position(prev.pos).Line, prev.kind.release())
+								}
+								out[obj] = obVal{kind: spec.kind, pos: as.Pos(), err: lc.companionErr(as, spec.lhs), live: true}
+							}
+						}
+					}
+					return out
+				}
+			}
+		}
+	}
+	if len(fact) == 0 {
+		return fact
+	}
+	// A RangeStmt sits in its loop-head block, but its Body belongs to other
+	// blocks: only the ranged expression is evaluated here.
+	if rs, ok := s.(*ast.RangeStmt); ok {
+		out := fact
+		cloned := false
+		ast.Inspect(rs.X, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := lc.pass.TypesInfo.Uses[id]; obj != nil {
+					if v, tracked := out[obj]; tracked && v.live {
+						if !cloned {
+							out = lc.clone(out)
+							cloned = true
+						}
+						v.live = false
+						out[obj] = v
+					}
+				}
+			}
+			return true
+		})
+		return out
+	}
+	// Defer: a defer whose subtree mentions the obligation discharges it for
+	// everything downstream (the mention is either the release itself or a
+	// closure that performs it; either way the exit is covered from here on).
+	if ds, ok := s.(*ast.DeferStmt); ok {
+		out := fact
+		ast.Inspect(ds, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := lc.pass.TypesInfo.Uses[id]; obj != nil {
+					if v, tracked := out[obj]; tracked && v.live {
+						out = lc.clone(out)
+						v.live = false
+						out[obj] = v
+					}
+				}
+			}
+			return true
+		})
+		return out
+	}
+	out := fact
+	cloned := false
+	mutate := func(obj types.Object, v obVal) {
+		if !cloned {
+			out = lc.clone(out)
+			cloned = true
+		}
+		out[obj] = v
+	}
+	lc.scanUses(s, fact, mutate)
+	return out
+}
+
+// applyUses runs the use scan against a statement during creation handling
+// (the creating call's arguments may mention other tracked obligations).
+func (lc *lifecycleChecker) applyUses(s ast.Stmt, fact obFact) {
+	lc.scanUses(s, fact, func(obj types.Object, v obVal) { fact[obj] = v })
+}
+
+// scanUses classifies every mention of a tracked obligation in s:
+//
+//   - a release call (span.End, ticker.Stop, resp.Body.Close, a
+//     Complete/Fail call naming the lease) discharges it;
+//   - a neutral read (method call on the value, field read) leaves it live;
+//   - anything else — argument, return value, closure capture, store,
+//     channel send — is a handoff and ends tracking.
+func (lc *lifecycleChecker) scanUses(s ast.Stmt, fact obFact, mutate func(types.Object, obVal)) {
+	released := map[*ast.Ident]bool{}
+	neutral := map[*ast.Ident]bool{}
+	tracked := func(id *ast.Ident) (types.Object, obVal, bool) {
+		obj := lc.pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return nil, obVal{}, false
+		}
+		v, ok := fact[obj]
+		return obj, v, ok
+	}
+	// Pass 1: mark releases and neutral reads.
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				// resp.Body.Close()
+				if sel.Sel.Name == "Close" {
+					if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok && inner.Sel.Name == "Body" {
+						if id, ok := ast.Unparen(inner.X).(*ast.Ident); ok {
+							if _, v, ok := tracked(id); ok && v.kind == obBody {
+								released[id] = true
+							}
+						}
+					}
+				}
+				// span.End(), ticker.Stop()
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if _, v, ok := tracked(id); ok {
+						switch {
+						case v.kind == obSpan && sel.Sel.Name == "End",
+							v.kind == obTicker && sel.Sel.Name == "Stop":
+							released[id] = true
+						}
+					}
+				}
+				// q.Complete(task, leaseID, ...) / q.Fail(...): any tracked
+				// lease mentioned in the arguments is settled by it.
+				if sel.Sel.Name == "Complete" || sel.Sel.Name == "Fail" {
+					for _, arg := range n.Args {
+						ast.Inspect(arg, func(an ast.Node) bool {
+							if id, ok := an.(*ast.Ident); ok {
+								if _, v, ok := tracked(id); ok && v.kind == obLease {
+									released[id] = true
+								}
+							}
+							return true
+						})
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			// A field read or method selection keeps the obligation local:
+			// span.SetInt(...), resp.Body handed to a reader, lease.Env.
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				if _, _, ok := tracked(id); ok {
+					neutral[id] = true
+				}
+			}
+		}
+		return true
+	})
+	// Pass 2: every remaining mention is a handoff; releases beat neutral.
+	ast.Inspect(s, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, v, isTracked := tracked(id)
+		if !isTracked || !v.live {
+			return true
+		}
+		if released[id] || !neutral[id] {
+			v.live = false
+			mutate(obj, v)
+		}
+		return true
+	})
+	// A plain reassignment of the variable (not via the creators path, which
+	// is handled in transfer) also ends tracking of the old value.
+	if as, ok := s.(*ast.AssignStmt); ok {
+		for _, l := range as.Lhs {
+			if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+				if obj := lc.pass.TypesInfo.Uses[id]; obj != nil {
+					if v, ok := fact[obj]; ok && v.live {
+						v.live = false
+						mutate(obj, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// refine applies branch knowledge on a conditional edge: when the
+// obligation variable is known nil, or its companion error known non-nil,
+// nothing was acquired on this path.
+func (lc *lifecycleChecker) refine(cond ast.Expr, neg bool, fact obFact) obFact {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return fact
+	}
+	id, isNilCompare := nilComparand(lc.pass.TypesInfo, be)
+	if !isNilCompare {
+		return fact
+	}
+	obj := lc.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return fact
+	}
+	// Polarity: does this edge assert "id is nil" / "id is non-nil"?
+	isNil := (be.Op == token.EQL) != neg
+	out := fact
+	cloned := false
+	for k, v := range fact {
+		exempt := false
+		if k == obj && isNil {
+			exempt = true // the obligation value itself is nil here
+		}
+		if v.err == obj && !isNil {
+			exempt = true // the creating call failed on this path
+		}
+		if exempt && v.live {
+			if !cloned {
+				out = lc.clone(out)
+				cloned = true
+			}
+			v.live = false
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// nilComparand matches `x == nil` / `x != nil` (either operand order) and
+// returns the non-nil side's identifier.
+func nilComparand(info *types.Info, be *ast.BinaryExpr) (*ast.Ident, bool) {
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		_, isNilObj := info.Uses[id].(*types.Nil)
+		return isNilObj
+	}
+	if isNil(be.Y) {
+		if id, ok := ast.Unparen(be.X).(*ast.Ident); ok {
+			return id, true
+		}
+	}
+	if isNil(be.X) {
+		if id, ok := ast.Unparen(be.Y).(*ast.Ident); ok {
+			return id, true
+		}
+	}
+	return nil, false
+}
+
+// companionErr finds the error-typed sibling the creating assignment also
+// binds (v, err := f()), for error-path exemption.
+func (lc *lifecycleChecker) companionErr(as *ast.AssignStmt, skip int) types.Object {
+	for i, l := range as.Lhs {
+		if i == skip {
+			continue
+		}
+		id, ok := l.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := lc.lhsObject(id)
+		if obj == nil {
+			continue
+		}
+		if types.Identical(obj.Type(), types.Universe.Lookup("error").Type()) {
+			return obj
+		}
+	}
+	return nil
+}
+
+// lhsObject resolves an assignment target: a definition for :=, a use for =.
+func (lc *lifecycleChecker) lhsObject(id *ast.Ident) types.Object {
+	if obj := lc.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return lc.pass.TypesInfo.Uses[id]
+}

@@ -1,15 +1,32 @@
-// Package lint is the mpde-vet analyzer suite: five package-local
+// Package lint is the mpde-vet analyzer suite: nine package-local
 // analyzers that turn the repository's runtime-tested invariants into
 // compile-time checks. Each analyzer guards a contract that already has a
 // runtime counterpart (determinism golden tests, AllocsPerRun gates, the
-// context-cancellation tests, the dispatch race tests, and the
-// solver-stats/metrics parity test); the static form catches regressions
-// before a test has to.
+// context-cancellation tests, the dispatch race tests, the
+// solver-stats/metrics parity test, the span-drain assertions, the
+// goroutine-count checks in the dispatch tests, the GOMAXPROCS
+// byte-identity sweeps, and the wire codec round-trip tests); the static
+// form catches regressions before a test has to.
+//
+// The suite has two tiers. The syntactic tier (mpdedeterminism,
+// mpdehotpath, mpdectxfirst, mpdelocksafe, mpdestatsparity) pattern-matches
+// single constructs. The dataflow tier builds a control-flow graph per
+// function body (package repro/internal/lint/analysis) and runs fixpoint
+// solvers over it:
+//
+//	mpdelifecycle  obligations (obs spans, queue leases, HTTP response
+//	               bodies, tickers) must be released on every path to return
+//	mpdegoroleak   every `go` statement in the serving path needs a
+//	               termination witness
+//	mpdefloatdet   //mpde:deterministic-parallel worker closures may write
+//	               only index-disjoint slice slots
+//	mpdewirelock   wire structs must match the committed wire.lock schema
 //
 // Source opts into the stricter checks with directive comments:
 //
-//	//mpde:hotpath     on a function: no allocation in the body
-//	//mpde:canonical   on a function: its call tree must be deterministic
+//	//mpde:hotpath                on a function: no allocation in the body
+//	//mpde:canonical              on a function: its call tree must be deterministic
+//	//mpde:deterministic-parallel on a function: results are schedule-independent
 //
 // and opts individual statements back out, with a reason:
 //
@@ -17,6 +34,9 @@
 //	//mpde:coldpath <why>        statement runs off the hot path
 //	//mpde:nondet-ok <why>       nondeterminism does not reach the output
 //	//mpde:locksafe-ignore <why> blocking under this lock is intended
+//	//mpde:lifecycle-ok <why>    the obligation is released elsewhere
+//	//mpde:goroleak-ok <why>     the goroutine provably stops anyway
+//	//mpde:floatdet-ok <why>     the shared write is deterministic anyway
 //
 // A suppression directive placed on a statement's own line or the line
 // directly above exempts that statement's whole subtree.
@@ -38,6 +58,10 @@ func All() []*analysis.Analyzer {
 		CtxFirstAnalyzer,
 		LockSafeAnalyzer,
 		StatsParityAnalyzer,
+		LifecycleAnalyzer,
+		GoroLeakAnalyzer,
+		FloatDetAnalyzer,
+		WireLockAnalyzer,
 	}
 }
 

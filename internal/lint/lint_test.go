@@ -31,12 +31,30 @@ func TestStatsParity(t *testing.T) {
 	analysistest.Run(t, lint.StatsParityAnalyzer, "testdata/src/statsparity")
 }
 
+func TestLifecycle(t *testing.T) {
+	analysistest.Run(t, lint.LifecycleAnalyzer, "testdata/src/lifecycle")
+}
+
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, lint.GoroLeakAnalyzer, "testdata/src/goroleak")
+}
+
+func TestFloatDet(t *testing.T) {
+	analysistest.Run(t, lint.FloatDetAnalyzer, "testdata/src/floatdet")
+}
+
+func TestWireLock(t *testing.T) {
+	defer func(pkgs []string) { lint.WireLockPackages = pkgs }(lint.WireLockPackages)
+	lint.WireLockPackages = []string{"testdata"}
+	analysistest.Run(t, lint.WireLockAnalyzer, "testdata/src/wirelock")
+}
+
 func TestSuiteIsWellFormed(t *testing.T) {
 	if err := analysis.Validate(lint.All()); err != nil {
 		t.Fatal(err)
 	}
-	if got := len(lint.All()); got < 5 {
-		t.Fatalf("suite has %d analyzers, want at least 5", got)
+	if got := len(lint.All()); got < 9 {
+		t.Fatalf("suite has %d analyzers, want at least 9", got)
 	}
 }
 

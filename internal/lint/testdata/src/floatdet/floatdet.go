@@ -1,0 +1,149 @@
+// Package floatdet exercises FloatDetAnalyzer: worker closures inside
+// //mpde:deterministic-parallel functions may write only index-disjoint
+// slice slots.
+package floatdet
+
+import "sync"
+
+// parallel is the fixture's pool primitive: it hands [lo,hi) ranges to
+// worker goroutines.
+func parallel(n, workers int, fn func(w, lo, hi int)) {
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, min((w+1)*chunk, n)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// GridGood stores each job's result into its own slot and reduces after
+// the join.
+//
+//mpde:deterministic-parallel
+func GridGood(xs []float64) float64 {
+	out := make([]float64, len(xs))
+	parallel(len(xs), 4, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			local := xs[i] * xs[i] // worker-local state is free
+			out[i] = local
+		}
+	})
+	sum := 0.0
+	for _, v := range out {
+		sum += v // sequential reduction after the join: fine
+	}
+	return sum
+}
+
+// SharedAccumulator is the classic nondeterminism: float addition order
+// depends on the schedule.
+//
+//mpde:deterministic-parallel
+func SharedAccumulator(xs []float64) float64 {
+	sum := 0.0
+	parallel(len(xs), 4, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += xs[i] // want `worker closure writes captured "sum"`
+		}
+	})
+	return sum
+}
+
+// SlotAccumulate read-modify-writes a shared slot.
+//
+//mpde:deterministic-parallel
+func SlotAccumulate(xs, acc []float64) {
+	parallel(len(xs), 4, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acc[0] += xs[i] // want `worker closure accumulates into "acc"`
+		}
+	})
+}
+
+// CountedStores increments a captured counter.
+//
+//mpde:deterministic-parallel
+func CountedStores(xs []float64, out []float64) {
+	n := 0
+	parallel(len(xs), 4, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = xs[i]
+			n++ // want `worker closure writes captured "n"`
+		}
+	})
+	_ = n
+}
+
+type gridState struct {
+	total float64
+	slots []float64
+}
+
+// FieldStore writes a shared struct field from workers.
+//
+//mpde:deterministic-parallel
+func (g *gridState) FieldStore(xs []float64) {
+	parallel(len(xs), 4, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g.slots[i] = xs[i]   // index-disjoint through a field: fine
+			g.total = g.slots[i] // want `worker closure writes captured "g"`
+		}
+	})
+}
+
+// MapWrite stores into a captured map.
+//
+//mpde:deterministic-parallel
+func MapWrite(keys []string, seen map[string]bool) {
+	parallel(len(keys), 4, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			seen[keys[i]] = true // want `worker closure writes captured map "seen"`
+		}
+	})
+}
+
+// GoStmtWorker spawns its workers directly with go.
+//
+//mpde:deterministic-parallel
+func GoStmtWorker(xs []float64, out []float64) {
+	var wg sync.WaitGroup
+	bad := 0.0
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out[w] = xs[w]
+			bad = xs[w] // want `worker closure writes captured "bad"`
+		}(w)
+	}
+	wg.Wait()
+	_ = bad
+}
+
+// Suppressed documents a deliberate exception.
+//
+//mpde:deterministic-parallel
+func Suppressed(keys []string, seeds map[string]float64) {
+	parallel(len(keys), 4, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			//mpde:floatdet-ok leader-only write: exactly one worker owns each key
+			seeds[keys[i]] = float64(i)
+		}
+	})
+}
+
+// Untagged functions may do whatever they like.
+func Untagged(xs []float64) float64 {
+	sum := 0.0
+	parallel(len(xs), 4, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += xs[i]
+		}
+	})
+	return sum
+}

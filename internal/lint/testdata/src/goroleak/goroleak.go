@@ -1,0 +1,97 @@
+// Package goroleak exercises GoroLeakAnalyzer: every go statement needs a
+// termination witness — ctx.Done receive, WaitGroup.Done, close-on-return
+// channel, or range over a channel.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+func FireAndForget(work func()) {
+	go func() { // want `goroutine has no termination witness`
+		for {
+			work()
+		}
+	}()
+}
+
+func CtxDoneGood(ctx context.Context, tick <-chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick:
+			}
+		}
+	}()
+}
+
+func WaitGroupGood(wg *sync.WaitGroup, work func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func CloseOnReturnGood(work func()) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+func RangeOverChannelGood(jobs <-chan int, handle func(int)) {
+	go func() {
+		for j := range jobs {
+			handle(j)
+		}
+	}()
+}
+
+type pump struct {
+	wg   sync.WaitGroup
+	jobs chan int
+}
+
+func (p *pump) run() {
+	defer p.wg.Done()
+	for range p.jobs {
+	}
+}
+
+// NamedMethodGood resolves the callee one hop: run carries the witness.
+func (p *pump) NamedMethodGood() {
+	p.wg.Add(1)
+	go p.run()
+}
+
+func (p *pump) spin() {
+	for {
+	}
+}
+
+func (p *pump) NamedMethodBad() {
+	go p.spin() // want `goroutine has no termination witness`
+}
+
+// NestedGoWitnessDoesNotCount: the inner goroutine's witness stops the
+// inner goroutine only.
+func NestedGoWitnessDoesNotCount(ctx context.Context) {
+	go func() { // want `goroutine has no termination witness`
+		go func() {
+			<-ctx.Done()
+		}()
+		for {
+		}
+	}()
+}
+
+func Suppressed(errc chan error, serve func() error) {
+	//mpde:goroleak-ok single buffered send; the goroutine exits when serve returns
+	go func() { errc <- serve() }()
+}

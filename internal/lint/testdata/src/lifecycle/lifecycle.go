@@ -1,0 +1,212 @@
+// Package lifecycle exercises LifecycleAnalyzer: span/lease/body/ticker
+// obligations must be released on every path, with defer, escape, nil-guard
+// and error-path exemptions all understood.
+package lifecycle
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/obs"
+)
+
+var errFixture = errors.New("fixture")
+
+func fail(ctx context.Context) bool { return ctx.Err() != nil }
+
+func compute(ctx context.Context) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return 1
+}
+
+// --- spans ------------------------------------------------------------------
+
+func SpanLeakEarlyReturn(ctx context.Context) error {
+	ctx, span := obs.Start(ctx, "work") // want `span "span" is not released on every path`
+	if fail(ctx) {
+		return errFixture // span never ended on this path
+	}
+	span.End()
+	return nil
+}
+
+func SpanDeferGood(ctx context.Context) error {
+	ctx, span := obs.Start(ctx, "work")
+	defer span.End()
+	if fail(ctx) {
+		return errFixture
+	}
+	return nil
+}
+
+func SpanConditionalDeferGood(ctx context.Context) error {
+	ctx, span := obs.Start(ctx, "work")
+	if span != nil {
+		span.SetStr("phase", "fixture")
+		defer span.End()
+	}
+	if fail(ctx) {
+		return errFixture
+	}
+	return nil
+}
+
+func SpanNilGuardGood(ctx context.Context) int {
+	ctx, span := obs.Start(ctx, "work")
+	if span == nil {
+		return compute(ctx)
+	}
+	n := compute(ctx)
+	span.SetInt("n", int64(n))
+	span.End()
+	return n
+}
+
+func SpanClosureDeferGood(ctx context.Context) error {
+	ctx, span := obs.Start(ctx, "work")
+	defer func() {
+		span.SetStr("done", "yes")
+		span.End()
+	}()
+	if fail(ctx) {
+		return errFixture
+	}
+	return nil
+}
+
+func SpanLoopRecreateLeak(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		_, span := obs.Start(ctx, "iter") // want `span "span" reassigned while the previous one from line \d+ may still need End` `span "span" is not released on every path`
+		if i == 0 {
+			span.End()
+		}
+	}
+}
+
+func SpanLoopGood(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		_, span := obs.Start(ctx, "iter")
+		if i == 0 {
+			span.End()
+			continue
+		}
+		span.End()
+	}
+}
+
+// SpanEscapeReturn hands the obligation to the caller.
+func SpanEscapeReturn(ctx context.Context) (context.Context, *obs.Span) {
+	ctx, span := obs.Start(ctx, "handoff")
+	return ctx, span
+}
+
+type spanHolder struct{ span *obs.Span }
+
+// SpanFieldStore is untrackable intraprocedurally: the owner of the struct
+// carries the obligation.
+func SpanFieldStore(ctx context.Context, h *spanHolder) context.Context {
+	ctx, sp := obs.Start(ctx, "field")
+	h.span = sp
+	return ctx
+}
+
+func SpanSuppressed(ctx context.Context) {
+	//mpde:lifecycle-ok fixture: span ownership is deliberately out of band
+	_, span := obs.Start(ctx, "suppressed")
+	span.SetStr("k", "v")
+}
+
+// --- leases -----------------------------------------------------------------
+
+func LeaseLeak(ctx context.Context, q *dispatch.Queue) {
+	lease, err := q.Lease(ctx, "w") // want `lease "lease" is not released on every path`
+	if err != nil {
+		return
+	}
+	_ = lease.TaskID // read-only use: the lease is never settled
+}
+
+func LeaseSettledGood(ctx context.Context, q *dispatch.Queue, payload []byte) error {
+	lease, err := q.Lease(ctx, "w")
+	if err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return q.Fail(lease.TaskID, lease.LeaseID, "empty shard payload")
+	}
+	return q.Complete(lease.TaskID, lease.LeaseID, payload)
+}
+
+// LeaseEscapeGood hands the lease to the caller (the HTTP layer encodes it
+// for the worker, which takes over the obligation).
+func LeaseEscapeGood(ctx context.Context, q *dispatch.Queue) (*dispatch.Lease, error) {
+	lease, err := q.Lease(ctx, "w")
+	if err != nil {
+		return nil, err
+	}
+	return lease, nil
+}
+
+// --- HTTP response bodies ---------------------------------------------------
+
+func BodyLeakOnEarlyPath(url string) (int, error) {
+	resp, err := http.Get(url) // want `response body "resp" is not released on every path`
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode == http.StatusNoContent {
+		return 0, nil // body never closed on this path
+	}
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func BodyDeferGood(c *http.Client, req *http.Request) (int, error) {
+	resp, err := c.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func BodyBranchesGood(c *http.Client, req *http.Request) (int, error) {
+	resp, err := c.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode >= 500 {
+		resp.Body.Close()
+		return 0, errFixture
+	}
+	n := resp.StatusCode
+	resp.Body.Close()
+	return n, nil
+}
+
+// --- tickers ----------------------------------------------------------------
+
+func TickerLeak(d time.Duration, done chan struct{}) {
+	t := time.NewTicker(d) // want `ticker "t" is not released on every path`
+	select {
+	case <-t.C:
+	case <-done:
+	}
+}
+
+func TickerDeferGood(d time.Duration, done chan struct{}) {
+	t := time.NewTicker(d)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-done:
+			return
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Package wirelock exercises WireLockAnalyzer: struct schemas are checked
+// against the committed wire.lock — fields append-only, names/types/tags
+// frozen. The Ghost type is locked but absent from the code, so its
+// diagnostic lands on the package clause.
+package wirelock // want `wire type wirelock.Ghost is locked in wire.lock but no longer resolves to a struct`
+
+// WireVersion must match the lock's wire_version.
+const WireVersion = 1
+
+// GoodWire matches its locked schema exactly.
+type GoodWire struct {
+	V    int       `json:"v"`
+	Name string    `json:"name"`
+	Vals []float64 `json:"vals"`
+}
+
+// RenamedWire's field is locked as "Old".
+type RenamedWire struct {
+	New int `json:"old"` // want `wire field wirelock.RenamedWire\[0\] is "Old" in wire.lock but "New" in code`
+}
+
+// RetypedWire's field is locked as int.
+type RetypedWire struct {
+	Count int64 `json:"count"` // want `wire field wirelock.RetypedWire.Count changed type from "int" to "int64"`
+}
+
+// RetaggedWire's field is locked with tag json:"count".
+type RetaggedWire struct {
+	Count int `json:"n"` // want `wire field wirelock.RetaggedWire.Count changed tag`
+}
+
+// AppendedWire grew a field that is not in the lock yet.
+type AppendedWire struct {
+	V     int    `json:"v"`
+	Extra string `json:"extra"` // want `wire field wirelock.AppendedWire.Extra is not recorded in wire.lock`
+}
+
+// DroppedWire lost its locked second field.
+type DroppedWire struct { // want `wire type wirelock.DroppedWire dropped locked field "Gone"`
+	V int `json:"v"`
+}
+
+// AnyWire checks the interface{}-vs-any spelling normalisation.
+type AnyWire struct {
+	Data  any            `json:"data"`
+	Attrs map[string]any `json:"attrs"`
+}

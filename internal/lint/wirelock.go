@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// WireLockPackages lists the package paths whose wire schema is locked by a
+// committed wire.lock file next to their sources. Tests override it to
+// point at fixtures.
+var WireLockPackages = []string{"repro/internal/dispatch"}
+
+// WireLockAnalyzer (mpdewirelock) freezes the dispatch wire schema. The
+// wire codec's canonical JSON encoding is the distributed cache key and the
+// cross-process determinism contract: renaming a field, changing its type
+// or its tag, or reordering fields silently changes every cache key and
+// breaks mixed-version fleets. The committed internal/dispatch/wire.lock
+// records, per wire-reachable struct, the ordered (name, type, tag) field
+// schema; this analyzer compares the code against it:
+//
+//   - locked fields are frozen: same position, name, type and tag;
+//   - the field set is append-only: new fields go at the end and must be
+//     recorded by regenerating the lock (go generate ./internal/dispatch);
+//   - deliberate breaks bump WireVersion, which licenses a fresh lock.
+//
+// So a wire-schema change fails `go vet` on the desk that makes it, instead
+// of failing a fleet at decode time.
+var WireLockAnalyzer = &analysis.Analyzer{
+	Name: "mpdewirelock",
+	Doc: "check wire structs against the committed wire.lock schema\n\n" +
+		"Wire types (RequestWire, ShardEnvelope, ShardResult, every Descriptor.WireParams\n" +
+		"payload and their transitive struct fields) must match internal/dispatch/wire.lock:\n" +
+		"fields are append-only, names/types/tags frozen until WireVersion is bumped.",
+	Run: runWireLock,
+}
+
+// wireLockFile is the on-disk schema: one ordered field list per
+// wire-reachable struct, keyed "pkgname.TypeName".
+type wireLockFile struct {
+	Comment     string                     `json:"comment,omitempty"`
+	WireVersion int64                      `json:"wire_version"`
+	Types       map[string][]wireLockField `json:"types"`
+}
+
+type wireLockField struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+	Tag  string `json:"tag,omitempty"`
+}
+
+// NormalizeWireType canonicalises a type string: reflect spells the empty
+// interface "interface {}", go/types spells it "any" (universe type) or
+// "interface{}" (via export data). The lock stores "any".
+func NormalizeWireType(s string) string {
+	s = strings.ReplaceAll(s, "interface {}", "any")
+	return strings.ReplaceAll(s, "interface{}", "any")
+}
+
+func runWireLock(pass *analysis.Pass) (any, error) {
+	locked := false
+	for _, p := range WireLockPackages {
+		if pass.Pkg.Path() == p {
+			locked = true
+		}
+	}
+	if !locked || len(pass.Files) == 0 {
+		return nil, nil
+	}
+	pkgPos := pass.Files[0].Name.Pos()
+	dir := filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+	lockPath := filepath.Join(dir, "wire.lock")
+	raw, err := os.ReadFile(lockPath)
+	if err != nil {
+		pass.Reportf(pkgPos, "wire.lock is missing for locked package %s (%v); run `go generate ./internal/dispatch` and commit the lock", pass.Pkg.Path(), err)
+		return nil, nil
+	}
+	var lock wireLockFile
+	if err := json.Unmarshal(raw, &lock); err != nil {
+		pass.Reportf(pkgPos, "wire.lock is unreadable: %v; regenerate with `go generate ./internal/dispatch`", err)
+		return nil, nil
+	}
+	if v, ok := packageWireVersion(pass.Pkg); ok && v != lock.WireVersion {
+		pass.Reportf(pkgPos, "wire.lock was generated for WireVersion %d but the code declares %d; regenerate with `go generate ./internal/dispatch`", lock.WireVersion, v)
+		return nil, nil
+	}
+
+	// Files of this pass: cross-package findings (a locked struct living in
+	// an imported package, e.g. sweep.Job) are anchored at this package's
+	// clause so diagnostics stay inside the vetted package.
+	localFiles := map[string]bool{}
+	for _, f := range pass.Files {
+		localFiles[pass.Fset.Position(f.Pos()).Filename] = true
+	}
+
+	names := make([]string, 0, len(lock.Types))
+	for name := range lock.Types {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		checkLockedType(pass, localFiles, name, lock.Types[name])
+	}
+	return nil, nil
+}
+
+func checkLockedType(pass *analysis.Pass, localFiles map[string]bool, name string, want []wireLockField) {
+	filePos := pass.Files[0].Name.Pos()
+	anchor := func(pos token.Pos) token.Pos {
+		if localFiles[pass.Fset.Position(pos).Filename] {
+			return pos
+		}
+		return filePos
+	}
+	tn, st := findLockedStruct(pass.Pkg, name)
+	if tn == nil || st == nil {
+		pass.Reportf(filePos, "wire type %s is locked in wire.lock but no longer resolves to a struct; the wire schema is append-only — restore it, or bump WireVersion and regenerate the lock", name)
+		return
+	}
+	n := st.NumFields()
+	for i, wf := range want {
+		if i >= n {
+			pass.Reportf(anchor(tn.Pos()), "wire type %s dropped locked field %q (position %d); the wire schema is append-only — restore it, or bump WireVersion and regenerate wire.lock", name, wf.Name, i)
+			continue
+		}
+		f := st.Field(i)
+		gotType := NormalizeWireType(types.TypeString(f.Type(), func(p *types.Package) string { return p.Name() }))
+		gotTag := st.Tag(i)
+		switch {
+		case f.Name() != wf.Name:
+			pass.Reportf(anchor(f.Pos()), "wire field %s[%d] is %q in wire.lock but %q in code; the wire schema is append-only — new fields go at the end, renames need a WireVersion bump (then `go generate ./internal/dispatch`)", name, i, wf.Name, f.Name())
+		case gotType != wf.Type:
+			pass.Reportf(anchor(f.Pos()), "wire field %s.%s changed type from %q to %q; retyping changes every cache key — bump WireVersion and regenerate wire.lock (`go generate ./internal/dispatch`)", name, f.Name(), wf.Type, gotType)
+		case gotTag != wf.Tag:
+			pass.Reportf(anchor(f.Pos()), "wire field %s.%s changed tag from %q to %q; the JSON name is the wire contract — bump WireVersion and regenerate wire.lock (`go generate ./internal/dispatch`)", name, f.Name(), wf.Tag, gotTag)
+		}
+	}
+	for i := len(want); i < n; i++ {
+		f := st.Field(i)
+		pass.Reportf(anchor(f.Pos()), "wire field %s.%s is not recorded in wire.lock; run `go generate ./internal/dispatch` and commit the updated lock", name, f.Name())
+	}
+}
+
+// findLockedStruct resolves "pkgname.TypeName" against the pass package and
+// its transitive imports.
+func findLockedStruct(root *types.Package, name string) (*types.TypeName, *types.Struct) {
+	pkgName, typeName, ok := strings.Cut(name, ".")
+	if !ok {
+		return nil, nil
+	}
+	seen := map[*types.Package]bool{}
+	var visit func(p *types.Package) (*types.TypeName, *types.Struct)
+	visit = func(p *types.Package) (*types.TypeName, *types.Struct) {
+		if seen[p] {
+			return nil, nil
+		}
+		seen[p] = true
+		if p.Name() == pkgName {
+			if obj, ok := p.Scope().Lookup(typeName).(*types.TypeName); ok {
+				if st, ok := obj.Type().Underlying().(*types.Struct); ok {
+					return obj, st
+				}
+			}
+		}
+		for _, imp := range p.Imports() {
+			if tn, st := visit(imp); tn != nil {
+				return tn, st
+			}
+		}
+		return nil, nil
+	}
+	return visit(root)
+}
+
+// packageWireVersion reads the package's WireVersion constant.
+func packageWireVersion(pkg *types.Package) (int64, bool) {
+	c, ok := pkg.Scope().Lookup("WireVersion").(*types.Const)
+	if !ok {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(c.Val()))
+	return v, ok
+}

@@ -193,6 +193,7 @@ func TestDispatchMetricsExposed(t *testing.T) {
 		"mpde_dispatch_workers",
 		"mpde_dispatch_shards_total",
 		"mpde_dispatch_shard_cache_hits_total",
+		"mpde_dispatch_recovered_total",
 	}
 
 	resp, err := http.Get(ts.URL + "/metrics")

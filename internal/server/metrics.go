@@ -202,6 +202,7 @@ func (m *metrics) snapshot(cache *resultCache, start time.Time, ds dispatch.Stat
 		intPoint("mpde_dispatch_workers", "Workers seen by the coordinator within the liveness window.", true, ds.Workers),
 		intPoint("mpde_dispatch_shards_total", "Shards enqueued to the worker fleet.", false, ds.ShardsDispatched),
 		intPoint("mpde_dispatch_shard_cache_hits_total", "Shards served from the shared shard cache without dispatching.", false, ds.ShardCacheHits),
+		intPoint("mpde_dispatch_recovered_total", "Journalled shards re-enqueued by boot recovery.", false, ds.Recovered),
 	}
 	return pts
 }

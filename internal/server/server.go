@@ -128,6 +128,14 @@ func New(opt Options) *Server {
 		Cache:      s.cache,
 		Logf:       s.opt.Logf,
 	})
+	// Boot recovery: shards a crashed predecessor journalled but never
+	// settled go back on the queue; their results land in the shard cache
+	// so the re-submitted request after the crash does not recompute.
+	if n, err := s.coord.Recover(); err != nil {
+		s.logf("server: dispatch recovery: %v", err)
+	} else if n > 0 {
+		s.logf("server: dispatch recovery re-enqueued %d journalled shard(s)", n)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
@@ -181,6 +189,7 @@ func Serve(ctx context.Context, addr string, opt Options) error {
 	s := New(opt)
 	hs := &http.Server{Addr: addr, Handler: s.Handler()}
 	errc := make(chan error, 1)
+	//mpde:goroleak-ok one buffered send; the goroutine exits when ListenAndServe returns, which hs.Shutdown below forces
 	go func() { errc <- hs.ListenAndServe() }()
 	s.logf("server: listening on %s (max %d concurrent, queue %d, cache %d bytes)",
 		addr, s.opt.MaxConcurrent, s.opt.MaxQueue, s.opt.CacheBytes)

@@ -37,6 +37,8 @@ type groupKey struct {
 // aggregated result — on cancellation a partial one, with unstarted and
 // interrupted jobs marked StatusCanceled — together with ctx.Err().
 // Result.Jobs is ordered by Job.ID regardless of worker scheduling.
+//
+//mpde:deterministic-parallel
 func Run(ctx context.Context, spec Spec) (*Result, error) {
 	if spec.Build == nil {
 		return nil, errors.New("sweep: Spec.Build is required")
@@ -163,6 +165,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 						seedMu.Lock()
 						k := groupKey{jobs[id].Method, jobs[id].Point.N1, jobs[id].Point.N2}
 						if _, dup := seeds[k]; !dup {
+							//mpde:floatdet-ok leader-only: the first converged job per group wins under seedMu, and stage-two jobs only start after the stage-one barrier
 							seeds[k] = raw
 						}
 						seedMu.Unlock()

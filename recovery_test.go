@@ -1,0 +1,131 @@
+// Multi-process crash-recovery test for the dispatch journal: a coordinator
+// is SIGKILLed mid-sweep with shards journalled under its spool directory, a
+// replacement starts on the same address with the same -spool, and boot
+// recovery (Coordinator.Recover) must re-enqueue the orphaned shards, let
+// the surviving worker drain them, and land their results in the shard
+// cache — so re-submitting the identical sweep is served from cache instead
+// of recomputing.
+package repro_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// journalFiles counts the shard journal entries under the dispatch spool.
+func journalFiles(t *testing.T, dir string) int {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return 0
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCoordinatorRecoversJournalledShardsAfterKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test")
+	}
+	bin := buildServeBinary(t)
+	body := mixerSweepBody(t)
+	spool := t.TempDir()
+	journalDir := filepath.Join(spool, "dispatch")
+
+	// First coordinator: short lease TTL, journalling to the spool.
+	addr := freeAddr(t)
+	base := "http://" + addr
+	coord := startProc(t, bin, "coordinator-a",
+		"-addr", addr, "-spool", spool, "-lease-ttl", "500ms", "-max-concurrent", "2")
+	waitHealthy(t, base, 10*time.Second)
+
+	for i := 0; i < 2; i++ {
+		startProc(t, bin, "worker"+string(rune('0'+i)),
+			"-worker", base, "-worker-id", "w"+string(rune('0'+i)), "-sweep-workers", "2")
+	}
+	waitMetric(t, base, "mpde_dispatch_workers", 2, 10*time.Second)
+
+	submitJob(t, base, body)
+
+	// Kill the coordinator once shards are journalled and at least one is
+	// leased: those shards can then only finish through boot recovery.
+	waitMetric(t, base, "mpde_dispatch_shards_total", 2, 15*time.Second)
+	waitMetric(t, base, "mpde_leases_active", 1, 15*time.Second)
+	if err := coord.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	coord.Wait()
+	t.Log("SIGKILLed coordinator mid-sweep")
+
+	orphaned := journalFiles(t, journalDir)
+	if orphaned == 0 {
+		t.Fatal("no journalled shards survived the kill; nothing to recover")
+	}
+	t.Logf("%d journalled shard(s) orphaned", orphaned)
+
+	// Replacement coordinator on the same address and spool: New runs boot
+	// recovery before serving, so the recovered counter is visible as soon
+	// as the process is healthy. The workers keep polling the same URL and
+	// reconnect on their own.
+	startProc(t, bin, "coordinator-b",
+		"-addr", addr, "-spool", spool, "-lease-ttl", "500ms", "-max-concurrent", "2")
+	waitHealthy(t, base, 10*time.Second)
+	waitMetric(t, base, "mpde_dispatch_recovered_total", float64(orphaned), 10*time.Second)
+
+	// The workers drain the recovered shards; every terminal shard removes
+	// its journal entry, so an empty journal means recovery completed.
+	deadline := time.Now().Add(120 * time.Second)
+	for journalFiles(t, journalDir) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d journalled shard(s) never drained after recovery", journalFiles(t, journalDir))
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Recovered shard results were written into the shard cache, so the
+	// identical sweep re-submitted to the new coordinator is served from
+	// cache — and still reports every job converged. The drain goroutines
+	// write their cache entries after the journal entry disappears, so wait
+	// for the entries too, and for both workers to be parked in lease polls
+	// again so the resubmission takes the sharded path.
+	waitMetric(t, base, "mpde_cache_entries", float64(orphaned), 10*time.Second)
+	waitMetric(t, base, "mpde_dispatch_workers", 2, 10*time.Second)
+	id := submitJob(t, base, body)
+	raw := fetchResult(t, base, id, 120*time.Second)
+	var result struct {
+		Jobs []struct {
+			Status string `json:"status"`
+		} `json:"jobs"`
+	}
+	if err := json.Unmarshal(raw, &result); err != nil {
+		t.Fatalf("result JSON: %v", err)
+	}
+	if len(result.Jobs) != 6 {
+		t.Fatalf("result has %d jobs, want 6", len(result.Jobs))
+	}
+	for i, j := range result.Jobs {
+		if j.Status != "ok" {
+			t.Fatalf("job %d status %q after recovery", i, j.Status)
+		}
+	}
+	var m map[string]float64
+	if err := getJSON(base, "/metrics?format=json", &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["mpde_dispatch_shard_cache_hits_total"] < 1 {
+		t.Fatalf("shard cache hits %v after resubmit: recovered results never reached the cache",
+			m["mpde_dispatch_shard_cache_hits_total"])
+	}
+}
